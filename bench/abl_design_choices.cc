@@ -1,0 +1,168 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//
+//  ABL-COW    — copy-on-write fork vs. an eager full copy of the address
+//               space (the VM architecture choice the paper inherits from
+//               SunOS; COW is what makes breakpoint planting safe AND fork
+//               cheap).
+//  ABL-WATCH  — the per-access watchpoint fast path: accesses in an address
+//               space with no watchpoints must cost the same as in one that
+//               never heard of watchpoints ("unwatched pages unaffected").
+//  ABL-SNAP   — PIOCSTATUS as one consistent snapshot vs. reassembling the
+//               same fields from multiple smaller operations (the design
+//               rationale for fat status structures).
+#include <benchmark/benchmark.h>
+
+#include "svr4proc/tools/proclib.h"
+#include "svr4proc/tools/sim.h"
+
+using namespace svr4;
+
+namespace {
+
+// --- ABL-COW -----------------------------------------------------------------
+
+// Program with a large bss it has already touched; fork cost then depends
+// on the copying strategy.
+struct ForkSystem {
+  std::unique_ptr<Sim> sim;
+  Pid pid = 0;
+};
+
+ForkSystem MakeForkSystem(int touched_pages) {
+  ForkSystem s;
+  s.sim = std::make_unique<Sim>();
+  char head[64];
+  std::snprintf(head, sizeof(head), "      .equ NPAGES, %d\n", touched_pages);
+  (void)s.sim->InstallProgram("/bin/big", std::string(head) + R"(
+      ; touch NPAGES pages of bss
+      ldi r4, buf
+      ldi r8, NPAGES
+t:    ldi r5, 1
+      stw r5, [r4]
+      addi r4, 4096
+      ldi r6, 1
+      sub r8, r6
+      cmpi r8, 0
+      jnz t
+spin: jmp spin
+      .bss
+buf:  .space 4194304
+  )");
+  s.pid = *s.sim->Start("/bin/big");
+  // Let it touch its pages.
+  (void)s.sim->kernel().RunUntil([&]() {
+    Proc* p = s.sim->kernel().FindProc(s.pid);
+    return p != nullptr && p->as->ResidentPages() >= static_cast<uint32_t>(touched_pages);
+  });
+  return s;
+}
+
+void BM_CowClone(benchmark::State& state) {
+  auto s = MakeForkSystem(static_cast<int>(state.range(0)));
+  Proc* p = s.sim->kernel().FindProc(s.pid);
+  for (auto _ : state) {
+    auto child = p->as->Clone();  // what fork(2) does: share frames, COW
+    benchmark::DoNotOptimize(child->VirtualSize());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["pages"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_CowClone)->Arg(64)->Arg(512)->Arg(1024);
+
+void BM_EagerCopyClone(benchmark::State& state) {
+  auto s = MakeForkSystem(static_cast<int>(state.range(0)));
+  Proc* p = s.sim->kernel().FindProc(s.pid);
+  for (auto _ : state) {
+    // The ablation: copy every resident page at fork time.
+    auto child = p->as->Clone();
+    for (const auto& m : p->as->Maps()) {
+      std::vector<uint8_t> buf(kPageSize);
+      for (uint32_t off = 0; off < m.size; off += kPageSize) {
+        auto n = p->as->PrRead(m.vaddr + off, buf);
+        if (n.ok() && *n > 0) {
+          (void)child->PrWrite(m.vaddr + off,
+                               std::span<const uint8_t>(buf.data(),
+                                                        static_cast<size_t>(*n)));
+        }
+      }
+    }
+    benchmark::DoNotOptimize(child->ResidentPages());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["pages"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_EagerCopyClone)->Arg(64)->Arg(512);
+
+// --- ABL-WATCH ----------------------------------------------------------------
+
+void RunAccessLoop(benchmark::State& state, bool with_far_watchpoint) {
+  Sim sim;
+  (void)sim.InstallProgram("/bin/t", R"(
+spin: jmp spin
+      .bss
+buf:  .space 65536
+  )");
+  auto pid = *sim.Start("/bin/t");
+  Proc* p = sim.kernel().FindProc(pid);
+  if (with_far_watchpoint) {
+    // A watchpoint exists but never overlaps the accessed range.
+    (void)p->as->AddWatch(Watch{0x80008000 + 60000, 4, WA_WRITE});
+  }
+  uint32_t v = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      (void)p->as->MemWrite(0x80008000 + static_cast<uint32_t>(i) * 64, &v, 4);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+
+void BM_AccessNoWatchpoints(benchmark::State& state) {
+  RunAccessLoop(state, false);
+}
+BENCHMARK(BM_AccessNoWatchpoints);
+
+void BM_AccessWithIdleWatchpoint(benchmark::State& state) {
+  RunAccessLoop(state, true);
+}
+BENCHMARK(BM_AccessWithIdleWatchpoint);
+
+// --- ABL-SNAP -----------------------------------------------------------------
+
+void BM_StatusOneSnapshot(benchmark::State& state) {
+  Sim sim;
+  (void)sim.InstallProgram("/bin/t", "spin: jmp spin\n");
+  auto pid = *sim.Start("/bin/t");
+  auto h = *ProcHandle::Grab(sim.kernel(), sim.controller(), pid);
+  for (auto _ : state) {
+    auto st = h.Status();
+    benchmark::DoNotOptimize(st->pr_reg.pc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatusOneSnapshot);
+
+void BM_StatusReassembled(benchmark::State& state) {
+  Sim sim;
+  (void)sim.InstallProgram("/bin/t", "spin: jmp spin\n");
+  auto pid = *sim.Start("/bin/t");
+  auto h = *ProcHandle::Grab(sim.kernel(), sim.controller(), pid);
+  for (auto _ : state) {
+    // The same information via separate operations: registers, signal
+    // masks, credentials, psinfo — four calls, no consistency.
+    auto regs = h.GetRegs();
+    auto hold = h.GetHold();
+    auto cred = h.Cred();
+    auto ps = h.Psinfo();
+    benchmark::DoNotOptimize(regs->pc);
+    benchmark::DoNotOptimize(hold->Count());
+    benchmark::DoNotOptimize(cred->pr_ruid);
+    benchmark::DoNotOptimize(ps->pr_pid);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatusReassembled);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,166 @@
+// FIG3: Figure 3 shows the points in the kernel at which a traced process
+// may stop: system call entry, system call exit, machine faults, and signal
+// receipt. This harness drives one process through every stop point, prints
+// the observed sequence (the behavioural rendering of the figure), and
+// benchmarks the stop/resume round-trip at each point.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "svr4proc/tools/proclib.h"
+#include "svr4proc/tools/sim.h"
+
+using namespace svr4;
+
+namespace {
+
+constexpr char kJourney[] = R"(
+      ldi r0, SYS_getpid   ; (1) stop on syscall entry  (2) stop on exit
+      sys
+      bpt                  ; (3) stop on machine fault (FLTBPT)
+after:
+      ldi r0, SYS_pause    ; wait for the signal
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+)";
+
+void PrintJourney() {
+  Sim sim;
+  auto img = sim.InstallProgram("/bin/journey", kJourney);
+  auto pid = sim.Start("/bin/journey");
+  auto h = *ProcHandle::Grab(sim.kernel(), sim.controller(), *pid);
+  (void)h.Stop();
+  SysSet calls;
+  calls.Add(SYS_getpid);
+  (void)h.SetSysEntry(calls);
+  (void)h.SetSysExit(calls);
+  FltSet faults;
+  faults.Add(FLTBPT);
+  (void)h.SetFltTrace(faults);
+  SigSet sigs;
+  sigs.Add(SIGUSR1);
+  (void)h.SetSigTrace(sigs);
+
+  std::printf("--- Figure 3 reproduction: stop points on the kernel boundary ---\n");
+  (void)h.Run();
+  int n = 0;
+  while (true) {
+    if (!h.WaitStop().ok()) {
+      break;
+    }
+    auto st = *h.Status();
+    std::printf("  stop %d: %-13s what=%s\n", ++n,
+                std::string(PrWhyName(st.pr_why)).c_str(),
+                st.pr_why == PR_SYSENTRY || st.pr_why == PR_SYSEXIT
+                    ? std::string(SyscallName(st.pr_what)).c_str()
+                    : st.pr_why == PR_FAULTED
+                          ? std::string(FaultName(st.pr_what)).c_str()
+                          : std::string(SignalName(st.pr_what)).c_str());
+    if (st.pr_why == PR_FAULTED) {
+      // Hop over the breakpoint instruction and send the signal the pause
+      // will receive.
+      auto regs = st.pr_reg;
+      regs.pc = *img->SymbolValue("after");
+      (void)h.SetRegs(regs);
+      PrRun r;
+      r.pr_flags = PRCFAULT;
+      (void)h.Run(r);
+      (void)h.Kill(SIGUSR1);
+      continue;
+    }
+    if (st.pr_why == PR_SIGNALLED) {
+      (void)h.RunClearSig();
+      PrRun r;
+      r.pr_flags = PRSABORT;  // abort the pause; the process proceeds to exit
+      // The process is sleeping in pause; direct a stop to reach it.
+      (void)h.Stop();
+      auto st2 = h.Status();
+      if (st2.ok() && (st2->pr_flags & PR_ISTOP)) {
+        (void)h.Run(r);
+      }
+      continue;
+    }
+    (void)h.Run();
+  }
+  std::printf("  process exited\n\n");
+}
+
+// Round-trip cost of one stop at each kind of stop point.
+void BM_SyscallEntryStop(benchmark::State& state) {
+  Sim sim;
+  (void)sim.InstallProgram("/bin/looper", R"(
+loop: ldi r0, SYS_getpid
+      sys
+      jmp loop
+  )");
+  auto pid = sim.Start("/bin/looper");
+  auto h = *ProcHandle::Grab(sim.kernel(), sim.controller(), *pid);
+  (void)h.Stop();
+  SysSet calls;
+  calls.Add(SYS_getpid);
+  (void)h.SetSysEntry(calls);
+  (void)h.Run();
+  for (auto _ : state) {
+    (void)h.WaitStop();
+    (void)h.Run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SyscallEntryStop);
+
+void BM_FaultStop(benchmark::State& state) {
+  Sim sim;
+  (void)sim.InstallProgram("/bin/bpt", R"(
+loop: bpt
+      jmp loop
+  )");
+  auto pid = sim.Start("/bin/bpt");
+  auto h = *ProcHandle::Grab(sim.kernel(), sim.controller(), *pid);
+  (void)h.Stop();
+  FltSet faults;
+  faults.Add(FLTBPT);
+  (void)h.SetFltTrace(faults);
+  (void)h.Run();
+  for (auto _ : state) {
+    (void)h.WaitStop();
+    auto st = *h.Status();
+    auto regs = st.pr_reg;
+    regs.pc += 1;  // skip the bpt
+    (void)h.SetRegs(regs);
+    PrRun r;
+    r.pr_flags = PRCFAULT;
+    (void)h.Run(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultStop);
+
+void BM_SignalStop(benchmark::State& state) {
+  Sim sim;
+  (void)sim.InstallProgram("/bin/spin", "spin: jmp spin\n");
+  auto pid = sim.Start("/bin/spin");
+  auto h = *ProcHandle::Grab(sim.kernel(), sim.controller(), *pid);
+  (void)h.Stop();
+  SigSet sigs;
+  sigs.Add(SIGUSR1);
+  (void)h.SetSigTrace(sigs);
+  (void)h.Run();
+  for (auto _ : state) {
+    (void)h.Kill(SIGUSR1);
+    (void)h.WaitStop();
+    (void)h.RunClearSig();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SignalStop);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintJourney();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

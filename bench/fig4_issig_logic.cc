@@ -1,0 +1,184 @@
+// FIG4: Figure 4 is the flowchart of process control inside issig(). This
+// harness exercises the paper's corner cases and prints the stop sequences a
+// controller observes — the behavioural rendering of the flowchart — then
+// benchmarks the full issig round-trips.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "svr4proc/tools/proclib.h"
+#include "svr4proc/tools/sim.h"
+
+using namespace svr4;
+
+namespace {
+
+void Show(const char* label, const PrStatus& st) {
+  std::printf("  %-34s -> %s", label, std::string(PrWhyName(st.pr_why)).c_str());
+  if (st.pr_why == PR_SIGNALLED || st.pr_why == PR_JOBCONTROL) {
+    std::printf("(%s)", std::string(SignalName(st.pr_what)).c_str());
+  }
+  std::printf("%s\n", (st.pr_flags & PR_ISTOP) ? " [event of interest]" : "");
+}
+
+void ScenarioTracedSignalDelivery() {
+  std::printf("scenario A: traced signal, then delivery on resume\n");
+  Sim sim;
+  (void)sim.InstallProgram("/bin/spin", "spin: jmp spin\n");
+  auto pid = sim.Start("/bin/spin");
+  auto h = *ProcHandle::Grab(sim.kernel(), sim.controller(), *pid);
+  (void)h.Stop();
+  SigSet sigs;
+  sigs.Add(SIGTERM);
+  (void)h.SetSigTrace(sigs);
+  (void)h.Run();
+  (void)h.Kill(SIGTERM);
+  (void)h.WaitStop();
+  Show("kill(SIGTERM), traced", *h.Status());
+  (void)h.Run();  // without clearing: default action = terminate
+  auto ec = sim.kernel().RunToExit(*pid);
+  std::printf("  run without clearing            -> terminated by %s\n\n",
+              std::string(SignalName(WTermSig(*ec))).c_str());
+}
+
+void ScenarioJobControlDoubleStop() {
+  std::printf("scenario B: job-control double stop, /proc gets the last word\n");
+  Sim sim;
+  (void)sim.InstallProgram("/bin/spin", "spin: jmp spin\n");
+  auto pid = sim.Start("/bin/spin");
+  auto h = *ProcHandle::Grab(sim.kernel(), sim.controller(), *pid);
+  (void)h.Stop();
+  SigSet sigs;
+  sigs.Add(SIGTSTP);
+  (void)h.SetSigTrace(sigs);
+  (void)h.Run();
+  (void)h.Kill(SIGTSTP);
+  (void)h.WaitStop();
+  Show("kill(SIGTSTP), traced", *h.Status());
+  (void)h.Run();  // without clearing: issig takes the default action
+  (void)h.WaitStop();
+  Show("run without clearing", *h.Status());
+  auto r = h.Run();
+  std::printf("  PIOCRUN on a job-control stop     -> %s (only SIGCONT restarts it)\n",
+              std::string(ErrnoName(r.error())).c_str());
+  (void)h.Stop();  // the pending directive
+  (void)h.Kill(SIGCONT);
+  (void)h.WaitStop();
+  Show("SIGCONT after a stop directive", *h.Status());
+  (void)h.Run();
+  std::printf("\n");
+}
+
+void ScenarioPtraceChain() {
+  std::printf("scenario C: traced via /proc AND ptrace (both mechanisms)\n");
+  Sim sim;
+  (void)sim.InstallProgram("/bin/pair", R"(
+      ldi r0, SYS_fork
+      sys
+      cmpi r0, 0
+      jz child
+      mov r8, r0
+      ldi r0, SYS_wait
+      sys
+      ldi r0, SYS_ptrace   ; PT_CONT(child, 1, 0)
+      ldi r1, 7
+      mov r2, r8
+      ldi r3, 1
+      ldi r4, 0
+      sys
+      ldi r0, SYS_wait
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+child:
+      ldi r0, SYS_ptrace   ; PT_TRACEME
+      ldi r1, 0
+      sys
+      ldi r0, SYS_write
+      ldi r1, 1
+      ldi r2, m
+      ldi r3, 1
+      sys
+spin: jmp spin
+      .data
+m:    .asciz "A"
+  )");
+  auto pid = sim.Start("/bin/pair");
+  (void)sim.kernel().RunUntil([&]() { return !sim.ConsoleOutput().empty(); });
+  Pid child = -1;
+  for (Pid p : sim.kernel().AllPids()) {
+    Proc* q = sim.kernel().FindProc(p);
+    if (q != nullptr && q->pt_traced) {
+      child = p;
+    }
+  }
+  auto h = *ProcHandle::Grab(sim.kernel(), sim.controller(), child);
+  SigSet sigs;
+  sigs.Add(SIGUSR1);
+  (void)h.SetSigTrace(sigs);
+  (void)h.Kill(SIGUSR1);
+  (void)h.WaitStop();
+  Show("signal traced via /proc", *h.Status());
+  (void)h.Run();
+  (void)sim.kernel().RunUntil([&]() {
+    Proc* p = sim.kernel().FindProc(child);
+    return p != nullptr && p->pt_owned_stop;
+  });
+  auto r = h.Run();
+  std::printf("  after PIOCRUN: ptrace owns it     -> PIOCRUN says %s\n",
+              std::string(ErrnoName(r.error())).c_str());
+  (void)h.Stop();  // direct a stop for the last word
+  (void)sim.kernel().RunUntil([&]() {
+    Proc* p = sim.kernel().FindProc(child);
+    Lwp* l = p != nullptr ? p->MainLwp() : nullptr;
+    return l != nullptr && l->state == LwpState::kStopped && l->stop_why == PR_REQUESTED;
+  });
+  Show("parent PT_CONTs; directive pending", *h.Status());
+  (void)h.Run();
+  (void)h.Kill(SIGKILL);
+  (void)sim.kernel().RunToExit(*pid);
+  std::printf("\n");
+}
+
+void BM_SignalledStopRoundTrip(benchmark::State& state) {
+  Sim sim;
+  (void)sim.InstallProgram("/bin/spin", "spin: jmp spin\n");
+  auto pid = sim.Start("/bin/spin");
+  auto h = *ProcHandle::Grab(sim.kernel(), sim.controller(), *pid);
+  (void)h.Stop();
+  (void)h.SetSigTrace(SigSet::Full());
+  (void)h.Run();
+  for (auto _ : state) {
+    (void)h.Kill(SIGUSR1);
+    (void)h.WaitStop();
+    (void)h.RunClearSig();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SignalledStopRoundTrip);
+
+void BM_RequestedStopRoundTrip(benchmark::State& state) {
+  Sim sim;
+  (void)sim.InstallProgram("/bin/spin", "spin: jmp spin\n");
+  auto pid = sim.Start("/bin/spin");
+  auto h = *ProcHandle::Grab(sim.kernel(), sim.controller(), *pid);
+  for (auto _ : state) {
+    (void)h.Stop();
+    (void)h.Run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RequestedStopRoundTrip);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("--- Figure 4 reproduction: process control in issig() ---\n");
+  ScenarioTracedSignalDelivery();
+  ScenarioJobControlDoubleStop();
+  ScenarioPtraceChain();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

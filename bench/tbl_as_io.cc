@@ -1,0 +1,96 @@
+// T-BW: /proc "was a functional improvement over ptrace only to the extent
+// that it provided greater bandwidth and the ability to control unrelated
+// processes". Measures address-space I/O bandwidth: bulk read/write through
+// the /proc file versus ptrace's one-word-per-call PEEK/POKE.
+#include <benchmark/benchmark.h>
+
+#include "svr4proc/ptlib/ptrace_lib.h"
+#include "svr4proc/tools/proclib.h"
+#include "svr4proc/tools/sim.h"
+
+using namespace svr4;
+
+namespace {
+
+struct IoSystem {
+  std::unique_ptr<Sim> sim;
+  Pid pid = 0;
+  uint32_t buf_addr = 0;
+};
+
+IoSystem MakeSystem() {
+  IoSystem s;
+  s.sim = std::make_unique<Sim>();
+  auto img = s.sim->InstallProgram("/bin/holder", R"(
+spin: jmp spin
+      .bss
+buf:  .space 262144
+  )");
+  s.pid = *s.sim->Start("/bin/holder");
+  s.buf_addr = *img->SymbolValue("buf");
+  return s;
+}
+
+void BM_ProcRead(benchmark::State& state) {
+  auto s = MakeSystem();
+  auto h = *ProcHandle::Grab(s.sim->kernel(), s.sim->controller(), s.pid);
+  size_t size = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> buf(size);
+  for (auto _ : state) {
+    auto n = h.ReadMem(s.buf_addr, buf.data(), buf.size());
+    benchmark::DoNotOptimize(*n);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(size));
+}
+BENCHMARK(BM_ProcRead)->Arg(4)->Arg(256)->Arg(4096)->Arg(65536)->Arg(262144);
+
+void BM_ProcWrite(benchmark::State& state) {
+  auto s = MakeSystem();
+  auto h = *ProcHandle::Grab(s.sim->kernel(), s.sim->controller(), s.pid);
+  size_t size = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> buf(size, 0xAB);
+  for (auto _ : state) {
+    auto n = h.WriteMem(s.buf_addr, buf.data(), buf.size());
+    benchmark::DoNotOptimize(*n);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(size));
+}
+BENCHMARK(BM_ProcWrite)->Arg(4096)->Arg(65536);
+
+void BM_PtracePeekLoop(benchmark::State& state) {
+  auto s = MakeSystem();
+  PtraceLib pt(s.sim->kernel(), s.sim->controller());
+  (void)pt.Attach(s.pid);
+  size_t size = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> buf(size);
+  for (auto _ : state) {
+    // One word per call — the ptrace way.
+    for (size_t off = 0; off < size; off += 4) {
+      auto w = pt.Ptrace(PT_PEEKDATA, s.pid, s.buf_addr + static_cast<uint32_t>(off), 0);
+      uint32_t word = static_cast<uint32_t>(*w);
+      std::memcpy(buf.data() + off, &word, 4);
+    }
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(size));
+}
+BENCHMARK(BM_PtracePeekLoop)->Arg(4)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_PtracePokeLoop(benchmark::State& state) {
+  auto s = MakeSystem();
+  PtraceLib pt(s.sim->kernel(), s.sim->controller());
+  (void)pt.Attach(s.pid);
+  size_t size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    for (size_t off = 0; off < size; off += 4) {
+      (void)pt.Ptrace(PT_POKEDATA, s.pid, s.buf_addr + static_cast<uint32_t>(off),
+                      0xDEADBEEF);
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(size));
+}
+BENCHMARK(BM_PtracePokeLoop)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,145 @@
+// T-BPS: "the implementation of features such as conditional breakpoints,
+// for which 'breakpoints per second' is a realistic measure of performance"
+// (paper, footnote 3). Compares:
+//   * /proc stop-on-fault breakpoints (the preferred method),
+//   * /proc stop-on-signal breakpoints (fielding SIGTRAP instead of FLTBPT —
+//     the unreliable pre-fault technique the paper argues against),
+//   * the ptrace(2)-style API layered over /proc.
+// The shape to expect: fault-based wins; signals add the promote/clear
+// round-trips; the ptrace API adds wait()-style dispatch on top.
+#include <benchmark/benchmark.h>
+
+#include "svr4proc/ptlib/ptrace_lib.h"
+#include "svr4proc/tools/debugger.h"
+#include "svr4proc/tools/sim.h"
+
+using namespace svr4;
+
+namespace {
+
+constexpr char kLoop[] = R"(
+loop: ldi r4, var
+      ldw r5, [r4]
+      addi r5, 1
+      stw r5, [r4]
+      jmp loop
+      .data
+var:  .word 0
+)";
+
+struct BpSystem {
+  std::unique_ptr<Sim> sim;
+  Pid pid = 0;
+  uint32_t loop_addr = 0;
+  uint8_t orig = 0;
+};
+
+BpSystem MakeSystem() {
+  BpSystem s;
+  s.sim = std::make_unique<Sim>();
+  auto img = s.sim->InstallProgram("/bin/loop", kLoop);
+  s.pid = *s.sim->Start("/bin/loop");
+  s.loop_addr = *img->SymbolValue("loop");
+  s.orig = img->text[s.loop_addr - img->text_vaddr];
+  return s;
+}
+
+// Fault-based conditional breakpoint via the debugger: hit, evaluate a
+// false condition, resume — the hot loop of conditional breakpoints.
+void BM_ProcFaultBreakpoints(benchmark::State& state) {
+  auto s = MakeSystem();
+  Debugger dbg(s.sim->kernel(), s.sim->controller());
+  (void)dbg.Attach(s.pid);
+  // A condition that is never true: every hit is evaluate-and-resume.
+  (void)dbg.SetConditionalBreakpoint(s.loop_addr,
+                                     [](const PrStatus&) { return false; });
+  // Continue() only returns on a satisfied stop; drive the evaluate/resume
+  // cycle manually for a bounded number of hits per iteration.
+  auto& h = dbg.handle();
+  (void)h.Run();
+  for (auto _ : state) {
+    (void)h.WaitStop();
+    auto st = h.Status();  // the debugger's condition evaluation
+    benchmark::DoNotOptimize(st->pr_reg.r[5]);
+    // Step over the breakpoint: lift, single-step, replant, resume.
+    (void)h.WriteMem(s.loop_addr, &s.orig, 1);
+    PrRun r;
+    r.pr_flags = PRSTEP | PRCFAULT;
+    (void)h.Run(r);
+    (void)h.WaitStop();
+    uint8_t bpt = kBreakpointByte;
+    (void)h.WriteMem(s.loop_addr, &bpt, 1);
+    PrRun r2;
+    r2.pr_flags = PRCFAULT;
+    (void)h.Run(r2);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("breakpoints");
+}
+BENCHMARK(BM_ProcFaultBreakpoints);
+
+// Signal-based breakpoints: FLTBPT is not traced, so the fault converts to
+// SIGTRAP, which is traced. Extra work: signal conversion, promotion, and
+// the debugger must clear the signal on every resume (and on old systems,
+// clear *all* signals — the ambiguity the paper describes).
+void BM_ProcSignalBreakpoints(benchmark::State& state) {
+  auto s = MakeSystem();
+  auto h = *ProcHandle::Grab(s.sim->kernel(), s.sim->controller(), s.pid);
+  (void)h.Stop();
+  SigSet sigs;
+  sigs.Add(SIGTRAP);
+  (void)h.SetSigTrace(sigs);
+  FltSet trace_flt;
+  trace_flt.Add(FLTTRACE);  // single-step still uses the fault
+  (void)h.SetFltTrace(trace_flt);
+  uint8_t bpt = kBreakpointByte;
+  (void)h.WriteMem(s.loop_addr, &bpt, 1);
+  (void)h.Run();
+  for (auto _ : state) {
+    (void)h.WaitStop();  // SIGTRAP signalled stop
+    auto st = h.Status();
+    benchmark::DoNotOptimize(st->pr_reg.r[5]);
+    // pc was left at the breakpoint; clear the signal, lift, step, replant.
+    (void)h.WriteMem(s.loop_addr, &s.orig, 1);
+    PrRun r;
+    r.pr_flags = PRCSIG | PRSTEP | PRSVADDR;
+    r.pr_vaddr = s.loop_addr;
+    (void)h.Run(r);
+    (void)h.WaitStop();  // FLTTRACE
+    (void)h.WriteMem(s.loop_addr, &bpt, 1);
+    PrRun r2;
+    r2.pr_flags = PRCFAULT;
+    (void)h.Run(r2);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("breakpoints");
+}
+BENCHMARK(BM_ProcSignalBreakpoints);
+
+// The ptrace-style API: POKE/CONT/wait per hit, word-at-a-time patching.
+void BM_PtraceApiBreakpoints(benchmark::State& state) {
+  auto s = MakeSystem();
+  PtraceLib pt(s.sim->kernel(), s.sim->controller());
+  (void)pt.Attach(s.pid);
+  uint32_t orig_word = static_cast<uint32_t>(*pt.Ptrace(PT_PEEKTEXT, s.pid, s.loop_addr, 0));
+  uint32_t patched = (orig_word & ~0xFFu) | kBreakpointByte;
+  (void)pt.Ptrace(PT_POKETEXT, s.pid, s.loop_addr, patched);
+  (void)pt.Ptrace(PT_CONT, s.pid, 1, 0);
+  for (auto _ : state) {
+    (void)pt.Wait();  // SIGTRAP stop
+    auto r5 = pt.Ptrace(PT_PEEKUSER, s.pid, 5, 0);  // "condition evaluation"
+    benchmark::DoNotOptimize(*r5);
+    (void)pt.Ptrace(PT_POKETEXT, s.pid, s.loop_addr, orig_word);
+    (void)pt.Ptrace(PT_STEP, s.pid, 1, 0);
+    (void)pt.Wait();
+    (void)pt.Ptrace(PT_POKETEXT, s.pid, s.loop_addr, patched);
+    (void)pt.Ptrace(PT_CONT, s.pid, 1, 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("breakpoints");
+}
+BENCHMARK(BM_PtraceApiBreakpoints);
+
+}  // namespace
+
+BENCHMARK_MAIN();

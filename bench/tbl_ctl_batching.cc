@@ -1,0 +1,107 @@
+// T-CTL: the proposed restructuring claims "the use of a control file to
+// which structured messages are written makes it possible to combine
+// several control operations in a single write system call; this can
+// improve the performance of some applications for which the number of
+// system calls is a bottleneck." Measures control operations per second:
+// one-ioctl-per-op (flat /proc) vs. batched messages on the /proc2 ctl file,
+// as a function of batch size.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "svr4proc/procfs/procfs2.h"
+#include "svr4proc/tools/proclib.h"
+#include "svr4proc/tools/sim.h"
+
+using namespace svr4;
+
+namespace {
+
+struct CtlSystem {
+  std::unique_ptr<Sim> sim;
+  Pid pid = 0;
+};
+
+CtlSystem MakeSystem() {
+  CtlSystem s;
+  s.sim = std::make_unique<Sim>();
+  (void)s.sim->InstallProgram("/bin/spin", "spin: jmp spin\n");
+  s.pid = *s.sim->Start("/bin/spin");
+  return s;
+}
+
+// The representative control operation: updating a traced-event set, the
+// sort of thing a debugger issues in volleys when reconfiguring a target.
+void BM_FlatIoctlPerOp(benchmark::State& state) {
+  auto s = MakeSystem();
+  auto h = *ProcHandle::Grab(s.sim->kernel(), s.sim->controller(), s.pid);
+  int ops_per_round = static_cast<int>(state.range(0));
+  SigSet sigs;
+  sigs.Add(SIGUSR1);
+  for (auto _ : state) {
+    for (int i = 0; i < ops_per_round; ++i) {
+      // One ioctl(2) per control operation.
+      (void)s.sim->kernel().Ioctl(s.sim->controller(), h.fd(), PIOCSTRACE, &sigs);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * ops_per_round);
+  state.counters["batch"] = 1;
+}
+BENCHMARK(BM_FlatIoctlPerOp)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_HierBatchedWrite(benchmark::State& state) {
+  auto s = MakeSystem();
+  char path[40];
+  std::snprintf(path, sizeof(path), "/proc2/%05d/ctl", s.pid);
+  int ctl = *s.sim->kernel().Open(s.sim->controller(), path, O_WRONLY);
+  int ops_per_round = static_cast<int>(state.range(0));
+  SigSet sigs;
+  sigs.Add(SIGUSR1);
+  // Pre-build one write(2) containing all the messages.
+  std::vector<uint8_t> batch;
+  for (int i = 0; i < ops_per_round; ++i) {
+    int32_t code = PCSTRACE;
+    batch.insert(batch.end(), reinterpret_cast<uint8_t*>(&code),
+                 reinterpret_cast<uint8_t*>(&code) + 4);
+    batch.insert(batch.end(), reinterpret_cast<uint8_t*>(&sigs),
+                 reinterpret_cast<uint8_t*>(&sigs) + sizeof(sigs));
+  }
+  for (auto _ : state) {
+    // One write(2), ops_per_round control operations.
+    auto n = s.sim->kernel().Write(s.sim->controller(), ctl, batch.data(), batch.size());
+    benchmark::DoNotOptimize(*n);
+  }
+  state.SetItemsProcessed(state.iterations() * ops_per_round);
+  state.counters["batch"] = static_cast<double>(ops_per_round);
+}
+BENCHMARK(BM_HierBatchedWrite)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// The unbatched hierarchical variant, to separate the read/write-vs-ioctl
+// transport cost from the batching gain.
+void BM_HierOneMessagePerWrite(benchmark::State& state) {
+  auto s = MakeSystem();
+  char path[40];
+  std::snprintf(path, sizeof(path), "/proc2/%05d/ctl", s.pid);
+  int ctl = *s.sim->kernel().Open(s.sim->controller(), path, O_WRONLY);
+  int ops_per_round = static_cast<int>(state.range(0));
+  SigSet sigs;
+  sigs.Add(SIGUSR1);
+  std::vector<uint8_t> one;
+  int32_t code = PCSTRACE;
+  one.insert(one.end(), reinterpret_cast<uint8_t*>(&code),
+             reinterpret_cast<uint8_t*>(&code) + 4);
+  one.insert(one.end(), reinterpret_cast<uint8_t*>(&sigs),
+             reinterpret_cast<uint8_t*>(&sigs) + sizeof(sigs));
+  for (auto _ : state) {
+    for (int i = 0; i < ops_per_round; ++i) {
+      (void)s.sim->kernel().Write(s.sim->controller(), ctl, one.data(), one.size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * ops_per_round);
+  state.counters["batch"] = 1;
+}
+BENCHMARK(BM_HierOneMessagePerWrite)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// T-PS: "the PIOCPSINFO operation returns everything that ps might want to
+// display about a process ... Because all the information for a process is
+// obtained in a single operation, each line of ps output is a true snapshot."
+// Compares the one-operation snapshot with a ptrace-era style extraction
+// that assembles the same record from many small operations.
+#include <benchmark/benchmark.h>
+
+#include "svr4proc/tools/proclib.h"
+#include "svr4proc/tools/ps.h"
+#include "svr4proc/tools/sim.h"
+
+using namespace svr4;
+
+namespace {
+
+std::unique_ptr<Sim> MakeSystem(int nprocs) {
+  auto sim = std::make_unique<Sim>();
+  (void)sim->InstallProgram("/bin/worker", R"(
+loop: ldi r0, SYS_getpid
+      sys
+      jmp loop
+  )");
+  for (int i = 0; i < nprocs; ++i) {
+    (void)sim->kernel().Spawn("/bin/worker", {"worker"}, Creds::Root());
+  }
+  for (int i = 0; i < 100; ++i) {
+    sim->kernel().Step();
+  }
+  return sim;
+}
+
+// One PIOCPSINFO per process: the paper's ps.
+void BM_PsOneOpPerProcess(benchmark::State& state) {
+  auto sim = MakeSystem(static_cast<int>(state.range(0)));
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    auto snap = PsSnapshot(sim->kernel(), sim->controller());
+    ops += snap->size();  // one control operation per line
+    benchmark::DoNotOptimize(snap->size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops));  // lines == ops here
+  state.counters["ctl_ops_per_line"] = 1;
+}
+BENCHMARK(BM_PsOneOpPerProcess)->Arg(8)->Arg(32)->Arg(128);
+
+// Assembling the same line from piecemeal operations (credentials, map for
+// the size, registers, raw proc structure) — what a ps without PIOCPSINFO
+// would have to do, with no snapshot consistency.
+void BM_PsPiecemeal(benchmark::State& state) {
+  auto sim = MakeSystem(static_cast<int>(state.range(0)));
+  uint64_t ops = 0;
+  uint64_t lines = 0;
+  for (auto _ : state) {
+    auto ents = sim->kernel().ReadDir(sim->controller(), "/proc");
+    for (const auto& e : *ents) {
+      Pid pid = static_cast<Pid>(std::strtol(e.name.c_str(), nullptr, 10));
+      auto h = ProcHandle::Grab(sim->kernel(), sim->controller(), pid, O_RDONLY);
+      if (!h.ok()) {
+        continue;
+      }
+      PrRawProc raw;
+      (void)sim->kernel().Ioctl(sim->controller(), h->fd(), PIOCGETPR, &raw);
+      PrRawUser u;
+      (void)sim->kernel().Ioctl(sim->controller(), h->fd(), PIOCGETU, &u);
+      auto cred = h->Cred();
+      auto maps = h->GetMap();  // to total up the size
+      auto usage = h->Usage();
+      benchmark::DoNotOptimize(raw.p_pid);
+      benchmark::DoNotOptimize(cred->pr_ruid);
+      benchmark::DoNotOptimize(maps->size());
+      benchmark::DoNotOptimize(usage->pr_utime);
+      ops += 6;  // six operations (incl. PIOCNMAP inside GetMap) per line
+      ++lines;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(lines));  // compare per-line rates
+  state.counters["ctl_ops_per_line"] = 6;
+}
+BENCHMARK(BM_PsPiecemeal)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

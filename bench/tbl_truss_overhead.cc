@@ -1,0 +1,109 @@
+// T-TRUSS: "truss will not alter the behavior of a process other than by
+// slowing it down." Measures that slowdown: a syscall-heavy workload run to
+// completion untraced vs. under truss, and the marginal cost of each traced
+// stop.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "svr4proc/tools/sim.h"
+#include "svr4proc/tools/truss.h"
+
+using namespace svr4;
+
+namespace {
+
+// N getpid calls, then exit.
+std::string Workload(int n) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "      ldi r8, %d\n", n);
+  return std::string(buf) + R"(
+loop: ldi r0, SYS_getpid
+      sys
+      ldi r5, 1
+      sub r8, r5
+      cmpi r8, 0
+      jnz loop
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+)";
+}
+
+void BM_UntracedRun(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Sim sim;
+    (void)sim.InstallProgram("/bin/w", Workload(n));
+    auto pid = sim.Start("/bin/w");
+    auto ec = sim.kernel().RunToExit(*pid);
+    benchmark::DoNotOptimize(ec.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("syscalls");
+}
+BENCHMARK(BM_UntracedRun)->Arg(100)->Arg(1000);
+
+void BM_TrussedRun(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Sim sim;
+    (void)sim.InstallProgram("/bin/w", Workload(n));
+    auto pid = sim.Start("/bin/w");
+    Truss truss(sim.kernel(), sim.controller(),
+                TrussOptions{.counts_only = true});
+    (void)truss.Trace(*pid);
+    benchmark::DoNotOptimize(truss.events());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("syscalls");
+}
+BENCHMARK(BM_TrussedRun)->Arg(100)->Arg(1000);
+
+// Behaviour preservation check, printed once: the traced run produces the
+// same output and exit status as the untraced one.
+void VerifyBehaviourPreserved() {
+  std::string prog = R"(
+      ldi r0, SYS_write
+      ldi r1, 1
+      ldi r2, msg
+      ldi r3, 6
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 33
+      sys
+      .data
+msg:  .asciz "same!\n"
+)";
+  int plain_status, trussed_status;
+  std::string plain_out, trussed_out;
+  {
+    Sim sim;
+    (void)sim.InstallProgram("/bin/p", prog);
+    auto pid = sim.Start("/bin/p");
+    plain_status = *sim.kernel().RunToExit(*pid);
+    plain_out = sim.ConsoleOutput();
+  }
+  {
+    Sim sim;
+    (void)sim.InstallProgram("/bin/p", prog);
+    auto pid = sim.Start("/bin/p");
+    Truss truss(sim.kernel(), sim.controller());
+    (void)truss.Trace(*pid);
+    Proc* p = sim.kernel().FindProc(*pid);
+    trussed_status = p != nullptr ? p->exit_status : -1;
+    trussed_out = sim.ConsoleOutput();
+  }
+  std::printf("behaviour preserved under truss: output %s, status %s\n\n",
+              plain_out == trussed_out ? "identical" : "DIFFERS",
+              plain_status == trussed_status ? "identical" : "DIFFERS");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  VerifyBehaviourPreserved();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

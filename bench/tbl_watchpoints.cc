@@ -1,0 +1,123 @@
+// T-WATCH: the proposed watchpoint facility. "The traced process stops only
+// when a watchpoint really fires" — unwatched traffic runs at full speed.
+// Compares detecting a store to a watched word via:
+//   * the watchpoint facility (run free until FLTWATCH),
+//   * single-step emulation (stop after every instruction and check the
+//     word — the only portable technique before watchpoints).
+// Expected shape: the watchpoint wins by orders of magnitude when the
+// watched store is rare.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "svr4proc/tools/proclib.h"
+#include "svr4proc/tools/sim.h"
+
+using namespace svr4;
+
+namespace {
+
+// Performs `gap` iterations of busy work between each store to `hot`.
+std::string Workload(int gap) {
+  char head[64];
+  std::snprintf(head, sizeof(head), "      .equ GAP, %d\n", gap);
+  return std::string(head) + R"(
+outer:
+      ldi r8, GAP
+busy: ldi r4, cold
+      ldw r5, [r4]
+      addi r5, 1
+      stw r5, [r4]       ; unwatched store (same page as hot)
+      ldi r6, 1
+      sub r8, r6
+      cmpi r8, 0
+      jnz busy
+      ldi r4, hot
+      ldw r5, [r4]
+      addi r5, 1
+      stw r5, [r4]       ; the watched store
+      jmp outer
+      .data
+cold: .word 0
+hot:  .word 0
+)";
+}
+
+struct WatchSystem {
+  std::unique_ptr<Sim> sim;
+  Pid pid = 0;
+  uint32_t hot = 0;
+};
+
+WatchSystem MakeSystem(int gap) {
+  WatchSystem s;
+  s.sim = std::make_unique<Sim>();
+  auto img = s.sim->InstallProgram("/bin/w", Workload(gap));
+  s.pid = *s.sim->Start("/bin/w");
+  s.hot = *img->SymbolValue("hot");
+  return s;
+}
+
+void BM_WatchpointFacility(benchmark::State& state) {
+  auto s = MakeSystem(static_cast<int>(state.range(0)));
+  auto h = *ProcHandle::Grab(s.sim->kernel(), s.sim->controller(), s.pid);
+  (void)h.Stop();
+  FltSet faults;
+  faults.Add(FLTWATCH);
+  faults.Add(FLTTRACE);  // for the single-step that lets the store through
+  (void)h.SetFltTrace(faults);
+  (void)h.SetWatch(PrWatch{s.hot, 4, WA_WRITE});
+  (void)h.Run();
+  for (auto _ : state) {
+    (void)h.WaitStop();  // fires only on the real store
+    PrRun r;
+    r.pr_flags = PRCFAULT;
+    // Let the store through: clear the watch, step, re-arm.
+    (void)h.ClearWatch(s.hot);
+    r.pr_flags |= PRSTEP;
+    (void)h.Run(r);
+    (void)h.WaitStop();
+    (void)h.SetWatch(PrWatch{s.hot, 4, WA_WRITE});
+    PrRun r2;
+    r2.pr_flags = PRCFAULT;
+    (void)h.Run(r2);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("watch hits");
+  state.counters["gap"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_WatchpointFacility)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SingleStepEmulation(benchmark::State& state) {
+  auto s = MakeSystem(static_cast<int>(state.range(0)));
+  auto h = *ProcHandle::Grab(s.sim->kernel(), s.sim->controller(), s.pid);
+  (void)h.Stop();
+  FltSet faults;
+  faults.Add(FLTTRACE);
+  (void)h.SetFltTrace(faults);
+  uint32_t last = 0;
+  (void)h.ReadMem(s.hot, &last, 4);
+  for (auto _ : state) {
+    // Step instruction by instruction until the word changes.
+    for (;;) {
+      PrRun r;
+      r.pr_flags = PRSTEP | PRCFAULT;
+      (void)h.Run(r);
+      (void)h.WaitStop();
+      uint32_t now = 0;
+      (void)h.ReadMem(s.hot, &now, 4);
+      if (now != last) {
+        last = now;
+        break;
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("watch hits");
+  state.counters["gap"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SingleStepEmulation)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

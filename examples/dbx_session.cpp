@@ -1,0 +1,54 @@
+// A scripted dbx-style session — "the standard debuggers sdb(1) and dbx(1)
+// have been rewritten in SVR4 to use /proc". The whole session is a command
+// script; the transcript is printed verbatim.
+#include <cstdio>
+
+#include "svr4proc/tools/dbx_shell.h"
+#include "svr4proc/tools/sim.h"
+
+using namespace svr4;
+
+int main() {
+  Sim sim;
+  (void)sim.InstallProgram("/bin/app", R"(
+main: call compute
+      jmp main
+compute:
+      ldi r1, 0
+      ldi r2, 1
+loop: mov r3, r1
+      add r3, r2
+      mov r1, r2
+      mov r2, r3
+      ldi r4, result
+      stw r3, [r4]
+      cmpi r3, 1000000
+      jlt loop
+      ret
+      .data
+result: .word 0
+  )");
+  auto pid = sim.Start("/bin/app");
+  for (int i = 0; i < 300; ++i) {
+    sim.kernel().Step();
+  }
+
+  DbxShell dbx(sim.kernel(), sim.controller());
+  if (!dbx.Attach(*pid).ok()) {
+    std::printf("attach failed\n");
+    return 1;
+  }
+  std::printf("attached to pid %d\n\n", *pid);
+  std::printf("%s", dbx.Script(R"(status
+dis compute 4
+stop at loop if r3 > 500
+cont
+print result
+where
+assign result = 0
+step 3
+regs
+syscall getpid
+detach)").c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Complete encapsulation of the system call environment: an "obsolete"
+// system call (SYS_otime) that the kernel refuses with ENOSYS is emulated
+// entirely at user level by a controlling process — "one way in which
+// obsolete facilities could be supported 'forever' without cluttering up
+// the operating system."
+#include <cstdio>
+
+#include "svr4proc/tools/proclib.h"
+#include "svr4proc/tools/sim.h"
+
+using namespace svr4;
+
+int main() {
+  Sim sim;
+  (void)sim.InstallProgram("/bin/legacy", R"(
+      ; a "legacy binary" that calls the long-removed otime syscall in a loop
+      ldi r8, 3
+loop: ldi r0, SYS_otime
+      sys
+      jcs failed
+      ; print the result digit (emulator returns '0'+n)
+      ldi r9, digit
+      stb r0, [r9]
+      ldi r0, SYS_write
+      ldi r1, 1
+      ldi r2, digit
+      ldi r3, 1
+      sys
+      ldi r5, 1
+      sub r8, r5
+      cmpi r8, 0
+      jnz loop
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+failed:
+      ldi r0, SYS_exit
+      ldi r1, 1
+      sys
+      .data
+digit: .byte 0
+  )");
+  // Without the emulator the program fails immediately: prove it first.
+  {
+    auto probe = sim.Start("/bin/legacy");
+    auto ec = sim.kernel().RunToExit(*probe);
+    std::printf("without emulation: legacy binary exits %d (otime => ENOSYS)\n",
+                WExitCode(*ec));
+  }
+
+  // Now the real run, armed before it executes anything.
+  auto pid = sim.Start("/bin/legacy");
+
+  // The emulator: trace entry and exit of SYS_otime; abort the call at
+  // entry so the kernel never executes it; manufacture the return value at
+  // exit.
+  auto h = std::move(*ProcHandle::Grab(sim.kernel(), sim.controller(), *pid));
+  SysSet set;
+  set.Add(SYS_otime);
+  (void)h.Stop();
+  (void)h.SetSysEntry(set);
+  (void)h.SetSysExit(set);
+  (void)h.Run();
+
+  int emulated = 0;
+  for (;;) {
+    auto w = h.WaitStop();
+    if (!w.ok()) {
+      break;  // the target exited
+    }
+    auto st = *h.Status();
+    if (st.pr_why == PR_SYSENTRY && st.pr_what == SYS_otime) {
+      PrRun r;
+      r.pr_flags = PRSABORT;  // the kernel never sees the call
+      (void)h.Run(r);
+    } else if (st.pr_why == PR_SYSEXIT && st.pr_what == SYS_otime) {
+      auto regs = *h.GetRegs();
+      regs.r[0] = static_cast<uint32_t>('0' + (++emulated));  // emulated result
+      regs.psr &= ~kPsrC;  // success, not the EINTR of the abort
+      (void)h.SetRegs(regs);
+      (void)h.Run();
+    } else {
+      (void)h.Run();
+    }
+  }
+
+  std::printf("with emulation: legacy binary printed \"%s\" and exited cleanly\n",
+              sim.ConsoleOutput().c_str());
+  std::printf("emulated %d otime calls entirely at user level\n", emulated);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Controlling multiple processes: inherit-on-fork to seize children before
+// their first instruction, and the breakpoint-lifting recipe that lets
+// children run unmolested (paper, "Controlling Multiple Processes").
+#include <cstdio>
+
+#include "svr4proc/tools/proclib.h"
+#include "svr4proc/tools/sim.h"
+
+using namespace svr4;
+
+int main() {
+  Sim sim;
+  auto image = sim.InstallProgram("/bin/forker", R"(
+      ldi r0, SYS_fork
+      sys
+      cmpi r0, 0
+      jz child
+      ldi r0, SYS_wait
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+child:
+      call helper
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+helper:
+      ldi r9, 7
+      ret
+  )");
+
+  // --- Part 1: take control of new processes ------------------------------
+  {
+    auto pid = sim.Start("/bin/forker");
+    auto h = std::move(*ProcHandle::Grab(sim.kernel(), sim.controller(), *pid));
+    (void)h.Stop();
+    (void)h.SetInheritOnFork(true);
+    SysSet exits;
+    exits.Add(SYS_fork);
+    (void)h.SetSysExit(exits);
+    (void)h.Run();
+    (void)h.WaitStop();  // parent stops on exit from fork
+    Pid child = static_cast<Pid>(h.Status()->pr_reg.r[0]);
+    auto hc = std::move(*ProcHandle::Grab(sim.kernel(), sim.controller(), child));
+    auto cst = *hc.Status();
+    std::printf("part 1: child %d seized at %s before its first instruction "
+                "(fork returned %u there)\n",
+                child, std::string(PrWhyName(cst.pr_why)).c_str(), cst.pr_reg.r[0]);
+    (void)hc.Run();
+    (void)h.Run();
+    (void)sim.kernel().RunToExit(*pid);
+  }
+
+  // --- Part 2: let new processes run unmolested ---------------------------
+  {
+    auto pid = sim.Start("/bin/forker");
+    auto h = std::move(*ProcHandle::Grab(sim.kernel(), sim.controller(), *pid));
+    uint32_t helper = *image->SymbolValue("helper");
+    (void)h.Stop();
+    // Breakpoint in code the child will execute. Without the recipe the
+    // child would inherit it and die on SIGTRAP.
+    FltSet faults;
+    faults.Add(FLTBPT);
+    (void)h.SetFltTrace(faults);
+    SysSet both;
+    both.Add(SYS_fork);
+    (void)h.SetSysEntry(both);
+    (void)h.SetSysExit(both);
+    uint8_t orig, bpt = kBreakpointByte;
+    (void)h.ReadMem(helper, &orig, 1);
+    (void)h.WriteMem(helper, &bpt, 1);
+    (void)h.Run();
+
+    (void)h.WaitStop();  // entry to fork: lift all the breakpoints
+    (void)h.WriteMem(helper, &orig, 1);
+    std::printf("part 2: lifted breakpoints at entry to fork\n");
+    (void)h.Run();
+
+    (void)h.WaitStop();  // exit from fork (parent): re-establish them
+    (void)h.WriteMem(helper, &bpt, 1);
+    std::printf("part 2: re-established breakpoints at exit from fork\n");
+    (void)h.Run();
+
+    auto ec = sim.kernel().RunToExit(*pid);
+    std::printf("part 2: child ran helper() unmolested; parent exited %d\n",
+                WExitCode(*ec));
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// The proposed restructuring in action: the hierarchical /proc2 with status
+// files read by read(2), control effected by structured messages written to
+// ctl files (batched: "several control operations in a single write"), and
+// per-lwp subdirectories for the threads of a multi-threaded process.
+#include <cstdio>
+#include <cstring>
+
+#include "svr4proc/procfs/procfs2.h"
+#include "svr4proc/tools/sim.h"
+
+using namespace svr4;
+
+namespace {
+
+// Appends one control message to a buffer.
+template <typename T>
+void Msg(std::vector<uint8_t>& buf, int32_t code, const T& operand) {
+  buf.insert(buf.end(), reinterpret_cast<const uint8_t*>(&code),
+             reinterpret_cast<const uint8_t*>(&code) + 4);
+  buf.insert(buf.end(), reinterpret_cast<const uint8_t*>(&operand),
+             reinterpret_cast<const uint8_t*>(&operand) + sizeof(T));
+}
+void Msg(std::vector<uint8_t>& buf, int32_t code) {
+  buf.insert(buf.end(), reinterpret_cast<const uint8_t*>(&code),
+             reinterpret_cast<const uint8_t*>(&code) + 4);
+}
+
+}  // namespace
+
+int main() {
+  Sim sim;
+  // A three-threaded process: main lwp plus two workers.
+  (void)sim.InstallProgram("/bin/threads", R"(
+      ldi r0, SYS_lwp_create
+      ldi r1, worker
+      ldi r2, stack1+1024
+      sys
+      ldi r0, SYS_lwp_create
+      ldi r1, worker
+      ldi r2, stack2+1024
+      sys
+main: jmp main
+worker:
+      ; r1 = my lwpid (passed by lwp_create)
+      mov r7, r1
+w:    addi r6, 1
+      jmp w
+      .bss
+stack1: .space 1024
+stack2: .space 1024
+  )");
+  auto pid = sim.Start("/bin/threads");
+  for (int i = 0; i < 2000; ++i) {
+    sim.kernel().Step();
+  }
+
+  char base[32];
+  std::snprintf(base, sizeof(base), "/proc2/%05d", *pid);
+  Kernel& k = sim.kernel();
+  Proc* me = sim.controller();
+
+  // Walk the hierarchy.
+  std::printf("$ ls %s\n  ", base);
+  auto ents = k.ReadDir(me, base);
+  for (const auto& e : *ents) {
+    std::printf("%s ", e.name.c_str());
+  }
+  std::printf("\n$ ls %s/lwp\n  ", base);
+  auto lwps = k.ReadDir(me, std::string(base) + "/lwp");
+  for (const auto& e : *lwps) {
+    std::printf("%s ", e.name.c_str());
+  }
+  std::printf("\n");
+
+  // Read the status file — no ioctl anywhere.
+  int sfd = *k.Open(me, std::string(base) + "/status", O_RDONLY);
+  PrStatus st;
+  (void)k.Read(me, sfd, &st, sizeof(st));
+  std::printf("\nstatus: pid=%d nlwp=%u utime=%llu\n", st.pr_pid, st.pr_nlwp,
+              static_cast<unsigned long long>(st.pr_utime));
+
+  // One write, several control operations: stop, trace SIGUSR1, set
+  // run-on-last-close.
+  int ctl = *k.Open(me, std::string(base) + "/ctl", O_WRONLY);
+  std::vector<uint8_t> batch;
+  Msg(batch, PCSTOP);
+  SigSet sigs;
+  sigs.Add(SIGUSR1);
+  Msg(batch, PCSTRACE, sigs);
+  uint32_t rlc = PR_RLC;
+  Msg(batch, PCSET, rlc);
+  (void)k.Write(me, ctl, batch.data(), batch.size());
+  std::printf("wrote %zu bytes = 3 control messages in ONE write(2)\n", batch.size());
+
+  // Per-lwp registers through the lwp subdirectory.
+  for (int lwp = 1; lwp <= 3; ++lwp) {
+    char p[64];
+    std::snprintf(p, sizeof(p), "%s/lwp/%d/lwpstatus", base, lwp);
+    auto fd = k.Open(me, p, O_RDONLY);
+    if (!fd.ok()) {
+      continue;
+    }
+    PrLwpStatus ls;
+    (void)k.Read(me, *fd, &ls, sizeof(ls));
+    std::printf("lwp %d: pc=0x%x r6=%u r7=%u\n", ls.pr_lwpid, ls.pr_reg.pc,
+                ls.pr_reg.r[6], ls.pr_reg.r[7]);
+  }
+
+  // Resume through the ctl file and let the workers run on.
+  std::vector<uint8_t> run;
+  uint32_t flags = 0, vaddr = 0;
+  int32_t code = PCRUN;
+  run.insert(run.end(), reinterpret_cast<uint8_t*>(&code),
+             reinterpret_cast<uint8_t*>(&code) + 4);
+  run.insert(run.end(), reinterpret_cast<uint8_t*>(&flags),
+             reinterpret_cast<uint8_t*>(&flags) + 4);
+  run.insert(run.end(), reinterpret_cast<uint8_t*>(&vaddr),
+             reinterpret_cast<uint8_t*>(&vaddr) + 4);
+  (void)k.Write(me, ctl, run.data(), run.size());
+  std::printf("\nresumed via PCRUN message; hierarchy demo OK\n");
+  return 0;
+}

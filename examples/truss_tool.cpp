@@ -1,0 +1,96 @@
+// The truss(1) scenario: symbolic tracing of system calls, faults, and
+// signals, including following a fork — "truss output can be startling."
+#include <cstdio>
+
+#include "svr4proc/tools/sim.h"
+#include "svr4proc/tools/truss.h"
+
+using namespace svr4;
+
+int main() {
+  Sim sim;
+
+  // A program that exercises files, pipes, fork, and signals.
+  (void)sim.InstallProgram("/bin/busy", R"(
+      ; create a file and write to it
+      ldi r0, SYS_creat
+      ldi r1, fname
+      ldi r2, 0x1A4
+      sys
+      mov r8, r0
+      ldi r0, SYS_write
+      mov r1, r8
+      ldi r2, data
+      ldi r3, 9
+      sys
+      ldi r0, SYS_close
+      mov r1, r8
+      sys
+      ; fork a child that reads it back
+      ldi r0, SYS_fork
+      sys
+      cmpi r0, 0
+      jz child
+      ldi r0, SYS_wait
+      sys
+      ; open a file that does not exist (shows a symbolic errno)
+      ldi r0, SYS_open
+      ldi r1, missing
+      ldi r2, O_RDONLY
+      ldi r3, 0
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+child:
+      ldi r0, SYS_open
+      ldi r1, fname
+      ldi r2, O_RDONLY
+      ldi r3, 0
+      sys
+      mov r8, r0
+      ldi r0, SYS_read
+      mov r1, r8
+      ldi r2, buf
+      ldi r3, 9
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+      .data
+fname:   .asciz "/tmp/t.dat"
+missing: .asciz "/tmp/nonesuch"
+data:    .asciz "nine char"
+      .bss
+buf:  .space 16
+  )");
+
+  auto pid = sim.Start("/bin/busy");
+  std::printf("$ truss -f busy\n");
+  Truss truss(sim.kernel(), sim.controller(), TrussOptions{.follow_fork = true});
+  auto r = truss.Trace(*pid);
+  if (!r.ok()) {
+    std::printf("truss failed: %s\n", std::string(ErrnoName(r.error())).c_str());
+    return 1;
+  }
+  std::printf("%s", truss.report().c_str());
+
+  // Counts mode on a second run: the -c summary.
+  auto pid2 = sim.Start("/bin/busy");
+  Truss counts(sim.kernel(), sim.controller(),
+               TrussOptions{.follow_fork = true, .counts_only = true});
+  (void)counts.Trace(*pid2);
+  std::printf("\n$ truss -cf busy\n%s", counts.CountsTable().c_str());
+
+  // Tracing a crash: the fault and the fatal signal are reported.
+  (void)sim.InstallProgram("/bin/crash", R"(
+      ldi r1, 5
+      ldi r2, 0
+      div r1, r2
+  )");
+  auto pid3 = sim.Start("/bin/crash");
+  Truss crash(sim.kernel(), sim.controller());
+  (void)crash.Trace(*pid3);
+  std::printf("\n$ truss crash\n%s", crash.report().c_str());
+  return 0;
+}

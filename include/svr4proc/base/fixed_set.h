@@ -1,0 +1,133 @@
+// Fixed-size bit sets used to express "events of interest" in the /proc
+// interface: sets of signals (sigset_t), machine faults (fltset_t), and
+// system calls (sysset_t). Members are enumerated from 1, as the paper
+// specifies: "there is no fault number 0 or system call number 0".
+#ifndef SVR4PROC_BASE_FIXED_SET_H_
+#define SVR4PROC_BASE_FIXED_SET_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+
+namespace svr4 {
+
+template <int N>
+class FixedSet {
+ public:
+  static_assert(N > 0 && N % 32 == 0, "set size must be a positive multiple of 32");
+  static constexpr int kMaxMember = N;
+
+  constexpr FixedSet() : words_{} {}
+  constexpr FixedSet(std::initializer_list<int> members) : words_{} {
+    for (int m : members) {
+      Add(m);
+    }
+  }
+
+  // Number range check: valid members are 1..N inclusive.
+  static constexpr bool Valid(int member) { return member >= 1 && member <= N; }
+
+  constexpr void Add(int member) {
+    const int w = Word(member);
+    if (Valid(member) && w >= 0 && w < kWords) {
+      words_[static_cast<size_t>(w)] |= Bit(member);
+    }
+  }
+  constexpr void Remove(int member) {
+    const int w = Word(member);
+    if (Valid(member) && w >= 0 && w < kWords) {
+      words_[static_cast<size_t>(w)] &= ~Bit(member);
+    }
+  }
+  constexpr bool Has(int member) const {
+    const int w = Word(member);
+    return Valid(member) && w >= 0 && w < kWords &&
+           (words_[static_cast<size_t>(w)] & Bit(member)) != 0;
+  }
+
+  constexpr void Fill() {
+    for (auto& w : words_) {
+      w = 0xFFFFFFFFu;
+    }
+  }
+  constexpr void Clear() {
+    for (auto& w : words_) {
+      w = 0;
+    }
+  }
+  constexpr bool Empty() const {
+    for (auto w : words_) {
+      if (w != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  constexpr int Count() const {
+    int n = 0;
+    for (auto w : words_) {
+      n += __builtin_popcount(w);
+    }
+    return n;
+  }
+
+  // Lowest member present, or 0 if the set is empty.
+  constexpr int First() const {
+    for (int i = 0; i < kWords; ++i) {
+      if (words_[i] != 0) {
+        return i * 32 + __builtin_ctz(words_[i]) + 1;
+      }
+    }
+    return 0;
+  }
+
+  constexpr FixedSet& operator|=(const FixedSet& o) {
+    for (int i = 0; i < kWords; ++i) {
+      words_[i] |= o.words_[i];
+    }
+    return *this;
+  }
+  constexpr FixedSet& operator&=(const FixedSet& o) {
+    for (int i = 0; i < kWords; ++i) {
+      words_[i] &= o.words_[i];
+    }
+    return *this;
+  }
+  // Set difference: removes o's members from this set.
+  constexpr FixedSet& operator-=(const FixedSet& o) {
+    for (int i = 0; i < kWords; ++i) {
+      words_[i] &= ~o.words_[i];
+    }
+    return *this;
+  }
+
+  friend constexpr bool operator==(const FixedSet& a, const FixedSet& b) {
+    return a.words_ == b.words_;
+  }
+
+  static constexpr FixedSet Full() {
+    FixedSet s;
+    s.Fill();
+    return s;
+  }
+
+ private:
+  // Member m occupies bit (m - 1): members are enumerated from 1.
+  static constexpr int kWords = N / 32;
+  static constexpr int Word(int member) { return (member - 1) / 32; }
+  static constexpr uint32_t Bit(int member) { return 1u << ((member - 1) % 32); }
+
+  std::array<uint32_t, kWords> words_;
+};
+
+// The SVR4 implementation provides for up to 128 signals, 128 faults and
+// 512 system calls.
+using SigSet = FixedSet<128>;
+using FltSet = FixedSet<128>;
+using SysSet = FixedSet<512>;
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_BASE_FIXED_SET_H_

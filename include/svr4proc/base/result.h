@@ -1,0 +1,130 @@
+// Error model for the svr4proc library.
+//
+// Kernel-style code paths report failure as a UNIX errno; Result<T> carries
+// either a value or an Errno without exceptions, mirroring how the simulated
+// syscall layer reports errors to user code (carry flag + errno register).
+#ifndef SVR4PROC_BASE_RESULT_H_
+#define SVR4PROC_BASE_RESULT_H_
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace svr4 {
+
+// UNIX System V errno values (the subset the simulation uses).
+enum class Errno : int32_t {
+  kOk = 0,
+  kEPERM = 1,
+  kENOENT = 2,
+  kESRCH = 3,
+  kEINTR = 4,
+  kEIO = 5,
+  kENXIO = 6,
+  kE2BIG = 7,
+  kENOEXEC = 8,
+  kEBADF = 9,
+  kECHILD = 10,
+  kEAGAIN = 11,
+  kENOMEM = 12,
+  kEACCES = 13,
+  kEFAULT = 14,
+  kEBUSY = 16,
+  kEEXIST = 17,
+  kENODEV = 19,
+  kENOTDIR = 20,
+  kEISDIR = 21,
+  kEINVAL = 22,
+  kENFILE = 23,
+  kEMFILE = 24,
+  kENOTTY = 25,
+  kEFBIG = 27,
+  kENOSPC = 28,
+  kESPIPE = 29,
+  kEROFS = 30,
+  kEPIPE = 32,
+  kEDOM = 33,
+  kERANGE = 34,
+  kENOMSG = 35,
+  kEDEADLK = 45,
+  kENOTEMPTY = 93,
+  kENAMETOOLONG = 78,
+  kENOSYS = 89,
+  kEOVERFLOW = 79,
+  kETIMEDOUT = 145,
+};
+
+// Symbolic name ("EINVAL") for an errno; "EUNKNOWN" if not recognized.
+std::string_view ErrnoName(Errno e);
+
+// A value-or-errno carrier. An Errno of kOk is not a valid error; use the
+// value constructor for success.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)), error_(Errno::kOk) {}  // NOLINT(google-explicit-constructor)
+  Result(Errno e) : error_(e) { assert(e != Errno::kOk); }  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return error_ == Errno::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  Errno error() const { return error_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  // Rvalue access moves the value out, so `auto v = *SomeCall();` works for
+  // move-only payloads.
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Errno error_;
+};
+
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() : error_(Errno::kOk) {}
+  Result(Errno e) : error_(e) {}  // NOLINT(google-explicit-constructor)
+
+  static Result Ok() { return Result(); }
+
+  bool ok() const { return error_ == Errno::kOk; }
+  explicit operator bool() const { return ok(); }
+  Errno error() const { return error_; }
+
+ private:
+  Errno error_;
+};
+
+// Propagate-on-error helper: evaluates expr (a Result<...>) and returns its
+// error from the enclosing function if it failed.
+#define SVR4_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    auto svr4_status_ = (expr);             \
+    if (!svr4_status_.ok()) {               \
+      return svr4_status_.error();          \
+    }                                       \
+  } while (0)
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_BASE_RESULT_H_

@@ -1,0 +1,56 @@
+// Process credentials, shared by the file system permission checks and the
+// /proc security provisions (PIOCCRED, open permission, set-id handling).
+#ifndef SVR4PROC_FS_CRED_H_
+#define SVR4PROC_FS_CRED_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace svr4 {
+
+using Uid = uint32_t;
+using Gid = uint32_t;
+
+struct Creds {
+  Uid ruid = 0;
+  Uid euid = 0;
+  Uid suid = 0;  // saved set-user-id
+  Gid rgid = 0;
+  Gid egid = 0;
+  Gid sgid = 0;
+  std::vector<Gid> groups;
+
+  bool IsSuper() const { return euid == 0; }
+
+  bool InGroup(Gid g) const {
+    if (egid == g) {
+      return true;
+    }
+    for (Gid x : groups) {
+      if (x == g) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static Creds Root() { return Creds{}; }
+  static Creds User(Uid uid, Gid gid) {
+    Creds c;
+    c.ruid = c.euid = c.suid = uid;
+    c.rgid = c.egid = c.sgid = gid;
+    return c;
+  }
+};
+
+// Classic rwx permission check against a file's mode/owner.
+bool CredsPermit(const Creds& cr, Uid file_uid, Gid file_gid, uint32_t mode, uint32_t want);
+
+// Permission bits for CredsPermit's `want`.
+inline constexpr uint32_t kPermRead = 4;
+inline constexpr uint32_t kPermWrite = 2;
+inline constexpr uint32_t kPermExec = 1;
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_FS_CRED_H_

@@ -1,0 +1,58 @@
+// memfs: the in-memory "disk" file system holding executables, libraries,
+// and ordinary files in the simulation. Plays the role of the conventional
+// disk fstypes coexisting with /proc under VFS.
+#ifndef SVR4PROC_FS_MEMFS_H_
+#define SVR4PROC_FS_MEMFS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svr4proc/fs/vnode.h"
+
+namespace svr4 {
+
+class MemFile : public Vnode {
+ public:
+  explicit MemFile(VAttr attr) : attr_(attr) { attr_.type = VType::kReg; }
+
+  VType type() const override { return VType::kReg; }
+  Result<VAttr> GetAttr() override;
+  Result<void> Open(OpenFile& of, const Creds& cr, Proc* caller) override;
+  Result<int64_t> Read(OpenFile& of, uint64_t off, std::span<uint8_t> buf) override;
+  Result<int64_t> Write(OpenFile& of, uint64_t off, std::span<const uint8_t> buf) override;
+  int Poll(OpenFile& of) override;
+  Result<std::shared_ptr<VmObject>> GetVmObject() override;
+
+  std::vector<uint8_t>& data() { return data_; }
+  const std::vector<uint8_t>& data() const { return data_; }
+  void Truncate() { data_.clear(); }
+
+ private:
+  VAttr attr_;
+  std::vector<uint8_t> data_;
+  std::shared_ptr<FileVmObject> vmobj_;  // one object per file: mappings share pages
+};
+
+class MemDir : public Vnode {
+ public:
+  explicit MemDir(VAttr attr) : attr_(attr) { attr_.type = VType::kDir; }
+
+  VType type() const override { return VType::kDir; }
+  Result<VAttr> GetAttr() override;
+  Result<void> Open(OpenFile& of, const Creds& cr, Proc* caller) override;
+  Result<VnodePtr> Lookup(const std::string& name) override;
+  Result<VnodePtr> Create(const std::string& name, const VAttr& attr) override;
+  Result<VnodePtr> Mkdir(const std::string& name, const VAttr& attr) override;
+  Result<void> Remove(const std::string& name) override;
+  Result<std::vector<DirEnt>> Readdir() override;
+
+ private:
+  VAttr attr_;
+  std::map<std::string, VnodePtr> entries_;
+};
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_FS_MEMFS_H_

@@ -1,0 +1,44 @@
+// Path resolution and the mount table.
+//
+// The mount table is keyed by covered vnode, as in SVR4: resolving a path
+// component whose vnode is covered by a mounted fstype continues at that
+// fstype's root ("the construction of the fantasy world ... is
+// straightforward").
+#ifndef SVR4PROC_FS_VFS_H_
+#define SVR4PROC_FS_VFS_H_
+
+#include <map>
+#include <string>
+
+#include "svr4proc/fs/vnode.h"
+
+namespace svr4 {
+
+class Vfs {
+ public:
+  Vfs();  // creates an empty memfs root
+
+  const VnodePtr& root() const { return root_; }
+
+  // Resolves an absolute path to a vnode, crossing mount points.
+  Result<VnodePtr> Resolve(const std::string& path);
+  // Resolves all but the last component; returns the parent directory and
+  // stores the final component in *leaf.
+  Result<VnodePtr> ResolveParent(const std::string& path, std::string* leaf);
+
+  // Mounts fs_root over the directory at `path` (which must resolve).
+  Result<void> Mount(const std::string& path, VnodePtr fs_root);
+
+  // Creates all directories along `path` (mkdir -p).
+  Result<VnodePtr> MkdirAll(const std::string& path, const VAttr& attr);
+
+ private:
+  VnodePtr CrossMounts(VnodePtr vp) const;
+
+  VnodePtr root_;
+  std::map<Vnode*, VnodePtr> mounts_;
+};
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_FS_VFS_H_

@@ -1,0 +1,81 @@
+// The executable file format ("a.out") for the virtual ISA.
+//
+// An a.out image carries text, initialized data, a bss size, an entry point,
+// a symbol table, and optionally the name of one shared library the program
+// was linked against. The exec loader maps text as a private read/execute
+// mapping of the file, data as a private read/write mapping, and bss/stack
+// as anonymous zero-fill — reproducing the segment structure of Figure 2 of
+// the paper. Debuggers read symbol tables from these files, located at run
+// time through the PIOCOPENM /proc operation rather than by pathname.
+#ifndef SVR4PROC_ISA_AOUT_H_
+#define SVR4PROC_ISA_AOUT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "svr4proc/base/result.h"
+
+namespace svr4 {
+
+// Symbol types.
+enum class SymType : uint8_t {
+  kText = 'T',
+  kData = 'D',
+  kBss = 'B',
+  kAbs = 'A',
+};
+
+struct AoutSymbol {
+  std::string name;
+  uint32_t value = 0;
+  SymType type = SymType::kAbs;
+};
+
+struct Aout {
+  static constexpr uint32_t kMagic = 0x53563441;  // "SV4A"
+  // Segments are page-aligned in the file so the exec loader can map the
+  // file object directly (text shared between all processes running it).
+  static constexpr uint32_t kFileAlign = 4096;
+
+  uint32_t entry = 0;
+  uint32_t text_vaddr = 0;
+  std::vector<uint8_t> text;
+  uint32_t data_vaddr = 0;
+  std::vector<uint8_t> data;
+  uint32_t bss_vaddr = 0;
+  uint32_t bss_size = 0;
+  std::string lib;  // name of a shared library dependency; empty if none
+  std::vector<AoutSymbol> symbols;
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<Aout> Parse(std::span<const uint8_t> bytes);
+
+  // Value of a named symbol; ENOENT if absent.
+  Result<uint32_t> SymbolValue(std::string_view name) const;
+
+  // Name of the symbol with the greatest value <= addr within the image, and
+  // the offset from it; empty result if addr precedes all symbols.
+  struct NearSym {
+    std::string name;
+    uint32_t offset = 0;
+  };
+  NearSym NearestSymbol(uint32_t addr) const;
+
+  // Total virtual size (text + data + bss), as /proc reports for file size.
+  uint32_t VirtualSize() const {
+    return static_cast<uint32_t>(text.size() + data.size()) + bss_size;
+  }
+
+  // File offsets of the segments in the serialized image (page-aligned).
+  static constexpr uint32_t TextFileOffset() { return kFileAlign; }
+  uint32_t DataFileOffset() const {
+    uint32_t t = TextFileOffset() + static_cast<uint32_t>(text.size());
+    return (t + kFileAlign - 1) / kFileAlign * kFileAlign;
+  }
+};
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_ISA_AOUT_H_

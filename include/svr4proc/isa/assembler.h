@@ -1,0 +1,66 @@
+// Two-pass assembler producing a.out images for the virtual ISA.
+//
+// Syntax summary (one statement per line; ';' or '#' starts a comment):
+//
+//   label:  mnemonic operand, operand        ; instruction
+//           .text / .data / .bss             ; section switch
+//           .word v, v, ...                  ; 32-bit data (values or labels)
+//           .byte v, v, ...
+//           .ascii "str" / .asciz "str"
+//           .space n                         ; n zero bytes (.bss too)
+//           .align n                         ; pad to n-byte boundary
+//           .entry label                     ; program entry point
+//           .lib "name"                      ; shared library dependency
+//           .equ name, value                 ; absolute symbol
+//
+// Operands: registers r0..r15 (aliases sp=r15, fp=r14), float registers
+// f0..f7, immediates (decimal, 0x hex, 'c' char, label, label+n, label-n),
+// memory operands [rN], [rN+imm], [rN-imm], and float literals for fldi.
+//
+// All labels are global and are emitted into the a.out symbol table, which
+// is how the debugger example resolves names through PIOCOPENM.
+#ifndef SVR4PROC_ISA_ASSEMBLER_H_
+#define SVR4PROC_ISA_ASSEMBLER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "svr4proc/base/result.h"
+#include "svr4proc/isa/aout.h"
+
+namespace svr4 {
+
+struct AsmOptions {
+  uint32_t text_base = 0x80000000;  // Figure 2's a.out text address
+  uint32_t data_align = 0x8000;     // data segment alignment after text
+};
+
+class Assembler {
+ public:
+  explicit Assembler(AsmOptions opts = {});
+
+  // Predefine an absolute symbol (e.g. syscall numbers).
+  void Define(std::string name, uint32_t value);
+
+  // Import every symbol of a shared-library image as absolute definitions so
+  // programs can call into the mapped library at its linked addresses.
+  void ImportLibrary(const Aout& lib_image, std::string lib_name);
+
+  // Assemble a complete source text. On failure the result carries EINVAL
+  // and error() describes the first problem ("line 12: unknown mnemonic").
+  Result<Aout> Assemble(std::string_view source);
+
+  const std::string& error() const { return error_; }
+
+ private:
+  AsmOptions opts_;
+  std::map<std::string, uint32_t, std::less<>> predefined_;
+  std::string lib_name_;
+  std::string error_;
+};
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_ISA_ASSEMBLER_H_

@@ -1,0 +1,53 @@
+// Single-instruction interpreter for the virtual ISA.
+//
+// The CPU is stateless: all architectural state lives in Regs/FpRegs (owned
+// by the LWP) and memory is accessed through MemoryIf (implemented by the VM
+// layer's AddressSpace). This mirrors how the real kernel's trap handlers
+// operate on a saved register context.
+#ifndef SVR4PROC_ISA_CPU_H_
+#define SVR4PROC_ISA_CPU_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "svr4proc/isa/isa.h"
+
+namespace svr4 {
+
+enum class Access { kRead, kWrite, kExec };
+
+// A memory access that could not be completed, expressed as a machine fault.
+struct MemFault {
+  int fault = 0;       // Fault enum value
+  uint32_t addr = 0;   // faulting virtual address
+};
+
+// Abstract byte-addressed memory with protection semantics. Accesses never
+// partially complete: on fault nothing is transferred.
+class MemoryIf {
+ public:
+  virtual ~MemoryIf() = default;
+  virtual std::optional<MemFault> MemRead(uint32_t addr, void* buf, uint32_t len,
+                                          Access kind) = 0;
+  virtual std::optional<MemFault> MemWrite(uint32_t addr, const void* buf, uint32_t len) = 0;
+};
+
+struct StepResult {
+  enum Kind { kOk, kSyscall, kFault };
+  Kind kind = kOk;
+  int fault = 0;           // valid when kind == kFault
+  uint32_t fault_addr = 0;
+};
+
+// Executes exactly one instruction.
+//
+// Fault semantics: on any fault the program counter is left at the faulting
+// instruction (restartable); in particular a BPT fault leaves pc at the
+// breakpoint address. FLTTRACE (trace bit) is reported after the instruction
+// completes, with pc already advanced. kSyscall is returned with pc advanced
+// past the SYS instruction; the kernel performs dispatch.
+StepResult CpuStep(Regs& regs, FpRegs& fp, MemoryIf& mem);
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_ISA_CPU_H_

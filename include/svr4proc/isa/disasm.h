@@ -1,0 +1,23 @@
+// Single-instruction disassembler; used by the debugger and by truss-style
+// reporting of pr_instr.
+#ifndef SVR4PROC_ISA_DISASM_H_
+#define SVR4PROC_ISA_DISASM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace svr4 {
+
+struct DisasmResult {
+  std::string mnemonic;  // "ldi r1, 0x50" or "<illegal 0xAB>"
+  int length = 1;        // bytes consumed (1 for illegal bytes)
+};
+
+// Disassembles the instruction at the start of `bytes`. `addr` is used only
+// for rendering (absolute targets are shown as-is).
+DisasmResult DisassembleOne(std::span<const uint8_t> bytes, uint32_t addr = 0);
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_ISA_DISASM_H_

@@ -1,0 +1,157 @@
+// The virtual instruction set architecture executed by simulated processes.
+//
+// Design constraints come straight from the paper's breakpoint discussion:
+//  * variable-length instructions, with the approved breakpoint instruction
+//    (BPT) being the shortest instruction in the set (1 byte), so a planted
+//    breakpoint never overwrites the following instruction;
+//  * executing BPT leaves the program counter at the breakpoint address
+//    itself ("preferably the breakpoint address itself");
+//  * a trace bit in the processor status register produces a FLTTRACE
+//    machine fault after each instruction (single-stepping);
+//  * distinct machine faults for illegal instructions, privileged
+//    instructions, access violations, bounds errors, integer and floating
+//    faults, and watchpoints, mirroring the SVR4 fault vector.
+#ifndef SVR4PROC_ISA_ISA_H_
+#define SVR4PROC_ISA_ISA_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace svr4 {
+
+// Machine fault numbers (fltset_t members). Enumerated from 1.
+enum Fault : int {
+  FLTILL = 1,     // illegal instruction
+  FLTPRIV = 2,    // privileged instruction
+  FLTBPT = 3,     // breakpoint instruction
+  FLTTRACE = 4,   // trace trap (trace bit set)
+  FLTACCESS = 5,  // memory access violation (protection)
+  FLTBOUNDS = 6,  // memory bounds violation (unmapped address)
+  FLTIOVF = 7,    // integer overflow
+  FLTIZDIV = 8,   // integer zero divide
+  FLTFPE = 9,     // floating point exception
+  FLTSTACK = 10,  // unrecoverable stack fault
+  FLTPAGE = 11,   // recoverable page fault (resolved internally; never user-visible unless traced)
+  FLTWATCH = 12,  // watchpoint trap (proposed extension)
+  kNumFaults = 12,
+};
+
+std::string_view FaultName(int fault);
+
+// Processor status register bits.
+enum PsrBit : uint32_t {
+  kPsrZ = 1u << 0,  // zero
+  kPsrN = 1u << 1,  // negative
+  kPsrC = 1u << 2,  // carry (set by the kernel on syscall error)
+  kPsrV = 1u << 3,  // overflow
+  kPsrT = 1u << 4,  // trace: FLTTRACE after every instruction
+};
+
+// General-purpose register file. r15 doubles as the stack pointer and r14
+// as the conventional frame pointer.
+inline constexpr int kNumRegs = 16;
+inline constexpr int kRegSp = 15;
+inline constexpr int kRegFp = 14;
+
+struct Regs {
+  std::array<uint32_t, kNumRegs> r{};
+  uint32_t pc = 0;
+  uint32_t psr = 0;
+
+  uint32_t sp() const { return r[kRegSp]; }
+  void set_sp(uint32_t v) { r[kRegSp] = v; }
+
+  friend bool operator==(const Regs&, const Regs&) = default;
+};
+
+inline constexpr int kNumFpRegs = 8;
+
+struct FpRegs {
+  std::array<double, kNumFpRegs> f{};
+  uint32_t fsr = 0;  // sticky floating-point status
+
+  friend bool operator==(const FpRegs&, const FpRegs&) = default;
+};
+
+// Opcodes. The byte value is the first (and sometimes only) byte of the
+// instruction; operand bytes follow in the encodings documented per group.
+enum Opcode : uint8_t {
+  // 1-byte instructions.
+  kOpIll = 0x00,   // guaranteed-illegal (FLTILL)
+  kOpNop = 0x01,
+  kOpBpt = 0x02,   // approved breakpoint instruction (FLTBPT)
+  kOpRet = 0x03,   // pop pc
+  kOpHlt = 0x04,   // privileged; FLTPRIV in user mode
+  kOpSys = 0x05,   // system call: number in r0, args r1..r6
+
+  // 2-byte register/register: opcode, (rd << 4) | rs.
+  kOpMov = 0x10,
+  kOpAdd = 0x12,
+  kOpSub = 0x13,
+  kOpMul = 0x14,
+  kOpDiv = 0x15,   // FLTIZDIV if rs == 0
+  kOpMod = 0x16,   // FLTIZDIV if rs == 0
+  kOpAnd = 0x17,
+  kOpOr = 0x18,
+  kOpXor = 0x19,
+  kOpShl = 0x1A,
+  kOpShr = 0x1B,
+  kOpCmp = 0x1D,   // flags := rd ? rs
+  kOpAddv = 0x1F,  // add with signed-overflow check (FLTIOVF)
+
+  // 6-byte register/immediate: opcode, rd, imm32 (little endian).
+  kOpLdi = 0x11,
+  kOpAddi = 0x1C,
+  kOpCmpi = 0x1E,
+
+  // 4-byte loads/stores: opcode, (rv << 4) | ra, off16 (signed LE).
+  kOpLdw = 0x20,   // rv := mem32[ra + off]
+  kOpStw = 0x21,   // mem32[ra + off] := rv
+  kOpLdb = 0x22,   // rv := zero-extended mem8[ra + off]
+  kOpStb = 0x23,   // mem8[ra + off] := low byte of rv
+
+  // 5-byte absolute control transfer: opcode, addr32.
+  kOpJmp = 0x30,
+  kOpJz = 0x31,
+  kOpJnz = 0x32,
+  kOpJlt = 0x33,   // signed <   (N != V)
+  kOpJge = 0x34,   // signed >=
+  kOpJgt = 0x35,   // signed >
+  kOpJle = 0x36,   // signed <=
+  kOpJcs = 0x37,   // carry set (syscall error path)
+  kOpJcc = 0x38,   // carry clear
+  kOpCall = 0x40,  // push return address, jump
+
+  // 2-byte register forms.
+  kOpPush = 0x41,  // opcode, rs
+  kOpPop = 0x42,   // opcode, rd
+  kOpCallr = 0x43, // opcode, rs: indirect call
+  kOpJmpr = 0x44,  // opcode, rs: indirect jump
+
+  // Floating point.
+  kOpFldi = 0x50,  // 10 bytes: opcode, fd, ieee754 double (LE)
+  kOpFmov = 0x51,  // 2 bytes: opcode, (fd << 4) | fs
+  kOpFadd = 0x52,
+  kOpFsub = 0x53,
+  kOpFmul = 0x54,
+  kOpFdiv = 0x55,  // FLTFPE on divide by zero
+  kOpFtoi = 0x56,  // 2 bytes: opcode, (rd << 4) | fs
+  kOpItof = 0x57,  // 2 bytes: opcode, (fd << 4) | rs
+};
+
+// Length in bytes of the instruction starting with the given opcode byte,
+// or 0 if the opcode is illegal.
+int InstrLength(uint8_t opcode);
+
+// Mnemonic for an opcode ("add", "bpt", ...), or empty if illegal.
+std::string_view OpcodeName(uint8_t opcode);
+
+// The shortest instruction length in the ISA; the breakpoint instruction is
+// exactly this long, per the paper's guidance.
+inline constexpr int kBreakpointLength = 1;
+inline constexpr uint8_t kBreakpointByte = kOpBpt;
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_ISA_ISA_H_

@@ -1,0 +1,43 @@
+// Core dumps: when the default action of a signal is to terminate with a
+// core dump ("psig() terminates the process, possibly with a core dump"),
+// the kernel writes a post-mortem image — the terminal status structure
+// plus every address-space segment — to /tmp/core.<pid>. Debuggers examine
+// these offline, the other half of the sdb/dbx workflow the paper's
+// interface was built to serve.
+#ifndef SVR4PROC_KERNEL_CORE_H_
+#define SVR4PROC_KERNEL_CORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "svr4proc/base/result.h"
+#include "svr4proc/procfs/types.h"
+
+namespace svr4 {
+
+struct CoreDump {
+  static constexpr uint32_t kMagic = 0x45524F43;  // "CORE"
+
+  int32_t sig = 0;       // the terminating signal
+  PrStatus status;       // context at the time of death
+  PrPsinfo psinfo;
+
+  struct Segment {
+    uint32_t vaddr = 0;
+    uint32_t mflags = 0;
+    std::vector<uint8_t> bytes;
+  };
+  std::vector<Segment> segments;
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<CoreDump> Parse(std::span<const uint8_t> bytes);
+
+  // Reads memory out of the dump; EIO outside any segment (short reads
+  // truncate at segment boundaries, mirroring live /proc semantics).
+  Result<int64_t> ReadMem(uint32_t vaddr, std::span<uint8_t> buf) const;
+};
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_KERNEL_CORE_H_

@@ -1,0 +1,290 @@
+// The simulated UNIX System V kernel.
+//
+// One Kernel instance is a complete system: a process table, a scheduler
+// driven by Step()/RunUntil(), a virtual clock that advances one tick per
+// executed instruction, signals with the full issig() stop logic of the
+// paper's Figure 4, a VFS with memfs mounted at / and the process file
+// systems at /proc (flat, ioctl-based) and /proc2 (hierarchical,
+// read/write-based), and an in-kernel ptrace(2) as the competing mechanism.
+//
+// Two kinds of processes exist:
+//  * simulated processes execute virtual-ISA programs under the scheduler;
+//  * native processes (controllers: debuggers, ps, truss, tests) are driven
+//    by host code calling the syscall-shaped methods below. Blocking calls
+//    (Wait, PIOCWSTOP, Poll) pump the simulation until satisfied.
+#ifndef SVR4PROC_KERNEL_KERNEL_H_
+#define SVR4PROC_KERNEL_KERNEL_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "svr4proc/base/result.h"
+#include "svr4proc/fs/dev.h"
+#include "svr4proc/fs/vfs.h"
+#include "svr4proc/isa/aout.h"
+#include "svr4proc/kernel/process.h"
+#include "svr4proc/kernel/syscall.h"
+
+namespace svr4 {
+
+// Resume arguments for a stopped process (prrun_t semantics).
+struct RunArgs {
+  bool clear_sig = false;     // PRCSIG: clear the current signal
+  bool clear_fault = false;   // PRCFAULT: clear the current fault
+  bool set_trace = false;     // PRSTRACE: set the traced-signal set first
+  SigSet trace;
+  bool set_fault = false;     // PRSFAULT
+  FltSet fault;
+  bool set_hold = false;      // PRSHOLD
+  SigSet hold;
+  bool set_vaddr = false;     // PRSVADDR: resume at a specified address
+  uint32_t vaddr = 0;
+  bool step = false;          // PRSTEP: single-step (FLTTRACE after one instr)
+  bool abort = false;         // PRSABORT: abort the system call (entry stop
+                              // or stopped-while-asleep) with EINTR
+  bool stop = false;          // PRSTOP: direct it to stop again at issig
+};
+
+// ptrace(2) requests (the SVR4 set; no attach — controlling unrelated
+// processes is exactly what /proc added).
+enum PtReq : int {
+  PT_TRACEME = 0,
+  PT_PEEKTEXT = 1,
+  PT_PEEKDATA = 2,
+  PT_PEEKUSER = 3,
+  PT_POKETEXT = 4,
+  PT_POKEDATA = 5,
+  PT_POKEUSER = 6,
+  PT_CONT = 7,
+  PT_KILL = 8,
+  PT_STEP = 9,
+};
+
+class Kernel {
+ public:
+  Kernel();
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- System assembly -----------------------------------------------------
+  Vfs& vfs() { return vfs_; }
+  ConsoleVnode& console() { return *console_; }
+  uint64_t Ticks() const { return ticks_; }
+
+  // Writes a regular file (creating directories as needed).
+  Result<void> WriteFileAt(const std::string& path, std::span<const uint8_t> bytes,
+                           uint32_t mode = 0644, Uid uid = 0, Gid gid = 0);
+  // Serializes an a.out image into the file system.
+  Result<void> InstallAout(const std::string& path, const Aout& image, uint32_t mode = 0755,
+                           Uid uid = 0, Gid gid = 0);
+
+  // --- Processes ------------------------------------------------------------
+  // Creates a native controller process (debugger, ps, truss, a test).
+  Proc* CreateNativeProc(const Creds& creds, std::string name);
+  // Creates a simulated process running the executable at `path`.
+  // The new process is a child of `parent` (init if null).
+  Result<Pid> Spawn(const std::string& path, const std::vector<std::string>& argv,
+                    const Creds& creds, Proc* parent = nullptr);
+
+  Proc* FindProc(Pid pid);
+  std::vector<Pid> AllPids() const;
+  Proc* init_proc() { return init_; }
+
+  // --- Syscall-shaped interface for native processes ------------------------
+  Result<int> Open(Proc* p, const std::string& path, int oflags, uint32_t mode = 0644);
+  Result<void> Close(Proc* p, int fd);
+  Result<int64_t> Read(Proc* p, int fd, void* buf, uint64_t n);
+  Result<int64_t> Write(Proc* p, int fd, const void* buf, uint64_t n);
+  Result<int64_t> Lseek(Proc* p, int fd, int64_t off, int whence);
+  Result<int32_t> Ioctl(Proc* p, int fd, uint32_t op, void* arg);
+  Result<std::vector<DirEnt>> ReadDir(Proc* p, const std::string& path);
+  Result<VAttr> Stat(Proc* p, const std::string& path);
+  Result<int> PollFds(Proc* p, std::span<PollFd> fds, int64_t timeout_ticks);
+  // Blocking wait for a child transition; pumps the simulation.
+  Result<WaitResult> Wait(Proc* p, Pid pid = -1, bool nohang = false);
+  Result<void> Kill(Proc* sender, Pid pid, int sig);
+  Result<int64_t> Ptrace(Proc* caller, int req, Pid pid, uint32_t addr, uint32_t data);
+
+  // --- Process-control primitives (used by both /proc implementations) ------
+  // Directs the process to stop; takes effect at the next issig() or
+  // immediately if it is sleeping interruptibly.
+  Result<void> PrStop(Proc* target);
+  // True when stopped on an event of interest.
+  bool PrIsStopped(const Proc* target) const;
+  // Pumps the simulation until the target stops (or exits: ENOENT).
+  Result<void> PrWaitStop(Proc* target);
+  // Makes a stopped process runnable, applying RunArgs. EBUSY if it is not
+  // stopped on an event of interest (e.g. a job-control stop, which only
+  // SIGCONT can resume, or a stop owned by ptrace — "/proc gets the last
+  // word" works the other way around too).
+  Result<void> PrRun(Proc* target, const RunArgs& args);
+  // Per-lwp variants used by the hierarchical interface's lwp directories.
+  Result<void> PrRunLwp(Lwp* lwp, const RunArgs& args);
+  Result<void> PrStopLwp(Lwp* lwp);
+  // Sends/clears a signal directly (PIOCKILL / PIOCUNKILL / PIOCSSIG).
+  Result<void> PrKill(Proc* target, int sig);
+  Result<void> PrUnkill(Proc* target, int sig);
+  Result<void> PrSetSig(Proc* target, int sig, const SigInfo& info);
+
+  // Posts a signal from kernel context (faults, alarms, SIGCLD).
+  void PostSignal(Proc* target, int sig, const SigInfo& info);
+
+  // Called by procfs when the last writable descriptor closes.
+  void PrLastClose(Proc* target);
+
+  // --- Simulation control ----------------------------------------------------
+  // Executes one scheduling quantum. Returns false when nothing can run
+  // (no runnable lwps and no timed sleepers).
+  bool Step();
+  // Pumps until pred() holds; false if the system went idle or the step
+  // budget was exhausted first.
+  bool RunUntil(const std::function<bool()>& pred, uint64_t max_steps = 200'000'000);
+  // Runs until the process exits; returns its wait status.
+  Result<int> RunToExit(Pid pid, uint64_t max_steps = 200'000'000);
+
+  // Internal hooks shared with procfs (part of the kernel proper: "/proc is
+  // an unconventional file system and not an add-on").
+  void Wakeup(const void* chan);
+  uint64_t NextProcGen() { return ++gen_counter_; }
+  // Descriptor-table access for procfs (PIOCOPENM installs a descriptor in
+  // the calling process).
+  Result<int> FdAlloc(Proc* p, OpenFilePtr of);
+  Result<OpenFilePtr> FdGet(Proc* p, int fd);
+
+ private:
+  friend class KernelTestPeer;
+
+  struct SysResult {
+    enum Kind { kDone, kError, kBlock } kind = kDone;
+    uint32_t rv0 = 0;
+    uint32_t rv1 = 0;
+    bool has_rv1 = false;   // also store rv1 into r1
+    bool no_regs = false;   // do not touch registers at all (sigreturn, exec)
+    Errno err = Errno::kEINVAL;
+    SleepSpec sleep;
+
+    static SysResult Ok(uint32_t a = 0) { return {kDone, a, 0, false, false, Errno::kOk, {}}; }
+    static SysResult Ok2(uint32_t a, uint32_t b) {
+      return {kDone, a, b, true, false, Errno::kOk, {}};
+    }
+    static SysResult OkNoRegs() { return {kDone, 0, 0, false, true, Errno::kOk, {}}; }
+    static SysResult Fail(Errno e) { return {kError, 0, 0, false, false, e, {}}; }
+    static SysResult Block(SleepSpec s) {
+      return {kBlock, 0, 0, false, false, Errno::kOk, s};
+    }
+  };
+
+  // Scheduling.
+  Lwp* PickNext();
+  void ExecuteLwp(Lwp* lwp, int budget);
+  void CheckTimers();
+
+  // Signals & stops (issig/psig per Figure 4).
+  bool NeedIssig(Lwp* lwp) const;
+  // Returns true if a signal should be delivered (psig). May stop the lwp,
+  // in which case it returns false and will be re-entered on resume.
+  bool Issig(Lwp* lwp);
+  void Psig(Lwp* lwp);
+  void StopLwp(Lwp* lwp, uint16_t why, uint16_t what, bool istop);
+  void ResumeLwp(Lwp* lwp);
+  void JobControlStop(Proc* p, int sig);
+  void JobControlCont(Proc* p);
+  int PromoteSignal(Proc* p);
+
+  // Syscall path.
+  void SyscallTrap(Lwp* lwp);
+  void ContinueSyscall(Lwp* lwp);
+  SysResult Dispatch(Lwp* lwp);
+  void FinishSyscall(Lwp* lwp, const SysResult& r);
+
+  // Fault path.
+  void HandleFault(Lwp* lwp, int fault, uint32_t addr);
+  void ConvertFaultToSignal(Lwp* lwp, int fault, uint32_t addr);
+
+  // Process lifecycle.
+  Proc* AllocProc(const std::string& name, const Creds& creds, Proc* parent);
+  void ExitProc(Proc* p, int wstatus);
+  void DumpCore(Proc* p, int sig);
+  void ReapZombie(Proc* zombie, Proc* parent);
+  Result<void> ExecImage(Proc* p, const std::string& path,
+                         const std::vector<std::string>& argv);
+  Result<Pid> ForkCommon(Lwp* parent_lwp, bool vfork);
+  // Non-blocking wait scan; fills out and returns true when a child event
+  // is available. Sets *any_children.
+  bool WaitScan(Proc* parent, Pid filter, WaitResult* out, bool* any_children);
+
+  // Descriptor helpers (shared by native API and VCPU syscalls).
+  void FdCloseAll(Proc* p);
+  void FdRelease(OpenFilePtr of);
+  Result<int> OpenCommon(Proc* p, const std::string& path, int oflags, uint32_t mode);
+  Result<int64_t> ReadCommon(Proc* p, OpenFile& of, std::span<uint8_t> buf);
+  Result<int64_t> WriteCommon(Proc* p, OpenFile& of, std::span<const uint8_t> buf);
+
+  // Syscall handlers (syscalls.cc).
+  SysResult SysExit(Lwp*);
+  SysResult SysFork(Lwp*, bool vfork);
+  SysResult SysRead(Lwp*);
+  SysResult SysWrite(Lwp*);
+  SysResult SysOpen(Lwp*);
+  SysResult SysClose(Lwp*);
+  SysResult SysWait(Lwp*);
+  SysResult SysExec(Lwp*);
+  SysResult SysBrk(Lwp*);
+  SysResult SysLseek(Lwp*);
+  SysResult SysKill(Lwp*);
+  SysResult SysPipe(Lwp*);
+  SysResult SysDup(Lwp*);
+  SysResult SysSigaction(Lwp*);
+  SysResult SysSigprocmask(Lwp*);
+  SysResult SysSigsuspend(Lwp*);
+  SysResult SysSigreturn(Lwp*);
+  SysResult SysSigpending(Lwp*);
+  SysResult SysMmap(Lwp*);
+  SysResult SysMunmap(Lwp*);
+  SysResult SysMprotect(Lwp*);
+  SysResult SysSleep(Lwp*);
+  SysResult SysPause(Lwp*);
+  SysResult SysAlarm(Lwp*);
+  SysResult SysLwpCreate(Lwp*);
+  SysResult SysLwpExit(Lwp*);
+  SysResult SysStat(Lwp*);
+  SysResult SysUnlink(Lwp*);
+  SysResult SysPtraceSys(Lwp*);
+  SysResult SysPoll(Lwp*);
+
+  // Wait channel for poll-style sleeps, woken on any event that could
+  // change poll results (stops, exits, pipe traffic).
+  static const void* PollChan();
+
+  // User-memory copy helpers for VCPU syscalls.
+  Result<std::string> CopyinStr(Proc* p, uint32_t va, uint32_t max = 1024);
+  Result<void> Copyin(Proc* p, uint32_t va, void* buf, uint32_t n);
+  Result<void> Copyout(Proc* p, uint32_t va, const void* buf, uint32_t n);
+
+  // ptrace internals.
+  Result<int64_t> PtraceImpl(Proc* caller, int req, Pid pid, uint32_t addr, uint32_t data);
+
+  Vfs vfs_;
+  std::shared_ptr<ConsoleVnode> console_;
+  std::map<Pid, std::unique_ptr<Proc>> procs_;
+  Pid next_pid_ = 0;
+  uint64_t ticks_ = 0;
+  uint64_t gen_counter_ = 1;
+  Proc* init_ = nullptr;
+
+  // Round-robin scheduling cursor.
+  Pid rr_pid_ = 0;
+  int rr_lwp_ = 0;
+
+  static constexpr int kQuantum = 64;
+};
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_KERNEL_KERNEL_H_

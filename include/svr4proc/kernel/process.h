@@ -1,0 +1,258 @@
+// The process model: processes (proc structures), lightweight processes
+// (threads of control sharing an address space), tracing state, and stop
+// bookkeeping. This is the state /proc exposes and manipulates.
+#ifndef SVR4PROC_KERNEL_PROCESS_H_
+#define SVR4PROC_KERNEL_PROCESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svr4proc/base/fixed_set.h"
+#include "svr4proc/fs/cred.h"
+#include "svr4proc/fs/vnode.h"
+#include "svr4proc/isa/isa.h"
+#include "svr4proc/kernel/signal.h"
+#include "svr4proc/vm/vm.h"
+
+namespace svr4 {
+
+using Pid = int32_t;
+
+// Why a process (lwp) stopped — prstatus pr_why values.
+enum PrWhy : uint16_t {
+  PR_REQUESTED = 1,  // /proc stop directive
+  PR_SIGNALLED = 2,  // receipt of a traced signal
+  PR_SYSENTRY = 3,   // entry to a traced system call
+  PR_SYSEXIT = 4,    // exit from a traced system call
+  PR_FAULTED = 5,    // a traced machine fault
+  PR_JOBCONTROL = 6, // default action of a job-control stop signal
+};
+
+std::string_view PrWhyName(uint16_t why);
+
+// prstatus pr_flags bits.
+enum PrFlag : uint32_t {
+  PR_STOPPED = 0x0001,  // process (lwp) is stopped
+  PR_ISTOP = 0x0002,    // stopped on an event of interest (awaits PIOCRUN)
+  PR_DSTOP = 0x0004,    // a stop directive is pending
+  PR_ASLEEP = 0x0008,   // sleeping in an interruptible system call
+  PR_FORK = 0x0010,     // inherit-on-fork is set
+  PR_RLC = 0x0020,      // run-on-last-close is set
+  PR_PTRACE = 0x0040,   // process is being traced via ptrace(2)
+  PR_PCINVAL = 0x0080,  // pc does not address a valid instruction
+  PR_ISSYS = 0x0100,    // system process (no user address space)
+  PR_STEP = 0x0200,     // single-step directive in effect
+};
+
+enum class LwpState {
+  kRunning,   // eligible to execute user instructions / syscall work
+  kSleeping,  // blocked in a system call
+  kStopped,   // stopped (events of interest, directives, job control)
+  kDead,
+};
+
+// Phase of the in-progress system call for an lwp.
+enum class SysPhase { kNone, kEntry, kExec, kExit };
+
+struct SleepSpec {
+  const void* chan = nullptr;  // wait channel; nullptr when purely timed
+  uint64_t wake_tick = 0;      // absolute tick to auto-wake; 0 = no timeout
+  bool interruptible = true;
+};
+
+struct Proc;
+
+struct Lwp {
+  int lwpid = 1;
+  Proc* proc = nullptr;
+  LwpState state = LwpState::kRunning;
+
+  Regs regs;
+  FpRegs fpregs;
+
+  // In-progress system call.
+  bool in_syscall = false;
+  SysPhase sys_phase = SysPhase::kNone;
+  uint16_t cur_syscall = 0;
+  std::array<uint32_t, 6> sysargs{};
+  bool abort_syscall = false;  // PRSABORT: skip to syscall exit with EINTR
+  SleepSpec sleep;
+  bool interrupted = false;  // a signal arrived while sleeping
+
+  // Stop bookkeeping.
+  uint16_t stop_why = 0;
+  uint16_t stop_what = 0;
+  bool istop = false;          // stopped on an event of interest
+  bool stopped_while_asleep = false;  // PR_ASLEEP at stop time
+  SleepSpec saved_sleep;       // to resume the sleep undisturbed
+
+  // issig() progress flags (reset when the current signal is resolved).
+  bool sig_reported = false;   // signalled stop already taken for cursig
+  bool pt_reported = false;    // ptrace stop already taken for cursig
+
+  // Restartable-handler scratch state, cleared when the syscall finishes.
+  uint64_t sys_deadline = 0;   // absolute wake tick for timed syscalls
+  Pid vfork_child = 0;         // child being waited on by vfork
+
+  // Per-lwp stop directive (hierarchical /proc lwpctl).
+  bool lwp_dstop = false;
+};
+
+// Process-level signal state. The hold mask and actions are process-wide,
+// as in single-threaded SVR4.
+struct SignalState {
+  SigSet pending;
+  std::array<SigInfo, SigSet::kMaxMember + 1> pending_info{};
+  SigSet hold;
+  std::array<SigAction, SigSet::kMaxMember + 1> actions{};
+  int cursig = 0;  // promoted from pending by issig(); at most one
+  SigInfo cursig_info;
+};
+
+// /proc tracing state; persists when the process file is closed unless
+// run-on-last-close is set.
+struct TraceState {
+  SigSet sigtrace;    // traced signals
+  FltSet flttrace;    // traced machine faults
+  SysSet sysentry;    // traced system call entries
+  SysSet sysexit;     // traced system call exits
+  bool inherit_on_fork = false;  // PR_FORK
+  bool run_on_last_close = false;  // PR_RLC
+  bool dstop_pending = false;    // a /proc stop directive is outstanding
+
+  // A traced fault awaiting PIOCRUN; cleared by PRCFAULT, otherwise
+  // converted to its signal on resume.
+  int cur_fault = 0;
+  uint32_t cur_fault_addr = 0;
+
+  // Security bookkeeping.
+  int writable_opens = 0;   // writable /proc descriptors outstanding
+  int total_opens = 0;      // all /proc descriptors outstanding
+  bool excl = false;        // an O_EXCL writer exists
+  uint64_t gen = 1;         // descriptor generation; bumped on set-id exec
+};
+
+struct WaitResult {
+  Pid pid = 0;
+  int status = 0;
+};
+
+// wait(2) status encoding helpers.
+inline int WExitStatus(int code) { return (code & 0xFF) << 8; }
+inline int WSignalStatus(int sig, bool core) { return (sig & 0x7F) | (core ? 0x80 : 0); }
+inline int WStopStatus(int sig) { return 0x7F | (sig << 8); }
+inline bool WIfExited(int st) { return (st & 0xFF) == 0; }
+inline bool WIfStopped(int st) { return (st & 0xFF) == 0x7F; }
+inline bool WIfSignaled(int st) { return !WIfExited(st) && !WIfStopped(st); }
+inline int WExitCode(int st) { return (st >> 8) & 0xFF; }
+inline int WStopSig(int st) { return (st >> 8) & 0xFF; }
+inline int WTermSig(int st) { return st & 0x7F; }
+
+struct Proc {
+  Pid pid = 0;
+  Pid ppid = 0;
+  Pid pgrp = 0;
+  Pid sid = 0;
+  std::string name;    // pr_fname: executable basename
+  std::string psargs;  // pr_psargs: initial argument list
+
+  Creds creds;
+  bool setid = false;       // set-id since last exec (restricts /proc opens)
+  bool system_proc = false; // sched/pageout: no user address space
+  bool native = false;      // host-driven controller; never scheduled
+
+  enum class State { kActive, kZombie } state = State::kActive;
+  int exit_status = 0;
+
+  AddressSpacePtr as;
+  VnodePtr exe;  // executable file vnode (PIOCOPENM with a null address)
+
+  std::vector<std::unique_ptr<Lwp>> lwps;
+  int next_lwpid = 1;
+
+  SignalState sig;
+  TraceState trace;
+
+  // ptrace(2) state (the competing mechanism the paper discusses).
+  bool pt_traced = false;
+  bool pt_owned_stop = false;  // current stop belongs to ptrace
+  bool pt_wait_reported = false;  // parent already saw this stop via wait()
+  int pt_stopsig = 0;
+
+  bool is_vfork_child = false;  // shares its parent's address space for now
+  bool vfork_done = false;      // child of vfork has exec'd or exited
+
+  std::vector<OpenFilePtr> fds;
+
+  // Accounting (prusage / prpsinfo).
+  uint64_t utime = 0;   // instructions executed
+  uint64_t stime = 0;   // kernel work on this process's behalf
+  uint64_t cutime = 0;
+  uint64_t cstime = 0;
+  uint64_t nsyscalls = 0;
+  uint64_t nsignals = 0;
+  uint64_t nfaults = 0;
+  uint64_t ioch = 0;    // bytes read+written
+  uint64_t start_tick = 0;
+  int nice = 20;
+  uint32_t umask = 022;
+  uint64_t alarm_tick = 0;  // 0 = no alarm pending
+
+  Lwp* MainLwp() {
+    for (auto& l : lwps) {
+      if (l->state != LwpState::kDead) {
+        return l.get();
+      }
+    }
+    return lwps.empty() ? nullptr : lwps.front().get();
+  }
+
+  bool AllLwpsStopped() const {
+    bool any = false;
+    for (const auto& l : lwps) {
+      if (l->state == LwpState::kDead) {
+        continue;
+      }
+      any = true;
+      if (l->state != LwpState::kStopped) {
+        return false;
+      }
+    }
+    return any;
+  }
+
+  Lwp* FindLwp(int lwpid) {
+    for (auto& l : lwps) {
+      if (l->lwpid == lwpid && l->state != LwpState::kDead) {
+        return l.get();
+      }
+    }
+    return nullptr;
+  }
+
+  // The lwp whose stop the process-level interface reports: prefer one
+  // stopped on an event of interest.
+  Lwp* RepresentativeLwp() {
+    Lwp* stopped = nullptr;
+    for (auto& l : lwps) {
+      if (l->state == LwpState::kDead) {
+        continue;
+      }
+      if (l->state == LwpState::kStopped) {
+        if (l->istop) {
+          return l.get();
+        }
+        if (!stopped) {
+          stopped = l.get();
+        }
+      }
+    }
+    return stopped ? stopped : MainLwp();
+  }
+};
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_KERNEL_PROCESS_H_

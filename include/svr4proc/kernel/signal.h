@@ -1,0 +1,136 @@
+// UNIX System V signal numbers, default actions, and related structures.
+#ifndef SVR4PROC_KERNEL_SIGNAL_H_
+#define SVR4PROC_KERNEL_SIGNAL_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "svr4proc/base/fixed_set.h"
+
+// The host C library defines these as macros; this simulation defines its
+// own System V values and never raises host signals. Include the host header
+// here (its include guard then makes any later inclusion a no-op) and remove
+// its macros for good.
+#include <csignal>
+#undef SIGHUP
+#undef SIGINT
+#undef SIGQUIT
+#undef SIGILL
+#undef SIGTRAP
+#undef SIGABRT
+#undef SIGEMT
+#undef SIGFPE
+#undef SIGKILL
+#undef SIGBUS
+#undef SIGSEGV
+#undef SIGSYS
+#undef SIGPIPE
+#undef SIGALRM
+#undef SIGTERM
+#undef SIGUSR1
+#undef SIGUSR2
+#undef SIGCLD
+#undef SIGPWR
+#undef SIGWINCH
+#undef SIGURG
+#undef SIGPOLL
+#undef SIGSTOP
+#undef SIGTSTP
+#undef SIGCONT
+#undef SIGTTIN
+#undef SIGTTOU
+#undef SIG_DFL
+#undef SIG_IGN
+// glibc defines the siginfo_t accessors as macros over a union.
+#undef si_signo
+#undef si_code
+#undef si_errno
+#undef si_pid
+#undef si_uid
+#undef si_addr
+#undef si_status
+#undef si_band
+#undef si_value
+#undef si_int
+#undef si_ptr
+
+namespace svr4 {
+
+enum Signal : int {
+  SIGHUP = 1,
+  SIGINT = 2,
+  SIGQUIT = 3,
+  SIGILL = 4,
+  SIGTRAP = 5,
+  SIGABRT = 6,
+  SIGEMT = 7,
+  SIGFPE = 8,
+  SIGKILL = 9,
+  SIGBUS = 10,
+  SIGSEGV = 11,
+  SIGSYS = 12,
+  SIGPIPE = 13,
+  SIGALRM = 14,
+  SIGTERM = 15,
+  SIGUSR1 = 16,
+  SIGUSR2 = 17,
+  SIGCLD = 18,
+  SIGPWR = 19,
+  SIGWINCH = 20,
+  SIGURG = 21,
+  SIGPOLL = 22,
+  SIGSTOP = 23,
+  SIGTSTP = 24,
+  SIGCONT = 25,
+  SIGTTIN = 26,
+  SIGTTOU = 27,
+  kNumSignals = 27,  // of up to 128 the set type provides for
+};
+
+std::string_view SignalName(int sig);
+
+enum class SigDisp {
+  kTerminate,
+  kCore,
+  kIgnore,
+  kStop,      // job control stop (handled inside issig, per the paper)
+  kContinue,  // SIGCONT
+};
+
+// Default disposition of a signal.
+SigDisp DefaultDisp(int sig);
+
+inline bool IsJobControlStop(int sig) {
+  return sig == SIGSTOP || sig == SIGTSTP || sig == SIGTTIN || sig == SIGTTOU;
+}
+
+// Special handler values.
+inline constexpr uint32_t SIG_DFL = 0;
+inline constexpr uint32_t SIG_IGN = 1;
+
+struct SigAction {
+  uint32_t handler = SIG_DFL;  // SIG_DFL, SIG_IGN, or a user virtual address
+  SigSet mask;                 // additionally held while the handler runs
+  uint32_t flags = 0;
+};
+
+// Machine-independent extra information accompanying a signal or fault,
+// exposed through /proc as prstatus.pr_info.
+struct SigInfo {
+  int32_t si_signo = 0;
+  int32_t si_code = 0;   // fault number for hardware signals; 0 for kill()
+  int32_t si_errno = 0;
+  int32_t si_pid = 0;    // sender, for user-generated signals
+  int32_t si_uid = 0;
+  uint32_t si_addr = 0;  // faulting address, for hardware faults
+};
+
+// siginfo si_code values (subset).
+inline constexpr int32_t SI_USER = 0;
+inline constexpr int32_t SI_FAULT = 1;
+inline constexpr int32_t TRAP_BRKPT = 2;
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_KERNEL_SIGNAL_H_

@@ -1,0 +1,142 @@
+// System call numbers, names, and argument counts for the simulated kernel.
+//
+// The calling convention: syscall number in r0, arguments in r1..r6. On
+// return, r0 holds the primary result (r1 a secondary result for fork/wait/
+// pipe) with the carry flag clear; on error the carry flag is set and r0
+// holds the errno — the classic System V trap convention.
+#ifndef SVR4PROC_KERNEL_SYSCALL_H_
+#define SVR4PROC_KERNEL_SYSCALL_H_
+
+#include <cstdint>
+#include <string_view>
+
+// The host C library defines SYS_* syscall-number macros; this simulated
+// kernel has its own numbering. Include the host header here (its include
+// guard then makes any later inclusion a no-op) and remove its macros for
+// good.
+#if __has_include(<sys/syscall.h>)
+#include <sys/syscall.h>
+#endif
+#undef SYS_exit
+#undef SYS_fork
+#undef SYS_read
+#undef SYS_write
+#undef SYS_open
+#undef SYS_close
+#undef SYS_wait
+#undef SYS_creat
+#undef SYS_unlink
+#undef SYS_exec
+#undef SYS_time
+#undef SYS_brk
+#undef SYS_stat
+#undef SYS_lseek
+#undef SYS_getpid
+#undef SYS_setuid
+#undef SYS_getuid
+#undef SYS_ptrace
+#undef SYS_alarm
+#undef SYS_pause
+#undef SYS_nice
+#undef SYS_kill
+#undef SYS_setpgrp
+#undef SYS_dup
+#undef SYS_pipe
+#undef SYS_setgid
+#undef SYS_getgid
+#undef SYS_ioctl
+#undef SYS_umask
+#undef SYS_setsid
+#undef SYS_getpgrp
+#undef SYS_getppid
+#undef SYS_sleep
+#undef SYS_yield
+#undef SYS_poll
+#undef SYS_sigprocmask
+#undef SYS_sigsuspend
+#undef SYS_sigreturn
+#undef SYS_sigaction
+#undef SYS_sigpending
+#undef SYS_mmap
+#undef SYS_munmap
+#undef SYS_mprotect
+#undef SYS_vfork
+#undef SYS_lwp_create
+#undef SYS_lwp_exit
+#undef SYS_lwp_self
+#undef SYS_otime
+
+namespace svr4 {
+
+class Assembler;
+
+enum Sys : int {
+  SYS_exit = 1,
+  SYS_fork = 2,
+  SYS_read = 3,
+  SYS_write = 4,
+  SYS_open = 5,
+  SYS_close = 6,
+  SYS_wait = 7,
+  SYS_creat = 8,
+  SYS_unlink = 10,
+  SYS_exec = 11,
+  SYS_time = 13,
+  SYS_brk = 17,
+  SYS_stat = 18,
+  SYS_lseek = 19,
+  SYS_getpid = 20,
+  SYS_setuid = 23,
+  SYS_getuid = 24,
+  SYS_ptrace = 26,
+  SYS_alarm = 27,
+  SYS_pause = 29,
+  SYS_nice = 34,
+  SYS_kill = 37,
+  SYS_setpgrp = 39,
+  SYS_dup = 41,
+  SYS_pipe = 42,
+  SYS_setgid = 46,
+  SYS_getgid = 47,
+  SYS_ioctl = 54,
+  SYS_umask = 60,
+  SYS_setsid = 62,
+  SYS_getpgrp = 63,
+  SYS_getppid = 64,
+  SYS_sleep = 65,   // sleep for N clock ticks (interruptible)
+  SYS_yield = 66,
+  SYS_poll = 87,
+  SYS_sigprocmask = 95,
+  SYS_sigsuspend = 96,
+  SYS_sigreturn = 97,  // private: return from a signal handler
+  SYS_sigaction = 98,
+  SYS_sigpending = 99,
+  SYS_mmap = 115,
+  SYS_munmap = 116,
+  SYS_mprotect = 117,
+  SYS_vfork = 119,
+  SYS_lwp_create = 120,
+  SYS_lwp_exit = 121,
+  SYS_lwp_self = 122,
+  // An "older system call" no longer provided by the kernel; the syscall
+  // encapsulation example emulates it entirely at user level through /proc,
+  // exactly as the paper suggests obsolete facilities could be supported
+  // "forever" without cluttering up the operating system.
+  SYS_otime = 150,
+  kMaxSyscall = 200,  // of up to 512 the set type provides for
+};
+
+// Name ("read") for a syscall number; "sys#N" if unknown.
+std::string_view SyscallName(int num);
+// Returns the syscall number for a name, or 0.
+int SyscallByName(std::string_view name);
+// Number of arguments the syscall consumes (for prstatus pr_nsysarg).
+int SyscallNargs(int num);
+
+// Predefines SYS_* numbers, signal numbers, and common constants (O_RDONLY
+// etc.) as assembler symbols so test programs read naturally.
+void DefineSyscallSymbols(Assembler& as);
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_KERNEL_SYSCALL_H_

@@ -1,0 +1,74 @@
+// The process file system, flat SVR4 form: /proc/<pid> files accessed with
+// open/close/lseek/read/write/ioctl. This is the paper's primary subject.
+#ifndef SVR4PROC_PROCFS_PROCFS_H_
+#define SVR4PROC_PROCFS_PROCFS_H_
+
+#include <string>
+
+#include "svr4proc/fs/vnode.h"
+#include "svr4proc/kernel/kernel.h"
+#include "svr4proc/procfs/types.h"
+
+namespace svr4 {
+
+// Directory vnode for /proc: "the name of each entry is a decimal number
+// corresponding to the process id" (five digits, per Figure 1).
+class ProcDirVnode : public Vnode {
+ public:
+  explicit ProcDirVnode(Kernel* k) : kernel_(k) {}
+
+  VType type() const override { return VType::kDir; }
+  Result<VAttr> GetAttr() override;
+  Result<VnodePtr> Lookup(const std::string& name) override;
+  Result<std::vector<DirEnt>> Readdir() override;
+
+ private:
+  Kernel* kernel_;
+};
+
+// One process file. Reads and writes transfer data between the caller and
+// the process's address space at the virtual address given by the file
+// offset; ioctl performs the PIOC* information and control operations.
+class ProcVnode : public Vnode {
+ public:
+  ProcVnode(Kernel* k, Pid pid) : kernel_(k), pid_(pid) {}
+
+  VType type() const override { return VType::kProc; }
+  Result<VAttr> GetAttr() override;
+  Result<void> Open(OpenFile& of, const Creds& cr, Proc* caller) override;
+  void Close(OpenFile& of) override;
+  Result<int64_t> Read(OpenFile& of, uint64_t off, std::span<uint8_t> buf) override;
+  Result<int64_t> Write(OpenFile& of, uint64_t off, std::span<const uint8_t> buf) override;
+  Result<int32_t> Ioctl(OpenFile& of, Proc* caller, uint32_t op, void* arg) override;
+  int Poll(OpenFile& of) override;
+
+  Pid pid() const { return pid_; }
+
+ private:
+  // Validates the descriptor and returns the live target process.
+  Result<Proc*> Target(const OpenFile& of) const;
+
+  Kernel* kernel_;
+  Pid pid_;
+};
+
+// Checks the /proc open-permission rules ("permission to open requires that
+// both the uid and gid of the traced process match those of the controlling
+// process; setuid and setgid processes can be opened only by the
+// super-user"). Shared with the hierarchical implementation.
+Result<void> ProcOpenPermission(const Creds& cr, const Proc* target);
+
+// Translates a prrun_t into kernel RunArgs. Shared with /proc2's PCRUN.
+RunArgs ToRunArgs(const PrRun& r);
+
+// Opens a read-only descriptor in `caller` for the object mapped at vaddr
+// (or the executable when use_exe). Implements PIOCOPENM for both fstypes.
+Result<int32_t> ProcOpenMappedObject(Kernel& k, Proc* caller, Proc* target, bool use_exe,
+                                     uint32_t vaddr);
+
+// Mounts the flat process file system at /proc.
+Result<void> MountProcFs(Kernel& k, const std::string& path = "/proc");
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_PROCFS_PROCFS_H_

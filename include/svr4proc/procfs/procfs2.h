@@ -1,0 +1,82 @@
+// The proposed hierarchical process file system (the paper's "Proposed
+// Restructuring"), mounted at /proc2 alongside the flat /proc.
+//
+// Each process is a directory of status and control files. "Process state
+// is interrogated by read(2) operations applied to appropriate read-only
+// status files and process control is effected by structured messages
+// written to write-only control files." Batched messages — "several control
+// operations in a single write" — are supported, which T-CTL benchmarks.
+// Per-lwp subdirectories expose the threads of control sharing the address
+// space, "a natural structure in which to present the relationship between
+// a process and the individual threads-of-control".
+//
+// Layout:
+//   /proc2/<pid>/status   read-only   PrStatus
+//   /proc2/<pid>/psinfo   read-only   PrPsinfo
+//   /proc2/<pid>/cred     read-only   PrCred
+//   /proc2/<pid>/usage    read-only   PrUsage
+//   /proc2/<pid>/sigact   read-only   SigAction[128]
+//   /proc2/<pid>/map      read-only   PrMapEntry[]
+//   /proc2/<pid>/as       read/write  the address space (offset = vaddr)
+//   /proc2/<pid>/ctl      write-only  control message stream
+//   /proc2/<pid>/lwp/<n>/lwpstatus    PrLwpStatus
+//   /proc2/<pid>/lwp/<n>/lwpctl       per-lwp control message stream
+#ifndef SVR4PROC_PROCFS_PROCFS2_H_
+#define SVR4PROC_PROCFS_PROCFS2_H_
+
+#include <string>
+
+#include "svr4proc/fs/vnode.h"
+#include "svr4proc/kernel/kernel.h"
+#include "svr4proc/procfs/types.h"
+
+namespace svr4 {
+
+// Control message codes written to ctl/lwpctl files. Each message is a
+// 4-byte code followed by its fixed-size operand.
+enum PrCtl : int32_t {
+  PCNULL = 0,    // no-op (padding)
+  PCSTOP = 1,    // direct to stop and wait for it
+  PCDSTOP = 2,   // direct to stop, do not wait
+  PCWSTOP = 3,   // wait for the process to stop
+  PCRUN = 4,     // u32 flags, u32 vaddr: make runnable (PrRunFlag subset)
+  PCSTRACE = 5,  // SigSet: set traced signals
+  PCSFAULT = 6,  // FltSet: set traced faults
+  PCSENTRY = 7,  // SysSet: set traced syscall entries
+  PCSEXIT = 8,   // SysSet: set traced syscall exits
+  PCSHOLD = 9,   // SigSet: set held signals
+  PCKILL = 10,   // i32: send a signal
+  PCUNKILL = 11, // i32: delete a pending signal
+  PCSSIG = 12,   // SigInfo: set the current signal
+  PCCSIG = 13,   // clear the current signal
+  PCCFAULT = 14, // clear the current fault
+  PCSREG = 15,   // Regs: set registers
+  PCSFPREG = 16, // FpRegs: set FP registers
+  PCNICE = 17,   // i32: adjust priority
+  PCSET = 18,    // u32: set mode flags (PR_FORK | PR_RLC)
+  PCUNSET = 19,  // u32: clear mode flags
+  PCWATCH = 20,  // PrWatch: set or clear a watchpoint
+};
+
+// Bytes of operand following each code; -1 for unknown codes.
+int PrCtlOperandSize(int32_t code);
+
+// Root of the hierarchical fstype: directories named by pid.
+class Pr2RootVnode : public Vnode {
+ public:
+  explicit Pr2RootVnode(Kernel* k) : kernel_(k) {}
+  VType type() const override { return VType::kDir; }
+  Result<VAttr> GetAttr() override;
+  Result<VnodePtr> Lookup(const std::string& name) override;
+  Result<std::vector<DirEnt>> Readdir() override;
+
+ private:
+  Kernel* kernel_;
+};
+
+// Mounts the hierarchical process file system at /proc2.
+Result<void> MountProcFs2(Kernel& k, const std::string& path = "/proc2");
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_PROCFS_PROCFS2_H_

@@ -1,0 +1,254 @@
+// /proc data structures and operation codes, mirroring SVR4 proc(4).
+//
+// These types are shared by the flat ioctl-based interface (/proc) and the
+// proposed hierarchical read/write interface (/proc2): "process state is
+// interrogated by read(2) operations applied to appropriate read-only status
+// files" — the same structures simply travel over read() instead of ioctl().
+#ifndef SVR4PROC_PROCFS_TYPES_H_
+#define SVR4PROC_PROCFS_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "svr4proc/base/fixed_set.h"
+#include "svr4proc/isa/isa.h"
+#include "svr4proc/kernel/process.h"
+#include "svr4proc/kernel/signal.h"
+
+namespace svr4 {
+
+class Kernel;
+
+inline constexpr int PRCLSZ = 8;
+inline constexpr int PRFNSZ = 16;
+inline constexpr int PRARGSZ = 80;
+inline constexpr int PRMAPNMSZ = 32;
+inline constexpr int PRNGROUPS = 16;
+inline constexpr int PRNLWPIDS = 32;
+
+// The execution context of a process: "designed to contain the information
+// most frequently needed by a controlling process such as a debugger."
+struct PrStatus {
+  uint32_t pr_flags = 0;  // PrFlag bits
+  uint16_t pr_why = 0;    // PrWhy, valid when stopped
+  uint16_t pr_what = 0;   // signal, fault, or syscall number for pr_why
+  SigInfo pr_info;        // details of the stop signal/fault
+  uint16_t pr_cursig = 0;
+  uint16_t pr_lwpid = 0;  // lwp whose stop is reported
+  SigSet pr_sigpend;
+  SigSet pr_sighold;
+  Pid pr_pid = 0;
+  Pid pr_ppid = 0;
+  Pid pr_pgrp = 0;
+  Pid pr_sid = 0;
+  uint64_t pr_utime = 0;
+  uint64_t pr_stime = 0;
+  uint64_t pr_cutime = 0;
+  uint64_t pr_cstime = 0;
+  char pr_clname[PRCLSZ] = {};
+  uint16_t pr_syscall = 0;  // in-progress system call, if any
+  uint16_t pr_nsysarg = 0;
+  uint32_t pr_sysarg[6] = {};
+  uint32_t pr_instr = 0;  // instruction bytes at pr_reg.pc
+  Regs pr_reg;
+  uint32_t pr_nlwp = 0;
+};
+
+// Everything ps(1) might want to display, in one operation: "each line of
+// ps output is a true snapshot of the process."
+struct PrPsinfo {
+  char pr_state = 0;   // R (runnable), S (sleeping), T (stopped), Z (zombie)
+  char pr_zomb = 0;
+  char pr_nice = 0;
+  char pr_pad = 0;
+  uint32_t pr_flag = 0;
+  Uid pr_uid = 0;
+  Gid pr_gid = 0;
+  Pid pr_pid = 0;
+  Pid pr_ppid = 0;
+  Pid pr_pgrp = 0;
+  Pid pr_sid = 0;
+  uint32_t pr_size = 0;    // virtual size in pages
+  uint32_t pr_rssize = 0;  // resident pages
+  uint64_t pr_start = 0;   // start tick
+  uint64_t pr_time = 0;    // utime + stime
+  char pr_clname[PRCLSZ] = {};
+  char pr_fname[PRFNSZ] = {};
+  char pr_psargs[PRARGSZ] = {};
+  uint16_t pr_syscall = 0;
+  uint16_t pr_nlwp = 0;
+};
+
+// One address-space mapping (PIOCMAP): Figure 2 is a rendering of these.
+struct PrMapEntry {
+  uint32_t pr_vaddr = 0;
+  uint32_t pr_size = 0;
+  uint64_t pr_off = 0;
+  uint32_t pr_mflags = 0;    // MaFlag bits
+  uint32_t pr_pagesize = 0;
+  char pr_mapname[PRMAPNMSZ] = {};
+};
+
+struct PrCred {
+  Uid pr_euid = 0;
+  Uid pr_ruid = 0;
+  Uid pr_suid = 0;
+  Gid pr_egid = 0;
+  Gid pr_rgid = 0;
+  Gid pr_sgid = 0;
+  uint32_t pr_ngroups = 0;
+  Gid pr_groups[PRNGROUPS] = {};
+};
+
+// The proposed resource usage interface.
+struct PrUsage {
+  uint64_t pr_tstamp = 0;  // current virtual time
+  uint64_t pr_create = 0;  // process creation time
+  uint64_t pr_rtime = 0;   // real time since creation
+  uint64_t pr_utime = 0;   // user-level instruction count
+  uint64_t pr_stime = 0;   // kernel time on the process's behalf
+  uint64_t pr_minf = 0;    // faults
+  uint64_t pr_nsig = 0;    // signals delivered
+  uint64_t pr_sysc = 0;    // system calls
+  uint64_t pr_ioch = 0;    // characters read and written
+};
+
+// prrun_t: how to resume a stopped process.
+enum PrRunFlag : uint32_t {
+  PRCSIG = 0x01,    // clear the current signal
+  PRCFAULT = 0x02,  // clear the current fault
+  PRSTRACE = 0x04,  // set the traced-signal set from pr_trace
+  PRSHOLD = 0x08,   // set the held-signal set from pr_hold
+  PRSFAULT = 0x10,  // set the traced-fault set from pr_fault
+  PRSVADDR = 0x20,  // resume at pr_vaddr
+  PRSTEP = 0x40,    // single-step one instruction
+  PRSABORT = 0x80,  // abort the system call (entry stop / asleep stop)
+  PRSTOP = 0x100,   // stop again before returning to user level
+};
+
+struct PrRun {
+  uint32_t pr_flags = 0;
+  SigSet pr_trace;
+  SigSet pr_hold;
+  FltSet pr_fault;
+  uint32_t pr_vaddr = 0;
+};
+
+// prwatch_t: the proposed generalized data watchpoint facility. "The
+// interface accepts specification of watched areas of any size, down to a
+// single byte." pr_wflags == 0 removes the watchpoint at pr_vaddr.
+struct PrWatch {
+  uint32_t pr_vaddr = 0;
+  uint32_t pr_size = 0;
+  int32_t pr_wflags = 0;  // WaFlag bits
+};
+
+// The proposed page data interface: referenced/modified bits per page,
+// sampled and cleared at will by a performance monitor. Host-side ioctl
+// argument (controllers are native processes).
+struct PrPageData {
+  bool clear = true;
+  std::vector<PageDataSeg> segs;
+};
+
+struct PrLwpIds {
+  uint32_t n = 0;
+  int32_t ids[PRNLWPIDS] = {};
+};
+
+// Per-lwp status for the hierarchical interface's lwp subdirectories.
+struct PrLwpStatus {
+  uint16_t pr_lwpid = 0;
+  uint32_t pr_flags = 0;
+  uint16_t pr_why = 0;
+  uint16_t pr_what = 0;
+  uint16_t pr_cursig = 0;
+  uint16_t pr_syscall = 0;
+  Regs pr_reg;
+  FpRegs pr_fpreg;
+};
+
+// Deprecated raw-structure operations: "their very existence reveals details
+// of system implementation and their continuation into the new world of
+// multi-threaded processes is doubtful."
+struct PrRawProc {
+  Pid p_pid = 0;
+  Pid p_ppid = 0;
+  Pid p_pgrp = 0;
+  int32_t p_stat = 0;
+  uint32_t p_flag = 0;
+  Uid p_uid = 0;
+  uint32_t p_nice = 0;
+  uint32_t p_nlwp = 0;
+  uint64_t p_sig_pending_low = 0;  // first 64 signals, packed
+};
+
+struct PrRawUser {
+  uint32_t u_nofiles = 0;
+  uint32_t u_cmask = 0;
+  char u_comm[PRFNSZ] = {};
+  char u_psargs[PRARGSZ] = {};
+  uint64_t u_utime = 0;
+  uint64_t u_stime = 0;
+};
+
+// ioctl operation codes for the flat interface.
+inline constexpr uint32_t kPiocBase = 'q' << 8;
+enum Pioc : uint32_t {
+  PIOCSTATUS = kPiocBase | 1,   // prstatus_t*          get process status
+  PIOCSTOP = kPiocBase | 2,     // (none)               direct to stop and wait
+  PIOCWSTOP = kPiocBase | 3,    // (none)               wait for stop
+  PIOCRUN = kPiocBase | 4,      // prrun_t*             make runnable
+  PIOCGTRACE = kPiocBase | 5,   // sigset*              get traced signals
+  PIOCSTRACE = kPiocBase | 6,   // sigset*              set traced signals
+  PIOCSSIG = kPiocBase | 7,     // siginfo* (null: clear) set current signal
+  PIOCKILL = kPiocBase | 8,     // int*                 send signal
+  PIOCUNKILL = kPiocBase | 9,   // int*                 delete pending signal
+  PIOCGHOLD = kPiocBase | 10,   // sigset*              get held signals
+  PIOCSHOLD = kPiocBase | 11,   // sigset*              set held signals
+  PIOCMAXSIG = kPiocBase | 12,  // int*                 highest signal number
+  PIOCACTION = kPiocBase | 13,  // SigAction[kMaxSig]   signal actions
+  PIOCGFAULT = kPiocBase | 14,  // fltset*              get traced faults
+  PIOCSFAULT = kPiocBase | 15,  // fltset*              set traced faults
+  PIOCCFAULT = kPiocBase | 16,  // (none)               clear current fault
+  PIOCGENTRY = kPiocBase | 17,  // sysset*              get traced entries
+  PIOCSENTRY = kPiocBase | 18,  // sysset*              set traced entries
+  PIOCGEXIT = kPiocBase | 19,   // sysset*              get traced exits
+  PIOCSEXIT = kPiocBase | 20,   // sysset*              set traced exits
+  PIOCSFORK = kPiocBase | 21,   // (none)               set inherit-on-fork
+  PIOCRFORK = kPiocBase | 22,   // (none)               reset inherit-on-fork
+  PIOCSRLC = kPiocBase | 23,    // (none)               set run-on-last-close
+  PIOCRRLC = kPiocBase | 24,    // (none)               reset run-on-last-close
+  PIOCGREG = kPiocBase | 25,    // Regs*                get registers
+  PIOCSREG = kPiocBase | 26,    // Regs*                set registers
+  PIOCGFPREG = kPiocBase | 27,  // FpRegs*              get FP registers
+  PIOCSFPREG = kPiocBase | 28,  // FpRegs*              set FP registers
+  PIOCNMAP = kPiocBase | 29,    // int*                 number of mappings
+  PIOCMAP = kPiocBase | 30,     // PrMapEntry[n+1]      mappings (zero-terminated)
+  PIOCOPENM = kPiocBase | 31,   // uint32* (null: a.out) fd for mapped object
+  PIOCCRED = kPiocBase | 32,    // PrCred*              credentials
+  PIOCGROUPS = kPiocBase | 33,  // Gid[PRNGROUPS]       supplementary groups
+  PIOCPSINFO = kPiocBase | 34,  // PrPsinfo*            ps(1) information
+  PIOCNICE = kPiocBase | 35,    // int*                 adjust priority
+  PIOCGETPR = kPiocBase | 36,   // PrRawProc*           deprecated: proc struct
+  PIOCGETU = kPiocBase | 37,    // PrRawUser*           deprecated: user area
+  PIOCUSAGE = kPiocBase | 38,   // PrUsage*             resource usage (proposed)
+  PIOCNWATCH = kPiocBase | 39,  // int*                 number of watchpoints
+  PIOCGWATCH = kPiocBase | 40,  // PrWatch[n]           get watchpoints
+  PIOCSWATCH = kPiocBase | 41,  // PrWatch*             set/clear a watchpoint
+  PIOCPAGEDATA = kPiocBase | 42,  // PrPageData*        ref/mod page data (proposed)
+  PIOCLWPIDS = kPiocBase | 43,  // PrLwpIds*            lwp ids
+};
+
+// --- Builders shared by both /proc implementations ---------------------------
+
+PrStatus BuildPrStatus(Kernel& k, Proc* p);
+PrPsinfo BuildPrPsinfo(Kernel& k, Proc* p);
+PrCred BuildPrCred(const Proc* p);
+PrUsage BuildPrUsage(const Kernel& k, const Proc* p);
+std::vector<PrMapEntry> BuildPrMap(const Proc* p);
+PrLwpStatus BuildPrLwpStatus(const Proc* p, const Lwp* l);
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_PROCFS_TYPES_H_

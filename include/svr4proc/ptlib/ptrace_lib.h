@@ -1,0 +1,50 @@
+// ptrace(2) implemented as a library function built on /proc — one of the
+// paper's proposed extensions ("it is possible ... to eliminate ptrace from
+// the operating system and implement it as a library function built on
+// /proc"). The paper notes the difficult part is reporting stops via
+// wait(2); this library solves it with its own Wait() built on poll(2) over
+// /proc descriptors (another proposed extension).
+//
+// Because it rides on /proc rather than the parent/child plumbing, the
+// library also offers what real ptrace never could: attaching to unrelated
+// processes.
+#ifndef SVR4PROC_PTLIB_PTRACE_LIB_H_
+#define SVR4PROC_PTLIB_PTRACE_LIB_H_
+
+#include <map>
+
+#include "svr4proc/tools/proclib.h"
+
+namespace svr4 {
+
+class PtraceLib {
+ public:
+  PtraceLib(Kernel& k, Proc* caller) : kernel_(&k), caller_(caller) {}
+
+  // Takes control of a process: traces every signal (a ptrace'd process
+  // stops on receipt of any signal) and stops it with a SIGSTOP, as later
+  // ATTACH semantics specify.
+  Result<void> Attach(Pid pid);
+  // Releases a process: clears tracing, clears any pending stop, resumes.
+  Result<void> Detach(Pid pid);
+
+  // The classic request interface (PtReq values). PEEK returns the word.
+  Result<int64_t> Ptrace(int req, Pid pid, uint32_t addr, uint32_t data);
+
+  // Waits until one of the attached processes stops on a signal or exits,
+  // using poll(2) over the /proc descriptors.
+  Result<WaitResult> Wait();
+
+  bool attached(Pid pid) const { return tracees_.count(pid) != 0; }
+
+ private:
+  Result<ProcHandle*> Tracee(Pid pid);
+
+  Kernel* kernel_;
+  Proc* caller_;
+  std::map<Pid, ProcHandle> tracees_;
+};
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_PTLIB_PTRACE_LIB_H_

@@ -1,0 +1,74 @@
+// A dbx-flavoured command interpreter over the Debugger library — the paper
+// notes "the standard debuggers sdb(1) and dbx(1) have been rewritten in
+// SVR4 to use /proc (and, for sdb, to add a few new capabilities, such as
+// the ability to grab and debug an existing process)". This shell provides
+// the classic command surface for scripted sessions and the debugger
+// example.
+//
+// Commands:
+//   stop at <sym|0xADDR>                breakpoint
+//   stop at <sym> if r<N> <op> <val>    conditional breakpoint
+//                                       (<op>: == != < > <= >=)
+//   watch <sym>                         write watchpoint on a word
+//   unwatch <sym>
+//   delete <sym|0xADDR>                 remove a breakpoint
+//   cont                                continue; reports the next stop
+//   step [n]                            single-step n instructions
+//   regs                                register dump
+//   print <sym|0xADDR>                  word at address
+//   assign <sym> = <value>              write a word
+//   dis [<sym|0xADDR>] [n]              disassemble
+//   where                               stack trace
+//   status                              prstatus summary
+//   syscall <name> [args...]            force the target to execute a call
+//   kill                                SIGKILL the target
+//   detach                              release the target
+#ifndef SVR4PROC_TOOLS_DBX_SHELL_H_
+#define SVR4PROC_TOOLS_DBX_SHELL_H_
+
+#include <string>
+
+#include "svr4proc/tools/debugger.h"
+
+namespace svr4 {
+
+class DbxShell {
+ public:
+  DbxShell(Kernel& k, Proc* controller) : dbg_(k, controller) {}
+
+  Result<void> Attach(Pid pid) { return dbg_.Attach(pid); }
+
+  // Executes one command line and returns the textual result ("dbx> "
+  // prompt and echo are the caller's business).
+  std::string Command(const std::string& line);
+
+  // Runs a newline-separated script, echoing each command, and returns the
+  // whole transcript.
+  std::string Script(const std::string& script);
+
+  Debugger& debugger() { return dbg_; }
+
+  // Heuristic stack trace: the current pc plus return-address candidates
+  // found on the stack (words pointing into executable mappings).
+  std::vector<uint32_t> Backtrace(int max_frames = 8);
+
+ private:
+  std::string CmdStopAt(const std::vector<std::string>& args);
+  std::string CmdCont();
+  std::string CmdStep(const std::vector<std::string>& args);
+  std::string CmdRegs();
+  std::string CmdPrint(const std::vector<std::string>& args);
+  std::string CmdAssign(const std::vector<std::string>& args);
+  std::string CmdDis(const std::vector<std::string>& args);
+  std::string CmdWhere();
+  std::string CmdStatus();
+  std::string CmdSyscall(const std::vector<std::string>& args);
+
+  Result<uint32_t> ResolveAddr(const std::string& tok);
+
+  Debugger dbg_;
+};
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_TOOLS_DBX_SHELL_H_

@@ -1,0 +1,112 @@
+// proclib: a typed controlling-process library over the flat /proc
+// interface. Debuggers, ps, truss, and the examples are built on this; it
+// plays the role of the libproc layer that grew around SVR4 /proc.
+#ifndef SVR4PROC_TOOLS_PROCLIB_H_
+#define SVR4PROC_TOOLS_PROCLIB_H_
+
+#include <string>
+#include <vector>
+
+#include "svr4proc/kernel/kernel.h"
+#include "svr4proc/procfs/types.h"
+
+namespace svr4 {
+
+// A controlling process's grip on one target process: an open descriptor on
+// /proc/<pid> plus typed wrappers for the PIOC* operations.
+class ProcHandle {
+ public:
+  // Opens /proc/<pid>. oflags O_RDWR for control, O_RDONLY for inspection,
+  // O_RDWR|O_EXCL for exclusive control.
+  static Result<ProcHandle> Grab(Kernel& k, Proc* controller, Pid pid,
+                                 int oflags = O_RDWR);
+
+  ProcHandle(ProcHandle&& o) noexcept;
+  ProcHandle& operator=(ProcHandle&& o) noexcept;
+  ProcHandle(const ProcHandle&) = delete;
+  ProcHandle& operator=(const ProcHandle&) = delete;
+  ~ProcHandle();
+
+  void Close();
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  Pid pid() const { return pid_; }
+
+  // --- status & control ---
+  Result<PrStatus> Status();
+  Result<void> Stop();                    // direct to stop and wait
+  Result<void> WaitStop();                // wait for a stop
+  Result<void> Run(const PrRun& r = {});  // resume
+  Result<void> RunClearSig();
+  Result<void> RunClearFault();
+  Result<void> Step();  // PRSTEP: execute one instruction and stop
+
+  // --- events of interest ---
+  Result<void> SetSigTrace(const SigSet& s);
+  Result<SigSet> GetSigTrace();
+  Result<void> SetFltTrace(const FltSet& f);
+  Result<FltSet> GetFltTrace();
+  Result<void> SetSysEntry(const SysSet& s);
+  Result<SysSet> GetSysEntry();
+  Result<void> SetSysExit(const SysSet& s);
+  Result<SysSet> GetSysExit();
+
+  // --- signals ---
+  Result<void> Kill(int sig);
+  Result<void> Unkill(int sig);
+  Result<void> SetCurSig(const SigInfo& info);
+  Result<void> ClearCurSig();
+  Result<void> ClearCurFault();
+  Result<SigSet> GetHold();
+  Result<void> SetHold(const SigSet& s);
+  Result<std::vector<SigAction>> GetActions();
+
+  // --- modes ---
+  Result<void> SetInheritOnFork(bool on);
+  Result<void> SetRunOnLastClose(bool on);
+
+  // --- registers ---
+  Result<Regs> GetRegs();
+  Result<void> SetRegs(const Regs& r);
+  Result<FpRegs> GetFpRegs();
+  Result<void> SetFpRegs(const FpRegs& r);
+
+  // --- address space ---
+  Result<int64_t> ReadMem(uint32_t vaddr, void* buf, uint64_t n);
+  Result<int64_t> WriteMem(uint32_t vaddr, const void* buf, uint64_t n);
+  Result<std::vector<PrMapEntry>> GetMap();
+  // Read-only descriptor for the object mapped at vaddr (the executable
+  // when use_exe): symbol tables without pathnames.
+  Result<int> OpenMappedObject(bool use_exe, uint32_t vaddr = 0);
+
+  // --- identity / accounting ---
+  Result<PrPsinfo> Psinfo();
+  Result<PrCred> Cred();
+  Result<PrUsage> Usage();
+  Result<void> Nice(int delta);
+
+  // --- proposed extensions ---
+  Result<void> SetWatch(const PrWatch& w);
+  Result<void> ClearWatch(uint32_t vaddr);
+  Result<std::vector<PrWatch>> GetWatches();
+  Result<PrPageData> PageData(bool clear);
+  Result<PrLwpIds> LwpIds();
+
+  Kernel& kernel() { return *kernel_; }
+  Proc* controller() { return controller_; }
+
+ private:
+  ProcHandle(Kernel* k, Proc* controller, Pid pid, int fd)
+      : kernel_(k), controller_(controller), pid_(pid), fd_(fd) {}
+
+  Result<int32_t> Io(uint32_t op, void* arg);
+
+  Kernel* kernel_ = nullptr;
+  Proc* controller_ = nullptr;
+  Pid pid_ = 0;
+  int fd_ = -1;
+};
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_TOOLS_PROCLIB_H_

@@ -1,0 +1,34 @@
+// ps(1) implemented over /proc, exactly as the paper describes: "read the
+// /proc directory, open each process file in turn, issue the PIOCPSINFO
+// request, close the file, and print the result ... Because all the
+// information for a process is obtained in a single operation, each line of
+// ps output is a true snapshot of the process."
+#ifndef SVR4PROC_TOOLS_PS_H_
+#define SVR4PROC_TOOLS_PS_H_
+
+#include <string>
+#include <vector>
+
+#include "svr4proc/kernel/kernel.h"
+#include "svr4proc/procfs/types.h"
+
+namespace svr4 {
+
+struct PsOptions {
+  bool full = false;  // -f: add PPID, STIME, ARGS
+};
+
+// One PIOCPSINFO snapshot per visible process. Opens are read-only, so
+// "the opens always succeed and no interference is created for controlling
+// and controlled processes" (when the caller is privileged).
+Result<std::vector<PrPsinfo>> PsSnapshot(Kernel& k, Proc* caller);
+
+// Formats the classic listing.
+Result<std::string> PsFormat(Kernel& k, Proc* caller, const PsOptions& opts = {});
+
+// Renders Figure 1 of the paper: "ls -l /proc".
+Result<std::string> LsProc(Kernel& k, Proc* caller);
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_TOOLS_PS_H_

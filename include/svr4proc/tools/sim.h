@@ -1,0 +1,53 @@
+// Sim: a convenience harness bundling a Kernel with both process file
+// systems mounted, an assembler preloaded with syscall/signal symbols, and
+// helpers to install and start programs. Examples, tests, and benchmarks
+// build on this.
+#ifndef SVR4PROC_TOOLS_SIM_H_
+#define SVR4PROC_TOOLS_SIM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svr4proc/isa/assembler.h"
+#include "svr4proc/kernel/kernel.h"
+
+namespace svr4 {
+
+class Sim {
+ public:
+  Sim();
+
+  Kernel& kernel() { return *kernel_; }
+
+  // An assembler with SYS_*/SIG* symbols predefined.
+  Assembler NewAssembler(AsmOptions opts = {}) const;
+
+  // Assembles `source` and installs the a.out at `path`. Returns the image.
+  Result<Aout> InstallProgram(const std::string& path, const std::string& source,
+                              uint32_t mode = 0755, Uid uid = 0, Gid gid = 0);
+  // Assembles a shared library (text based at lib_base) into /lib/<name>.
+  Result<Aout> InstallLibrary(const std::string& name, const std::string& source,
+                              uint32_t lib_base = 0xC0100000);
+
+  // Spawns the program; the new process is a child of init.
+  Result<Pid> Start(const std::string& path,
+                    const std::vector<std::string>& argv = {},
+                    const Creds& creds = Creds::Root());
+
+  // A super-user native controller ("the debugger side" of examples/tests).
+  Proc* controller() { return controller_; }
+  // Creates an additional native controller with the given credentials.
+  Proc* NewController(const Creds& creds, const std::string& name);
+
+  // Console output captured from the simulated processes.
+  const std::string& ConsoleOutput() { return kernel_->console().output(); }
+
+ private:
+  std::unique_ptr<Kernel> kernel_;
+  Proc* controller_ = nullptr;
+};
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_TOOLS_SIM_H_

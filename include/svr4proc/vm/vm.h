@@ -1,0 +1,223 @@
+// Virtual memory: pages, memory objects, and per-process address spaces.
+//
+// This reproduces the SVR4/SunOS VM architecture as the paper relies on it:
+//  * an address space is a set of mappings (contiguous VA ranges), each with
+//    permissions and an underlying object (a file or anonymous zero-fill);
+//  * private mappings have copy-on-write semantics: multiple private
+//    mappings of one object share pages until someone writes;
+//  * "text"/"data"/"stack"/"break" are not special-cased in the machinery,
+//    but mappings carry advisory flags (MA_STACK/MA_BREAK) because "a
+//    process-control application can sometimes make use of this information
+//    so it is provided in the PIOCMAP interface" (paper, footnote 2);
+//  * the stack mapping grows automatically and the break mapping grows on
+//    explicit request (brk);
+//  * a controlling process can read or write any valid address through
+//    /proc; writes to private mappings (including read-only, executable
+//    text) succeed with copy-on-write so breakpoints can be planted without
+//    corrupting the a.out or other processes. Only bona-fide shared memory
+//    (MAP_SHARED) writes through to the object;
+//  * watchpoints (the paper's proposed extension) are implemented at this
+//    layer: watched ranges have byte granularity; accesses to unwatched
+//    bytes — even in the same page — proceed transparently;
+//  * referenced/modified page information can be sampled and cleared (the
+//    proposed page-data interface for performance monitors).
+#ifndef SVR4PROC_VM_VM_H_
+#define SVR4PROC_VM_VM_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "svr4proc/base/result.h"
+#include "svr4proc/isa/cpu.h"
+
+namespace svr4 {
+
+inline constexpr uint32_t kPageSize = 4096;
+inline constexpr uint32_t kPageShift = 12;
+
+inline constexpr uint32_t PageAlignDown(uint32_t a) { return a & ~(kPageSize - 1); }
+inline constexpr uint32_t PageAlignUp(uint32_t a) {
+  return (a + kPageSize - 1) & ~(kPageSize - 1);
+}
+
+// Mapping attribute flags, exposed verbatim through PIOCMAP (prmap_t).
+enum MaFlag : uint32_t {
+  MA_EXEC = 0x01,
+  MA_WRITE = 0x02,
+  MA_READ = 0x04,
+  MA_SHARED = 0x08,
+  MA_BREAK = 0x10,
+  MA_STACK = 0x20,
+  MA_ANON = 0x40,
+};
+
+// Watchpoint flags (prwatch_t), per the proposed generalized data
+// watchpoint facility.
+enum WaFlag : int {
+  WA_READ = 0x01,
+  WA_WRITE = 0x02,
+  WA_EXEC = 0x04,
+};
+
+struct Watch {
+  uint32_t vaddr = 0;
+  uint32_t size = 0;
+  int wflags = 0;
+};
+
+struct VmPage {
+  std::array<uint8_t, kPageSize> bytes{};
+};
+using PagePtr = std::shared_ptr<VmPage>;
+
+// An object that mappings can be applied to. Files and anonymous memory both
+// present this interface; GetPage returns the object's (shared) page.
+class VmObject {
+ public:
+  virtual ~VmObject() = default;
+  virtual Result<PagePtr> GetPage(uint64_t page_index) = 0;
+  virtual bool IsAnon() const { return false; }
+  virtual std::string Name() const { return std::string(); }
+};
+
+// Anonymous zero-fill object ("suitably-behaving anonymous objects ... in
+// the construction of other segments", e.g. bss). Pages are cached so that
+// shared anonymous mappings observe each other's stores.
+class AnonObject : public VmObject {
+ public:
+  Result<PagePtr> GetPage(uint64_t page_index) override;
+  bool IsAnon() const override { return true; }
+
+ private:
+  std::map<uint64_t, PagePtr> pages_;
+};
+
+// One /proc-visible mapping record.
+struct MappingInfo {
+  uint32_t vaddr = 0;
+  uint32_t size = 0;        // bytes
+  uint64_t offset = 0;      // byte offset within the object
+  uint32_t flags = 0;       // MaFlag bits
+  std::string name;         // "a.out", library name, or "" for anon
+};
+
+// Per-page referenced/modified sample (the proposed page data interface).
+enum PgFlag : uint8_t {
+  PG_REFERENCED = 0x01,
+  PG_MODIFIED = 0x02,
+};
+
+struct PageDataSeg {
+  uint32_t vaddr = 0;
+  std::vector<uint8_t> pg;  // PgFlag bits per page
+};
+
+class AddressSpace;
+using AddressSpacePtr = std::shared_ptr<AddressSpace>;
+
+class AddressSpace : public MemoryIf {
+ public:
+  AddressSpace() = default;
+
+  // Establishes a mapping of [start, start + len) onto obj at obj_offset
+  // (all page aligned). Replaces any overlapping mappings (like mmap with
+  // MAP_FIXED). grows_down marks an auto-growing stack segment.
+  Result<void> Map(uint32_t start, uint32_t len, uint32_t ma_flags,
+                   std::shared_ptr<VmObject> obj, uint64_t obj_offset, std::string name,
+                   bool grows_down = false);
+  Result<void> Unmap(uint32_t start, uint32_t len);
+  Result<void> Protect(uint32_t start, uint32_t len, uint32_t prot_ma_flags);
+
+  // Grows (or shrinks) the MA_BREAK mapping so it ends at new_end.
+  Result<void> SetBreak(uint32_t new_end);
+  Result<uint32_t> BreakEnd() const;
+
+  // CPU accesses: protection checked, watchpoints honored, stack grown.
+  std::optional<MemFault> MemRead(uint32_t addr, void* buf, uint32_t len,
+                                  Access kind) override;
+  std::optional<MemFault> MemWrite(uint32_t addr, const void* buf, uint32_t len) override;
+
+  // Controlling-process (/proc) access. Protections are ignored; private
+  // mappings are copied-on-write; transfers are truncated at the first
+  // unmapped address; a transfer starting at an unmapped address fails EIO.
+  Result<int64_t> PrRead(uint32_t addr, std::span<uint8_t> buf);
+  Result<int64_t> PrWrite(uint32_t addr, std::span<const uint8_t> buf);
+
+  // as_fault: make [addr, addr+len) resident and (optionally) writable-in-
+  // place for this address space, with COW. Used by /proc I/O internally.
+  Result<void> AsFault(uint32_t addr, uint32_t len, bool for_write);
+
+  // Copy-on-write duplicate for fork(2).
+  AddressSpacePtr Clone() const;
+
+  // Watchpoints.
+  Result<void> AddWatch(const Watch& w);
+  Result<void> ClearWatch(uint32_t vaddr);  // removes watchpoints starting at vaddr
+  void ClearAllWatches();
+  const std::vector<Watch>& Watches() const { return watches_; }
+  // The watchpoint (if any) that an access [addr,addr+len) with the given
+  // kind would trigger.
+  const Watch* WatchHit(uint32_t addr, uint32_t len, Access kind) const;
+
+  std::vector<MappingInfo> Maps() const;
+  uint32_t VirtualSize() const;  // bytes in all mappings
+  uint32_t ResidentPages() const;  // materialized frames
+  bool Mapped(uint32_t addr) const;
+
+  // Object backing the given address (for PIOCOPENM); null if unmapped or
+  // anonymous.
+  std::shared_ptr<VmObject> ObjectAt(uint32_t addr) const;
+
+  // Samples referenced/modified bits for all mappings; clears them when
+  // `clear` is set (performance monitors sample "on intervals at will").
+  std::vector<PageDataSeg> SamplePageData(bool clear);
+
+ private:
+  struct Frame {
+    PagePtr page;
+    bool owned = false;  // private copy already made (writes go in place)
+    uint8_t pg = 0;      // PG_REFERENCED / PG_MODIFIED
+  };
+
+  struct Mapping {
+    uint32_t start = 0;
+    uint32_t npages = 0;
+    uint32_t flags = 0;
+    std::shared_ptr<VmObject> obj;
+    uint64_t obj_pgoff = 0;
+    std::string name;
+    bool grows_down = false;
+    std::vector<Frame> frames;
+
+    uint32_t end() const { return start + npages * kPageSize; }
+  };
+
+  Mapping* FindMapping(uint32_t addr);
+  const Mapping* FindMapping(uint32_t addr) const;
+  // Grows the stack if addr falls within the growth window of a grows_down
+  // mapping; returns the now-covering mapping or nullptr.
+  Mapping* GrowStackFor(uint32_t addr);
+  // Materializes the frame for the given page of a mapping; applies COW when
+  // for_write on a private mapping.
+  Result<VmPage*> EnsureFrame(Mapping& m, uint32_t page_index, bool for_write);
+
+  std::optional<MemFault> AccessCommon(uint32_t addr, void* rbuf, const void* wbuf,
+                                       uint32_t len, Access kind);
+
+  // Mappings keyed by start address.
+  std::map<uint32_t, Mapping> maps_;
+  std::vector<Watch> watches_;
+  bool watch_active_ = false;
+};
+
+inline constexpr uint32_t kMaxStackGrowPages = 256;
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_VM_VM_H_

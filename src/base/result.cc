@@ -1,0 +1,87 @@
+#include "svr4proc/base/result.h"
+
+namespace svr4 {
+
+std::string_view ErrnoName(Errno e) {
+  switch (e) {
+    case Errno::kOk:
+      return "OK";
+    case Errno::kEPERM:
+      return "EPERM";
+    case Errno::kENOENT:
+      return "ENOENT";
+    case Errno::kESRCH:
+      return "ESRCH";
+    case Errno::kEINTR:
+      return "EINTR";
+    case Errno::kEIO:
+      return "EIO";
+    case Errno::kENXIO:
+      return "ENXIO";
+    case Errno::kE2BIG:
+      return "E2BIG";
+    case Errno::kENOEXEC:
+      return "ENOEXEC";
+    case Errno::kEBADF:
+      return "EBADF";
+    case Errno::kECHILD:
+      return "ECHILD";
+    case Errno::kEAGAIN:
+      return "EAGAIN";
+    case Errno::kENOMEM:
+      return "ENOMEM";
+    case Errno::kEACCES:
+      return "EACCES";
+    case Errno::kEFAULT:
+      return "EFAULT";
+    case Errno::kEBUSY:
+      return "EBUSY";
+    case Errno::kEEXIST:
+      return "EEXIST";
+    case Errno::kENODEV:
+      return "ENODEV";
+    case Errno::kENOTDIR:
+      return "ENOTDIR";
+    case Errno::kEISDIR:
+      return "EISDIR";
+    case Errno::kEINVAL:
+      return "EINVAL";
+    case Errno::kENFILE:
+      return "ENFILE";
+    case Errno::kEMFILE:
+      return "EMFILE";
+    case Errno::kENOTTY:
+      return "ENOTTY";
+    case Errno::kEFBIG:
+      return "EFBIG";
+    case Errno::kENOSPC:
+      return "ENOSPC";
+    case Errno::kESPIPE:
+      return "ESPIPE";
+    case Errno::kEROFS:
+      return "EROFS";
+    case Errno::kEPIPE:
+      return "EPIPE";
+    case Errno::kEDOM:
+      return "EDOM";
+    case Errno::kERANGE:
+      return "ERANGE";
+    case Errno::kENOMSG:
+      return "ENOMSG";
+    case Errno::kEDEADLK:
+      return "EDEADLK";
+    case Errno::kENOTEMPTY:
+      return "ENOTEMPTY";
+    case Errno::kENAMETOOLONG:
+      return "ENAMETOOLONG";
+    case Errno::kENOSYS:
+      return "ENOSYS";
+    case Errno::kEOVERFLOW:
+      return "EOVERFLOW";
+    case Errno::kETIMEDOUT:
+      return "ETIMEDOUT";
+  }
+  return "EUNKNOWN";
+}
+
+}  // namespace svr4

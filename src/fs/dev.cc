@@ -1,0 +1,120 @@
+#include "svr4proc/fs/dev.h"
+
+#include <algorithm>
+
+namespace svr4 {
+
+Result<VAttr> ConsoleVnode::GetAttr() {
+  VAttr a;
+  a.type = VType::kChr;
+  a.mode = 0666;
+  return a;
+}
+
+Result<int64_t> ConsoleVnode::Read(OpenFile& /*of*/, uint64_t /*off*/, std::span<uint8_t> buf) {
+  if (input_.empty()) {
+    return int64_t{0};  // EOF when no test input queued
+  }
+  size_t n = std::min(buf.size(), input_.size());
+  for (size_t i = 0; i < n; ++i) {
+    buf[i] = static_cast<uint8_t>(input_.front());
+    input_.pop_front();
+  }
+  return static_cast<int64_t>(n);
+}
+
+Result<int64_t> ConsoleVnode::Write(OpenFile& /*of*/, uint64_t /*off*/,
+                                    std::span<const uint8_t> buf) {
+  output_.append(reinterpret_cast<const char*>(buf.data()), buf.size());
+  return static_cast<int64_t>(buf.size());
+}
+
+int ConsoleVnode::Poll(OpenFile& /*of*/) {
+  int r = POLLOUT;
+  if (!input_.empty()) {
+    r |= POLLIN;
+  }
+  return r;
+}
+
+Result<VAttr> PipeVnode::GetAttr() {
+  VAttr a;
+  a.type = VType::kFifo;
+  a.mode = 0600;
+  a.size = buf_->data.size();
+  return a;
+}
+
+Result<void> PipeVnode::Open(OpenFile& /*of*/, const Creds& /*cr*/, Proc* /*caller*/) {
+  if (write_end_) {
+    ++buf_->writers;
+  } else {
+    ++buf_->readers;
+  }
+  return Result<void>::Ok();
+}
+
+void PipeVnode::Close(OpenFile& /*of*/) {
+  if (write_end_) {
+    --buf_->writers;
+  } else {
+    --buf_->readers;
+  }
+}
+
+Result<int64_t> PipeVnode::Read(OpenFile& /*of*/, uint64_t /*off*/, std::span<uint8_t> buf) {
+  if (write_end_) {
+    return Errno::kEBADF;
+  }
+  if (buf_->data.empty()) {
+    if (buf_->writers == 0) {
+      return int64_t{0};  // EOF
+    }
+    return Errno::kEAGAIN;  // kernel sleeps the caller
+  }
+  size_t n = std::min(buf.size(), buf_->data.size());
+  for (size_t i = 0; i < n; ++i) {
+    buf[i] = buf_->data.front();
+    buf_->data.pop_front();
+  }
+  return static_cast<int64_t>(n);
+}
+
+Result<int64_t> PipeVnode::Write(OpenFile& /*of*/, uint64_t /*off*/,
+                                 std::span<const uint8_t> buf) {
+  if (!write_end_) {
+    return Errno::kEBADF;
+  }
+  if (buf_->readers == 0) {
+    return Errno::kEPIPE;
+  }
+  if (buf_->data.size() >= PipeBuf::kCapacity) {
+    return Errno::kEAGAIN;
+  }
+  size_t room = PipeBuf::kCapacity - buf_->data.size();
+  size_t n = std::min(buf.size(), room);
+  buf_->data.insert(buf_->data.end(), buf.begin(), buf.begin() + n);
+  return static_cast<int64_t>(n);
+}
+
+int PipeVnode::Poll(OpenFile& /*of*/) {
+  int r = 0;
+  if (write_end_) {
+    if (buf_->data.size() < PipeBuf::kCapacity) {
+      r |= POLLOUT;
+    }
+    if (buf_->readers == 0) {
+      r |= POLLERR;
+    }
+  } else {
+    if (!buf_->data.empty()) {
+      r |= POLLIN;
+    }
+    if (buf_->writers == 0) {
+      r |= POLLHUP;
+    }
+  }
+  return r;
+}
+
+}  // namespace svr4

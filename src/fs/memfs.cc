@@ -1,0 +1,131 @@
+#include "svr4proc/fs/memfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace svr4 {
+
+Result<VAttr> MemFile::GetAttr() {
+  VAttr a = attr_;
+  a.size = data_.size();
+  return a;
+}
+
+Result<void> MemFile::Open(OpenFile& of, const Creds& cr, Proc* /*caller*/) {
+  uint32_t want = 0;
+  int acc = of.oflags & O_ACCMODE;
+  if (acc == O_RDONLY || acc == O_RDWR) {
+    want |= kPermRead;
+  }
+  if (acc == O_WRONLY || acc == O_RDWR) {
+    want |= kPermWrite;
+  }
+  if (!CredsPermit(cr, attr_.uid, attr_.gid, attr_.mode, want)) {
+    return Errno::kEACCES;
+  }
+  if ((of.oflags & O_TRUNC) && (want & kPermWrite)) {
+    data_.clear();
+  }
+  return Result<void>::Ok();
+}
+
+Result<int64_t> MemFile::Read(OpenFile& /*of*/, uint64_t off, std::span<uint8_t> buf) {
+  if (off >= data_.size()) {
+    return int64_t{0};
+  }
+  size_t n = std::min<uint64_t>(buf.size(), data_.size() - off);
+  std::memcpy(buf.data(), data_.data() + off, n);
+  return static_cast<int64_t>(n);
+}
+
+Result<int64_t> MemFile::Write(OpenFile& /*of*/, uint64_t off, std::span<const uint8_t> buf) {
+  if (off + buf.size() > data_.size()) {
+    data_.resize(off + buf.size());
+  }
+  std::memcpy(data_.data() + off, buf.data(), buf.size());
+  return static_cast<int64_t>(buf.size());
+}
+
+int MemFile::Poll(OpenFile& /*of*/) { return POLLIN | POLLOUT; }
+
+Result<std::shared_ptr<VmObject>> MemFile::GetVmObject() {
+  if (!vmobj_) {
+    vmobj_ = std::make_shared<FileVmObject>(shared_from_this());
+  }
+  return std::static_pointer_cast<VmObject>(vmobj_);
+}
+
+Result<VAttr> MemDir::GetAttr() {
+  VAttr a = attr_;
+  a.size = entries_.size();
+  a.nlink = 2;
+  return a;
+}
+
+Result<void> MemDir::Open(OpenFile& of, const Creds& cr, Proc* /*caller*/) {
+  if ((of.oflags & O_ACCMODE) != O_RDONLY) {
+    return Errno::kEISDIR;
+  }
+  if (!CredsPermit(cr, attr_.uid, attr_.gid, attr_.mode, kPermRead)) {
+    return Errno::kEACCES;
+  }
+  return Result<void>::Ok();
+}
+
+Result<VnodePtr> MemDir::Lookup(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Errno::kENOENT;
+  }
+  return it->second;
+}
+
+Result<VnodePtr> MemDir::Create(const std::string& name, const VAttr& attr) {
+  if (name.empty() || name.find('/') != std::string::npos) {
+    return Errno::kEINVAL;
+  }
+  if (entries_.count(name)) {
+    return Errno::kEEXIST;
+  }
+  auto file = std::make_shared<MemFile>(attr);
+  entries_[name] = file;
+  return std::static_pointer_cast<Vnode>(file);
+}
+
+Result<VnodePtr> MemDir::Mkdir(const std::string& name, const VAttr& attr) {
+  if (name.empty() || name.find('/') != std::string::npos) {
+    return Errno::kEINVAL;
+  }
+  if (entries_.count(name)) {
+    return Errno::kEEXIST;
+  }
+  auto dir = std::make_shared<MemDir>(attr);
+  entries_[name] = dir;
+  return std::static_pointer_cast<Vnode>(dir);
+}
+
+Result<void> MemDir::Remove(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Errno::kENOENT;
+  }
+  if (it->second->type() == VType::kDir) {
+    auto entries = it->second->Readdir();
+    if (entries.ok() && !entries->empty()) {
+      return Errno::kENOTEMPTY;
+    }
+  }
+  entries_.erase(it);
+  return Result<void>::Ok();
+}
+
+Result<std::vector<DirEnt>> MemDir::Readdir() {
+  std::vector<DirEnt> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, vp] : entries_) {
+    out.push_back(DirEnt{name, vp->type()});
+  }
+  return out;
+}
+
+}  // namespace svr4

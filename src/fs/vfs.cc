@@ -1,0 +1,123 @@
+#include "svr4proc/fs/vfs.h"
+
+#include "svr4proc/fs/memfs.h"
+
+namespace svr4 {
+namespace {
+
+// Splits "/a/b/c" into components, ignoring duplicate slashes.
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/') {
+      if (!cur.empty()) {
+        parts.push_back(std::move(cur));
+        cur.clear();
+      }
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) {
+    parts.push_back(std::move(cur));
+  }
+  return parts;
+}
+
+}  // namespace
+
+Vfs::Vfs() {
+  VAttr root_attr;
+  root_attr.type = VType::kDir;
+  root_attr.mode = 0755;
+  root_ = std::make_shared<MemDir>(root_attr);
+}
+
+VnodePtr Vfs::CrossMounts(VnodePtr vp) const {
+  // A vnode may be covered by at most one mount in this implementation;
+  // loop in case a mount root is itself covered.
+  while (true) {
+    auto it = mounts_.find(vp.get());
+    if (it == mounts_.end()) {
+      return vp;
+    }
+    vp = it->second;
+  }
+}
+
+Result<VnodePtr> Vfs::Resolve(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return Errno::kEINVAL;
+  }
+  VnodePtr cur = CrossMounts(root_);
+  for (const auto& part : SplitPath(path)) {
+    if (part == ".") {
+      continue;
+    }
+    auto next = cur->Lookup(part);
+    if (!next.ok()) {
+      return next.error();
+    }
+    cur = CrossMounts(*next);
+  }
+  return cur;
+}
+
+Result<VnodePtr> Vfs::ResolveParent(const std::string& path, std::string* leaf) {
+  if (path.empty() || path[0] != '/') {
+    return Errno::kEINVAL;
+  }
+  auto parts = SplitPath(path);
+  if (parts.empty()) {
+    return Errno::kEINVAL;
+  }
+  *leaf = parts.back();
+  parts.pop_back();
+  VnodePtr cur = CrossMounts(root_);
+  for (const auto& part : parts) {
+    auto next = cur->Lookup(part);
+    if (!next.ok()) {
+      return next.error();
+    }
+    cur = CrossMounts(*next);
+  }
+  if (cur->type() != VType::kDir) {
+    return Errno::kENOTDIR;
+  }
+  return cur;
+}
+
+Result<void> Vfs::Mount(const std::string& path, VnodePtr fs_root) {
+  auto covered = Resolve(path);
+  if (!covered.ok()) {
+    return covered.error();
+  }
+  if ((*covered)->type() != VType::kDir) {
+    return Errno::kENOTDIR;
+  }
+  mounts_[covered->get()] = std::move(fs_root);
+  return Result<void>::Ok();
+}
+
+Result<VnodePtr> Vfs::MkdirAll(const std::string& path, const VAttr& attr) {
+  if (path.empty() || path[0] != '/') {
+    return Errno::kEINVAL;
+  }
+  VnodePtr cur = CrossMounts(root_);
+  for (const auto& part : SplitPath(path)) {
+    auto next = cur->Lookup(part);
+    if (next.ok()) {
+      cur = CrossMounts(*next);
+      continue;
+    }
+    auto made = cur->Mkdir(part, attr);
+    if (!made.ok()) {
+      return made.error();
+    }
+    cur = *made;
+  }
+  return cur;
+}
+
+}  // namespace svr4

@@ -1,0 +1,76 @@
+#include "svr4proc/fs/vnode.h"
+
+#include <cstring>
+
+namespace svr4 {
+
+bool CredsPermit(const Creds& cr, Uid file_uid, Gid file_gid, uint32_t mode, uint32_t want) {
+  if (cr.IsSuper()) {
+    return true;
+  }
+  uint32_t bits;
+  if (cr.euid == file_uid) {
+    bits = (mode >> 6) & 7;
+  } else if (cr.InGroup(file_gid)) {
+    bits = (mode >> 3) & 7;
+  } else {
+    bits = mode & 7;
+  }
+  return (bits & want) == want;
+}
+
+Result<void> Vnode::Open(OpenFile& of, const Creds& cr, Proc* caller) {
+  (void)of;
+  (void)cr;
+  (void)caller;
+  return Result<void>::Ok();
+}
+
+void Vnode::Close(OpenFile& of) { (void)of; }
+
+Result<int64_t> Vnode::Read(OpenFile&, uint64_t, std::span<uint8_t>) {
+  return Errno::kEINVAL;
+}
+
+Result<int64_t> Vnode::Write(OpenFile&, uint64_t, std::span<const uint8_t>) {
+  return Errno::kEINVAL;
+}
+
+Result<int32_t> Vnode::Ioctl(OpenFile&, Proc*, uint32_t, void*) { return Errno::kENOTTY; }
+
+int Vnode::Poll(OpenFile&) { return POLLIN | POLLOUT; }
+
+Result<VnodePtr> Vnode::Lookup(const std::string&) { return Errno::kENOTDIR; }
+
+Result<VnodePtr> Vnode::Create(const std::string&, const VAttr&) { return Errno::kENOTDIR; }
+
+Result<VnodePtr> Vnode::Mkdir(const std::string&, const VAttr&) { return Errno::kENOTDIR; }
+
+Result<void> Vnode::Remove(const std::string&) { return Errno::kENOTDIR; }
+
+Result<std::vector<DirEnt>> Vnode::Readdir() { return Errno::kENOTDIR; }
+
+Result<std::shared_ptr<VmObject>> Vnode::GetVmObject() { return Errno::kENODEV; }
+
+Result<PagePtr> FileVmObject::GetPage(uint64_t page_index) {
+  auto it = cache_.find(page_index);
+  if (it != cache_.end()) {
+    return it->second;
+  }
+  auto page = std::make_shared<VmPage>();
+  OpenFile of;  // kernel-internal transient handle
+  of.vp = file_;
+  auto n = file_->Read(of, page_index * kPageSize,
+                       std::span<uint8_t>(page->bytes.data(), kPageSize));
+  if (!n.ok()) {
+    return n.error();
+  }
+  // Short reads leave the page zero-filled past EOF, matching demand paging
+  // of the final partial page of a file.
+  cache_.emplace(page_index, page);
+  return page;
+}
+
+std::string FileVmObject::Name() const { return std::string(); }
+
+}  // namespace svr4

@@ -1,0 +1,185 @@
+#include "svr4proc/isa/aout.h"
+
+#include <cstring>
+
+namespace svr4 {
+namespace {
+
+// On-disk layout, little-endian, fixed width. Strings live in a string table
+// at the end of the file; name_off indexes into it.
+struct RawHeader {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t entry;
+  uint32_t text_vaddr;
+  uint32_t text_size;
+  uint32_t text_off;
+  uint32_t data_vaddr;
+  uint32_t data_size;
+  uint32_t data_off;
+  uint32_t bss_vaddr;
+  uint32_t bss_size;
+  uint32_t nsyms;
+  uint32_t sym_off;
+  uint32_t str_off;
+  uint32_t str_size;
+  uint32_t lib_name_off;  // 0xFFFFFFFF when no library dependency
+};
+
+struct RawSym {
+  uint32_t name_off;
+  uint32_t value;
+  uint8_t type;
+  uint8_t pad[3];
+};
+
+constexpr uint32_t kNoLib = 0xFFFFFFFFu;
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+std::vector<uint8_t> Aout::Serialize() const {
+  std::vector<uint8_t> strtab;
+  auto intern = [&strtab](const std::string& s) {
+    uint32_t off = static_cast<uint32_t>(strtab.size());
+    strtab.insert(strtab.end(), s.begin(), s.end());
+    strtab.push_back(0);
+    return off;
+  };
+
+  std::vector<RawSym> raw_syms;
+  raw_syms.reserve(symbols.size());
+  for (const auto& s : symbols) {
+    RawSym rs{};
+    rs.name_off = intern(s.name);
+    rs.value = s.value;
+    rs.type = static_cast<uint8_t>(s.type);
+    raw_syms.push_back(rs);
+  }
+  uint32_t lib_off = lib.empty() ? kNoLib : intern(lib);
+
+  RawHeader hdr{};
+  hdr.magic = kMagic;
+  hdr.version = kVersion;
+  hdr.entry = entry;
+  hdr.text_vaddr = text_vaddr;
+  hdr.text_size = static_cast<uint32_t>(text.size());
+  hdr.data_vaddr = data_vaddr;
+  hdr.data_size = static_cast<uint32_t>(data.size());
+  hdr.bss_vaddr = bss_vaddr;
+  hdr.bss_size = bss_size;
+  hdr.nsyms = static_cast<uint32_t>(raw_syms.size());
+  hdr.lib_name_off = lib_off;
+
+  // Page-aligned segments: the exec loader maps the file object directly,
+  // and the zero padding after data doubles as the first partial page of
+  // bss.
+  hdr.text_off = Aout::TextFileOffset();
+  hdr.data_off = DataFileOffset();
+  uint32_t off = hdr.data_off + hdr.data_size;
+  off = (off + kFileAlign - 1) / kFileAlign * kFileAlign;
+  hdr.sym_off = off;
+  off += static_cast<uint32_t>(raw_syms.size() * sizeof(RawSym));
+  hdr.str_off = off;
+  hdr.str_size = static_cast<uint32_t>(strtab.size());
+
+  std::vector<uint8_t> out(off + strtab.size());
+  std::memcpy(out.data(), &hdr, sizeof(hdr));
+  if (!text.empty()) {
+    std::memcpy(out.data() + hdr.text_off, text.data(), text.size());
+  }
+  if (!data.empty()) {
+    std::memcpy(out.data() + hdr.data_off, data.data(), data.size());
+  }
+  if (!raw_syms.empty()) {
+    std::memcpy(out.data() + hdr.sym_off, raw_syms.data(), raw_syms.size() * sizeof(RawSym));
+  }
+  if (!strtab.empty()) {
+    std::memcpy(out.data() + hdr.str_off, strtab.data(), strtab.size());
+  }
+  return out;
+}
+
+Result<Aout> Aout::Parse(std::span<const uint8_t> bytes) {
+  if (bytes.size() < sizeof(RawHeader)) {
+    return Errno::kENOEXEC;
+  }
+  RawHeader hdr;
+  std::memcpy(&hdr, bytes.data(), sizeof(hdr));
+  if (hdr.magic != kMagic || hdr.version != kVersion) {
+    return Errno::kENOEXEC;
+  }
+  auto in_range = [&bytes](uint64_t off, uint64_t size) {
+    return off + size <= bytes.size() && off + size >= off;
+  };
+  if (!in_range(hdr.text_off, hdr.text_size) || !in_range(hdr.data_off, hdr.data_size) ||
+      !in_range(hdr.sym_off, static_cast<uint64_t>(hdr.nsyms) * sizeof(RawSym)) ||
+      !in_range(hdr.str_off, hdr.str_size)) {
+    return Errno::kENOEXEC;
+  }
+
+  Aout a;
+  a.entry = hdr.entry;
+  a.text_vaddr = hdr.text_vaddr;
+  a.text.assign(bytes.begin() + hdr.text_off, bytes.begin() + hdr.text_off + hdr.text_size);
+  a.data_vaddr = hdr.data_vaddr;
+  a.data.assign(bytes.begin() + hdr.data_off, bytes.begin() + hdr.data_off + hdr.data_size);
+  a.bss_vaddr = hdr.bss_vaddr;
+  a.bss_size = hdr.bss_size;
+
+  auto str_at = [&](uint32_t off) -> std::string {
+    if (off >= hdr.str_size) {
+      return {};
+    }
+    const char* base = reinterpret_cast<const char*>(bytes.data() + hdr.str_off);
+    uint32_t end = off;
+    while (end < hdr.str_size && base[end] != 0) {
+      ++end;
+    }
+    return std::string(base + off, base + end);
+  };
+
+  a.symbols.reserve(hdr.nsyms);
+  for (uint32_t i = 0; i < hdr.nsyms; ++i) {
+    RawSym rs;
+    std::memcpy(&rs, bytes.data() + hdr.sym_off + i * sizeof(RawSym), sizeof(rs));
+    AoutSymbol s;
+    s.name = str_at(rs.name_off);
+    s.value = rs.value;
+    s.type = static_cast<SymType>(rs.type);
+    a.symbols.push_back(std::move(s));
+  }
+  if (hdr.lib_name_off != kNoLib) {
+    a.lib = str_at(hdr.lib_name_off);
+  }
+  return a;
+}
+
+Result<uint32_t> Aout::SymbolValue(std::string_view name) const {
+  for (const auto& s : symbols) {
+    if (s.name == name) {
+      return s.value;
+    }
+  }
+  return Errno::kENOENT;
+}
+
+Aout::NearSym Aout::NearestSymbol(uint32_t addr) const {
+  NearSym best;
+  uint32_t best_value = 0;
+  bool found = false;
+  for (const auto& s : symbols) {
+    if (s.type == SymType::kAbs) {
+      continue;
+    }
+    if (s.value <= addr && (!found || s.value > best_value)) {
+      best_value = s.value;
+      best.name = s.name;
+      best.offset = addr - s.value;
+      found = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace svr4

@@ -1,0 +1,150 @@
+#include "svr4proc/isa/disasm.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "svr4proc/isa/isa.h"
+
+namespace svr4 {
+namespace {
+
+std::string RegName(int r) {
+  if (r == kRegSp) {
+    return "sp";
+  }
+  if (r == kRegFp) {
+    return "fp";
+  }
+  return "r" + std::to_string(r);
+}
+
+std::string Hex(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%x", v);
+  return buf;
+}
+
+}  // namespace
+
+DisasmResult DisassembleOne(std::span<const uint8_t> bytes, uint32_t /*addr*/) {
+  DisasmResult out;
+  if (bytes.empty()) {
+    out.mnemonic = "<empty>";
+    return out;
+  }
+  uint8_t opcode = bytes[0];
+  int len = InstrLength(opcode);
+  if (len == 0 || static_cast<size_t>(len) > bytes.size()) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "<illegal 0x%02x>", opcode);
+    out.mnemonic = buf;
+    out.length = 1;
+    return out;
+  }
+  out.length = len;
+  std::string name(OpcodeName(opcode));
+  const uint8_t* op = bytes.data() + 1;
+  auto u32 = [&](int i) {
+    uint32_t v;
+    std::memcpy(&v, op + i, 4);
+    return v;
+  };
+  auto s16 = [&](int i) {
+    int16_t v;
+    std::memcpy(&v, op + i, 2);
+    return static_cast<int>(v);
+  };
+
+  switch (opcode) {
+    case kOpNop:
+    case kOpBpt:
+    case kOpRet:
+    case kOpHlt:
+    case kOpSys:
+      out.mnemonic = name;
+      break;
+    case kOpMov:
+    case kOpAdd:
+    case kOpSub:
+    case kOpMul:
+    case kOpDiv:
+    case kOpMod:
+    case kOpAnd:
+    case kOpOr:
+    case kOpXor:
+    case kOpShl:
+    case kOpShr:
+    case kOpCmp:
+    case kOpAddv:
+      out.mnemonic = name + " " + RegName(op[0] >> 4) + ", " + RegName(op[0] & 0x0F);
+      break;
+    case kOpLdi:
+    case kOpAddi:
+    case kOpCmpi:
+      out.mnemonic = name + " " + RegName(op[0] & 0x0F) + ", " + Hex(u32(1));
+      break;
+    case kOpLdw:
+    case kOpStw:
+    case kOpLdb:
+    case kOpStb: {
+      int off = s16(1);
+      std::string memop = "[" + RegName(op[0] & 0x0F);
+      if (off > 0) {
+        memop += "+" + std::to_string(off);
+      } else if (off < 0) {
+        memop += std::to_string(off);
+      }
+      memop += "]";
+      out.mnemonic = name + " " + RegName(op[0] >> 4) + ", " + memop;
+      break;
+    }
+    case kOpJmp:
+    case kOpJz:
+    case kOpJnz:
+    case kOpJlt:
+    case kOpJge:
+    case kOpJgt:
+    case kOpJle:
+    case kOpJcs:
+    case kOpJcc:
+    case kOpCall:
+      out.mnemonic = name + " " + Hex(u32(0));
+      break;
+    case kOpPush:
+    case kOpPop:
+    case kOpCallr:
+    case kOpJmpr:
+      out.mnemonic = name + " " + RegName(op[0] & 0x0F);
+      break;
+    case kOpFldi: {
+      double v;
+      std::memcpy(&v, op + 1, 8);
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "fldi f%d, %g", op[0] & 0x07, v);
+      out.mnemonic = buf;
+      break;
+    }
+    case kOpFmov:
+    case kOpFadd:
+    case kOpFsub:
+    case kOpFmul:
+    case kOpFdiv:
+      out.mnemonic = name + " f" + std::to_string((op[0] >> 4) & 0x07) + ", f" +
+                     std::to_string(op[0] & 0x07);
+      break;
+    case kOpFtoi:
+      out.mnemonic = name + " " + RegName((op[0] >> 4) & 0x0F) + ", f" +
+                     std::to_string(op[0] & 0x07);
+      break;
+    case kOpItof:
+      out.mnemonic = name + " f" + std::to_string((op[0] >> 4) & 0x07) + ", " +
+                     RegName(op[0] & 0x0F);
+      break;
+    default:
+      out.mnemonic = "<illegal>";
+      break;
+  }
+  return out;
+}
+
+}  // namespace svr4

@@ -1,0 +1,197 @@
+#include "svr4proc/isa/isa.h"
+
+namespace svr4 {
+
+std::string_view FaultName(int fault) {
+  switch (fault) {
+    case FLTILL:
+      return "FLTILL";
+    case FLTPRIV:
+      return "FLTPRIV";
+    case FLTBPT:
+      return "FLTBPT";
+    case FLTTRACE:
+      return "FLTTRACE";
+    case FLTACCESS:
+      return "FLTACCESS";
+    case FLTBOUNDS:
+      return "FLTBOUNDS";
+    case FLTIOVF:
+      return "FLTIOVF";
+    case FLTIZDIV:
+      return "FLTIZDIV";
+    case FLTFPE:
+      return "FLTFPE";
+    case FLTSTACK:
+      return "FLTSTACK";
+    case FLTPAGE:
+      return "FLTPAGE";
+    case FLTWATCH:
+      return "FLTWATCH";
+    default:
+      return "FLT???";
+  }
+}
+
+int InstrLength(uint8_t opcode) {
+  switch (opcode) {
+    case kOpNop:
+    case kOpBpt:
+    case kOpRet:
+    case kOpHlt:
+    case kOpSys:
+      return 1;
+    case kOpMov:
+    case kOpAdd:
+    case kOpSub:
+    case kOpMul:
+    case kOpDiv:
+    case kOpMod:
+    case kOpAnd:
+    case kOpOr:
+    case kOpXor:
+    case kOpShl:
+    case kOpShr:
+    case kOpCmp:
+    case kOpAddv:
+    case kOpPush:
+    case kOpPop:
+    case kOpCallr:
+    case kOpJmpr:
+    case kOpFmov:
+    case kOpFadd:
+    case kOpFsub:
+    case kOpFmul:
+    case kOpFdiv:
+    case kOpFtoi:
+    case kOpItof:
+      return 2;
+    case kOpLdw:
+    case kOpStw:
+    case kOpLdb:
+    case kOpStb:
+      return 4;
+    case kOpJmp:
+    case kOpJz:
+    case kOpJnz:
+    case kOpJlt:
+    case kOpJge:
+    case kOpJgt:
+    case kOpJle:
+    case kOpJcs:
+    case kOpJcc:
+    case kOpCall:
+      return 5;
+    case kOpLdi:
+    case kOpAddi:
+    case kOpCmpi:
+      return 6;
+    case kOpFldi:
+      return 10;
+    default:
+      return 0;
+  }
+}
+
+std::string_view OpcodeName(uint8_t opcode) {
+  switch (opcode) {
+    case kOpNop:
+      return "nop";
+    case kOpBpt:
+      return "bpt";
+    case kOpRet:
+      return "ret";
+    case kOpHlt:
+      return "hlt";
+    case kOpSys:
+      return "sys";
+    case kOpMov:
+      return "mov";
+    case kOpLdi:
+      return "ldi";
+    case kOpAdd:
+      return "add";
+    case kOpSub:
+      return "sub";
+    case kOpMul:
+      return "mul";
+    case kOpDiv:
+      return "div";
+    case kOpMod:
+      return "mod";
+    case kOpAnd:
+      return "and";
+    case kOpOr:
+      return "or";
+    case kOpXor:
+      return "xor";
+    case kOpShl:
+      return "shl";
+    case kOpShr:
+      return "shr";
+    case kOpAddi:
+      return "addi";
+    case kOpCmp:
+      return "cmp";
+    case kOpCmpi:
+      return "cmpi";
+    case kOpAddv:
+      return "addv";
+    case kOpLdw:
+      return "ldw";
+    case kOpStw:
+      return "stw";
+    case kOpLdb:
+      return "ldb";
+    case kOpStb:
+      return "stb";
+    case kOpJmp:
+      return "jmp";
+    case kOpJz:
+      return "jz";
+    case kOpJnz:
+      return "jnz";
+    case kOpJlt:
+      return "jlt";
+    case kOpJge:
+      return "jge";
+    case kOpJgt:
+      return "jgt";
+    case kOpJle:
+      return "jle";
+    case kOpJcs:
+      return "jcs";
+    case kOpJcc:
+      return "jcc";
+    case kOpCall:
+      return "call";
+    case kOpPush:
+      return "push";
+    case kOpPop:
+      return "pop";
+    case kOpCallr:
+      return "callr";
+    case kOpJmpr:
+      return "jmpr";
+    case kOpFldi:
+      return "fldi";
+    case kOpFmov:
+      return "fmov";
+    case kOpFadd:
+      return "fadd";
+    case kOpFsub:
+      return "fsub";
+    case kOpFmul:
+      return "fmul";
+    case kOpFdiv:
+      return "fdiv";
+    case kOpFtoi:
+      return "ftoi";
+    case kOpItof:
+      return "itof";
+    default:
+      return "";
+  }
+}
+
+}  // namespace svr4

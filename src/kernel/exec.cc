@@ -1,0 +1,448 @@
+// Process lifecycle: fork/vfork, exec (image loading: the mapping structure
+// of Figure 2), exit, and reaping.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "svr4proc/kernel/core.h"
+#include "svr4proc/kernel/kernel.h"
+
+namespace svr4 {
+namespace {
+
+// User address-space layout.
+constexpr uint32_t kStackTop = 0xBFFFE000;
+constexpr uint32_t kInitialStackPages = 16;
+
+std::string Basename(const std::string& path) {
+  auto pos = path.rfind('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+Result<Pid> Kernel::ForkCommon(Lwp* parent_lwp, bool vfork) {
+  Proc* parent = parent_lwp->proc;
+  Proc* child = AllocProc(parent->name, parent->creds, parent);
+  child->psargs = parent->psargs;
+  child->umask = parent->umask;
+  child->nice = parent->nice;
+  child->exe = parent->exe;
+  child->setid = parent->setid;
+
+  if (vfork) {
+    // vfork: "the address space is shared between parent and child until the
+    // child exits or execs."
+    child->as = parent->as;
+    child->is_vfork_child = true;
+  } else {
+    child->as = parent->as ? parent->as->Clone() : nullptr;
+  }
+
+  // Descriptors are shared open-file objects.
+  child->fds = parent->fds;
+  for (auto& of : child->fds) {
+    if (of) {
+      ++of->refs;
+    }
+  }
+
+  // Signal dispositions are inherited; pending signals are not.
+  child->sig.actions = parent->sig.actions;
+  child->sig.hold = parent->sig.hold;
+
+  // /proc: "the child inherits all of the parent's tracing flags" when
+  // inherit-on-fork is set; otherwise it starts with all tracing cleared.
+  if (parent->trace.inherit_on_fork) {
+    child->trace.sigtrace = parent->trace.sigtrace;
+    child->trace.flttrace = parent->trace.flttrace;
+    child->trace.sysentry = parent->trace.sysentry;
+    child->trace.sysexit = parent->trace.sysexit;
+    child->trace.inherit_on_fork = true;
+    child->trace.run_on_last_close = parent->trace.run_on_last_close;
+  }
+
+  // The child's first thread of control is a copy of the forking lwp,
+  // resumed at the fork return with value 0. It passes through the syscall
+  // exit path so that, when exit from fork is traced, "the child stopped
+  // before executing any user-level code" and full control is possible.
+  auto cl = std::make_unique<Lwp>();
+  cl->lwpid = 1;
+  child->next_lwpid = 1;
+  cl->proc = child;
+  cl->regs = parent_lwp->regs;
+  cl->fpregs = parent_lwp->fpregs;
+  cl->cur_syscall = parent_lwp->cur_syscall;
+  Lwp* craw = cl.get();
+  child->lwps.push_back(std::move(cl));
+  craw->in_syscall = true;
+  craw->sys_phase = SysPhase::kExec;  // FinishSyscall runs the exit-side path
+  FinishSyscall(craw, SysResult::Ok(0));
+
+  return child->pid;
+}
+
+Kernel::SysResult Kernel::SysFork(Lwp* lwp, bool vfork) {
+  if (!vfork) {
+    auto pid = ForkCommon(lwp, false);
+    if (!pid.ok()) {
+      return SysResult::Fail(pid.error());
+    }
+    return SysResult::Ok(static_cast<uint32_t>(*pid));
+  }
+  // vfork: create on the first pass, then sleep until the child execs or
+  // exits.
+  if (lwp->vfork_child == 0) {
+    auto pid = ForkCommon(lwp, true);
+    if (!pid.ok()) {
+      return SysResult::Fail(pid.error());
+    }
+    lwp->vfork_child = *pid;
+  }
+  Proc* child = FindProc(lwp->vfork_child);
+  if (child == nullptr || child->vfork_done) {
+    return SysResult::Ok(static_cast<uint32_t>(lwp->vfork_child));
+  }
+  return SysResult::Block(SleepSpec{child, 0, true});
+}
+
+Result<void> Kernel::ExecImage(Proc* p, const std::string& path,
+                               const std::vector<std::string>& argv) {
+  auto vp = vfs_.Resolve(path);
+  if (!vp.ok()) {
+    return vp.error();
+  }
+  auto attr = (*vp)->GetAttr();
+  if (!attr.ok()) {
+    return attr.error();
+  }
+  if (attr->type != VType::kReg) {
+    return Errno::kEACCES;
+  }
+  if (!CredsPermit(p->creds, attr->uid, attr->gid, attr->mode, kPermExec)) {
+    return Errno::kEACCES;
+  }
+
+  // Read and parse the whole image.
+  std::vector<uint8_t> bytes(attr->size);
+  OpenFile tmp;
+  tmp.vp = *vp;
+  auto n = (*vp)->Read(tmp, 0, bytes);
+  if (!n.ok() || static_cast<uint64_t>(*n) != attr->size) {
+    return Errno::kEIO;
+  }
+  auto image = Aout::Parse(bytes);
+  if (!image.ok()) {
+    return image.error();
+  }
+
+  // Resolve the shared library before committing to the new image.
+  Aout lib_image;
+  VnodePtr lib_vp;
+  if (!image->lib.empty()) {
+    auto lv = vfs_.Resolve("/lib/" + image->lib);
+    if (!lv.ok()) {
+      return Errno::kENOENT;
+    }
+    auto lattr = (*lv)->GetAttr();
+    if (!lattr.ok()) {
+      return lattr.error();
+    }
+    std::vector<uint8_t> lbytes(lattr->size);
+    OpenFile ltmp;
+    ltmp.vp = *lv;
+    auto ln = (*lv)->Read(ltmp, 0, lbytes);
+    if (!ln.ok()) {
+      return Errno::kEIO;
+    }
+    auto li = Aout::Parse(lbytes);
+    if (!li.ok()) {
+      return li.error();
+    }
+    lib_image = std::move(*li);
+    lib_vp = *lv;
+  }
+
+  // Honor set-id bits; enforce /proc security.
+  bool setid_exec = false;
+  if (attr->mode & 04000) {
+    p->creds.euid = attr->uid;
+    p->creds.suid = attr->uid;
+    setid_exec = true;
+  }
+  if (attr->mode & 02000) {
+    p->creds.egid = attr->gid;
+    p->creds.sgid = attr->gid;
+    setid_exec = true;
+  }
+  if (setid_exec) {
+    p->setid = true;
+    if (p->trace.total_opens > 0) {
+      // "The set-id operation is honored but the file descriptor held by the
+      // controlling process becomes invalid ... the traced process is
+      // directed to stop and its run-on-last-close flag is set."
+      ++p->trace.gen;
+      p->trace.dstop_pending = true;
+      p->trace.run_on_last_close = true;
+    }
+  }
+
+  // Build the new address space: Figure 2's structure. Text is a private
+  // read/execute mapping of the executable file; data private read/write;
+  // bss and stack anonymous; the break mapping grows on brk(2) request; a
+  // shared library contributes its own text and data mappings.
+  auto as = std::make_shared<AddressSpace>();
+  auto fobj = (*vp)->GetVmObject();
+  if (!fobj.ok()) {
+    return fobj.error();
+  }
+  std::string base = Basename(path);
+  if (!image->text.empty()) {
+    SVR4_RETURN_IF_ERROR(as->Map(image->text_vaddr,
+                                 static_cast<uint32_t>(image->text.size()),
+                                 MA_READ | MA_EXEC, *fobj, Aout::TextFileOffset(), base));
+  }
+  if (!image->data.empty()) {
+    SVR4_RETURN_IF_ERROR(as->Map(image->data_vaddr,
+                                 static_cast<uint32_t>(image->data.size()),
+                                 MA_READ | MA_WRITE, *fobj, image->DataFileOffset(), base));
+  }
+  uint32_t data_end = image->data_vaddr + static_cast<uint32_t>(image->data.size());
+  uint32_t bss_end = image->bss_vaddr + image->bss_size;
+  if (image->bss_size > 0) {
+    uint32_t bss_map_start = PageAlignUp(std::max(data_end, image->data_vaddr));
+    if (bss_end > bss_map_start) {
+      SVR4_RETURN_IF_ERROR(as->Map(bss_map_start, bss_end - bss_map_start,
+                                   MA_READ | MA_WRITE, std::make_shared<AnonObject>(), 0,
+                                   base));
+    }
+  }
+  // The break segment: grown on explicit request by brk(2). It appears in
+  // the PIOCMAP list "despite all the disclaimers".
+  uint32_t brk_base = PageAlignUp(std::max({data_end, bss_end, image->text_vaddr +
+                                            static_cast<uint32_t>(image->text.size())}));
+  SVR4_RETURN_IF_ERROR(as->Map(brk_base, kPageSize, MA_READ | MA_WRITE | MA_BREAK,
+                               std::make_shared<AnonObject>(), 0, "break"));
+  // The initial program stack segment, grown automatically by the system.
+  SVR4_RETURN_IF_ERROR(as->Map(kStackTop - kInitialStackPages * kPageSize,
+                               kInitialStackPages * kPageSize,
+                               MA_READ | MA_WRITE | MA_STACK,
+                               std::make_shared<AnonObject>(), 0, "stack",
+                               /*grows_down=*/true));
+  if (!lib_image.text.empty()) {
+    auto lobj = lib_vp->GetVmObject();
+    if (!lobj.ok()) {
+      return lobj.error();
+    }
+    SVR4_RETURN_IF_ERROR(as->Map(lib_image.text_vaddr,
+                                 static_cast<uint32_t>(lib_image.text.size()),
+                                 MA_READ | MA_EXEC, *lobj, Aout::TextFileOffset(),
+                                 image->lib));
+    if (!lib_image.data.empty()) {
+      SVR4_RETURN_IF_ERROR(as->Map(lib_image.data_vaddr,
+                                   static_cast<uint32_t>(lib_image.data.size()),
+                                   MA_READ | MA_WRITE, *lobj, lib_image.DataFileOffset(),
+                                   image->lib));
+    }
+    if (lib_image.bss_size > 0) {
+      uint32_t lend = lib_image.data_vaddr + static_cast<uint32_t>(lib_image.data.size());
+      uint32_t lbss_start = PageAlignUp(lend);
+      uint32_t lbss_end = lib_image.bss_vaddr + lib_image.bss_size;
+      if (lbss_end > lbss_start) {
+        SVR4_RETURN_IF_ERROR(as->Map(lbss_start, lbss_end - lbss_start, MA_READ | MA_WRITE,
+                                     std::make_shared<AnonObject>(), 0, image->lib));
+      }
+    }
+  }
+
+  // Lay out argv on the stack: strings at the top, then the pointer array.
+  uint32_t sp = kStackTop;
+  std::vector<uint32_t> ptrs;
+  for (auto it = argv.rbegin(); it != argv.rend(); ++it) {
+    sp -= static_cast<uint32_t>(it->size()) + 1;
+    SVR4_RETURN_IF_ERROR(
+        [&]() -> Result<void> {
+          auto r = as->PrWrite(sp, std::span<const uint8_t>(
+                                       reinterpret_cast<const uint8_t*>(it->c_str()),
+                                       it->size() + 1));
+          if (!r.ok() || *r != static_cast<int64_t>(it->size() + 1)) {
+            return Errno::kEFAULT;
+          }
+          return Result<void>::Ok();
+        }());
+    ptrs.push_back(sp);
+  }
+  std::reverse(ptrs.begin(), ptrs.end());
+  ptrs.push_back(0);
+  sp &= ~3u;
+  sp -= static_cast<uint32_t>(ptrs.size() * 4);
+  uint32_t argv_va = sp;
+  {
+    auto r = as->PrWrite(sp, std::span<const uint8_t>(
+                                 reinterpret_cast<const uint8_t*>(ptrs.data()),
+                                 ptrs.size() * 4));
+    if (!r.ok()) {
+      return Errno::kEFAULT;
+    }
+  }
+  sp -= 16;  // headroom
+
+  // Commit: the process transforms.
+  if (p->is_vfork_child && !p->vfork_done) {
+    p->vfork_done = true;
+    Wakeup(p);
+  }
+  p->as = std::move(as);
+  p->exe = *vp;
+  p->name = base;
+  {
+    std::string args;
+    for (const auto& a : argv) {
+      if (!args.empty()) {
+        args += ' ';
+      }
+      args += a;
+    }
+    p->psargs = args.substr(0, 80);
+  }
+
+  // Caught signals revert to default; ignored stay ignored; tracing flags
+  // persist across exec.
+  for (auto& act : p->sig.actions) {
+    if (act.handler != SIG_IGN) {
+      act = SigAction{};
+    }
+  }
+  p->sig.cursig = 0;
+
+  // exec kills every other thread of control and resets the caller.
+  Lwp* survivor = nullptr;
+  for (auto& l : p->lwps) {
+    if (survivor == nullptr && l->state != LwpState::kDead) {
+      survivor = l.get();
+    } else {
+      l->state = LwpState::kDead;
+    }
+  }
+  if (survivor == nullptr) {
+    auto nl = std::make_unique<Lwp>();
+    nl->lwpid = 1;
+    nl->proc = p;
+    survivor = nl.get();
+    p->lwps.push_back(std::move(nl));
+  }
+  survivor->regs = Regs{};
+  survivor->fpregs = FpRegs{};
+  survivor->regs.pc = image->entry;
+  survivor->regs.set_sp(sp);
+  survivor->regs.r[1] = static_cast<uint32_t>(argv.size());
+  survivor->regs.r[2] = argv_va;
+  survivor->sig_reported = false;
+  survivor->pt_reported = false;
+  if (survivor->state == LwpState::kDead) {
+    survivor->state = LwpState::kRunning;
+  }
+  return Result<void>::Ok();
+}
+
+Result<Pid> Kernel::Spawn(const std::string& path, const std::vector<std::string>& argv,
+                          const Creds& creds, Proc* parent) {
+  Proc* p = AllocProc(Basename(path), creds, parent ? parent : init_);
+
+  // Standard descriptors on the console.
+  auto of = std::make_shared<OpenFile>();
+  of->vp = console_;
+  of->oflags = O_RDWR;
+  of->writable = true;
+  for (int i = 0; i < 3; ++i) {
+    (void)FdAlloc(p, of);
+  }
+
+  auto l = std::make_unique<Lwp>();
+  l->lwpid = 1;
+  l->proc = p;
+  p->lwps.push_back(std::move(l));
+
+  auto r = ExecImage(p, path, argv.empty() ? std::vector<std::string>{path} : argv);
+  if (!r.ok()) {
+    FdCloseAll(p);
+    procs_.erase(p->pid);
+    return r.error();
+  }
+  return p->pid;
+}
+
+void Kernel::ExitProc(Proc* p, int wstatus) {
+  if (p->state == Proc::State::kZombie) {
+    return;
+  }
+  // Termination with the core-dump bit writes a post-mortem image first
+  // (never for set-id processes — the same confidentiality rule /proc
+  // enforces on live inspection).
+  if (WIfSignaled(wstatus) && (wstatus & 0x80) && p->as && !p->setid) {
+    DumpCore(p, WTermSig(wstatus));
+  }
+  for (auto& l : p->lwps) {
+    l->state = LwpState::kDead;
+  }
+  FdCloseAll(p);
+
+  if (p->is_vfork_child && !p->vfork_done) {
+    p->vfork_done = true;
+    Wakeup(p);
+  }
+  // Address-space teardown: a zombie has no user address space, so its
+  // /proc file reports size zero and address-space I/O fails.
+  p->as.reset();
+
+  // Reparent children to init.
+  for (auto& [pid, q] : procs_) {
+    if (q->ppid == p->pid && q.get() != p) {
+      q->ppid = init_->pid;
+    }
+  }
+
+  p->state = Proc::State::kZombie;
+  p->exit_status = wstatus;
+
+  Proc* parent = FindProc(p->ppid);
+  if (parent != nullptr) {
+    SigInfo info;
+    info.si_signo = SIGCLD;
+    info.si_pid = p->pid;
+    PostSignal(parent, SIGCLD, info);
+    Wakeup(parent);
+  }
+  Wakeup(p);  // anything sleeping on this process (vfork, waiters)
+  Wakeup(PollChan());
+}
+
+void Kernel::DumpCore(Proc* p, int sig) {
+  CoreDump core;
+  core.sig = sig;
+  core.status = BuildPrStatus(*this, p);
+  core.psinfo = BuildPrPsinfo(*this, p);
+  for (const auto& m : p->as->Maps()) {
+    CoreDump::Segment seg;
+    seg.vaddr = m.vaddr;
+    seg.mflags = m.flags;
+    seg.bytes.resize(m.size);
+    auto n = p->as->PrRead(m.vaddr, seg.bytes);
+    if (!n.ok()) {
+      continue;
+    }
+    seg.bytes.resize(static_cast<size_t>(*n));
+    core.segments.push_back(std::move(seg));
+  }
+  char path[32];
+  std::snprintf(path, sizeof(path), "/tmp/core.%d", p->pid);
+  (void)WriteFileAt(path, core.Serialize(), 0600, p->creds.ruid, p->creds.rgid);
+}
+
+void Kernel::ReapZombie(Proc* zombie, Proc* parent) {
+  parent->cutime += zombie->utime + zombie->cutime;
+  parent->cstime += zombie->stime + zombie->cstime;
+  procs_.erase(zombie->pid);
+}
+
+}  // namespace svr4

@@ -1,0 +1,1287 @@
+// Kernel core: construction, scheduling, the issig()/psig() stop logic of
+// the paper's Figure 4, signal posting, timers, the native-process file API,
+// and the /proc control primitives.
+#include "svr4proc/kernel/kernel.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "svr4proc/fs/memfs.h"
+#include "svr4proc/isa/cpu.h"
+
+namespace svr4 {
+namespace {
+
+// Sentinel wait channel for poll-style sleeps.
+const int kPollChanStorage = 0;
+const void* const kPollChan = &kPollChanStorage;
+
+int FaultToSignal(int fault) {
+  switch (fault) {
+    case FLTBPT:
+    case FLTTRACE:
+    case FLTWATCH:
+      return SIGTRAP;
+    case FLTILL:
+    case FLTPRIV:
+      return SIGILL;
+    case FLTACCESS:
+    case FLTBOUNDS:
+    case FLTSTACK:
+      return SIGSEGV;
+    case FLTIZDIV:
+    case FLTIOVF:
+    case FLTFPE:
+      return SIGFPE;
+    default:
+      return SIGSEGV;
+  }
+}
+
+}  // namespace
+
+const void* Kernel::PollChan() { return kPollChan; }
+
+Kernel::Kernel() {
+  console_ = std::make_shared<ConsoleVnode>();
+
+  VAttr dir_attr;
+  dir_attr.type = VType::kDir;
+  dir_attr.mode = 0755;
+  for (const char* d : {"/bin", "/lib", "/tmp", "/dev", "/proc", "/proc2"}) {
+    (void)vfs_.MkdirAll(d, dir_attr);
+  }
+
+  // The system processes of Figure 1: sizes are zero because they have no
+  // user-level address space.
+  Proc* sched = AllocProc("sched", Creds::Root(), nullptr);
+  sched->system_proc = true;
+  Proc* init = AllocProc("init", Creds::Root(), sched);
+  init->native = true;  // init is not scheduled; it adopts and reaps
+  init_ = init;
+  Proc* pageout = AllocProc("pageout", Creds::Root(), sched);
+  pageout->system_proc = true;
+}
+
+Kernel::~Kernel() = default;
+
+// --- Process table -----------------------------------------------------------
+
+Proc* Kernel::AllocProc(const std::string& name, const Creds& creds, Proc* parent) {
+  auto p = std::make_unique<Proc>();
+  p->pid = next_pid_++;
+  p->ppid = parent ? parent->pid : 0;
+  p->pgrp = parent ? parent->pgrp : p->pid;
+  p->sid = parent ? parent->sid : p->pid;
+  p->name = name;
+  p->psargs = name;
+  p->creds = creds;
+  p->start_tick = ticks_;
+  Proc* raw = p.get();
+  procs_.emplace(raw->pid, std::move(p));
+  return raw;
+}
+
+Proc* Kernel::CreateNativeProc(const Creds& creds, std::string name) {
+  Proc* p = AllocProc(name, creds, init_);
+  p->native = true;
+  return p;
+}
+
+Proc* Kernel::FindProc(Pid pid) {
+  auto it = procs_.find(pid);
+  if (it == procs_.end()) {
+    return nullptr;
+  }
+  return it->second.get();
+}
+
+std::vector<Pid> Kernel::AllPids() const {
+  std::vector<Pid> out;
+  out.reserve(procs_.size());
+  for (const auto& [pid, p] : procs_) {
+    out.push_back(pid);
+  }
+  return out;
+}
+
+// --- File descriptors ----------------------------------------------------------
+
+Result<int> Kernel::FdAlloc(Proc* p, OpenFilePtr of) {
+  of->refs++;
+  for (size_t i = 0; i < p->fds.size(); ++i) {
+    if (!p->fds[i]) {
+      p->fds[i] = std::move(of);
+      return static_cast<int>(i);
+    }
+  }
+  if (p->fds.size() >= 256) {
+    of->refs--;
+    return Errno::kEMFILE;
+  }
+  p->fds.push_back(std::move(of));
+  return static_cast<int>(p->fds.size() - 1);
+}
+
+Result<OpenFilePtr> Kernel::FdGet(Proc* p, int fd) {
+  if (fd < 0 || static_cast<size_t>(fd) >= p->fds.size() || !p->fds[fd]) {
+    return Errno::kEBADF;
+  }
+  return p->fds[fd];
+}
+
+void Kernel::FdRelease(OpenFilePtr of) {
+  if (!of) {
+    return;
+  }
+  if (--of->refs == 0) {
+    of->vp->Close(*of);
+    Wakeup(kPollChan);
+    // Pipe sleepers must notice EOF / EPIPE.
+    if (auto* pipe = dynamic_cast<PipeVnode*>(of->vp.get())) {
+      Wakeup(pipe->buf().get());
+    }
+  }
+}
+
+void Kernel::FdCloseAll(Proc* p) {
+  for (auto& of : p->fds) {
+    FdRelease(std::move(of));
+  }
+  p->fds.clear();
+}
+
+Result<int> Kernel::OpenCommon(Proc* p, const std::string& path, int oflags, uint32_t mode) {
+  auto vp = vfs_.Resolve(path);
+  if (!vp.ok()) {
+    if (vp.error() == Errno::kENOENT && (oflags & O_CREAT)) {
+      std::string leaf;
+      auto parent = vfs_.ResolveParent(path, &leaf);
+      if (!parent.ok()) {
+        return parent.error();
+      }
+      VAttr attr;
+      attr.mode = mode & ~p->umask;
+      attr.uid = p->creds.euid;
+      attr.gid = p->creds.egid;
+      auto made = (*parent)->Create(leaf, attr);
+      if (!made.ok()) {
+        return made.error();
+      }
+      vp = made;
+    } else {
+      return vp.error();
+    }
+  }
+  auto of = std::make_shared<OpenFile>();
+  of->vp = *vp;
+  of->oflags = oflags;
+  int acc = oflags & O_ACCMODE;
+  of->writable = acc == O_WRONLY || acc == O_RDWR;
+  SVR4_RETURN_IF_ERROR((*vp)->Open(*of, p->creds, p));
+  auto fd = FdAlloc(p, of);
+  if (!fd.ok()) {
+    of->refs = 1;  // undo path: run the close hook exactly once
+    FdRelease(of);
+  }
+  return fd;
+}
+
+Result<int> Kernel::Open(Proc* p, const std::string& path, int oflags, uint32_t mode) {
+  return OpenCommon(p, path, oflags, mode);
+}
+
+Result<void> Kernel::Close(Proc* p, int fd) {
+  auto of = FdGet(p, fd);
+  if (!of.ok()) {
+    return of.error();
+  }
+  p->fds[fd] = nullptr;
+  FdRelease(*of);
+  return Result<void>::Ok();
+}
+
+Result<int64_t> Kernel::ReadCommon(Proc* p, OpenFile& of, std::span<uint8_t> buf) {
+  int acc = of.oflags & O_ACCMODE;
+  if (acc == O_WRONLY) {
+    return Errno::kEBADF;
+  }
+  auto n = of.vp->Read(of, of.offset, buf);
+  if (n.ok()) {
+    of.offset += static_cast<uint64_t>(*n);
+    p->ioch += static_cast<uint64_t>(*n);
+  }
+  return n;
+}
+
+Result<int64_t> Kernel::WriteCommon(Proc* p, OpenFile& of, std::span<const uint8_t> buf) {
+  if (!of.writable) {
+    return Errno::kEBADF;
+  }
+  auto n = of.vp->Write(of, of.offset, buf);
+  if (n.ok()) {
+    of.offset += static_cast<uint64_t>(*n);
+    p->ioch += static_cast<uint64_t>(*n);
+  }
+  return n;
+}
+
+Result<int64_t> Kernel::Read(Proc* p, int fd, void* buf, uint64_t n) {
+  auto of = FdGet(p, fd);
+  if (!of.ok()) {
+    return of.error();
+  }
+  // Native callers pump the simulation through blocking reads (pipes).
+  for (;;) {
+    auto r = ReadCommon(p, **of, std::span<uint8_t>(static_cast<uint8_t*>(buf), n));
+    if (r.ok() || r.error() != Errno::kEAGAIN) {
+      return r;
+    }
+    if (!Step()) {
+      return Errno::kEDEADLK;
+    }
+  }
+}
+
+Result<int64_t> Kernel::Write(Proc* p, int fd, const void* buf, uint64_t n) {
+  auto of = FdGet(p, fd);
+  if (!of.ok()) {
+    return of.error();
+  }
+  for (;;) {
+    auto r = WriteCommon(p, **of,
+                         std::span<const uint8_t>(static_cast<const uint8_t*>(buf), n));
+    if (r.ok() || r.error() != Errno::kEAGAIN) {
+      if (r.ok() && (*of)->vp->type() == VType::kFifo) {
+        if (auto* pipe = dynamic_cast<PipeVnode*>((*of)->vp.get())) {
+          Wakeup(pipe->buf().get());
+        }
+        Wakeup(kPollChan);
+      }
+      return r;
+    }
+    if (!Step()) {
+      return Errno::kEDEADLK;
+    }
+  }
+}
+
+Result<int64_t> Kernel::Lseek(Proc* p, int fd, int64_t off, int whence) {
+  auto of = FdGet(p, fd);
+  if (!of.ok()) {
+    return of.error();
+  }
+  int64_t base = 0;
+  switch (whence) {
+    case SEEK_SET_:
+      base = 0;
+      break;
+    case SEEK_CUR_:
+      base = static_cast<int64_t>((*of)->offset);
+      break;
+    case SEEK_END_: {
+      auto attr = (*of)->vp->GetAttr();
+      if (!attr.ok()) {
+        return attr.error();
+      }
+      base = static_cast<int64_t>(attr->size);
+      break;
+    }
+    default:
+      return Errno::kEINVAL;
+  }
+  int64_t pos = base + off;
+  if (pos < 0) {
+    return Errno::kEINVAL;
+  }
+  (*of)->offset = static_cast<uint64_t>(pos);
+  return pos;
+}
+
+Result<int32_t> Kernel::Ioctl(Proc* p, int fd, uint32_t op, void* arg) {
+  auto of = FdGet(p, fd);
+  if (!of.ok()) {
+    return of.error();
+  }
+  return (*of)->vp->Ioctl(**of, p, op, arg);
+}
+
+Result<std::vector<DirEnt>> Kernel::ReadDir(Proc* /*p*/, const std::string& path) {
+  auto vp = vfs_.Resolve(path);
+  if (!vp.ok()) {
+    return vp.error();
+  }
+  return (*vp)->Readdir();
+}
+
+Result<VAttr> Kernel::Stat(Proc* /*p*/, const std::string& path) {
+  auto vp = vfs_.Resolve(path);
+  if (!vp.ok()) {
+    return vp.error();
+  }
+  return (*vp)->GetAttr();
+}
+
+Result<int> Kernel::PollFds(Proc* p, std::span<PollFd> fds, int64_t timeout_ticks) {
+  uint64_t deadline = timeout_ticks < 0 ? 0 : ticks_ + static_cast<uint64_t>(timeout_ticks);
+  for (;;) {
+    int ready = 0;
+    for (auto& pf : fds) {
+      pf.revents = 0;
+      auto of = FdGet(p, pf.fd);
+      if (!of.ok()) {
+        pf.revents = POLLNVAL;
+        ++ready;
+        continue;
+      }
+      int bits = (*of)->vp->Poll(**of);
+      pf.revents = bits & (pf.events | POLLERR | POLLHUP | POLLNVAL | POLLPRI);
+      if (pf.revents != 0) {
+        ++ready;
+      }
+    }
+    if (ready > 0) {
+      return ready;
+    }
+    if (timeout_ticks == 0) {
+      return 0;
+    }
+    if (deadline != 0 && ticks_ >= deadline) {
+      return 0;
+    }
+    if (!Step()) {
+      return 0;  // system idle; nothing will ever become ready
+    }
+  }
+}
+
+// --- Setup helpers -----------------------------------------------------------
+
+Result<void> Kernel::WriteFileAt(const std::string& path, std::span<const uint8_t> bytes,
+                                 uint32_t mode, Uid uid, Gid gid) {
+  std::string leaf;
+  auto parent = vfs_.ResolveParent(path, &leaf);
+  if (!parent.ok()) {
+    return parent.error();
+  }
+  VnodePtr file;
+  auto existing = (*parent)->Lookup(leaf);
+  if (existing.ok()) {
+    file = *existing;
+  } else {
+    VAttr attr;
+    attr.mode = mode;
+    attr.uid = uid;
+    attr.gid = gid;
+    auto made = (*parent)->Create(leaf, attr);
+    if (!made.ok()) {
+      return made.error();
+    }
+    file = *made;
+  }
+  OpenFile of;
+  of.vp = file;
+  of.writable = true;
+  auto n = file->Write(of, 0, bytes);
+  if (!n.ok()) {
+    return n.error();
+  }
+  return Result<void>::Ok();
+}
+
+Result<void> Kernel::InstallAout(const std::string& path, const Aout& image, uint32_t mode,
+                                 Uid uid, Gid gid) {
+  auto bytes = image.Serialize();
+  return WriteFileAt(path, bytes, mode, uid, gid);
+}
+
+// --- Scheduling -----------------------------------------------------------------
+
+Lwp* Kernel::PickNext() {
+  if (procs_.empty()) {
+    return nullptr;
+  }
+  // Round-robin over processes starting just past the last scheduled pid.
+  auto start = procs_.upper_bound(rr_pid_);
+  for (size_t scanned = 0; scanned <= procs_.size(); ++scanned) {
+    if (start == procs_.end()) {
+      start = procs_.begin();
+    }
+    Proc* p = start->second.get();
+    if (p->state == Proc::State::kActive && !p->native && !p->system_proc) {
+      int nlwps = static_cast<int>(p->lwps.size());
+      for (int k = 0; k < nlwps; ++k) {
+        int idx = (rr_lwp_ + k + (p->pid == rr_pid_ ? 1 : 0)) % std::max(nlwps, 1);
+        Lwp* l = p->lwps[idx].get();
+        if (l->state == LwpState::kRunning) {
+          rr_pid_ = p->pid;
+          rr_lwp_ = idx;
+          return l;
+        }
+      }
+    }
+    ++start;
+  }
+  return nullptr;
+}
+
+void Kernel::CheckTimers() {
+  for (auto& [pid, p] : procs_) {
+    if (p->state != Proc::State::kActive) {
+      continue;
+    }
+    if (p->alarm_tick != 0 && ticks_ >= p->alarm_tick) {
+      p->alarm_tick = 0;
+      SigInfo info;
+      info.si_signo = SIGALRM;
+      PostSignal(p.get(), SIGALRM, info);
+    }
+    for (auto& l : p->lwps) {
+      if (l->state == LwpState::kSleeping && l->sleep.wake_tick != 0 &&
+          ticks_ >= l->sleep.wake_tick) {
+        l->state = LwpState::kRunning;
+      }
+    }
+  }
+}
+
+bool Kernel::Step() {
+  // Lazily reap zombies adopted by init.
+  for (auto it = procs_.begin(); it != procs_.end();) {
+    Proc* p = it->second.get();
+    if (p->state == Proc::State::kZombie &&
+        (p->ppid == init_->pid || FindProc(p->ppid) == nullptr)) {
+      it = procs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  CheckTimers();
+  Lwp* lwp = PickNext();
+  if (lwp == nullptr) {
+    // Nothing runnable; jump the clock to the earliest timed wakeup.
+    uint64_t next = 0;
+    for (auto& [pid, p] : procs_) {
+      if (p->state != Proc::State::kActive) {
+        continue;
+      }
+      if (p->alarm_tick != 0 && (next == 0 || p->alarm_tick < next)) {
+        next = p->alarm_tick;
+      }
+      for (auto& l : p->lwps) {
+        if (l->state == LwpState::kSleeping && l->sleep.wake_tick != 0 &&
+            (next == 0 || l->sleep.wake_tick < next)) {
+          next = l->sleep.wake_tick;
+        }
+      }
+    }
+    if (next == 0) {
+      return false;
+    }
+    ticks_ = std::max(ticks_ + 1, next);
+    CheckTimers();
+    return true;
+  }
+  // nice(2) weights the quantum: the default (20) gets kQuantum; a fully
+  // niced process (39) gets a sliver; a high-priority one (0) gets double.
+  int quantum = kQuantum * (40 - lwp->proc->nice) / 20;
+  ExecuteLwp(lwp, std::max(quantum, 4));
+  return true;
+}
+
+bool Kernel::RunUntil(const std::function<bool()>& pred, uint64_t max_steps) {
+  for (uint64_t i = 0; i < max_steps; ++i) {
+    if (pred()) {
+      return true;
+    }
+    if (!Step()) {
+      return pred();
+    }
+  }
+  return pred();
+}
+
+Result<int> Kernel::RunToExit(Pid pid, uint64_t max_steps) {
+  int status = 0;
+  bool gone = false;
+  bool done = RunUntil(
+      [&]() {
+        Proc* p = FindProc(pid);
+        if (p == nullptr) {
+          gone = true;
+          return true;
+        }
+        if (p->state == Proc::State::kZombie) {
+          status = p->exit_status;
+          return true;
+        }
+        return false;
+      },
+      max_steps);
+  if (!done) {
+    return Errno::kETIMEDOUT;
+  }
+  if (gone) {
+    return Errno::kESRCH;
+  }
+  return status;
+}
+
+void Kernel::ExecuteLwp(Lwp* lwp, int budget) {
+  Proc* p = lwp->proc;
+  while (budget-- > 0 && lwp->state == LwpState::kRunning &&
+         p->state == Proc::State::kActive) {
+    if (lwp->lwp_dstop && !lwp->in_syscall) {
+      lwp->lwp_dstop = false;
+      StopLwp(lwp, PR_REQUESTED, 0, /*istop=*/true);
+      break;
+    }
+    if (lwp->in_syscall) {
+      ++ticks_;
+      ++p->stime;
+      ContinueSyscall(lwp);
+      continue;
+    }
+    // "Just before a process returns to user level, it checks for the
+    // presence of a signal to be acted upon."
+    if (NeedIssig(lwp)) {
+      if (Issig(lwp)) {
+        Psig(lwp);
+      }
+      if (lwp->state != LwpState::kRunning || p->state != Proc::State::kActive) {
+        break;
+      }
+      continue;
+    }
+    StepResult r = CpuStep(lwp->regs, lwp->fpregs, *p->as);
+    ++ticks_;
+    ++p->utime;
+    if (r.kind == StepResult::kSyscall) {
+      SyscallTrap(lwp);
+    } else if (r.kind == StepResult::kFault) {
+      HandleFault(lwp, r.fault, r.fault_addr);
+    }
+  }
+}
+
+void Kernel::Wakeup(const void* chan) {
+  if (chan == nullptr) {
+    return;
+  }
+  for (auto& [pid, p] : procs_) {
+    for (auto& l : p->lwps) {
+      if (l->state == LwpState::kSleeping && l->sleep.chan == chan) {
+        l->state = LwpState::kRunning;
+      }
+    }
+  }
+}
+
+// --- Signals: issig()/psig() per Figure 4 -------------------------------------
+
+bool Kernel::NeedIssig(Lwp* lwp) const {
+  const Proc* p = lwp->proc;
+  if (p->trace.dstop_pending || p->sig.cursig != 0) {
+    return true;
+  }
+  SigSet deliverable = p->sig.pending;
+  deliverable -= p->sig.hold;
+  return !deliverable.Empty();
+}
+
+int Kernel::PromoteSignal(Proc* p) {
+  SigSet deliverable = p->sig.pending;
+  deliverable -= p->sig.hold;
+  int s = deliverable.First();
+  if (s != 0) {
+    p->sig.pending.Remove(s);
+    p->sig.cursig = s;
+    p->sig.cursig_info = p->sig.pending_info[s];
+  }
+  return s;
+}
+
+bool Kernel::Issig(Lwp* lwp) {
+  Proc* p = lwp->proc;
+  for (;;) {
+    if (p->sig.cursig == 0) {
+      if (PromoteSignal(p) != 0) {
+        lwp->sig_reported = false;
+        lwp->pt_reported = false;
+      }
+    }
+    int s = p->sig.cursig;
+    if (s != 0) {
+      if (s == SIGKILL) {
+        // SIGKILL cannot be caught, held, or traced.
+        ExitProc(p, WSignalStatus(SIGKILL, false));
+        return false;
+      }
+      const SigAction& act = p->sig.actions[s];
+      bool traced = p->trace.sigtrace.Has(s);
+      if (act.handler == SIG_IGN && !traced && !p->pt_traced) {
+        p->sig.cursig = 0;
+        lwp->sig_reported = false;
+        lwp->pt_reported = false;
+        continue;
+      }
+      // Signalled stop: the signal is an event of interest.
+      if (traced && !lwp->sig_reported) {
+        lwp->sig_reported = true;
+        StopLwp(lwp, PR_SIGNALLED, static_cast<uint16_t>(s), /*istop=*/true);
+        return false;
+      }
+      // Job-control stop signals: the default action is taken within
+      // issig(). A process may stop twice — first on the signalled stop
+      // above, then here if it was set running without clearing the signal.
+      if (IsJobControlStop(s) && act.handler == SIG_DFL) {
+        p->sig.cursig = 0;
+        lwp->sig_reported = false;
+        lwp->pt_reported = false;
+        JobControlStop(p, s);
+        return false;
+      }
+      if (s == SIGCONT && act.handler == SIG_DFL) {
+        // The continue action already happened when the signal was posted.
+        p->sig.cursig = 0;
+        lwp->sig_reported = false;
+        lwp->pt_reported = false;
+        continue;
+      }
+      // ptrace: a traced process stops on receipt of any signal, whether or
+      // not that signal is traced via /proc (and after the /proc stop if it
+      // is: "ptrace has control").
+      if (p->pt_traced && !lwp->pt_reported) {
+        lwp->pt_reported = true;
+        p->pt_owned_stop = true;
+        p->pt_stopsig = s;
+        p->pt_wait_reported = false;
+        StopLwp(lwp, PR_SIGNALLED, static_cast<uint16_t>(s), /*istop=*/false);
+        Proc* parent = FindProc(p->ppid);
+        if (parent != nullptr) {
+          Wakeup(parent);
+        }
+        return false;
+      }
+    }
+    // The /proc stop directive is checked last: "/proc gets the last word."
+    if (p->trace.dstop_pending) {
+      p->trace.dstop_pending = false;
+      StopLwp(lwp, PR_REQUESTED, 0, /*istop=*/true);
+      return false;
+    }
+    return p->sig.cursig != 0;
+  }
+}
+
+// The signal-handler stack frame psig() pushes and sigreturn restores.
+namespace {
+struct SigFrame {
+  uint32_t magic;
+  Regs regs;
+  uint32_t hold_words[4];
+};
+constexpr uint32_t kSigFrameMagic = 0x51474953;  // "SIGQ"
+}  // namespace
+
+void Kernel::Psig(Lwp* lwp) {
+  Proc* p = lwp->proc;
+  int s = p->sig.cursig;
+  if (s == 0) {
+    return;
+  }
+  SigInfo info = p->sig.cursig_info;
+  p->sig.cursig = 0;
+  lwp->sig_reported = false;
+  lwp->pt_reported = false;
+  ++p->nsignals;
+
+  const SigAction& act = p->sig.actions[s];
+  if (act.handler == SIG_IGN) {
+    return;
+  }
+  if (act.handler == SIG_DFL) {
+    switch (DefaultDisp(s)) {
+      case SigDisp::kIgnore:
+      case SigDisp::kContinue:
+        return;
+      case SigDisp::kStop:
+        return;  // handled inside issig()
+      case SigDisp::kTerminate:
+        ExitProc(p, WSignalStatus(s, false));
+        return;
+      case SigDisp::kCore:
+        ExitProc(p, WSignalStatus(s, true));
+        return;
+    }
+    return;
+  }
+
+  // Deliver to a user handler: push the saved context onto the user stack,
+  // enter the handler with the signal number in r1, and extend the hold
+  // mask. sigreturn(2) unwinds.
+  SigFrame frame;
+  frame.magic = kSigFrameMagic;
+  frame.regs = lwp->regs;
+  static_assert(SigSet::kMaxMember == 128);
+  std::memcpy(frame.hold_words, &p->sig.hold, sizeof(frame.hold_words));
+
+  uint32_t nsp = lwp->regs.sp() - static_cast<uint32_t>(sizeof(SigFrame));
+  if (!Copyout(p, nsp, &frame, sizeof(frame)).ok()) {
+    // Cannot build the signal frame (stack gone): terminate, as real kernels
+    // do on a double fault.
+    ExitProc(p, WSignalStatus(SIGSEGV, true));
+    return;
+  }
+  lwp->regs.set_sp(nsp);
+  lwp->regs.pc = act.handler;
+  lwp->regs.r[1] = static_cast<uint32_t>(s);
+  lwp->regs.r[2] = info.si_addr;
+  p->sig.hold |= act.mask;
+  p->sig.hold.Add(s);
+}
+
+Kernel::SysResult Kernel::SysSigreturn(Lwp* lwp) {
+  Proc* p = lwp->proc;
+  SigFrame frame;
+  if (!Copyin(p, lwp->regs.sp(), &frame, sizeof(frame)).ok() ||
+      frame.magic != kSigFrameMagic) {
+    return SysResult::Fail(Errno::kEFAULT);
+  }
+  lwp->regs = frame.regs;
+  std::memcpy(&p->sig.hold, frame.hold_words, sizeof(frame.hold_words));
+  // The restored registers are the complete interrupted context; the
+  // syscall-return path must not touch them.
+  return SysResult::OkNoRegs();
+}
+
+void Kernel::StopLwp(Lwp* lwp, uint16_t why, uint16_t what, bool istop) {
+  lwp->state = LwpState::kStopped;
+  lwp->stop_why = why;
+  lwp->stop_what = what;
+  lwp->istop = istop;
+  Wakeup(kPollChan);
+}
+
+void Kernel::ResumeLwp(Lwp* lwp) {
+  lwp->stop_why = 0;
+  lwp->stop_what = 0;
+  lwp->istop = false;
+  if (lwp->stopped_while_asleep) {
+    lwp->stopped_while_asleep = false;
+    lwp->sleep = lwp->saved_sleep;
+    lwp->state = LwpState::kSleeping;
+  } else {
+    lwp->state = LwpState::kRunning;
+  }
+}
+
+void Kernel::JobControlStop(Proc* p, int sig) {
+  for (auto& l : p->lwps) {
+    if (l->state == LwpState::kDead) {
+      continue;
+    }
+    if (l->state == LwpState::kSleeping) {
+      l->saved_sleep = l->sleep;
+      l->stopped_while_asleep = true;
+    }
+    StopLwp(l.get(), PR_JOBCONTROL, static_cast<uint16_t>(sig), /*istop=*/false);
+  }
+  // Notify the parent (wait with WUNTRACED is not modelled, but SIGCLD is).
+  Proc* parent = FindProc(p->ppid);
+  if (parent != nullptr && !parent->native) {
+    SigInfo info;
+    info.si_signo = SIGCLD;
+    info.si_pid = p->pid;
+    PostSignal(parent, SIGCLD, info);
+  }
+}
+
+void Kernel::JobControlCont(Proc* p) {
+  for (auto& l : p->lwps) {
+    if (l->state == LwpState::kStopped && l->stop_why == PR_JOBCONTROL) {
+      ResumeLwp(l.get());
+    }
+  }
+}
+
+void Kernel::PostSignal(Proc* p, int sig, const SigInfo& info) {
+  if (p == nullptr || p->state != Proc::State::kActive || !SigSet::Valid(sig)) {
+    return;
+  }
+  if (p->native || p->system_proc) {
+    return;  // controllers and system processes do not take signals
+  }
+  if (sig == SIGCONT) {
+    // Continuing is done when the signal is generated, not delivered.
+    for (int stop_sig : {SIGSTOP, SIGTSTP, SIGTTIN, SIGTTOU}) {
+      p->sig.pending.Remove(stop_sig);
+    }
+    JobControlCont(p);
+  }
+  if (IsJobControlStop(sig)) {
+    p->sig.pending.Remove(SIGCONT);
+  }
+  if (sig == SIGKILL) {
+    // SIGKILL terminates even stopped processes: force every lwp to a point
+    // where issig() runs.
+    for (auto& l : p->lwps) {
+      if (l->state == LwpState::kStopped) {
+        l->stopped_while_asleep = false;
+        ResumeLwp(l.get());
+      }
+    }
+  }
+
+  const SigAction& act = p->sig.actions[sig];
+  bool traced = p->trace.sigtrace.Has(sig) || p->pt_traced;
+  if (!traced && sig != SIGKILL && sig != SIGSTOP) {
+    // Discard at generation time when the disposition is to ignore.
+    if (act.handler == SIG_IGN) {
+      return;
+    }
+    if (act.handler == SIG_DFL) {
+      SigDisp d = DefaultDisp(sig);
+      if (d == SigDisp::kIgnore || (sig == SIGCONT && d == SigDisp::kContinue)) {
+        return;
+      }
+    }
+  }
+
+  p->sig.pending.Add(sig);
+  p->sig.pending_info[sig] = info;
+
+  // Wake interruptible sleepers so the signal is noticed.
+  for (auto& l : p->lwps) {
+    if (l->state == LwpState::kSleeping && l->sleep.interruptible) {
+      l->interrupted = true;
+      l->state = LwpState::kRunning;
+    }
+  }
+}
+
+// --- Faults -------------------------------------------------------------------
+
+void Kernel::HandleFault(Lwp* lwp, int fault, uint32_t addr) {
+  Proc* p = lwp->proc;
+  ++p->nfaults;
+  if (fault == FLTTRACE) {
+    lwp->regs.psr &= ~kPsrT;  // single-step is one-shot
+  }
+  if (p->trace.flttrace.Has(fault)) {
+    p->trace.cur_fault = fault;
+    p->trace.cur_fault_addr = addr;
+    StopLwp(lwp, PR_FAULTED, static_cast<uint16_t>(fault), /*istop=*/true);
+    return;
+  }
+  ConvertFaultToSignal(lwp, fault, addr);
+}
+
+void Kernel::ConvertFaultToSignal(Lwp* lwp, int fault, uint32_t addr) {
+  Proc* p = lwp->proc;
+  int sig = FaultToSignal(fault);
+  const SigAction& act = p->sig.actions[sig];
+  bool blocked = p->sig.hold.Has(sig);
+  bool ignored = act.handler == SIG_IGN ||
+                 (act.handler == SIG_DFL && DefaultDisp(sig) == SigDisp::kIgnore);
+  if ((blocked || ignored) && !p->trace.sigtrace.Has(sig)) {
+    // An ignored or held fault signal would re-execute the faulting
+    // instruction forever; force the default fatal action.
+    ExitProc(p, WSignalStatus(sig, true));
+    return;
+  }
+  SigInfo info;
+  info.si_signo = sig;
+  info.si_code = fault;
+  info.si_addr = addr;
+  PostSignal(p, sig, info);
+}
+
+// --- /proc control primitives ---------------------------------------------------
+
+Result<void> Kernel::PrStop(Proc* target) {
+  if (target->state != Proc::State::kActive) {
+    return Errno::kENOENT;
+  }
+  bool any_pending = false;
+  for (auto& l : target->lwps) {
+    switch (l->state) {
+      case LwpState::kDead:
+        break;
+      case LwpState::kStopped:
+        // A process stopped by job control or owned by ptrace keeps the
+        // directive pending: "when restarted by SIGCONT, it stops again on a
+        // requested stop before exiting issig() — /proc gets the last word."
+        if (!l->istop) {
+          any_pending = true;
+        }
+        break;
+      case LwpState::kSleeping:
+        if (l->sleep.interruptible) {
+          // Stop it in its sleep, without disturbing the system call.
+          l->saved_sleep = l->sleep;
+          l->stopped_while_asleep = true;
+          StopLwp(l.get(), PR_REQUESTED, 0, /*istop=*/true);
+        } else {
+          any_pending = true;
+        }
+        break;
+      case LwpState::kRunning:
+        any_pending = true;
+        break;
+    }
+  }
+  if (any_pending) {
+    target->trace.dstop_pending = true;
+  }
+  return Result<void>::Ok();
+}
+
+Result<void> Kernel::PrStopLwp(Lwp* lwp) {
+  if (lwp->proc->state != Proc::State::kActive) {
+    return Errno::kENOENT;
+  }
+  switch (lwp->state) {
+    case LwpState::kDead:
+      return Errno::kENOENT;
+    case LwpState::kStopped:
+      return Result<void>::Ok();
+    case LwpState::kSleeping:
+      if (lwp->sleep.interruptible) {
+        lwp->saved_sleep = lwp->sleep;
+        lwp->stopped_while_asleep = true;
+        StopLwp(lwp, PR_REQUESTED, 0, /*istop=*/true);
+      } else {
+        lwp->lwp_dstop = true;
+      }
+      return Result<void>::Ok();
+    case LwpState::kRunning:
+      lwp->lwp_dstop = true;
+      return Result<void>::Ok();
+  }
+  return Result<void>::Ok();
+}
+
+bool Kernel::PrIsStopped(const Proc* target) const {
+  for (const auto& l : target->lwps) {
+    if (l->state == LwpState::kStopped && l->istop) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<void> Kernel::PrWaitStop(Proc* target) {
+  Pid pid = target->pid;
+  auto stopped_any = [](Proc* p) {
+    for (const auto& l : p->lwps) {
+      if (l->state == LwpState::kStopped) {
+        return true;
+      }
+    }
+    return false;
+  };
+  RunUntil([&]() {
+    Proc* p = FindProc(pid);
+    return p == nullptr || p->state != Proc::State::kActive || stopped_any(p);
+  });
+  Proc* p = FindProc(pid);
+  if (p == nullptr || p->state != Proc::State::kActive) {
+    return Errno::kENOENT;  // the process exited while we waited
+  }
+  if (!stopped_any(p)) {
+    return Errno::kEDEADLK;  // simulation went idle without a stop
+  }
+  return Result<void>::Ok();
+}
+
+Result<void> Kernel::PrRunLwp(Lwp* lwp, const RunArgs& args) {
+  Proc* p = lwp->proc;
+  if (lwp->state != LwpState::kStopped || !lwp->istop) {
+    return Errno::kEBUSY;
+  }
+  if (args.set_trace) {
+    p->trace.sigtrace = args.trace;
+  }
+  if (args.set_fault) {
+    p->trace.flttrace = args.fault;
+  }
+  if (args.set_hold) {
+    p->sig.hold = args.hold;
+    p->sig.hold.Remove(SIGKILL);
+    p->sig.hold.Remove(SIGSTOP);
+  }
+  if (args.clear_sig) {
+    p->sig.cursig = 0;
+    for (auto& l : p->lwps) {
+      l->sig_reported = false;
+      l->pt_reported = false;
+    }
+  }
+  if (args.clear_fault) {
+    p->trace.cur_fault = 0;
+  }
+  if (args.set_vaddr) {
+    lwp->regs.pc = args.vaddr;
+  }
+  if (args.step) {
+    lwp->regs.psr |= kPsrT;
+  }
+  if (args.abort && lwp->in_syscall) {
+    lwp->abort_syscall = true;
+    // The aborted call must not resume its sleep; it goes straight to the
+    // syscall exit path with EINTR.
+    lwp->stopped_while_asleep = false;
+  }
+  if (args.stop) {
+    p->trace.dstop_pending = true;
+  }
+
+  // An unclearned fault converts to its signal on resume.
+  if (p->trace.cur_fault != 0) {
+    int fault = p->trace.cur_fault;
+    uint32_t addr = p->trace.cur_fault_addr;
+    p->trace.cur_fault = 0;
+    ConvertFaultToSignal(lwp, fault, addr);
+    if (p->state != Proc::State::kActive) {
+      return Result<void>::Ok();
+    }
+  }
+  ResumeLwp(lwp);
+  return Result<void>::Ok();
+}
+
+Result<void> Kernel::PrRun(Proc* target, const RunArgs& args) {
+  if (target->state != Proc::State::kActive) {
+    return Errno::kENOENT;
+  }
+  // Resume every lwp stopped on an event of interest; the process-level
+  // interface treats the stop as a process-wide condition.
+  Lwp* primary = nullptr;
+  for (auto& l : target->lwps) {
+    if (l->state == LwpState::kStopped && l->istop) {
+      primary = l.get();
+      break;
+    }
+  }
+  if (primary == nullptr) {
+    return Errno::kEBUSY;
+  }
+  SVR4_RETURN_IF_ERROR(PrRunLwp(primary, args));
+  for (auto& l : target->lwps) {
+    if (l.get() != primary && l->state == LwpState::kStopped && l->istop) {
+      RunArgs rest;  // auxiliary lwps resume plainly
+      (void)PrRunLwp(l.get(), rest);
+    }
+  }
+  return Result<void>::Ok();
+}
+
+Result<void> Kernel::PrKill(Proc* target, int sig) {
+  if (!SigSet::Valid(sig)) {
+    return Errno::kEINVAL;
+  }
+  SigInfo info;
+  info.si_signo = sig;
+  PostSignal(target, sig, info);
+  return Result<void>::Ok();
+}
+
+Result<void> Kernel::PrUnkill(Proc* target, int sig) {
+  if (!SigSet::Valid(sig)) {
+    return Errno::kEINVAL;
+  }
+  target->sig.pending.Remove(sig);
+  return Result<void>::Ok();
+}
+
+Result<void> Kernel::PrSetSig(Proc* target, int sig, const SigInfo& info) {
+  if (sig == 0) {
+    target->sig.cursig = 0;
+    for (auto& l : target->lwps) {
+      l->sig_reported = false;
+      l->pt_reported = false;
+    }
+    return Result<void>::Ok();
+  }
+  if (!SigSet::Valid(sig)) {
+    return Errno::kEINVAL;
+  }
+  // A signal planted by the controlling process is not a fresh receipt: the
+  // process acts on it when resumed rather than stopping to report it again.
+  target->sig.cursig = sig;
+  target->sig.cursig_info = info;
+  for (auto& l : target->lwps) {
+    l->sig_reported = true;
+    l->pt_reported = true;
+  }
+  return Result<void>::Ok();
+}
+
+void Kernel::PrLastClose(Proc* target) {
+  // Run-on-last-close: when the last writable /proc descriptor goes away,
+  // clear all tracing flags and set the process running if it is stopped.
+  TraceState& t = target->trace;
+  t.excl = false;
+  if (!t.run_on_last_close) {
+    return;
+  }
+  t.sigtrace.Clear();
+  t.flttrace.Clear();
+  t.sysentry.Clear();
+  t.sysexit.Clear();
+  t.inherit_on_fork = false;
+  t.run_on_last_close = false;
+  t.dstop_pending = false;
+  t.cur_fault = 0;
+  for (auto& l : target->lwps) {
+    if (l->state == LwpState::kStopped && l->stop_why != PR_JOBCONTROL &&
+        !target->pt_owned_stop) {
+      ResumeLwp(l.get());
+    }
+  }
+}
+
+// --- kill(2) and wait(2) for native processes ------------------------------------
+
+Result<void> Kernel::Kill(Proc* sender, Pid pid, int sig) {
+  if (sig < 0 || sig > SigSet::kMaxMember) {
+    return Errno::kEINVAL;
+  }
+  auto permitted = [&](Proc* t) {
+    return sender->creds.IsSuper() || sender->creds.euid == t->creds.euid ||
+           sender->creds.euid == t->creds.ruid || sender->creds.ruid == t->creds.ruid;
+  };
+  auto send_one = [&](Proc* t) {
+    if (sig != 0) {
+      SigInfo info;
+      info.si_signo = sig;
+      info.si_pid = sender->pid;
+      info.si_uid = static_cast<int32_t>(sender->creds.ruid);
+      PostSignal(t, sig, info);
+    }
+  };
+  if (pid > 0) {
+    Proc* t = FindProc(pid);
+    if (t == nullptr || t->state != Proc::State::kActive) {
+      return Errno::kESRCH;
+    }
+    if (!permitted(t)) {
+      return Errno::kEPERM;
+    }
+    send_one(t);
+    return Result<void>::Ok();
+  }
+  // Process group: pid == 0 means the sender's group, negative a named one.
+  Pid pgrp = pid == 0 ? sender->pgrp : -pid;
+  bool hit = false;
+  for (auto& [id, p] : procs_) {
+    if (p->pgrp == pgrp && p->state == Proc::State::kActive && !p->system_proc &&
+        !p->native) {
+      if (permitted(p.get())) {
+        send_one(p.get());
+        hit = true;
+      }
+    }
+  }
+  return hit ? Result<void>::Ok() : Result<void>(Errno::kESRCH);
+}
+
+bool Kernel::WaitScan(Proc* parent, Pid filter, WaitResult* out, bool* any_children) {
+  *any_children = false;
+  for (auto& [pid, p] : procs_) {
+    if (p->ppid != parent->pid || p.get() == parent) {
+      continue;
+    }
+    if (filter > 0 && p->pid != filter) {
+      continue;
+    }
+    *any_children = true;
+    if (p->state == Proc::State::kZombie) {
+      out->pid = p->pid;
+      out->status = p->exit_status;
+      ReapZombie(p.get(), parent);
+      return true;
+    }
+    // ptrace: a stop is reported to the parent via wait(2).
+    if (p->pt_traced && p->pt_owned_stop && !p->pt_wait_reported) {
+      bool stopped = false;
+      for (auto& l : p->lwps) {
+        if (l->state == LwpState::kStopped) {
+          stopped = true;
+        }
+      }
+      if (stopped) {
+        p->pt_wait_reported = true;
+        out->pid = p->pid;
+        out->status = WStopStatus(p->pt_stopsig);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Result<WaitResult> Kernel::Wait(Proc* p, Pid pid, bool nohang) {
+  for (;;) {
+    WaitResult out;
+    bool any = false;
+    if (WaitScan(p, pid, &out, &any)) {
+      return out;
+    }
+    if (!any) {
+      return Errno::kECHILD;
+    }
+    if (nohang) {
+      out.pid = 0;
+      return out;
+    }
+    if (!Step()) {
+      return Errno::kEDEADLK;
+    }
+  }
+}
+
+Result<int64_t> Kernel::Ptrace(Proc* caller, int req, Pid pid, uint32_t addr, uint32_t data) {
+  return PtraceImpl(caller, req, pid, addr, data);
+}
+
+// --- User memory helpers ----------------------------------------------------------
+
+Result<void> Kernel::Copyin(Proc* p, uint32_t va, void* buf, uint32_t n) {
+  if (!p->as) {
+    return Errno::kEFAULT;
+  }
+  auto r = p->as->PrRead(va, std::span<uint8_t>(static_cast<uint8_t*>(buf), n));
+  if (!r.ok() || *r != static_cast<int64_t>(n)) {
+    return Errno::kEFAULT;
+  }
+  return Result<void>::Ok();
+}
+
+Result<void> Kernel::Copyout(Proc* p, uint32_t va, const void* buf, uint32_t n) {
+  if (!p->as) {
+    return Errno::kEFAULT;
+  }
+  auto r = p->as->PrWrite(va, std::span<const uint8_t>(static_cast<const uint8_t*>(buf), n));
+  if (!r.ok() || *r != static_cast<int64_t>(n)) {
+    return Errno::kEFAULT;
+  }
+  return Result<void>::Ok();
+}
+
+Result<std::string> Kernel::CopyinStr(Proc* p, uint32_t va, uint32_t max) {
+  std::string out;
+  for (uint32_t i = 0; i < max; ++i) {
+    char c;
+    SVR4_RETURN_IF_ERROR(Copyin(p, va + i, &c, 1));
+    if (c == 0) {
+      return out;
+    }
+    out += c;
+  }
+  return Errno::kENAMETOOLONG;
+}
+
+}  // namespace svr4

@@ -1,0 +1,116 @@
+#include "svr4proc/kernel/signal.h"
+
+#include "svr4proc/kernel/process.h"
+
+namespace svr4 {
+
+std::string_view SignalName(int sig) {
+  switch (sig) {
+    case SIGHUP:
+      return "SIGHUP";
+    case SIGINT:
+      return "SIGINT";
+    case SIGQUIT:
+      return "SIGQUIT";
+    case SIGILL:
+      return "SIGILL";
+    case SIGTRAP:
+      return "SIGTRAP";
+    case SIGABRT:
+      return "SIGABRT";
+    case SIGEMT:
+      return "SIGEMT";
+    case SIGFPE:
+      return "SIGFPE";
+    case SIGKILL:
+      return "SIGKILL";
+    case SIGBUS:
+      return "SIGBUS";
+    case SIGSEGV:
+      return "SIGSEGV";
+    case SIGSYS:
+      return "SIGSYS";
+    case SIGPIPE:
+      return "SIGPIPE";
+    case SIGALRM:
+      return "SIGALRM";
+    case SIGTERM:
+      return "SIGTERM";
+    case SIGUSR1:
+      return "SIGUSR1";
+    case SIGUSR2:
+      return "SIGUSR2";
+    case SIGCLD:
+      return "SIGCLD";
+    case SIGPWR:
+      return "SIGPWR";
+    case SIGWINCH:
+      return "SIGWINCH";
+    case SIGURG:
+      return "SIGURG";
+    case SIGPOLL:
+      return "SIGPOLL";
+    case SIGSTOP:
+      return "SIGSTOP";
+    case SIGTSTP:
+      return "SIGTSTP";
+    case SIGCONT:
+      return "SIGCONT";
+    case SIGTTIN:
+      return "SIGTTIN";
+    case SIGTTOU:
+      return "SIGTTOU";
+    default:
+      return "SIG???";
+  }
+}
+
+SigDisp DefaultDisp(int sig) {
+  switch (sig) {
+    case SIGQUIT:
+    case SIGILL:
+    case SIGTRAP:
+    case SIGABRT:
+    case SIGEMT:
+    case SIGFPE:
+    case SIGBUS:
+    case SIGSEGV:
+    case SIGSYS:
+      return SigDisp::kCore;
+    case SIGCLD:
+    case SIGPWR:
+    case SIGWINCH:
+    case SIGURG:
+      return SigDisp::kIgnore;
+    case SIGSTOP:
+    case SIGTSTP:
+    case SIGTTIN:
+    case SIGTTOU:
+      return SigDisp::kStop;
+    case SIGCONT:
+      return SigDisp::kContinue;
+    default:
+      return SigDisp::kTerminate;
+  }
+}
+
+std::string_view PrWhyName(uint16_t why) {
+  switch (why) {
+    case PR_REQUESTED:
+      return "PR_REQUESTED";
+    case PR_SIGNALLED:
+      return "PR_SIGNALLED";
+    case PR_SYSENTRY:
+      return "PR_SYSENTRY";
+    case PR_SYSEXIT:
+      return "PR_SYSEXIT";
+    case PR_FAULTED:
+      return "PR_FAULTED";
+    case PR_JOBCONTROL:
+      return "PR_JOBCONTROL";
+    default:
+      return "PR_???";
+  }
+}
+
+}  // namespace svr4

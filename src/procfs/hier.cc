@@ -1,0 +1,694 @@
+// The hierarchical /proc2: per-process directories, read(2)-based status
+// files, write(2)-based structured control messages, and per-lwp
+// subdirectories.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "svr4proc/procfs/procfs.h"
+#include "svr4proc/procfs/procfs2.h"
+
+namespace svr4 {
+namespace {
+
+// Per-descriptor state: who opened it (blocking ctl messages need to know
+// whether the opener is a native controller) and exclusivity accounting.
+struct Pr2Priv {
+  Proc* opener = nullptr;
+  bool counted_writable = false;
+};
+
+enum class Pr2Kind { kStatus, kPsinfo, kCred, kUsage, kSigact, kMap, kAs, kCtl };
+
+std::string PidName(Pid pid) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "%05d", pid);
+  return buf;
+}
+
+// Serves a read of a POD snapshot at the given offset.
+template <typename T>
+Result<int64_t> ServeStruct(const T& value, uint64_t off, std::span<uint8_t> buf) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (off >= sizeof(T)) {
+    return int64_t{0};
+  }
+  size_t n = std::min<uint64_t>(buf.size(), sizeof(T) - off);
+  std::memcpy(buf.data(), reinterpret_cast<const uint8_t*>(&value) + off, n);
+  return static_cast<int64_t>(n);
+}
+
+Result<int64_t> ServeBytes(const std::vector<uint8_t>& bytes, uint64_t off,
+                           std::span<uint8_t> buf) {
+  if (off >= bytes.size()) {
+    return int64_t{0};
+  }
+  size_t n = std::min<uint64_t>(buf.size(), bytes.size() - off);
+  std::memcpy(buf.data(), bytes.data() + off, n);
+  return static_cast<int64_t>(n);
+}
+
+class Pr2FileVnode : public Vnode {
+ public:
+  Pr2FileVnode(Kernel* k, Pid pid, Pr2Kind kind) : kernel_(k), pid_(pid), kind_(kind) {}
+
+  VType type() const override { return VType::kProc; }
+
+  Result<VAttr> GetAttr() override {
+    Proc* p = kernel_->FindProc(pid_);
+    if (p == nullptr) {
+      return Errno::kENOENT;
+    }
+    VAttr a;
+    a.type = VType::kProc;
+    a.uid = p->creds.ruid;
+    a.gid = p->creds.rgid;
+    switch (kind_) {
+      case Pr2Kind::kCtl:
+        a.mode = 0200;  // write-only control file
+        break;
+      case Pr2Kind::kAs:
+        a.mode = 0600;
+        a.size = p->as ? p->as->VirtualSize() : 0;
+        break;
+      default:
+        a.mode = 0400;  // read-only status files
+        break;
+    }
+    return a;
+  }
+
+  Result<void> Open(OpenFile& of, const Creds& cr, Proc* caller) override {
+    Proc* p = kernel_->FindProc(pid_);
+    if (p == nullptr) {
+      return Errno::kENOENT;
+    }
+    SVR4_RETURN_IF_ERROR(ProcOpenPermission(cr, p));
+    bool want_write = of.writable;
+    if (kind_ == Pr2Kind::kCtl && !want_write) {
+      return Errno::kEACCES;  // ctl is write-only
+    }
+    if (want_write && kind_ != Pr2Kind::kCtl && kind_ != Pr2Kind::kAs) {
+      return Errno::kEACCES;  // status files are read-only
+    }
+    auto priv = std::make_shared<Pr2Priv>();
+    priv->opener = caller;
+    if (want_write) {
+      if (p->trace.excl) {
+        return Errno::kEBUSY;
+      }
+      if (of.oflags & O_EXCL) {
+        if (p->trace.writable_opens > 0) {
+          return Errno::kEBUSY;
+        }
+        p->trace.excl = true;
+      }
+      ++p->trace.writable_opens;
+      priv->counted_writable = true;
+    }
+    ++p->trace.total_opens;
+    of.pr_gen = p->trace.gen;
+    of.priv = priv;
+    return Result<void>::Ok();
+  }
+
+  void Close(OpenFile& of) override {
+    Proc* p = kernel_->FindProc(pid_);
+    if (p == nullptr) {
+      return;
+    }
+    auto* priv = static_cast<Pr2Priv*>(of.priv.get());
+    if ((of.oflags & O_EXCL) && priv != nullptr && priv->counted_writable) {
+      p->trace.excl = false;
+    }
+    --p->trace.total_opens;
+    if (priv != nullptr && priv->counted_writable) {
+      if (--p->trace.writable_opens == 0) {
+        kernel_->PrLastClose(p);
+      }
+    }
+  }
+
+  Result<int64_t> Read(OpenFile& of, uint64_t off, std::span<uint8_t> buf) override {
+    auto tp = Target(of);
+    if (!tp.ok()) {
+      return tp.error();
+    }
+    Proc* p = *tp;
+    switch (kind_) {
+      case Pr2Kind::kStatus:
+        return ServeStruct(BuildPrStatus(*kernel_, p), off, buf);
+      case Pr2Kind::kPsinfo:
+        return ServeStruct(BuildPrPsinfo(*kernel_, p), off, buf);
+      case Pr2Kind::kCred:
+        return ServeStruct(BuildPrCred(p), off, buf);
+      case Pr2Kind::kUsage:
+        return ServeStruct(BuildPrUsage(*kernel_, p), off, buf);
+      case Pr2Kind::kSigact: {
+        std::vector<uint8_t> bytes(sizeof(SigAction) * SigSet::kMaxMember);
+        for (int s = 1; s <= SigSet::kMaxMember; ++s) {
+          std::memcpy(bytes.data() + (s - 1) * sizeof(SigAction), &p->sig.actions[s],
+                      sizeof(SigAction));
+        }
+        return ServeBytes(bytes, off, buf);
+      }
+      case Pr2Kind::kMap: {
+        auto maps = BuildPrMap(p);
+        std::vector<uint8_t> bytes(maps.size() * sizeof(PrMapEntry));
+        std::memcpy(bytes.data(), maps.data(), bytes.size());
+        return ServeBytes(bytes, off, buf);
+      }
+      case Pr2Kind::kAs: {
+        if (!p->as || off > 0xFFFFFFFFull) {
+          return Errno::kEIO;
+        }
+        return p->as->PrRead(static_cast<uint32_t>(off), buf);
+      }
+      case Pr2Kind::kCtl:
+        return Errno::kEACCES;
+    }
+    return Errno::kEINVAL;
+  }
+
+  Result<int64_t> Write(OpenFile& of, uint64_t off, std::span<const uint8_t> buf) override {
+    auto tp = Target(of);
+    if (!tp.ok()) {
+      return tp.error();
+    }
+    Proc* p = *tp;
+    switch (kind_) {
+      case Pr2Kind::kAs: {
+        if (!p->as || off > 0xFFFFFFFFull) {
+          return Errno::kEIO;
+        }
+        return p->as->PrWrite(static_cast<uint32_t>(off), buf);
+      }
+      case Pr2Kind::kCtl: {
+        auto* priv = static_cast<Pr2Priv*>(of.priv.get());
+        bool native = priv != nullptr && priv->opener != nullptr && priv->opener->native;
+        return RunCtl(p, buf, native, priv ? priv->opener : nullptr, nullptr);
+      }
+      default:
+        return Errno::kEACCES;
+    }
+  }
+
+  int Poll(OpenFile& of) override {
+    Proc* p = kernel_->FindProc(pid_);
+    if (p == nullptr || of.pr_gen != p->trace.gen) {
+      return POLLNVAL;
+    }
+    if (p->state == Proc::State::kZombie) {
+      return POLLHUP;
+    }
+    return kernel_->PrIsStopped(p) ? POLLPRI : 0;
+  }
+
+  // Executes a control-message stream against a process (lwp == nullptr) or
+  // a single lwp. Messages already executed keep their effect if a later
+  // one fails.
+  Result<int64_t> RunCtl(Proc* p, std::span<const uint8_t> buf, bool native_caller,
+                         Proc* caller, Lwp* lwp);
+
+ private:
+  Result<Proc*> Target(const OpenFile& of) const {
+    Proc* p = kernel_->FindProc(pid_);
+    if (p == nullptr) {
+      return Errno::kENOENT;
+    }
+    if (of.pr_gen != p->trace.gen) {
+      return Errno::kEACCES;
+    }
+    if (p->state == Proc::State::kZombie && kind_ != Pr2Kind::kPsinfo &&
+        kind_ != Pr2Kind::kCred && kind_ != Pr2Kind::kUsage) {
+      return Errno::kENOENT;
+    }
+    return p;
+  }
+
+  Kernel* kernel_;
+  Pid pid_;
+  Pr2Kind kind_;
+};
+
+class Pr2LwpFileVnode : public Vnode {
+ public:
+  Pr2LwpFileVnode(Kernel* k, Pid pid, int lwpid, bool ctl)
+      : kernel_(k), pid_(pid), lwpid_(lwpid), ctl_(ctl) {}
+
+  VType type() const override { return VType::kProc; }
+
+  Result<VAttr> GetAttr() override {
+    Proc* p = kernel_->FindProc(pid_);
+    if (p == nullptr || p->FindLwp(lwpid_) == nullptr) {
+      return Errno::kENOENT;
+    }
+    VAttr a;
+    a.type = VType::kProc;
+    a.uid = p->creds.ruid;
+    a.gid = p->creds.rgid;
+    a.mode = ctl_ ? 0200 : 0400;
+    return a;
+  }
+
+  Result<void> Open(OpenFile& of, const Creds& cr, Proc* caller) override {
+    Proc* p = kernel_->FindProc(pid_);
+    if (p == nullptr || p->FindLwp(lwpid_) == nullptr) {
+      return Errno::kENOENT;
+    }
+    SVR4_RETURN_IF_ERROR(ProcOpenPermission(cr, p));
+    if (ctl_ && !of.writable) {
+      return Errno::kEACCES;
+    }
+    if (!ctl_ && of.writable) {
+      return Errno::kEACCES;
+    }
+    auto priv = std::make_shared<Pr2Priv>();
+    priv->opener = caller;
+    of.priv = priv;
+    of.pr_gen = p->trace.gen;
+    return Result<void>::Ok();
+  }
+
+  Result<int64_t> Read(OpenFile& of, uint64_t off, std::span<uint8_t> buf) override {
+    if (ctl_) {
+      return Errno::kEACCES;
+    }
+    Proc* p = kernel_->FindProc(pid_);
+    if (p == nullptr || of.pr_gen != p->trace.gen) {
+      return Errno::kENOENT;
+    }
+    Lwp* l = p->FindLwp(lwpid_);
+    if (l == nullptr) {
+      return Errno::kENOENT;
+    }
+    return ServeStruct(BuildPrLwpStatus(p, l), off, buf);
+  }
+
+  Result<int64_t> Write(OpenFile& of, uint64_t /*off*/,
+                        std::span<const uint8_t> buf) override {
+    if (!ctl_) {
+      return Errno::kEACCES;
+    }
+    Proc* p = kernel_->FindProc(pid_);
+    if (p == nullptr || of.pr_gen != p->trace.gen) {
+      return Errno::kENOENT;
+    }
+    Lwp* l = p->FindLwp(lwpid_);
+    if (l == nullptr) {
+      return Errno::kENOENT;
+    }
+    auto* priv = static_cast<Pr2Priv*>(of.priv.get());
+    bool native = priv != nullptr && priv->opener != nullptr && priv->opener->native;
+    Pr2FileVnode helper(kernel_, pid_, Pr2Kind::kCtl);
+    return helper.RunCtl(p, buf, native, priv ? priv->opener : nullptr, l);
+  }
+
+ private:
+  Kernel* kernel_;
+  Pid pid_;
+  int lwpid_;
+  bool ctl_;
+};
+
+class Pr2LwpDirVnode : public Vnode {
+ public:
+  Pr2LwpDirVnode(Kernel* k, Pid pid, int lwpid) : kernel_(k), pid_(pid), lwpid_(lwpid) {}
+
+  VType type() const override { return VType::kDir; }
+  Result<VAttr> GetAttr() override {
+    VAttr a;
+    a.type = VType::kDir;
+    a.mode = 0500;
+    return a;
+  }
+  Result<VnodePtr> Lookup(const std::string& name) override {
+    if (name == "lwpstatus") {
+      return VnodePtr(std::make_shared<Pr2LwpFileVnode>(kernel_, pid_, lwpid_, false));
+    }
+    if (name == "lwpctl") {
+      return VnodePtr(std::make_shared<Pr2LwpFileVnode>(kernel_, pid_, lwpid_, true));
+    }
+    return Errno::kENOENT;
+  }
+  Result<std::vector<DirEnt>> Readdir() override {
+    return std::vector<DirEnt>{{"lwpstatus", VType::kProc}, {"lwpctl", VType::kProc}};
+  }
+
+ private:
+  Kernel* kernel_;
+  Pid pid_;
+  int lwpid_;
+};
+
+class Pr2LwpListVnode : public Vnode {
+ public:
+  Pr2LwpListVnode(Kernel* k, Pid pid) : kernel_(k), pid_(pid) {}
+
+  VType type() const override { return VType::kDir; }
+  Result<VAttr> GetAttr() override {
+    VAttr a;
+    a.type = VType::kDir;
+    a.mode = 0500;
+    return a;
+  }
+  Result<VnodePtr> Lookup(const std::string& name) override {
+    Proc* p = kernel_->FindProc(pid_);
+    if (p == nullptr) {
+      return Errno::kENOENT;
+    }
+    int id = 0;
+    for (char c : name) {
+      if (c < '0' || c > '9') {
+        return Errno::kENOENT;
+      }
+      id = id * 10 + (c - '0');
+    }
+    if (p->FindLwp(id) == nullptr) {
+      return Errno::kENOENT;
+    }
+    return VnodePtr(std::make_shared<Pr2LwpDirVnode>(kernel_, pid_, id));
+  }
+  Result<std::vector<DirEnt>> Readdir() override {
+    Proc* p = kernel_->FindProc(pid_);
+    if (p == nullptr) {
+      return Errno::kENOENT;
+    }
+    std::vector<DirEnt> out;
+    for (const auto& l : p->lwps) {
+      if (l->state != LwpState::kDead) {
+        out.push_back(DirEnt{std::to_string(l->lwpid), VType::kDir});
+      }
+    }
+    return out;
+  }
+
+ private:
+  Kernel* kernel_;
+  Pid pid_;
+};
+
+// "The thread-ids of sibling threads appear as sub-directories within a
+// hierarchy that has the process-id at the top."
+class Pr2ProcDirVnode : public Vnode {
+ public:
+  Pr2ProcDirVnode(Kernel* k, Pid pid) : kernel_(k), pid_(pid) {}
+
+  VType type() const override { return VType::kDir; }
+  Result<VAttr> GetAttr() override {
+    Proc* p = kernel_->FindProc(pid_);
+    if (p == nullptr) {
+      return Errno::kENOENT;
+    }
+    VAttr a;
+    a.type = VType::kDir;
+    a.mode = 0500;
+    a.uid = p->creds.ruid;
+    a.gid = p->creds.rgid;
+    return a;
+  }
+  Result<VnodePtr> Lookup(const std::string& name) override {
+    if (kernel_->FindProc(pid_) == nullptr) {
+      return Errno::kENOENT;
+    }
+    Pr2Kind kind;
+    if (name == "status") {
+      kind = Pr2Kind::kStatus;
+    } else if (name == "psinfo") {
+      kind = Pr2Kind::kPsinfo;
+    } else if (name == "cred") {
+      kind = Pr2Kind::kCred;
+    } else if (name == "usage") {
+      kind = Pr2Kind::kUsage;
+    } else if (name == "sigact") {
+      kind = Pr2Kind::kSigact;
+    } else if (name == "map") {
+      kind = Pr2Kind::kMap;
+    } else if (name == "as") {
+      kind = Pr2Kind::kAs;
+    } else if (name == "ctl") {
+      kind = Pr2Kind::kCtl;
+    } else if (name == "lwp") {
+      return VnodePtr(std::make_shared<Pr2LwpListVnode>(kernel_, pid_));
+    } else {
+      return Errno::kENOENT;
+    }
+    return VnodePtr(std::make_shared<Pr2FileVnode>(kernel_, pid_, kind));
+  }
+  Result<std::vector<DirEnt>> Readdir() override {
+    return std::vector<DirEnt>{
+        {"as", VType::kProc},     {"ctl", VType::kProc},   {"status", VType::kProc},
+        {"psinfo", VType::kProc}, {"map", VType::kProc},   {"cred", VType::kProc},
+        {"sigact", VType::kProc}, {"usage", VType::kProc}, {"lwp", VType::kDir},
+    };
+  }
+
+ private:
+  Kernel* kernel_;
+  Pid pid_;
+};
+
+}  // namespace
+
+int PrCtlOperandSize(int32_t code) {
+  switch (code) {
+    case PCNULL:
+    case PCSTOP:
+    case PCDSTOP:
+    case PCWSTOP:
+    case PCCSIG:
+    case PCCFAULT:
+      return 0;
+    case PCRUN:
+      return 8;  // u32 flags + u32 vaddr
+    case PCSTRACE:
+    case PCSHOLD:
+      return sizeof(SigSet);
+    case PCSFAULT:
+      return sizeof(FltSet);
+    case PCSENTRY:
+    case PCSEXIT:
+      return sizeof(SysSet);
+    case PCKILL:
+    case PCUNKILL:
+    case PCNICE:
+      return 4;
+    case PCSSIG:
+      return sizeof(SigInfo);
+    case PCSREG:
+      return sizeof(Regs);
+    case PCSFPREG:
+      return sizeof(FpRegs);
+    case PCSET:
+    case PCUNSET:
+      return 4;
+    case PCWATCH:
+      return sizeof(PrWatch);
+    default:
+      return -1;
+  }
+}
+
+namespace {
+
+Result<void> ApplyCtl(Kernel& k, Proc* p, Lwp* lwp, int32_t code, const uint8_t* operand,
+                      bool native_caller, Proc* caller) {
+  auto as_u32 = [&](int at) {
+    uint32_t v;
+    std::memcpy(&v, operand + at, 4);
+    return v;
+  };
+  switch (code) {
+    case PCNULL:
+      return Result<void>::Ok();
+    case PCSTOP: {
+      if (!native_caller) {
+        return Errno::kEINVAL;  // blocking messages need a native controller
+      }
+      if (lwp != nullptr) {
+        SVR4_RETURN_IF_ERROR(k.PrStopLwp(lwp));
+      } else {
+        SVR4_RETURN_IF_ERROR(k.PrStop(p));
+      }
+      return k.PrWaitStop(p);
+    }
+    case PCDSTOP:
+      if (lwp != nullptr) {
+        return k.PrStopLwp(lwp);
+      }
+      return k.PrStop(p);
+    case PCWSTOP:
+      if (!native_caller) {
+        return Errno::kEINVAL;
+      }
+      return k.PrWaitStop(p);
+    case PCRUN: {
+      PrRun run;
+      run.pr_flags = as_u32(0);
+      run.pr_vaddr = as_u32(4);
+      // Set-operations travel as separate messages in this encoding.
+      run.pr_flags &= ~(PRSTRACE | PRSHOLD | PRSFAULT);
+      RunArgs args = ToRunArgs(run);
+      if (lwp != nullptr) {
+        return k.PrRunLwp(lwp, args);
+      }
+      return k.PrRun(p, args);
+    }
+    case PCSTRACE:
+      std::memcpy(&p->trace.sigtrace, operand, sizeof(SigSet));
+      return Result<void>::Ok();
+    case PCSFAULT:
+      std::memcpy(&p->trace.flttrace, operand, sizeof(FltSet));
+      return Result<void>::Ok();
+    case PCSENTRY:
+      std::memcpy(&p->trace.sysentry, operand, sizeof(SysSet));
+      return Result<void>::Ok();
+    case PCSEXIT:
+      std::memcpy(&p->trace.sysexit, operand, sizeof(SysSet));
+      return Result<void>::Ok();
+    case PCSHOLD: {
+      SigSet hold;
+      std::memcpy(&hold, operand, sizeof(SigSet));
+      hold.Remove(SIGKILL);
+      hold.Remove(SIGSTOP);
+      p->sig.hold = hold;
+      return Result<void>::Ok();
+    }
+    case PCKILL:
+      return k.PrKill(p, static_cast<int32_t>(as_u32(0)));
+    case PCUNKILL:
+      return k.PrUnkill(p, static_cast<int32_t>(as_u32(0)));
+    case PCSSIG: {
+      SigInfo info;
+      std::memcpy(&info, operand, sizeof(SigInfo));
+      return k.PrSetSig(p, info.si_signo, info);
+    }
+    case PCCSIG:
+      return k.PrSetSig(p, 0, SigInfo{});
+    case PCCFAULT:
+      p->trace.cur_fault = 0;
+      return Result<void>::Ok();
+    case PCSREG: {
+      Lwp* l = lwp != nullptr ? lwp : p->RepresentativeLwp();
+      if (l == nullptr) {
+        return Errno::kENOENT;
+      }
+      std::memcpy(&l->regs, operand, sizeof(Regs));
+      return Result<void>::Ok();
+    }
+    case PCSFPREG: {
+      Lwp* l = lwp != nullptr ? lwp : p->RepresentativeLwp();
+      if (l == nullptr) {
+        return Errno::kENOENT;
+      }
+      std::memcpy(&l->fpregs, operand, sizeof(FpRegs));
+      return Result<void>::Ok();
+    }
+    case PCNICE: {
+      int delta = static_cast<int32_t>(as_u32(0));
+      if (delta < 0 && (caller == nullptr || !caller->creds.IsSuper())) {
+        return Errno::kEPERM;
+      }
+      p->nice = std::clamp(p->nice + delta, 0, 39);
+      return Result<void>::Ok();
+    }
+    case PCSET: {
+      uint32_t flags = as_u32(0);
+      if (flags & PR_FORK) {
+        p->trace.inherit_on_fork = true;
+      }
+      if (flags & PR_RLC) {
+        p->trace.run_on_last_close = true;
+      }
+      return Result<void>::Ok();
+    }
+    case PCUNSET: {
+      uint32_t flags = as_u32(0);
+      if (flags & PR_FORK) {
+        p->trace.inherit_on_fork = false;
+      }
+      if (flags & PR_RLC) {
+        p->trace.run_on_last_close = false;
+      }
+      return Result<void>::Ok();
+    }
+    case PCWATCH: {
+      if (!p->as) {
+        return Errno::kEINVAL;
+      }
+      PrWatch w;
+      std::memcpy(&w, operand, sizeof(PrWatch));
+      if (w.pr_wflags == 0) {
+        return p->as->ClearWatch(w.pr_vaddr);
+      }
+      return p->as->AddWatch(Watch{w.pr_vaddr, w.pr_size, w.pr_wflags});
+    }
+    default:
+      return Errno::kEINVAL;
+  }
+}
+
+}  // namespace
+
+Result<int64_t> Pr2FileVnode::RunCtl(Proc* p, std::span<const uint8_t> buf,
+                                     bool native_caller, Proc* caller, Lwp* lwp) {
+  size_t pos = 0;
+  while (pos + 4 <= buf.size()) {
+    int32_t code;
+    std::memcpy(&code, buf.data() + pos, 4);
+    int opsize = PrCtlOperandSize(code);
+    if (opsize < 0 || pos + 4 + static_cast<size_t>(opsize) > buf.size()) {
+      return Errno::kEINVAL;
+    }
+    auto r = ApplyCtl(*kernel_, p, lwp, code, buf.data() + pos + 4, native_caller, caller);
+    if (!r.ok()) {
+      // Messages already executed keep their effect.
+      return r.error();
+    }
+    pos += 4 + static_cast<size_t>(opsize);
+  }
+  if (pos != buf.size()) {
+    return Errno::kEINVAL;  // trailing garbage
+  }
+  return static_cast<int64_t>(buf.size());
+}
+
+Result<VAttr> Pr2RootVnode::GetAttr() {
+  VAttr a;
+  a.type = VType::kDir;
+  a.mode = 0555;
+  a.size = kernel_->AllPids().size();
+  a.nlink = 2;
+  return a;
+}
+
+Result<VnodePtr> Pr2RootVnode::Lookup(const std::string& name) {
+  if (name.empty() || name.size() > 10) {
+    return Errno::kENOENT;
+  }
+  Pid pid = 0;
+  for (char c : name) {
+    if (c < '0' || c > '9') {
+      return Errno::kENOENT;
+    }
+    pid = pid * 10 + (c - '0');
+  }
+  if (kernel_->FindProc(pid) == nullptr) {
+    return Errno::kENOENT;
+  }
+  return VnodePtr(std::make_shared<Pr2ProcDirVnode>(kernel_, pid));
+}
+
+Result<std::vector<DirEnt>> Pr2RootVnode::Readdir() {
+  std::vector<DirEnt> out;
+  for (Pid pid : kernel_->AllPids()) {
+    out.push_back(DirEnt{PidName(pid), VType::kDir});
+  }
+  return out;
+}
+
+Result<void> MountProcFs2(Kernel& k, const std::string& path) {
+  return k.vfs().Mount(path, std::make_shared<Pr2RootVnode>(&k));
+}
+
+}  // namespace svr4

@@ -1,0 +1,194 @@
+#include "svr4proc/ptlib/ptrace_lib.h"
+
+#include <vector>
+
+namespace svr4 {
+
+Result<void> PtraceLib::Attach(Pid pid) {
+  if (tracees_.count(pid)) {
+    return Errno::kEBUSY;
+  }
+  auto h = ProcHandle::Grab(*kernel_, caller_, pid);
+  if (!h.ok()) {
+    return h.error();
+  }
+  // A ptrace'd process stops on receipt of any signal.
+  SVR4_RETURN_IF_ERROR(h->SetSigTrace(SigSet::Full()));
+  SVR4_RETURN_IF_ERROR(h->Kill(SIGSTOP));
+  SVR4_RETURN_IF_ERROR(h->WaitStop());
+  tracees_.emplace(pid, std::move(*h));
+  return Result<void>::Ok();
+}
+
+Result<void> PtraceLib::Detach(Pid pid) {
+  auto it = tracees_.find(pid);
+  if (it == tracees_.end()) {
+    return Errno::kESRCH;
+  }
+  ProcHandle& h = it->second;
+  (void)h.SetSigTrace(SigSet{});
+  auto st = h.Status();
+  if (st.ok() && (st->pr_flags & PR_ISTOP)) {
+    (void)h.RunClearSig();
+  }
+  tracees_.erase(it);
+  return Result<void>::Ok();
+}
+
+Result<ProcHandle*> PtraceLib::Tracee(Pid pid) {
+  auto it = tracees_.find(pid);
+  if (it == tracees_.end()) {
+    return Errno::kESRCH;
+  }
+  return &it->second;
+}
+
+Result<int64_t> PtraceLib::Ptrace(int req, Pid pid, uint32_t addr, uint32_t data) {
+  auto hp = Tracee(pid);
+  if (!hp.ok()) {
+    return hp.error();
+  }
+  ProcHandle& h = **hp;
+  switch (req) {
+    case PT_PEEKTEXT:
+    case PT_PEEKDATA: {
+      uint32_t word = 0;
+      auto n = h.ReadMem(addr, &word, 4);
+      if (!n.ok() || *n != 4) {
+        return Errno::kEIO;
+      }
+      return static_cast<int64_t>(word);
+    }
+    case PT_POKETEXT:
+    case PT_POKEDATA: {
+      auto n = h.WriteMem(addr, &data, 4);
+      if (!n.ok() || *n != 4) {
+        return Errno::kEIO;
+      }
+      return int64_t{0};
+    }
+    case PT_PEEKUSER: {
+      auto regs = h.GetRegs();
+      if (!regs.ok()) {
+        return regs.error();
+      }
+      if (addr < kNumRegs) {
+        return static_cast<int64_t>(regs->r[addr]);
+      }
+      if (addr == 16) {
+        return static_cast<int64_t>(regs->pc);
+      }
+      if (addr == 17) {
+        return static_cast<int64_t>(regs->psr);
+      }
+      return Errno::kEIO;
+    }
+    case PT_POKEUSER: {
+      auto regs = h.GetRegs();
+      if (!regs.ok()) {
+        return regs.error();
+      }
+      if (addr < kNumRegs) {
+        regs->r[addr] = data;
+      } else if (addr == 16) {
+        regs->pc = data;
+      } else if (addr == 17) {
+        regs->psr = data;
+      } else {
+        return Errno::kEIO;
+      }
+      SVR4_RETURN_IF_ERROR(h.SetRegs(*regs));
+      return int64_t{0};
+    }
+    case PT_CONT:
+    case PT_STEP: {
+      PrRun r;
+      if (addr != 1) {
+        r.pr_flags |= PRSVADDR;
+        r.pr_vaddr = addr;
+      }
+      if (data == 0) {
+        r.pr_flags |= PRCSIG;
+      } else {
+        // PIOCSSIG plants the signal as the current one; the process acts on
+        // it when resumed instead of reporting it again.
+        SigInfo info;
+        info.si_signo = static_cast<int32_t>(data);
+        SVR4_RETURN_IF_ERROR(h.SetCurSig(info));
+      }
+      if (req == PT_STEP) {
+        r.pr_flags |= PRSTEP;
+      }
+      SVR4_RETURN_IF_ERROR(h.Run(r));
+      return int64_t{0};
+    }
+    case PT_KILL: {
+      // Discard any reported-but-undelivered signal first so the process
+      // dies of the SIGKILL, not of the old current signal.
+      (void)h.ClearCurSig();
+      SVR4_RETURN_IF_ERROR(h.Kill(SIGKILL));
+      auto st = h.Status();
+      if (st.ok() && (st->pr_flags & PR_ISTOP)) {
+        (void)h.RunClearSig();
+      }
+      return int64_t{0};
+    }
+    default:
+      return Errno::kEINVAL;
+  }
+}
+
+Result<WaitResult> PtraceLib::Wait() {
+  if (tracees_.empty()) {
+    return Errno::kECHILD;
+  }
+  for (;;) {
+    // poll(2) over the /proc descriptors: "much easier for a debugger to
+    // wait for any one of a set of controlled processes to stop."
+    std::vector<PollFd> pfds;
+    std::vector<Pid> pids;
+    for (auto& [pid, h] : tracees_) {
+      PollFd pf;
+      pf.fd = h.fd();
+      pf.events = POLLPRI;
+      pfds.push_back(pf);
+      pids.push_back(pid);
+    }
+    auto n = kernel_->PollFds(caller_, pfds, 1'000'000'000);
+    if (!n.ok()) {
+      return n.error();
+    }
+    for (size_t i = 0; i < pfds.size(); ++i) {
+      Pid pid = pids[i];
+      if (pfds[i].revents & (POLLHUP | POLLNVAL)) {
+        // Exited (or descriptor gone): report like wait(2) would.
+        Proc* p = kernel_->FindProc(pid);
+        WaitResult out;
+        out.pid = pid;
+        out.status = p != nullptr ? p->exit_status : 0;
+        tracees_.erase(pid);
+        return out;
+      }
+      if (pfds[i].revents & POLLPRI) {
+        auto st = tracees_.at(pid).Status();
+        if (!st.ok()) {
+          continue;
+        }
+        // Every stop is reported through the wait interface, the way ptrace
+        // folds them all into "stopped" statuses.
+        WaitResult out;
+        out.pid = pid;
+        int sig = st->pr_why == PR_SIGNALLED    ? static_cast<int>(st->pr_what)
+                  : st->pr_why == PR_REQUESTED ? static_cast<int>(SIGSTOP)
+                                               : static_cast<int>(SIGTRAP);
+        out.status = WStopStatus(sig);
+        return out;
+      }
+    }
+    if (*n == 0) {
+      return Errno::kEDEADLK;  // simulation idle; nothing will stop
+    }
+  }
+}
+
+}  // namespace svr4

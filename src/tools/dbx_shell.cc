@@ -1,0 +1,440 @@
+#include "svr4proc/tools/dbx_shell.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "svr4proc/kernel/syscall.h"
+
+namespace svr4 {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    out.push_back(tok);
+  }
+  return out;
+}
+
+std::string Hex(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%x", v);
+  return buf;
+}
+
+bool ParseNumber(const std::string& tok, uint32_t* out) {
+  if (tok.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  unsigned long v = std::strtoul(tok.c_str(), &end, 0);
+  if (end == tok.c_str() || *end != '\0') {
+    return false;
+  }
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+// Parses "rN" into a register index (also pc/sp/fp).
+bool ParseRegName(const std::string& tok, int* idx) {
+  if (tok == "pc") {
+    *idx = 16;
+    return true;
+  }
+  if (tok == "sp") {
+    *idx = kRegSp;
+    return true;
+  }
+  if (tok == "fp") {
+    *idx = kRegFp;
+    return true;
+  }
+  if (tok.size() >= 2 && tok[0] == 'r') {
+    int v = std::atoi(tok.c_str() + 1);
+    if (v >= 0 && v < kNumRegs) {
+      *idx = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<uint32_t> DbxShell::ResolveAddr(const std::string& tok) {
+  uint32_t v;
+  if (ParseNumber(tok, &v)) {
+    return v;
+  }
+  return dbg_.Lookup(tok);
+}
+
+std::string DbxShell::CmdStopAt(const std::vector<std::string>& args) {
+  // stop at <where> [if r<N> <op> <val>]
+  if (args.size() < 3 || args[1] != "at") {
+    return "usage: stop at <addr> [if rN <op> <val>]\n";
+  }
+  auto addr = ResolveAddr(args[2]);
+  if (!addr.ok()) {
+    return "no such symbol: " + args[2] + "\n";
+  }
+  if (args.size() == 3) {
+    auto r = dbg_.SetBreakpoint(*addr);
+    return r.ok() ? "breakpoint set at " + dbg_.SymbolAt(*addr) + "\n"
+                  : std::string(ErrnoName(r.error())) + "\n";
+  }
+  if (args.size() != 7 || args[3] != "if") {
+    return "usage: stop at <addr> if rN <op> <val>\n";
+  }
+  int reg;
+  uint32_t val;
+  if (!ParseRegName(args[4], &reg) || !ParseNumber(args[6], &val)) {
+    return "bad condition\n";
+  }
+  std::string op = args[5];
+  auto cond = [reg, op, val](const PrStatus& st) {
+    uint32_t r = reg == 16 ? st.pr_reg.pc : st.pr_reg.r[reg];
+    if (op == "==") {
+      return r == val;
+    }
+    if (op == "!=") {
+      return r != val;
+    }
+    if (op == "<") {
+      return r < val;
+    }
+    if (op == ">") {
+      return r > val;
+    }
+    if (op == "<=") {
+      return r <= val;
+    }
+    if (op == ">=") {
+      return r >= val;
+    }
+    return false;
+  };
+  auto r = dbg_.SetConditionalBreakpoint(*addr, cond);
+  return r.ok() ? "conditional breakpoint set at " + dbg_.SymbolAt(*addr) + "\n"
+                : std::string(ErrnoName(r.error())) + "\n";
+}
+
+std::string DbxShell::CmdCont() {
+  auto stop = dbg_.Continue();
+  if (!stop.ok()) {
+    return std::string(ErrnoName(stop.error())) + "\n";
+  }
+  char buf[160];
+  switch (stop->kind) {
+    case Debugger::StopInfo::kBreakpoint:
+      std::snprintf(buf, sizeof(buf), "breakpoint at %s (%s)\n", stop->symbol.c_str(),
+                    Hex(stop->addr).c_str());
+      break;
+    case Debugger::StopInfo::kWatchpoint:
+      std::snprintf(buf, sizeof(buf), "watchpoint: %s (%s) about to be written\n",
+                    stop->symbol.c_str(), Hex(stop->addr).c_str());
+      break;
+    case Debugger::StopInfo::kSignal:
+      std::snprintf(buf, sizeof(buf), "signal %s\n",
+                    std::string(SignalName(stop->what)).c_str());
+      break;
+    case Debugger::StopInfo::kFault:
+      std::snprintf(buf, sizeof(buf), "fault %s at %s\n",
+                    std::string(FaultName(stop->what)).c_str(),
+                    Hex(stop->status.pr_info.si_addr).c_str());
+      break;
+    case Debugger::StopInfo::kSyscall:
+      std::snprintf(buf, sizeof(buf), "stopped in syscall %s\n",
+                    std::string(SyscallName(stop->what)).c_str());
+      break;
+    case Debugger::StopInfo::kExited:
+      std::snprintf(buf, sizeof(buf), "process exited (status 0x%x)\n",
+                    static_cast<unsigned>(stop->exit_status));
+      break;
+  }
+  return buf;
+}
+
+std::string DbxShell::CmdStep(const std::vector<std::string>& args) {
+  int n = 1;
+  if (args.size() > 1) {
+    n = std::atoi(args[1].c_str());
+  }
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    auto st = dbg_.StepInstruction();
+    if (!st.ok()) {
+      return out + std::string(ErrnoName(st.error())) + "\n";
+    }
+    out += "stopped at " + dbg_.SymbolAt(st->pr_reg.pc) + " (" + Hex(st->pr_reg.pc) + ")\n";
+  }
+  return out;
+}
+
+std::string DbxShell::CmdRegs() {
+  auto regs = dbg_.handle().GetRegs();
+  if (!regs.ok()) {
+    return std::string(ErrnoName(regs.error())) + "\n";
+  }
+  std::string out;
+  char buf[64];
+  for (int i = 0; i < kNumRegs; ++i) {
+    std::snprintf(buf, sizeof(buf), "r%-2d %08x%s", i, regs->r[i],
+                  (i % 4 == 3) ? "\n" : "  ");
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "pc  %08x  psr %08x\n", regs->pc, regs->psr);
+  out += buf;
+  return out;
+}
+
+std::string DbxShell::CmdPrint(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return "usage: print <sym|addr>\n";
+  }
+  auto addr = ResolveAddr(args[1]);
+  if (!addr.ok()) {
+    return "no such symbol: " + args[1] + "\n";
+  }
+  auto v = dbg_.ReadWord("", *addr);
+  if (!v.ok()) {
+    return std::string(ErrnoName(v.error())) + "\n";
+  }
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%s = %u (%s)\n", args[1].c_str(), *v, Hex(*v).c_str());
+  return buf;
+}
+
+std::string DbxShell::CmdAssign(const std::vector<std::string>& args) {
+  // assign <sym> = <value>
+  if (args.size() != 4 || args[2] != "=") {
+    return "usage: assign <sym> = <value>\n";
+  }
+  auto addr = ResolveAddr(args[1]);
+  uint32_t val;
+  if (!addr.ok() || !ParseNumber(args[3], &val)) {
+    return "bad assignment\n";
+  }
+  auto r = dbg_.WriteWord("", val, *addr);
+  return r.ok() ? args[1] + " = " + args[3] + "\n"
+                : std::string(ErrnoName(r.error())) + "\n";
+}
+
+std::string DbxShell::CmdDis(const std::vector<std::string>& args) {
+  uint32_t addr = 0;
+  int count = 5;
+  if (args.size() >= 2) {
+    auto a = ResolveAddr(args[1]);
+    if (!a.ok()) {
+      return "no such symbol: " + args[1] + "\n";
+    }
+    addr = *a;
+  } else {
+    auto st = dbg_.handle().Status();
+    if (!st.ok()) {
+      return std::string(ErrnoName(st.error())) + "\n";
+    }
+    addr = st->pr_reg.pc;
+  }
+  if (args.size() >= 3) {
+    count = std::atoi(args[2].c_str());
+  }
+  auto out = dbg_.Disassemble(addr, count);
+  return out.ok() ? *out : std::string(ErrnoName(out.error())) + "\n";
+}
+
+std::vector<uint32_t> DbxShell::Backtrace(int max_frames) {
+  std::vector<uint32_t> frames;
+  auto st = dbg_.handle().Status();
+  if (!st.ok()) {
+    return frames;
+  }
+  frames.push_back(st->pr_reg.pc);
+  // Scan the stack for words that point into executable mappings: the
+  // classic frame-pointer-less heuristic.
+  auto maps = dbg_.handle().GetMap();
+  if (!maps.ok()) {
+    return frames;
+  }
+  auto executable = [&](uint32_t a) {
+    for (const auto& m : *maps) {
+      if ((m.pr_mflags & MA_EXEC) && a >= m.pr_vaddr && a < m.pr_vaddr + m.pr_size) {
+        return true;
+      }
+    }
+    return false;
+  };
+  uint32_t sp = st->pr_reg.sp();
+  for (int i = 0; i < 256 && static_cast<int>(frames.size()) < max_frames; ++i) {
+    uint32_t word = 0;
+    auto n = dbg_.handle().ReadMem(sp + static_cast<uint32_t>(i) * 4, &word, 4);
+    if (!n.ok() || *n != 4) {
+      break;
+    }
+    if (executable(word)) {
+      frames.push_back(word);
+    }
+  }
+  return frames;
+}
+
+std::string DbxShell::CmdWhere() {
+  auto frames = Backtrace();
+  if (frames.empty()) {
+    return "no stack\n";
+  }
+  std::string out;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "#%zu  %s (%s)\n", i,
+                  dbg_.SymbolAt(frames[i]).c_str(), Hex(frames[i]).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string DbxShell::CmdStatus() {
+  auto st = dbg_.handle().Status();
+  if (!st.ok()) {
+    return std::string(ErrnoName(st.error())) + "\n";
+  }
+  char buf[200];
+  std::string why = st->pr_flags & PR_STOPPED
+                        ? std::string(PrWhyName(st->pr_why))
+                        : "running";
+  std::snprintf(buf, sizeof(buf),
+                "pid %d  %s  pc=%s  cursig=%d  nlwp=%u  utime=%llu\n", st->pr_pid,
+                why.c_str(), Hex(st->pr_reg.pc).c_str(), st->pr_cursig, st->pr_nlwp,
+                static_cast<unsigned long long>(st->pr_utime));
+  return buf;
+}
+
+std::string DbxShell::CmdSyscall(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return "usage: syscall <name> [args...]\n";
+  }
+  int num = SyscallByName(args[1]);
+  if (num == 0) {
+    return "unknown syscall: " + args[1] + "\n";
+  }
+  std::vector<uint32_t> sysargs;
+  for (size_t i = 2; i < args.size(); ++i) {
+    uint32_t v;
+    if (ParseNumber(args[i], &v)) {
+      sysargs.push_back(v);
+    } else {
+      auto a = ResolveAddr(args[i]);
+      if (!a.ok()) {
+        return "bad argument: " + args[i] + "\n";
+      }
+      sysargs.push_back(*a);
+    }
+  }
+  auto r = dbg_.InjectSyscall(num, sysargs);
+  if (!r.ok()) {
+    return args[1] + " failed: " + std::string(ErrnoName(r.error())) + "\n";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s = %u\n", args[1].c_str(), *r);
+  return buf;
+}
+
+std::string DbxShell::Command(const std::string& line) {
+  auto args = Tokenize(line);
+  if (args.empty()) {
+    return "";
+  }
+  const std::string& cmd = args[0];
+  if (!dbg_.attached()) {
+    return "not attached\n";
+  }
+  if (cmd == "stop") {
+    return CmdStopAt(args);
+  }
+  if (cmd == "watch") {
+    if (args.size() != 2) {
+      return "usage: watch <sym>\n";
+    }
+    auto r = dbg_.WatchVariable(args[1], 4, WA_WRITE);
+    return r.ok() ? "watchpoint on " + args[1] + "\n"
+                  : std::string(ErrnoName(r.error())) + "\n";
+  }
+  if (cmd == "unwatch") {
+    if (args.size() != 2) {
+      return "usage: unwatch <sym>\n";
+    }
+    auto r = dbg_.UnwatchVariable(args[1]);
+    return r.ok() ? "" : std::string(ErrnoName(r.error())) + "\n";
+  }
+  if (cmd == "delete") {
+    if (args.size() != 2) {
+      return "usage: delete <sym|addr>\n";
+    }
+    auto addr = ResolveAddr(args[1]);
+    if (!addr.ok()) {
+      return "no such symbol\n";
+    }
+    auto r = dbg_.ClearBreakpoint(*addr);
+    return r.ok() ? "" : std::string(ErrnoName(r.error())) + "\n";
+  }
+  if (cmd == "cont" || cmd == "run") {
+    return CmdCont();
+  }
+  if (cmd == "step") {
+    return CmdStep(args);
+  }
+  if (cmd == "regs") {
+    return CmdRegs();
+  }
+  if (cmd == "print") {
+    return CmdPrint(args);
+  }
+  if (cmd == "assign") {
+    return CmdAssign(args);
+  }
+  if (cmd == "dis") {
+    return CmdDis(args);
+  }
+  if (cmd == "where") {
+    return CmdWhere();
+  }
+  if (cmd == "status") {
+    return CmdStatus();
+  }
+  if (cmd == "syscall") {
+    return CmdSyscall(args);
+  }
+  if (cmd == "kill") {
+    (void)dbg_.handle().Kill(SIGKILL);
+    auto st = dbg_.handle().Status();
+    if (st.ok() && (st->pr_flags & PR_ISTOP)) {
+      (void)dbg_.handle().RunClearSig();
+    }
+    return "killed\n";
+  }
+  if (cmd == "detach") {
+    (void)dbg_.Detach();
+    return "detached\n";
+  }
+  return "unknown command: " + cmd + "\n";
+}
+
+std::string DbxShell::Script(const std::string& script) {
+  std::string transcript;
+  std::istringstream in(script);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    transcript += "dbx> " + line + "\n";
+    transcript += Command(line);
+  }
+  return transcript;
+}
+
+}  // namespace svr4

@@ -1,0 +1,319 @@
+#include "svr4proc/tools/proclib.h"
+
+#include <cstdio>
+
+namespace svr4 {
+namespace {
+
+std::string ProcPath(Pid pid) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "/proc/%05d", pid);
+  return buf;
+}
+
+}  // namespace
+
+Result<ProcHandle> ProcHandle::Grab(Kernel& k, Proc* controller, Pid pid, int oflags) {
+  auto fd = k.Open(controller, ProcPath(pid), oflags);
+  if (!fd.ok()) {
+    return fd.error();
+  }
+  return ProcHandle(&k, controller, pid, *fd);
+}
+
+ProcHandle::ProcHandle(ProcHandle&& o) noexcept
+    : kernel_(o.kernel_), controller_(o.controller_), pid_(o.pid_), fd_(o.fd_) {
+  o.fd_ = -1;
+}
+
+ProcHandle& ProcHandle::operator=(ProcHandle&& o) noexcept {
+  if (this != &o) {
+    Close();
+    kernel_ = o.kernel_;
+    controller_ = o.controller_;
+    pid_ = o.pid_;
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+ProcHandle::~ProcHandle() { Close(); }
+
+void ProcHandle::Close() {
+  if (fd_ >= 0) {
+    (void)kernel_->Close(controller_, fd_);
+    fd_ = -1;
+  }
+}
+
+Result<int32_t> ProcHandle::Io(uint32_t op, void* arg) {
+  if (fd_ < 0) {
+    return Errno::kEBADF;
+  }
+  return kernel_->Ioctl(controller_, fd_, op, arg);
+}
+
+Result<PrStatus> ProcHandle::Status() {
+  PrStatus st;
+  SVR4_RETURN_IF_ERROR(Io(PIOCSTATUS, &st));
+  return st;
+}
+
+Result<void> ProcHandle::Stop() {
+  SVR4_RETURN_IF_ERROR(Io(PIOCSTOP, nullptr));
+  return Result<void>::Ok();
+}
+
+Result<void> ProcHandle::WaitStop() {
+  SVR4_RETURN_IF_ERROR(Io(PIOCWSTOP, nullptr));
+  return Result<void>::Ok();
+}
+
+Result<void> ProcHandle::Run(const PrRun& r) {
+  PrRun copy = r;
+  SVR4_RETURN_IF_ERROR(Io(PIOCRUN, &copy));
+  return Result<void>::Ok();
+}
+
+Result<void> ProcHandle::RunClearSig() {
+  PrRun r;
+  r.pr_flags = PRCSIG;
+  return Run(r);
+}
+
+Result<void> ProcHandle::RunClearFault() {
+  PrRun r;
+  r.pr_flags = PRCFAULT;
+  return Run(r);
+}
+
+Result<void> ProcHandle::Step() {
+  PrRun r;
+  r.pr_flags = PRSTEP;
+  return Run(r);
+}
+
+Result<void> ProcHandle::SetSigTrace(const SigSet& s) {
+  SigSet copy = s;
+  SVR4_RETURN_IF_ERROR(Io(PIOCSTRACE, &copy));
+  return Result<void>::Ok();
+}
+
+Result<SigSet> ProcHandle::GetSigTrace() {
+  SigSet s;
+  SVR4_RETURN_IF_ERROR(Io(PIOCGTRACE, &s));
+  return s;
+}
+
+Result<void> ProcHandle::SetFltTrace(const FltSet& f) {
+  FltSet copy = f;
+  SVR4_RETURN_IF_ERROR(Io(PIOCSFAULT, &copy));
+  return Result<void>::Ok();
+}
+
+Result<FltSet> ProcHandle::GetFltTrace() {
+  FltSet f;
+  SVR4_RETURN_IF_ERROR(Io(PIOCGFAULT, &f));
+  return f;
+}
+
+Result<void> ProcHandle::SetSysEntry(const SysSet& s) {
+  SysSet copy = s;
+  SVR4_RETURN_IF_ERROR(Io(PIOCSENTRY, &copy));
+  return Result<void>::Ok();
+}
+
+Result<SysSet> ProcHandle::GetSysEntry() {
+  SysSet s;
+  SVR4_RETURN_IF_ERROR(Io(PIOCGENTRY, &s));
+  return s;
+}
+
+Result<void> ProcHandle::SetSysExit(const SysSet& s) {
+  SysSet copy = s;
+  SVR4_RETURN_IF_ERROR(Io(PIOCSEXIT, &copy));
+  return Result<void>::Ok();
+}
+
+Result<SysSet> ProcHandle::GetSysExit() {
+  SysSet s;
+  SVR4_RETURN_IF_ERROR(Io(PIOCGEXIT, &s));
+  return s;
+}
+
+Result<void> ProcHandle::Kill(int sig) {
+  SVR4_RETURN_IF_ERROR(Io(PIOCKILL, &sig));
+  return Result<void>::Ok();
+}
+
+Result<void> ProcHandle::Unkill(int sig) {
+  SVR4_RETURN_IF_ERROR(Io(PIOCUNKILL, &sig));
+  return Result<void>::Ok();
+}
+
+Result<void> ProcHandle::SetCurSig(const SigInfo& info) {
+  SigInfo copy = info;
+  SVR4_RETURN_IF_ERROR(Io(PIOCSSIG, &copy));
+  return Result<void>::Ok();
+}
+
+Result<void> ProcHandle::ClearCurSig() {
+  SVR4_RETURN_IF_ERROR(Io(PIOCSSIG, nullptr));
+  return Result<void>::Ok();
+}
+
+Result<void> ProcHandle::ClearCurFault() {
+  SVR4_RETURN_IF_ERROR(Io(PIOCCFAULT, nullptr));
+  return Result<void>::Ok();
+}
+
+Result<SigSet> ProcHandle::GetHold() {
+  SigSet s;
+  SVR4_RETURN_IF_ERROR(Io(PIOCGHOLD, &s));
+  return s;
+}
+
+Result<void> ProcHandle::SetHold(const SigSet& s) {
+  SigSet copy = s;
+  SVR4_RETURN_IF_ERROR(Io(PIOCSHOLD, &copy));
+  return Result<void>::Ok();
+}
+
+Result<std::vector<SigAction>> ProcHandle::GetActions() {
+  std::vector<SigAction> acts(SigSet::kMaxMember);
+  SVR4_RETURN_IF_ERROR(Io(PIOCACTION, acts.data()));
+  return acts;
+}
+
+Result<void> ProcHandle::SetInheritOnFork(bool on) {
+  SVR4_RETURN_IF_ERROR(Io(on ? PIOCSFORK : PIOCRFORK, nullptr));
+  return Result<void>::Ok();
+}
+
+Result<void> ProcHandle::SetRunOnLastClose(bool on) {
+  SVR4_RETURN_IF_ERROR(Io(on ? PIOCSRLC : PIOCRRLC, nullptr));
+  return Result<void>::Ok();
+}
+
+Result<Regs> ProcHandle::GetRegs() {
+  Regs r;
+  SVR4_RETURN_IF_ERROR(Io(PIOCGREG, &r));
+  return r;
+}
+
+Result<void> ProcHandle::SetRegs(const Regs& r) {
+  Regs copy = r;
+  SVR4_RETURN_IF_ERROR(Io(PIOCSREG, &copy));
+  return Result<void>::Ok();
+}
+
+Result<FpRegs> ProcHandle::GetFpRegs() {
+  FpRegs r;
+  SVR4_RETURN_IF_ERROR(Io(PIOCGFPREG, &r));
+  return r;
+}
+
+Result<void> ProcHandle::SetFpRegs(const FpRegs& r) {
+  FpRegs copy = r;
+  SVR4_RETURN_IF_ERROR(Io(PIOCSFPREG, &copy));
+  return Result<void>::Ok();
+}
+
+Result<int64_t> ProcHandle::ReadMem(uint32_t vaddr, void* buf, uint64_t n) {
+  if (fd_ < 0) {
+    return Errno::kEBADF;
+  }
+  // "Data may be transferred from ... any valid locations in the process's
+  // address space by applying lseek(2) to position the file at the virtual
+  // address of interest followed by read(2)."
+  SVR4_RETURN_IF_ERROR(kernel_->Lseek(controller_, fd_, vaddr, SEEK_SET_));
+  return kernel_->Read(controller_, fd_, buf, n);
+}
+
+Result<int64_t> ProcHandle::WriteMem(uint32_t vaddr, const void* buf, uint64_t n) {
+  if (fd_ < 0) {
+    return Errno::kEBADF;
+  }
+  SVR4_RETURN_IF_ERROR(kernel_->Lseek(controller_, fd_, vaddr, SEEK_SET_));
+  return kernel_->Write(controller_, fd_, buf, n);
+}
+
+Result<std::vector<PrMapEntry>> ProcHandle::GetMap() {
+  int n = 0;
+  SVR4_RETURN_IF_ERROR(Io(PIOCNMAP, &n));
+  std::vector<PrMapEntry> maps(static_cast<size_t>(n) + 1);
+  SVR4_RETURN_IF_ERROR(Io(PIOCMAP, maps.data()));
+  maps.resize(static_cast<size_t>(n));
+  return maps;
+}
+
+Result<int> ProcHandle::OpenMappedObject(bool use_exe, uint32_t vaddr) {
+  auto fd = Io(PIOCOPENM, use_exe ? nullptr : &vaddr);
+  if (!fd.ok()) {
+    return fd.error();
+  }
+  return static_cast<int>(*fd);
+}
+
+Result<PrPsinfo> ProcHandle::Psinfo() {
+  PrPsinfo ps;
+  SVR4_RETURN_IF_ERROR(Io(PIOCPSINFO, &ps));
+  return ps;
+}
+
+Result<PrCred> ProcHandle::Cred() {
+  PrCred c;
+  SVR4_RETURN_IF_ERROR(Io(PIOCCRED, &c));
+  return c;
+}
+
+Result<PrUsage> ProcHandle::Usage() {
+  PrUsage u;
+  SVR4_RETURN_IF_ERROR(Io(PIOCUSAGE, &u));
+  return u;
+}
+
+Result<void> ProcHandle::Nice(int delta) {
+  SVR4_RETURN_IF_ERROR(Io(PIOCNICE, &delta));
+  return Result<void>::Ok();
+}
+
+Result<void> ProcHandle::SetWatch(const PrWatch& w) {
+  PrWatch copy = w;
+  SVR4_RETURN_IF_ERROR(Io(PIOCSWATCH, &copy));
+  return Result<void>::Ok();
+}
+
+Result<void> ProcHandle::ClearWatch(uint32_t vaddr) {
+  PrWatch w;
+  w.pr_vaddr = vaddr;
+  w.pr_wflags = 0;
+  SVR4_RETURN_IF_ERROR(Io(PIOCSWATCH, &w));
+  return Result<void>::Ok();
+}
+
+Result<std::vector<PrWatch>> ProcHandle::GetWatches() {
+  int n = 0;
+  SVR4_RETURN_IF_ERROR(Io(PIOCNWATCH, &n));
+  std::vector<PrWatch> out(static_cast<size_t>(n));
+  if (n > 0) {
+    SVR4_RETURN_IF_ERROR(Io(PIOCGWATCH, out.data()));
+  }
+  return out;
+}
+
+Result<PrPageData> ProcHandle::PageData(bool clear) {
+  PrPageData pd;
+  pd.clear = clear;
+  SVR4_RETURN_IF_ERROR(Io(PIOCPAGEDATA, &pd));
+  return pd;
+}
+
+Result<PrLwpIds> ProcHandle::LwpIds() {
+  PrLwpIds ids;
+  SVR4_RETURN_IF_ERROR(Io(PIOCLWPIDS, &ids));
+  return ids;
+}
+
+}  // namespace svr4

@@ -1,0 +1,75 @@
+#include "svr4proc/tools/ps.h"
+
+#include <cstdio>
+
+#include "svr4proc/tools/proclib.h"
+
+namespace svr4 {
+
+Result<std::vector<PrPsinfo>> PsSnapshot(Kernel& k, Proc* caller) {
+  auto ents = k.ReadDir(caller, "/proc");
+  if (!ents.ok()) {
+    return ents.error();
+  }
+  std::vector<PrPsinfo> out;
+  for (const auto& e : *ents) {
+    Pid pid = static_cast<Pid>(std::strtol(e.name.c_str(), nullptr, 10));
+    auto h = ProcHandle::Grab(k, caller, pid, O_RDONLY);
+    if (!h.ok()) {
+      continue;  // raced with exit, or not permitted
+    }
+    auto ps = h->Psinfo();
+    if (ps.ok()) {
+      out.push_back(*ps);
+    }
+  }
+  return out;
+}
+
+Result<std::string> PsFormat(Kernel& k, Proc* caller, const PsOptions& opts) {
+  auto snap = PsSnapshot(k, caller);
+  if (!snap.ok()) {
+    return snap.error();
+  }
+  std::string out;
+  char line[256];
+  if (opts.full) {
+    out += "     UID   PID  PPID S        TIME CMD\n";
+  } else {
+    out += "   PID S        TIME CMD\n";
+  }
+  for (const auto& ps : *snap) {
+    if (opts.full) {
+      std::snprintf(line, sizeof(line), "%8u %5d %5d %c %11llu %s\n", ps.pr_uid, ps.pr_pid,
+                    ps.pr_ppid, ps.pr_state, static_cast<unsigned long long>(ps.pr_time),
+                    ps.pr_psargs);
+    } else {
+      std::snprintf(line, sizeof(line), "%6d %c %11llu %s\n", ps.pr_pid, ps.pr_state,
+                    static_cast<unsigned long long>(ps.pr_time), ps.pr_fname);
+    }
+    out += line;
+  }
+  return out;
+}
+
+Result<std::string> LsProc(Kernel& k, Proc* caller) {
+  auto ents = k.ReadDir(caller, "/proc");
+  if (!ents.ok()) {
+    return ents.error();
+  }
+  std::string out;
+  char line[256];
+  for (const auto& e : *ents) {
+    auto attr = k.Stat(caller, "/proc/" + e.name);
+    if (!attr.ok()) {
+      continue;
+    }
+    // Figure 1's shape: mode, owner, group, size (total VM size), name.
+    std::snprintf(line, sizeof(line), "-rw-------  1 %-8u %-8u %8llu %s\n", attr->uid,
+                  attr->gid, static_cast<unsigned long long>(attr->size), e.name.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace svr4

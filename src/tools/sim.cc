@@ -1,0 +1,52 @@
+#include "svr4proc/tools/sim.h"
+
+#include "svr4proc/kernel/syscall.h"
+#include "svr4proc/procfs/procfs.h"
+#include "svr4proc/procfs/procfs2.h"
+
+namespace svr4 {
+
+Sim::Sim() : kernel_(std::make_unique<Kernel>()) {
+  (void)MountProcFs(*kernel_);
+  (void)MountProcFs2(*kernel_);
+  controller_ = kernel_->CreateNativeProc(Creds::Root(), "controller");
+}
+
+Assembler Sim::NewAssembler(AsmOptions opts) const {
+  Assembler as(opts);
+  DefineSyscallSymbols(as);
+  return as;
+}
+
+Result<Aout> Sim::InstallProgram(const std::string& path, const std::string& source,
+                                 uint32_t mode, Uid uid, Gid gid) {
+  Assembler as = NewAssembler();
+  auto image = as.Assemble(source);
+  if (!image.ok()) {
+    return image;
+  }
+  SVR4_RETURN_IF_ERROR(kernel_->InstallAout(path, *image, mode, uid, gid));
+  return image;
+}
+
+Result<Aout> Sim::InstallLibrary(const std::string& name, const std::string& source,
+                                 uint32_t lib_base) {
+  Assembler as = NewAssembler(AsmOptions{.text_base = lib_base, .data_align = 0x8000});
+  auto image = as.Assemble(source);
+  if (!image.ok()) {
+    return image;
+  }
+  SVR4_RETURN_IF_ERROR(kernel_->InstallAout("/lib/" + name, *image, 0755, 0, 0));
+  return image;
+}
+
+Result<Pid> Sim::Start(const std::string& path, const std::vector<std::string>& argv,
+                       const Creds& creds) {
+  return kernel_->Spawn(path, argv.empty() ? std::vector<std::string>{path} : argv, creds);
+}
+
+Proc* Sim::NewController(const Creds& creds, const std::string& name) {
+  return kernel_->CreateNativeProc(creds, name);
+}
+
+}  // namespace svr4

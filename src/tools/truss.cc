@@ -1,0 +1,209 @@
+#include "svr4proc/tools/truss.h"
+
+#include <cstdio>
+
+#include "svr4proc/kernel/syscall.h"
+
+namespace svr4 {
+namespace {
+
+std::string FormatSyscall(const PrStatus& st) {
+  std::string line(SyscallName(st.pr_syscall));
+  line += "(";
+  int nargs = st.pr_nsysarg;
+  for (int i = 0; i < nargs; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%x", st.pr_sysarg[i]);
+    if (i) {
+      line += ", ";
+    }
+    line += buf;
+  }
+  line += ")";
+  // The return value was stored before the exit stop.
+  char rv[48];
+  if (st.pr_reg.psr & kPsrC) {
+    std::snprintf(rv, sizeof(rv), " Err#%u %s", st.pr_reg.r[0],
+                  std::string(ErrnoName(static_cast<Errno>(st.pr_reg.r[0]))).c_str());
+  } else {
+    std::snprintf(rv, sizeof(rv), " = %u", st.pr_reg.r[0]);
+  }
+  line += rv;
+  return line;
+}
+
+}  // namespace
+
+Truss::Truss(Kernel& k, Proc* caller, TrussOptions opts)
+    : kernel_(&k), caller_(caller), opts_(opts) {}
+
+Result<void> Truss::Arm(ProcHandle& h) {
+  // Report syscalls at exit (the line carries arguments and result), every
+  // signal, and every machine fault. Calls that never return (exit) are
+  // reported at entry instead. With -t, only the selected calls are traced.
+  SysSet exits = opts_.filter.Empty() ? SysSet::Full() : opts_.filter;
+  if (opts_.follow_fork) {
+    exits.Add(SYS_fork);
+    exits.Add(SYS_vfork);
+  }
+  SVR4_RETURN_IF_ERROR(h.SetSysExit(exits));
+  SysSet entries;
+  if (opts_.filter.Empty() || opts_.filter.Has(SYS_exit)) {
+    entries.Add(SYS_exit);
+  }
+  SVR4_RETURN_IF_ERROR(h.SetSysEntry(entries));
+  SVR4_RETURN_IF_ERROR(h.SetSigTrace(SigSet::Full()));
+  FltSet faults = FltSet::Full();
+  faults.Remove(FLTPAGE);  // resolved internally; not an event
+  SVR4_RETURN_IF_ERROR(h.SetFltTrace(faults));
+  if (opts_.follow_fork) {
+    SVR4_RETURN_IF_ERROR(h.SetInheritOnFork(true));
+  }
+  // If truss dies, its targets must keep running.
+  SVR4_RETURN_IF_ERROR(h.SetRunOnLastClose(true));
+  return Result<void>::Ok();
+}
+
+void Truss::Emit(Pid pid, const std::string& line) {
+  char prefix[16];
+  std::snprintf(prefix, sizeof(prefix), "%5d: ", pid);
+  report_ += prefix;
+  report_ += line;
+  report_ += '\n';
+}
+
+Result<void> Truss::HandleStop(ProcHandle& h) {
+  auto st = h.Status();
+  if (!st.ok()) {
+    return st.error();
+  }
+  ++events_;
+  switch (st->pr_why) {
+    case PR_SYSEXIT: {
+      ++counts_[st->pr_what];
+      if (!opts_.counts_only) {
+        Emit(h.pid(), FormatSyscall(*st));
+      }
+      if (opts_.follow_fork &&
+          (st->pr_what == SYS_fork || st->pr_what == SYS_vfork) &&
+          !(st->pr_reg.psr & kPsrC) && st->pr_reg.r[0] != 0) {
+        Pid child = static_cast<Pid>(st->pr_reg.r[0]);
+        if (!tracees_.count(child)) {
+          auto ch = ProcHandle::Grab(*kernel_, caller_, child);
+          if (ch.ok()) {
+            // The child inherited the tracing flags (inherit-on-fork); it is
+            // stopped at its own exit from fork.
+            tracees_.emplace(child, std::move(*ch));
+          }
+        }
+      }
+      return h.Run();
+    }
+    case PR_SYSENTRY: {
+      ++counts_[st->pr_what];
+      if (!opts_.counts_only) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%s(0x%x)",
+                      std::string(SyscallName(st->pr_what)).c_str(), st->pr_sysarg[0]);
+        Emit(h.pid(), buf);
+      }
+      return h.Run();
+    }
+    case PR_SIGNALLED: {
+      if (!opts_.counts_only) {
+        Emit(h.pid(), "    Received signal " +
+                          std::string(SignalName(st->pr_what)));
+      }
+      return h.Run();  // without clearing: the signal takes its course
+    }
+    case PR_FAULTED: {
+      if (!opts_.counts_only) {
+        Emit(h.pid(), "    Incurred fault " + std::string(FaultName(st->pr_what)));
+      }
+      return h.Run();  // uncleared fault converts to its signal
+    }
+    default:
+      return h.Run();
+  }
+}
+
+Result<void> Truss::Trace(Pid pid) {
+  {
+    auto h = ProcHandle::Grab(*kernel_, caller_, pid);
+    if (!h.ok()) {
+      return h.error();
+    }
+    SVR4_RETURN_IF_ERROR(h->Stop());
+    SVR4_RETURN_IF_ERROR(Arm(*h));
+    SVR4_RETURN_IF_ERROR(h->Run());
+    tracees_.emplace(pid, std::move(*h));
+  }
+
+  while (!tracees_.empty() && events_ < opts_.max_events) {
+    // Multiplex over all tracees with poll(2) — the proposed extension that
+    // makes multiprocess tracing natural.
+    std::vector<PollFd> pfds;
+    std::vector<Pid> pids;
+    for (auto& [tp, h] : tracees_) {
+      PollFd pf;
+      pf.fd = h.fd();
+      pf.events = POLLPRI;
+      pfds.push_back(pf);
+      pids.push_back(tp);
+    }
+    auto n = kernel_->PollFds(caller_, pfds, 1'000'000'000);
+    if (!n.ok()) {
+      return n.error();
+    }
+    if (*n == 0) {
+      break;  // simulation idle: all targets wedged or gone
+    }
+    for (size_t i = 0; i < pfds.size(); ++i) {
+      Pid tp = pids[i];
+      if (pfds[i].revents & (POLLHUP | POLLNVAL)) {
+        if (!opts_.counts_only) {
+          Emit(tp, "    *** process exited ***");
+        }
+        tracees_.erase(tp);
+        continue;
+      }
+      if (pfds[i].revents & POLLPRI) {
+        auto it = tracees_.find(tp);
+        if (it == tracees_.end()) {
+          continue;
+        }
+        auto r = HandleStop(it->second);
+        if (!r.ok() && r.error() == Errno::kENOENT) {
+          tracees_.erase(tp);
+        }
+      }
+    }
+  }
+  return Result<void>::Ok();
+}
+
+Result<void> Truss::TraceCommand(const std::string& path,
+                                 const std::vector<std::string>& argv,
+                                 const Creds& creds) {
+  auto pid = kernel_->Spawn(path, argv, creds);
+  if (!pid.ok()) {
+    return pid.error();
+  }
+  // The process has not executed an instruction yet; Trace() arms it while
+  // it is still stopped at its first issig().
+  return Trace(*pid);
+}
+
+std::string Truss::CountsTable() const {
+  std::string out = "syscall               seen calls\n";
+  for (const auto& [num, count] : counts_) {
+    char line[64];
+    std::snprintf(line, sizeof(line), "%-20s %10llu\n",
+                  std::string(SyscallName(num)).c_str(),
+                  static_cast<unsigned long long>(count));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace svr4

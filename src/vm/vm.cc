@@ -1,0 +1,520 @@
+#include "svr4proc/vm/vm.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace svr4 {
+
+Result<PagePtr> AnonObject::GetPage(uint64_t page_index) {
+  auto it = pages_.find(page_index);
+  if (it == pages_.end()) {
+    it = pages_.emplace(page_index, std::make_shared<VmPage>()).first;
+  }
+  return it->second;
+}
+
+AddressSpace::Mapping* AddressSpace::FindMapping(uint32_t addr) {
+  auto it = maps_.upper_bound(addr);
+  if (it == maps_.begin()) {
+    return nullptr;
+  }
+  --it;
+  Mapping& m = it->second;
+  if (addr >= m.start && addr < m.end()) {
+    return &m;
+  }
+  return nullptr;
+}
+
+const AddressSpace::Mapping* AddressSpace::FindMapping(uint32_t addr) const {
+  return const_cast<AddressSpace*>(this)->FindMapping(addr);
+}
+
+AddressSpace::Mapping* AddressSpace::GrowStackFor(uint32_t addr) {
+  // Find the nearest grows-down mapping above addr and extend it if the
+  // fault is within the automatic growth window and the space is free.
+  for (auto& [start, m] : maps_) {
+    if (!m.grows_down || addr >= m.start) {
+      continue;
+    }
+    uint32_t gap_pages = (m.start - PageAlignDown(addr)) / kPageSize;
+    if (gap_pages == 0 || gap_pages > kMaxStackGrowPages) {
+      continue;
+    }
+    uint32_t new_start = PageAlignDown(addr);
+    // The grown region must not collide with another mapping.
+    bool collides = false;
+    for (auto& [s2, m2] : maps_) {
+      if (&m2 == &m) {
+        continue;
+      }
+      if (m2.start < m.start && m2.end() > new_start) {
+        collides = true;
+        break;
+      }
+    }
+    if (collides) {
+      return nullptr;
+    }
+    Mapping grown = std::move(m);
+    maps_.erase(grown.start);
+    grown.frames.insert(grown.frames.begin(), gap_pages, Frame{});
+    grown.npages += gap_pages;
+    grown.start = new_start;
+    // obj_pgoff stays 0 for anon stacks; adjust for object-backed ones.
+    auto [it, ok] = maps_.emplace(new_start, std::move(grown));
+    (void)ok;
+    return &it->second;
+  }
+  return nullptr;
+}
+
+Result<void> AddressSpace::Map(uint32_t start, uint32_t len, uint32_t ma_flags,
+                               std::shared_ptr<VmObject> obj, uint64_t obj_offset,
+                               std::string name, bool grows_down) {
+  if (len == 0 || start % kPageSize != 0 || obj_offset % kPageSize != 0) {
+    return Errno::kEINVAL;
+  }
+  uint32_t end = start + PageAlignUp(len);
+  if (end <= start) {
+    return Errno::kENOMEM;  // wraps
+  }
+  if (!obj) {
+    return Errno::kEINVAL;
+  }
+  SVR4_RETURN_IF_ERROR(Unmap(start, end - start));
+
+  Mapping m;
+  m.start = start;
+  m.npages = (end - start) / kPageSize;
+  m.flags = ma_flags;
+  if (obj->IsAnon()) {
+    m.flags |= MA_ANON;
+  }
+  m.obj = std::move(obj);
+  m.obj_pgoff = obj_offset / kPageSize;
+  m.name = std::move(name);
+  m.grows_down = grows_down;
+  m.frames.resize(m.npages);
+  maps_.emplace(start, std::move(m));
+  return Result<void>::Ok();
+}
+
+Result<void> AddressSpace::Unmap(uint32_t start, uint32_t len) {
+  if (start % kPageSize != 0 || len == 0) {
+    return Errno::kEINVAL;
+  }
+  uint32_t end = start + PageAlignUp(len);
+  // Collect overlapping mappings; split partial overlaps.
+  std::vector<Mapping> to_insert;
+  for (auto it = maps_.begin(); it != maps_.end();) {
+    Mapping& m = it->second;
+    if (m.end() <= start || m.start >= end) {
+      ++it;
+      continue;
+    }
+    // Left remainder.
+    if (m.start < start) {
+      Mapping left = m;
+      left.npages = (start - m.start) / kPageSize;
+      left.frames.resize(left.npages);
+      left.grows_down = false;  // the low end is being cut; no longer a stack base
+      to_insert.push_back(std::move(left));
+    }
+    // Right remainder.
+    if (m.end() > end) {
+      Mapping right = m;
+      uint32_t skip = (end - m.start) / kPageSize;
+      right.start = end;
+      right.npages = m.npages - skip;
+      right.obj_pgoff = m.obj_pgoff + skip;
+      right.frames.assign(m.frames.begin() + skip, m.frames.end());
+      to_insert.push_back(std::move(right));
+    }
+    it = maps_.erase(it);
+  }
+  for (auto& m : to_insert) {
+    uint32_t s = m.start;
+    maps_.emplace(s, std::move(m));
+  }
+  return Result<void>::Ok();
+}
+
+Result<void> AddressSpace::Protect(uint32_t start, uint32_t len, uint32_t prot) {
+  if (start % kPageSize != 0 || len == 0) {
+    return Errno::kEINVAL;
+  }
+  uint32_t end = start + PageAlignUp(len);
+  prot &= (MA_READ | MA_WRITE | MA_EXEC);
+  // All pages must be mapped (mprotect semantics).
+  for (uint32_t a = start; a < end; a += kPageSize) {
+    if (!FindMapping(a)) {
+      return Errno::kENOMEM;
+    }
+  }
+  // Split mappings at the boundaries, then adjust protection flags.
+  std::vector<std::pair<uint32_t, uint32_t>> cuts = {{start, end}};
+  for (auto& [s, e] : cuts) {
+    for (auto it = maps_.begin(); it != maps_.end();) {
+      Mapping& m = it->second;
+      if (m.end() <= s || m.start >= e) {
+        ++it;
+        continue;
+      }
+      if (m.start >= s && m.end() <= e) {
+        m.flags = (m.flags & ~(MA_READ | MA_WRITE | MA_EXEC)) | prot;
+        ++it;
+        continue;
+      }
+      // Partial overlap: split into covered and uncovered pieces.
+      Mapping whole = std::move(m);
+      it = maps_.erase(it);
+      uint32_t lo = std::max(whole.start, s);
+      uint32_t hi = std::min(whole.end(), e);
+      auto make_piece = [&whole](uint32_t ps, uint32_t pe) {
+        Mapping piece = whole;
+        uint32_t skip = (ps - whole.start) / kPageSize;
+        piece.start = ps;
+        piece.npages = (pe - ps) / kPageSize;
+        piece.obj_pgoff = whole.obj_pgoff + skip;
+        piece.frames.assign(whole.frames.begin() + skip,
+                            whole.frames.begin() + skip + piece.npages);
+        piece.grows_down = whole.grows_down && ps == whole.start;
+        return piece;
+      };
+      if (whole.start < lo) {
+        Mapping p = make_piece(whole.start, lo);
+        maps_.emplace(p.start, std::move(p));
+      }
+      {
+        Mapping p = make_piece(lo, hi);
+        p.flags = (p.flags & ~(MA_READ | MA_WRITE | MA_EXEC)) | prot;
+        maps_.emplace(p.start, std::move(p));
+      }
+      if (whole.end() > hi) {
+        Mapping p = make_piece(hi, whole.end());
+        maps_.emplace(p.start, std::move(p));
+      }
+      it = maps_.begin();  // restart; the map changed shape
+    }
+  }
+  return Result<void>::Ok();
+}
+
+Result<void> AddressSpace::SetBreak(uint32_t new_end) {
+  for (auto& [start, m] : maps_) {
+    if (!(m.flags & MA_BREAK)) {
+      continue;
+    }
+    if (new_end < m.start) {
+      return Errno::kEINVAL;
+    }
+    uint32_t want_pages = (PageAlignUp(new_end) - m.start) / kPageSize;
+    if (want_pages == 0) {
+      want_pages = 0;
+    }
+    if (want_pages > m.npages) {
+      // Refuse growth into a following mapping.
+      auto next = maps_.upper_bound(m.start);
+      if (next != maps_.end() && m.start + want_pages * kPageSize > next->second.start) {
+        return Errno::kENOMEM;
+      }
+    }
+    m.frames.resize(want_pages);
+    m.npages = want_pages;
+    return Result<void>::Ok();
+  }
+  return Errno::kENOMEM;  // no break mapping
+}
+
+Result<uint32_t> AddressSpace::BreakEnd() const {
+  for (const auto& [start, m] : maps_) {
+    if (m.flags & MA_BREAK) {
+      return m.end();
+    }
+  }
+  return Errno::kENOMEM;
+}
+
+Result<VmPage*> AddressSpace::EnsureFrame(Mapping& m, uint32_t page_index, bool for_write) {
+  Frame& f = m.frames[page_index];
+  const bool shared = (m.flags & MA_SHARED) != 0;
+  if (!f.page) {
+    if (shared) {
+      auto pg = m.obj->GetPage(m.obj_pgoff + page_index);
+      if (!pg.ok()) {
+        return pg.error();
+      }
+      f.page = *pg;
+      f.owned = false;
+    } else if (m.obj->IsAnon()) {
+      // Private anonymous memory: private zero page, no object involvement.
+      f.page = std::make_shared<VmPage>();
+      f.owned = true;
+    } else {
+      auto pg = m.obj->GetPage(m.obj_pgoff + page_index);
+      if (!pg.ok()) {
+        return pg.error();
+      }
+      f.page = *pg;
+      f.owned = false;  // still the object's page; copy on write
+    }
+  }
+  if (for_write && !shared) {
+    // Copy-on-write: the frame may be the object's page or shared with a
+    // forked relative.
+    if (!f.owned || f.page.use_count() > 1) {
+      auto copy = std::make_shared<VmPage>(*f.page);
+      f.page = std::move(copy);
+      f.owned = true;
+    }
+  }
+  return f.page.get();
+}
+
+const Watch* AddressSpace::WatchHit(uint32_t addr, uint32_t len, Access kind) const {
+  int want = kind == Access::kRead ? WA_READ : kind == Access::kWrite ? WA_WRITE : WA_EXEC;
+  for (const auto& w : watches_) {
+    if ((w.wflags & want) == 0) {
+      continue;
+    }
+    uint64_t a_end = static_cast<uint64_t>(addr) + len;
+    uint64_t w_end = static_cast<uint64_t>(w.vaddr) + w.size;
+    if (addr < w_end && w.vaddr < a_end) {
+      return &w;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<MemFault> AddressSpace::AccessCommon(uint32_t addr, void* rbuf, const void* wbuf,
+                                                   uint32_t len, Access kind) {
+  // Watchpoints fire with byte granularity; the "details of recovering from
+  // machine faults taken due to references to unwatched data that happens to
+  // fall in the same page as watched data" are below this simulation's level
+  // of abstraction — unwatched accesses simply proceed.
+  if (watch_active_) {
+    if (const Watch* w = WatchHit(addr, len, kind)) {
+      return MemFault{FLTWATCH, std::max(addr, w->vaddr)};
+    }
+  }
+
+  uint32_t done = 0;
+  while (done < len) {
+    uint32_t a = addr + done;
+    Mapping* m = FindMapping(a);
+    if (!m) {
+      m = GrowStackFor(a);
+      if (!m) {
+        return MemFault{FLTBOUNDS, a};
+      }
+    }
+    uint32_t need = kind == Access::kWrite ? MA_WRITE : kind == Access::kExec ? MA_EXEC : MA_READ;
+    if ((m->flags & need) == 0) {
+      return MemFault{FLTACCESS, a};
+    }
+    uint32_t page_index = (a - m->start) / kPageSize;
+    auto page = EnsureFrame(*m, page_index, kind == Access::kWrite);
+    if (!page.ok()) {
+      return MemFault{FLTBOUNDS, a};
+    }
+    uint32_t in_page = a & (kPageSize - 1);
+    uint32_t chunk = std::min(len - done, kPageSize - in_page);
+    Frame& f = m->frames[page_index];
+    if (kind == Access::kWrite) {
+      std::memcpy((*page)->bytes.data() + in_page, static_cast<const uint8_t*>(wbuf) + done,
+                  chunk);
+      f.pg |= PG_REFERENCED | PG_MODIFIED;
+    } else {
+      std::memcpy(static_cast<uint8_t*>(rbuf) + done, (*page)->bytes.data() + in_page, chunk);
+      f.pg |= PG_REFERENCED;
+    }
+    done += chunk;
+  }
+  return std::nullopt;
+}
+
+std::optional<MemFault> AddressSpace::MemRead(uint32_t addr, void* buf, uint32_t len,
+                                              Access kind) {
+  return AccessCommon(addr, buf, nullptr, len, kind);
+}
+
+std::optional<MemFault> AddressSpace::MemWrite(uint32_t addr, const void* buf, uint32_t len) {
+  return AccessCommon(addr, nullptr, buf, len, Access::kWrite);
+}
+
+Result<void> AddressSpace::AsFault(uint32_t addr, uint32_t len, bool for_write) {
+  uint32_t end_addr = addr + len;
+  for (uint32_t a = PageAlignDown(addr); a < end_addr; a += kPageSize) {
+    Mapping* m = FindMapping(a);
+    if (!m) {
+      return Errno::kEFAULT;
+    }
+    uint32_t page_index = (a - m->start) / kPageSize;
+    bool want_write = for_write && !(m->flags & MA_SHARED);
+    auto page = EnsureFrame(*m, page_index, want_write);
+    if (!page.ok()) {
+      return page.error();
+    }
+  }
+  return Result<void>::Ok();
+}
+
+Result<int64_t> AddressSpace::PrRead(uint32_t addr, std::span<uint8_t> buf) {
+  if (buf.empty()) {
+    return int64_t{0};
+  }
+  if (!FindMapping(addr)) {
+    return Errno::kEIO;  // offset in an unmapped area
+  }
+  uint64_t done = 0;
+  while (done < buf.size()) {
+    uint32_t a = addr + static_cast<uint32_t>(done);
+    Mapping* m = FindMapping(a);
+    if (!m) {
+      break;  // truncate at the boundary
+    }
+    uint32_t page_index = (a - m->start) / kPageSize;
+    auto page = EnsureFrame(*m, page_index, /*for_write=*/false);
+    if (!page.ok()) {
+      break;
+    }
+    uint32_t in_page = a & (kPageSize - 1);
+    uint32_t chunk = static_cast<uint32_t>(
+        std::min<uint64_t>(buf.size() - done, kPageSize - in_page));
+    std::memcpy(buf.data() + done, (*page)->bytes.data() + in_page, chunk);
+    m->frames[page_index].pg |= PG_REFERENCED;
+    done += chunk;
+  }
+  return static_cast<int64_t>(done);
+}
+
+Result<int64_t> AddressSpace::PrWrite(uint32_t addr, std::span<const uint8_t> buf) {
+  if (buf.empty()) {
+    return int64_t{0};
+  }
+  if (!FindMapping(addr)) {
+    return Errno::kEIO;
+  }
+  uint64_t done = 0;
+  while (done < buf.size()) {
+    uint32_t a = addr + static_cast<uint32_t>(done);
+    Mapping* m = FindMapping(a);
+    if (!m) {
+      break;  // writes are truncated at the boundary too
+    }
+    uint32_t page_index = (a - m->start) / kPageSize;
+    // Copy-on-write for private mappings — planting a breakpoint in shared
+    // text never corrupts other processes or the executable file. Writes to
+    // bona-fide shared memory go through to the object.
+    auto page = EnsureFrame(*m, page_index, /*for_write=*/true);
+    if (!page.ok()) {
+      break;
+    }
+    uint32_t in_page = a & (kPageSize - 1);
+    uint32_t chunk = static_cast<uint32_t>(
+        std::min<uint64_t>(buf.size() - done, kPageSize - in_page));
+    std::memcpy((*page)->bytes.data() + in_page, buf.data() + done, chunk);
+    m->frames[page_index].pg |= PG_REFERENCED | PG_MODIFIED;
+    done += chunk;
+  }
+  return static_cast<int64_t>(done);
+}
+
+AddressSpacePtr AddressSpace::Clone() const {
+  auto child = std::make_shared<AddressSpace>();
+  child->maps_ = maps_;  // shares PagePtr frames: COW via use_count
+  child->watches_ = watches_;
+  child->watch_active_ = watch_active_;
+  return child;
+}
+
+Result<void> AddressSpace::AddWatch(const Watch& w) {
+  if (w.size == 0 || (w.wflags & (WA_READ | WA_WRITE | WA_EXEC)) == 0) {
+    return Errno::kEINVAL;
+  }
+  if (!Mapped(w.vaddr)) {
+    return Errno::kEFAULT;
+  }
+  watches_.push_back(w);
+  watch_active_ = true;
+  return Result<void>::Ok();
+}
+
+Result<void> AddressSpace::ClearWatch(uint32_t vaddr) {
+  auto before = watches_.size();
+  watches_.erase(std::remove_if(watches_.begin(), watches_.end(),
+                                [vaddr](const Watch& w) { return w.vaddr == vaddr; }),
+                 watches_.end());
+  watch_active_ = !watches_.empty();
+  return before != watches_.size() ? Result<void>::Ok() : Result<void>(Errno::kESRCH);
+}
+
+void AddressSpace::ClearAllWatches() {
+  watches_.clear();
+  watch_active_ = false;
+}
+
+std::vector<MappingInfo> AddressSpace::Maps() const {
+  std::vector<MappingInfo> out;
+  out.reserve(maps_.size());
+  for (const auto& [start, m] : maps_) {
+    MappingInfo info;
+    info.vaddr = m.start;
+    info.size = m.npages * kPageSize;
+    info.offset = m.obj_pgoff * kPageSize;
+    info.flags = m.flags;
+    info.name = m.name;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+uint32_t AddressSpace::VirtualSize() const {
+  uint32_t total = 0;
+  for (const auto& [start, m] : maps_) {
+    total += m.npages * kPageSize;
+  }
+  return total;
+}
+
+uint32_t AddressSpace::ResidentPages() const {
+  uint32_t n = 0;
+  for (const auto& [start, m] : maps_) {
+    for (const auto& f : m.frames) {
+      if (f.page) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+bool AddressSpace::Mapped(uint32_t addr) const { return FindMapping(addr) != nullptr; }
+
+std::shared_ptr<VmObject> AddressSpace::ObjectAt(uint32_t addr) const {
+  const Mapping* m = FindMapping(addr);
+  if (!m || m->obj->IsAnon()) {
+    return nullptr;
+  }
+  return m->obj;
+}
+
+std::vector<PageDataSeg> AddressSpace::SamplePageData(bool clear) {
+  std::vector<PageDataSeg> out;
+  for (auto& [start, m] : maps_) {
+    PageDataSeg seg;
+    seg.vaddr = m.start;
+    seg.pg.reserve(m.npages);
+    for (auto& f : m.frames) {
+      seg.pg.push_back(f.pg);
+      if (clear) {
+        f.pg = 0;
+      }
+    }
+    out.push_back(std::move(seg));
+  }
+  return out;
+}
+
+}  // namespace svr4

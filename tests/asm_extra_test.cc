@@ -1,0 +1,234 @@
+// Additional assembler/toolchain coverage: error diagnostics, operand edge
+// cases, library imports, and layout rules.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "svr4proc/isa/assembler.h"
+#include "svr4proc/isa/isa.h"
+
+namespace svr4 {
+namespace {
+
+Assembler Small() { return Assembler(AsmOptions{.text_base = 0x1000, .data_align = 0x100}); }
+
+TEST(AsmErrors, MemoryOffsetOutOfRange) {
+  auto as = Small();
+  EXPECT_FALSE(as.Assemble("  ldw r1, [r2+40000]\n").ok());
+  EXPECT_NE(as.error().find("out of range"), std::string::npos);
+  EXPECT_FALSE(as.Assemble("  ldw r1, [r2-40000]\n").ok());
+}
+
+TEST(AsmErrors, BadRegisterNames) {
+  auto as = Small();
+  EXPECT_FALSE(as.Assemble("  mov r16, r0\n").ok());
+  EXPECT_FALSE(as.Assemble("  mov rx, r0\n").ok());
+  EXPECT_FALSE(as.Assemble("  fadd f9, f0\n").ok());
+}
+
+TEST(AsmErrors, WrongOperandCounts) {
+  auto as = Small();
+  EXPECT_FALSE(as.Assemble("  nop r1\n").ok());
+  EXPECT_FALSE(as.Assemble("  mov r1\n").ok());
+  EXPECT_FALSE(as.Assemble("  ldi r1\n").ok());
+  EXPECT_FALSE(as.Assemble("  jmp a, b\na: nop\nb: nop\n").ok());
+}
+
+TEST(AsmErrors, DirectiveMisuse) {
+  auto as = Small();
+  EXPECT_FALSE(as.Assemble("  .bss\n  .word 1\n").ok()) << ".word in .bss";
+  EXPECT_FALSE(as.Assemble("  .bss\n  .asciz \"x\"\n").ok());
+  EXPECT_FALSE(as.Assemble("  .space -4\n").ok());
+  EXPECT_FALSE(as.Assemble("  .frobnicate\n").ok());
+  EXPECT_FALSE(as.Assemble("  .equ x\n").ok());
+  EXPECT_FALSE(as.Assemble("  .bss\nx: nop\n").ok()) << "instructions only in .text";
+}
+
+TEST(AsmOperands, CharLiteralsAndEscapes) {
+  auto as = Small();
+  auto img = as.Assemble(R"(
+      ldi r1, 'A'
+      ldi r2, '\n'
+      ldi r3, '\\'
+      sys
+  )");
+  ASSERT_TRUE(img.ok()) << as.error();
+  uint32_t v;
+  std::memcpy(&v, img->text.data() + 2, 4);
+  EXPECT_EQ(v, static_cast<uint32_t>('A'));
+  std::memcpy(&v, img->text.data() + 8, 4);
+  EXPECT_EQ(v, static_cast<uint32_t>('\n'));
+  std::memcpy(&v, img->text.data() + 14, 4);
+  EXPECT_EQ(v, static_cast<uint32_t>('\\'));
+}
+
+TEST(AsmOperands, StringEscapes) {
+  auto as = Small();
+  auto img = as.Assemble("  .data\ns: .asciz \"a\\tb\\nc\\\"d\"\n");
+  ASSERT_TRUE(img.ok()) << as.error();
+  EXPECT_EQ(std::memcmp(img->data.data(), "a\tb\nc\"d", 8), 0);
+}
+
+TEST(AsmOperands, NegativeAndHexImmediates) {
+  auto as = Small();
+  auto img = as.Assemble(R"(
+      ldi r1, -1
+      ldi r2, 0xDEADBEEF
+      cmpi r1, -100
+  )");
+  ASSERT_TRUE(img.ok()) << as.error();
+  uint32_t v;
+  std::memcpy(&v, img->text.data() + 2, 4);
+  EXPECT_EQ(v, 0xFFFFFFFFu);
+  std::memcpy(&v, img->text.data() + 8, 4);
+  EXPECT_EQ(v, 0xDEADBEEFu);
+}
+
+TEST(AsmOperands, MemoryOffsetWithEquate) {
+  auto as = Small();
+  auto img = as.Assemble(R"(
+      .equ OFF, 12
+      ldw r1, [r2+OFF]
+      ldw r3, [r2-OFF]
+  )");
+  ASSERT_TRUE(img.ok()) << as.error();
+  int16_t off;
+  std::memcpy(&off, img->text.data() + 2, 2);
+  EXPECT_EQ(off, 12);
+  std::memcpy(&off, img->text.data() + 6, 2);
+  EXPECT_EQ(off, -12);
+}
+
+TEST(AsmLayout, CommentsAndBlankLines) {
+  auto as = Small();
+  auto img = as.Assemble(R"(
+; full-line comment
+      nop        ; trailing comment
+# hash comment
+      nop
+  )");
+  ASSERT_TRUE(img.ok()) << as.error();
+  EXPECT_EQ(img->text.size(), 2u);
+}
+
+TEST(AsmLayout, SemicolonInsideStringIsNotAComment) {
+  auto as = Small();
+  auto img = as.Assemble("  .data\ns: .asciz \"a;b\"\n");
+  ASSERT_TRUE(img.ok()) << as.error();
+  EXPECT_EQ(std::memcmp(img->data.data(), "a;b", 4), 0);
+}
+
+TEST(AsmLayout, LabelOnItsOwnLine) {
+  auto as = Small();
+  auto img = as.Assemble(R"(
+start:
+      nop
+end:  nop
+  )");
+  ASSERT_TRUE(img.ok()) << as.error();
+  EXPECT_EQ(*img->SymbolValue("start"), 0x1000u);
+  EXPECT_EQ(*img->SymbolValue("end"), 0x1001u);
+}
+
+TEST(AsmLayout, DataAlignmentRespectsOption) {
+  Assembler as(AsmOptions{.text_base = 0x80000000, .data_align = 0x8000});
+  auto img = as.Assemble("  nop\n  .data\nd: .word 1\n");
+  ASSERT_TRUE(img.ok());
+  EXPECT_EQ(img->data_vaddr, 0x80008000u) << "Figure 2's data address";
+}
+
+TEST(AsmLayout, AlignDirective) {
+  auto as = Small();
+  auto img = as.Assemble(R"(
+      .data
+a:    .byte 1
+      .align 8
+b:    .word 2
+  )");
+  ASSERT_TRUE(img.ok()) << as.error();
+  EXPECT_EQ(*img->SymbolValue("b") % 8, 0u);
+}
+
+TEST(AsmLibrary, ImportedSymbolsResolveAndDoNotReexport) {
+  Assembler lib_as(AsmOptions{.text_base = 0xC0100000, .data_align = 0x100});
+  auto lib = lib_as.Assemble(R"(
+libfn:  ret
+libvar: nop
+  )");
+  ASSERT_TRUE(lib.ok());
+
+  Assembler as = Small();
+  as.ImportLibrary(*lib, "libq");
+  auto img = as.Assemble("  call libfn\n");
+  ASSERT_TRUE(img.ok()) << as.error();
+  EXPECT_EQ(img->lib, "libq");
+  uint32_t target;
+  std::memcpy(&target, img->text.data() + 1, 4);
+  EXPECT_EQ(target, 0xC0100000u);
+  // Imported symbols do not re-appear in the program's own symbol table.
+  for (const auto& s : img->symbols) {
+    EXPECT_NE(s.name, "libfn");
+  }
+}
+
+TEST(AsmLibrary, LibDirectiveOverridesImportName) {
+  auto as = Small();
+  auto img = as.Assemble("  .lib \"libz\"\n  nop\n");
+  ASSERT_TRUE(img.ok());
+  EXPECT_EQ(img->lib, "libz");
+}
+
+TEST(AsmSymbols, EquReferencedBeforeDefinitionFails) {
+  // .equ values are resolved at the point of use for data directives but
+  // label-like uses in instructions are fixed up; a forward .equ is the
+  // documented unsupported case.
+  auto as = Small();
+  auto ok = as.Assemble("  ldi r1, K\n  .equ K, 5\n");
+  // Forward reference through the fixup path resolves (equates land in the
+  // final symbol map), so this must actually succeed:
+  EXPECT_TRUE(ok.ok()) << as.error();
+  uint32_t v;
+  std::memcpy(&v, ok->text.data() + 2, 4);
+  EXPECT_EQ(v, 5u);
+}
+
+TEST(AsmSymbols, WordListWithLabelsAndNumbers) {
+  auto as = Small();
+  auto img = as.Assemble(R"(
+      .data
+tbl:  .word 1, two, 3
+two:  .word 2
+  )");
+  ASSERT_TRUE(img.ok()) << as.error();
+  uint32_t v;
+  std::memcpy(&v, img->data.data() + 4, 4);
+  EXPECT_EQ(v, *img->SymbolValue("two"));
+}
+
+TEST(AsmSymbols, SymbolTableTypesAreRight) {
+  auto as = Small();
+  auto img = as.Assemble(R"(
+      .equ K, 9
+t:    nop
+      .data
+d:    .word 1
+      .bss
+b:    .space 4
+  )");
+  ASSERT_TRUE(img.ok()) << as.error();
+  auto type_of = [&](const std::string& name) {
+    for (const auto& s : img->symbols) {
+      if (s.name == name) {
+        return s.type;
+      }
+    }
+    return SymType::kAbs;
+  };
+  EXPECT_EQ(type_of("t"), SymType::kText);
+  EXPECT_EQ(type_of("d"), SymType::kData);
+  EXPECT_EQ(type_of("b"), SymType::kBss);
+  EXPECT_EQ(type_of("K"), SymType::kAbs);
+}
+
+}  // namespace
+}  // namespace svr4

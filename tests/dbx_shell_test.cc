@@ -1,0 +1,162 @@
+// Tests for the dbx-style command interpreter.
+#include <gtest/gtest.h>
+
+#include "svr4proc/tools/dbx_shell.h"
+#include "svr4proc/tools/sim.h"
+
+namespace svr4 {
+namespace {
+
+constexpr char kFib[] = R"(
+      ldi r1, 0
+      ldi r2, 1
+loop: mov r3, r1
+      add r3, r2
+      mov r1, r2
+      mov r2, r3
+      ldi r4, current
+      stw r3, [r4]
+      jmp loop
+      .data
+current: .word 0
+)";
+
+constexpr char kCalls[] = R"(
+main: call outer
+      jmp main
+outer:
+      call inner
+      ret
+inner:
+      ldi r9, 5
+busy: cmpi r9, 0
+      jz out
+      ldi r8, 1
+      sub r9, r8
+      jmp busy
+out:  ret
+)";
+
+struct Session {
+  Sim sim;
+  std::unique_ptr<DbxShell> shell;
+  Pid pid = 0;
+
+  void Start(const std::string& src) {
+    ASSERT_TRUE(sim.InstallProgram("/bin/t", src).ok());
+    auto p = sim.Start("/bin/t");
+    ASSERT_TRUE(p.ok());
+    pid = *p;
+    shell = std::make_unique<DbxShell>(sim.kernel(), sim.controller());
+    ASSERT_TRUE(shell->Attach(pid).ok());
+  }
+};
+
+TEST(DbxShellTest, BreakpointAndPrint) {
+  Session s;
+  s.Start(kFib);
+  EXPECT_NE(s.shell->Command("stop at loop").find("breakpoint set at loop"),
+            std::string::npos);
+  EXPECT_NE(s.shell->Command("cont").find("breakpoint at loop"), std::string::npos);
+  (void)s.shell->Command("cont");
+  auto out = s.shell->Command("print current");
+  EXPECT_NE(out.find("current = "), std::string::npos);
+}
+
+TEST(DbxShellTest, ConditionalStop) {
+  Session s;
+  s.Start(kFib);
+  EXPECT_NE(s.shell->Command("stop at loop if r3 > 100").find("conditional"),
+            std::string::npos);
+  (void)s.shell->Command("cont");
+  auto regs = *s.shell->debugger().handle().GetRegs();
+  EXPECT_GT(regs.r[3], 100u);
+  EXPECT_EQ(regs.r[3], 144u) << "first fibonacci > 100";
+}
+
+TEST(DbxShellTest, AssignAndStatus) {
+  Session s;
+  s.Start(kFib);
+  EXPECT_EQ(s.shell->Command("assign current = 777"), "current = 777\n");
+  EXPECT_NE(s.shell->Command("print current").find("current = 777"), std::string::npos);
+  auto status = s.shell->Command("status");
+  EXPECT_NE(status.find("PR_REQUESTED"), std::string::npos);
+}
+
+TEST(DbxShellTest, StepAndRegs) {
+  Session s;
+  s.Start(kFib);
+  auto out = s.shell->Command("step 2");
+  EXPECT_NE(out.find("stopped at"), std::string::npos);
+  auto regs = s.shell->Command("regs");
+  EXPECT_NE(regs.find("pc"), std::string::npos);
+  EXPECT_NE(regs.find("r15"), std::string::npos);
+}
+
+TEST(DbxShellTest, DisassembleAtSymbol) {
+  Session s;
+  s.Start(kFib);
+  auto out = s.shell->Command("dis loop 3");
+  EXPECT_NE(out.find("mov r3, r1"), std::string::npos);
+  EXPECT_NE(out.find("add r3, r2"), std::string::npos);
+}
+
+TEST(DbxShellTest, WhereShowsCallChain) {
+  Session s;
+  s.Start(kCalls);
+  // Break inside the innermost function; the stack holds return addresses
+  // into outer and main.
+  (void)s.shell->Command("stop at busy");
+  (void)s.shell->Command("cont");
+  auto where = s.shell->Command("where");
+  EXPECT_NE(where.find("#0"), std::string::npos);
+  EXPECT_NE(where.find("busy"), std::string::npos);
+  EXPECT_NE(where.find("outer"), std::string::npos) << where;
+  EXPECT_NE(where.find("main"), std::string::npos) << where;
+}
+
+TEST(DbxShellTest, WatchCommand) {
+  Session s;
+  s.Start(kFib);
+  EXPECT_NE(s.shell->Command("watch current").find("watchpoint on current"),
+            std::string::npos);
+  auto out = s.shell->Command("cont");
+  EXPECT_NE(out.find("watchpoint: current"), std::string::npos) << out;
+}
+
+TEST(DbxShellTest, ForcedSyscallCommand) {
+  Session s;
+  s.Start(kFib);
+  auto out = s.shell->Command("syscall getpid");
+  char want[32];
+  std::snprintf(want, sizeof(want), "getpid = %u\n", static_cast<unsigned>(s.pid));
+  EXPECT_EQ(out, want);
+}
+
+TEST(DbxShellTest, KillAndErrors) {
+  Session s;
+  s.Start(kFib);
+  EXPECT_NE(s.shell->Command("frobnicate").find("unknown command"), std::string::npos);
+  EXPECT_NE(s.shell->Command("print nosuchsym").find("no such symbol"),
+            std::string::npos);
+  EXPECT_EQ(s.shell->Command("kill"), "killed\n");
+  auto ec = s.sim.kernel().RunToExit(s.pid);
+  ASSERT_TRUE(ec.ok());
+  EXPECT_EQ(WTermSig(*ec), SIGKILL);
+}
+
+TEST(DbxShellTest, ScriptProducesTranscript) {
+  Session s;
+  s.Start(kFib);
+  auto transcript = s.shell->Script(R"(# a comment
+stop at loop
+cont
+print current
+detach)");
+  EXPECT_NE(transcript.find("dbx> stop at loop"), std::string::npos);
+  EXPECT_NE(transcript.find("dbx> detach"), std::string::npos);
+  EXPECT_NE(transcript.find("detached"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svr4

@@ -1,0 +1,281 @@
+// Unit tests for the VFS layer: path resolution, mounts, memfs, devices
+// (console/pipes), descriptor semantics, and file-backed VM objects.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "svr4proc/fs/dev.h"
+#include "svr4proc/fs/memfs.h"
+#include "svr4proc/fs/vfs.h"
+#include "svr4proc/tools/sim.h"
+
+namespace svr4 {
+namespace {
+
+VAttr Mode(uint32_t mode, Uid uid = 0, Gid gid = 0) {
+  VAttr a;
+  a.mode = mode;
+  a.uid = uid;
+  a.gid = gid;
+  return a;
+}
+
+TEST(Vfs, ResolveWalksComponents) {
+  Vfs vfs;
+  ASSERT_TRUE(vfs.MkdirAll("/a/b/c", Mode(0755)).ok());
+  auto c = vfs.Resolve("/a/b/c");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ((*c)->type(), VType::kDir);
+  EXPECT_TRUE(vfs.Resolve("/a//b/./c").ok()) << "duplicate slashes and dots";
+  EXPECT_FALSE(vfs.Resolve("/a/x").ok());
+  EXPECT_FALSE(vfs.Resolve("relative/path").ok());
+}
+
+TEST(Vfs, ResolveParentSplitsLeaf) {
+  Vfs vfs;
+  ASSERT_TRUE(vfs.MkdirAll("/dir", Mode(0755)).ok());
+  std::string leaf;
+  auto parent = vfs.ResolveParent("/dir/file.txt", &leaf);
+  ASSERT_TRUE(parent.ok());
+  EXPECT_EQ(leaf, "file.txt");
+  // Parent of a top-level name is the root.
+  parent = vfs.ResolveParent("/top", &leaf);
+  ASSERT_TRUE(parent.ok());
+  EXPECT_EQ(parent->get(), vfs.root().get());
+}
+
+TEST(Vfs, MountCoversDirectory) {
+  Vfs vfs;
+  ASSERT_TRUE(vfs.MkdirAll("/mnt", Mode(0755)).ok());
+  auto fsroot = std::make_shared<MemDir>(Mode(0755));
+  (void)fsroot->Create("inside", Mode(0644));
+  ASSERT_TRUE(vfs.Mount("/mnt", fsroot).ok());
+  auto f = vfs.Resolve("/mnt/inside");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->type(), VType::kReg);
+}
+
+TEST(MemFs, CreateWriteRead) {
+  Vfs vfs;
+  std::string leaf;
+  auto root = vfs.ResolveParent("/f", &leaf);
+  auto file = (*root)->Create("f", Mode(0644));
+  ASSERT_TRUE(file.ok());
+  OpenFile of;
+  of.vp = *file;
+  std::string text = "hello file";
+  auto n = (*file)->Write(of, 0, std::span<const uint8_t>(
+                                     reinterpret_cast<const uint8_t*>(text.data()),
+                                     text.size()));
+  ASSERT_TRUE(n.ok());
+  std::vector<uint8_t> buf(32);
+  auto r = (*file)->Read(of, 0, buf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, static_cast<int64_t>(text.size()));
+  EXPECT_EQ(std::memcmp(buf.data(), text.data(), text.size()), 0);
+  // Sparse write extends with zeros.
+  uint8_t b = 0xFF;
+  ASSERT_TRUE((*file)->Write(of, 100, std::span<const uint8_t>(&b, 1)).ok());
+  auto attr = (*file)->GetAttr();
+  EXPECT_EQ(attr->size, 101u);
+}
+
+TEST(MemFs, DirectoryOperations) {
+  auto dir = std::make_shared<MemDir>(Mode(0755));
+  ASSERT_TRUE(dir->Create("a", Mode(0644)).ok());
+  ASSERT_TRUE(dir->Mkdir("sub", Mode(0755)).ok());
+  EXPECT_FALSE(dir->Create("a", Mode(0644)).ok()) << "EEXIST";
+  auto ents = dir->Readdir();
+  ASSERT_TRUE(ents.ok());
+  EXPECT_EQ(ents->size(), 2u);
+  // Removing a non-empty directory fails.
+  auto sub = dir->Lookup("sub");
+  ASSERT_TRUE((*sub)->Create("inner", Mode(0644)).ok());
+  EXPECT_FALSE(dir->Remove("sub").ok());
+  ASSERT_TRUE((*sub)->Remove("inner").ok());
+  EXPECT_TRUE(dir->Remove("sub").ok());
+  EXPECT_TRUE(dir->Remove("a").ok());
+  EXPECT_FALSE(dir->Remove("a").ok()) << "ENOENT";
+}
+
+TEST(MemFs, PermissionChecksOnOpen) {
+  auto file = std::make_shared<MemFile>(Mode(0600, 100, 10));
+  OpenFile of;
+  of.vp = file;
+  of.oflags = O_RDONLY;
+  EXPECT_TRUE(file->Open(of, Creds::User(100, 10), nullptr).ok()) << "owner";
+  EXPECT_FALSE(file->Open(of, Creds::User(101, 10), nullptr).ok()) << "stranger";
+  EXPECT_TRUE(file->Open(of, Creds::Root(), nullptr).ok()) << "super-user";
+  of.oflags = O_WRONLY;
+  EXPECT_FALSE(file->Open(of, Creds::User(101, 10), nullptr).ok());
+}
+
+TEST(MemFs, GroupPermissions) {
+  auto file = std::make_shared<MemFile>(Mode(0640, 100, 10));
+  OpenFile of;
+  of.vp = file;
+  of.oflags = O_RDONLY;
+  Creds member = Creds::User(200, 10);
+  EXPECT_TRUE(file->Open(of, member, nullptr).ok()) << "group read";
+  of.oflags = O_WRONLY;
+  EXPECT_FALSE(file->Open(of, member, nullptr).ok()) << "group has no write";
+  Creds supp = Creds::User(200, 99);
+  supp.groups = {10};
+  of.oflags = O_RDONLY;
+  EXPECT_TRUE(file->Open(of, supp, nullptr).ok()) << "supplementary group";
+}
+
+TEST(MemFs, FileVmObjectSharesPages) {
+  auto file = std::make_shared<MemFile>(Mode(0644));
+  std::vector<uint8_t> data(2 * kPageSize, 0x11);
+  OpenFile of;
+  of.vp = file;
+  ASSERT_TRUE(file->Write(of, 0, data).ok());
+  auto o1 = file->GetVmObject();
+  auto o2 = file->GetVmObject();
+  ASSERT_TRUE(o1.ok() && o2.ok());
+  EXPECT_EQ(o1->get(), o2->get()) << "one object per file: mappings share pages";
+  auto p = (*o1)->GetPage(0);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->bytes[0], 0x11);
+  // Past EOF: zero-filled.
+  auto p2 = (*o1)->GetPage(5);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ((*p2)->bytes[0], 0);
+}
+
+TEST(Console, CapturesOutputAndServesInput) {
+  ConsoleVnode con;
+  OpenFile of;
+  std::string s = "printed";
+  ASSERT_TRUE(con.Write(of, 0, std::span<const uint8_t>(
+                                   reinterpret_cast<const uint8_t*>(s.data()), s.size()))
+                  .ok());
+  EXPECT_EQ(con.output(), "printed");
+  con.PushInput("typed");
+  std::vector<uint8_t> buf(3);
+  auto n = con.Read(of, 0, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3);
+  EXPECT_EQ(std::memcmp(buf.data(), "typ", 3), 0);
+  EXPECT_TRUE(con.Poll(of) & POLLIN);
+}
+
+TEST(Pipes, DataFlowAndBackpressureSignalling) {
+  auto buf = std::make_shared<PipeBuf>();
+  PipeVnode rd(buf, false);
+  PipeVnode wr(buf, true);
+  OpenFile rof, wof;
+  rof.vp = nullptr;
+  Creds cr;
+  (void)rd.Open(rof, cr, nullptr);
+  (void)wr.Open(wof, cr, nullptr);
+
+  // Empty pipe with a live writer: EAGAIN (kernel turns this into a sleep).
+  uint8_t b;
+  auto r = rd.Read(rof, 0, std::span<uint8_t>(&b, 1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Errno::kEAGAIN);
+
+  std::string s = "xy";
+  ASSERT_TRUE(wr.Write(wof, 0, std::span<const uint8_t>(
+                                   reinterpret_cast<const uint8_t*>(s.data()), s.size()))
+                  .ok());
+  r = rd.Read(rof, 0, std::span<uint8_t>(&b, 1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(b, 'x');
+
+  // Fill to capacity: the next write is EAGAIN.
+  std::vector<uint8_t> big(PipeBuf::kCapacity, 0);
+  (void)wr.Write(wof, 0, big);
+  auto w = wr.Write(wof, 0, std::span<const uint8_t>(big.data(), 1));
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.error(), Errno::kEAGAIN);
+
+  // Writer closes: EOF after draining.
+  wr.Close(wof);
+  while (true) {
+    auto n = rd.Read(rof, 0, std::span<uint8_t>(big.data(), big.size()));
+    ASSERT_TRUE(n.ok());
+    if (*n == 0) {
+      break;
+    }
+  }
+  EXPECT_TRUE(rd.Poll(rof) & POLLHUP);
+}
+
+TEST(Pipes, WriteWithoutReadersIsEpipe) {
+  auto buf = std::make_shared<PipeBuf>();
+  PipeVnode wr(buf, true);
+  OpenFile wof;
+  Creds cr;
+  (void)wr.Open(wof, cr, nullptr);
+  uint8_t b = 1;
+  auto w = wr.Write(wof, 0, std::span<const uint8_t>(&b, 1));
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.error(), Errno::kEPIPE);
+}
+
+TEST(Descriptors, DupSharesOffset) {
+  Sim sim;
+  Kernel& k = sim.kernel();
+  Proc* me = sim.controller();
+  std::vector<uint8_t> content = {'a', 'b', 'c', 'd', 'e', 'f'};
+  ASSERT_TRUE(k.WriteFileAt("/tmp/f", content).ok());
+  int fd = *k.Open(me, "/tmp/f", O_RDONLY);
+  uint8_t b;
+  ASSERT_TRUE(k.Read(me, fd, &b, 1).ok());
+  EXPECT_EQ(b, 'a');
+  // lseek is shared through the open-file object; a second open is not.
+  int fd2 = *k.Open(me, "/tmp/f", O_RDONLY);
+  ASSERT_TRUE(k.Read(me, fd2, &b, 1).ok());
+  EXPECT_EQ(b, 'a') << "independent open file, independent offset";
+  ASSERT_TRUE(k.Read(me, fd, &b, 1).ok());
+  EXPECT_EQ(b, 'b');
+}
+
+TEST(Descriptors, LseekSemantics) {
+  Sim sim;
+  Kernel& k = sim.kernel();
+  Proc* me = sim.controller();
+  std::vector<uint8_t> content(100, 7);
+  ASSERT_TRUE(k.WriteFileAt("/tmp/f", content).ok());
+  int fd = *k.Open(me, "/tmp/f", O_RDONLY);
+  EXPECT_EQ(*k.Lseek(me, fd, 10, SEEK_SET_), 10);
+  EXPECT_EQ(*k.Lseek(me, fd, 5, SEEK_CUR_), 15);
+  EXPECT_EQ(*k.Lseek(me, fd, -10, SEEK_END_), 90);
+  EXPECT_FALSE(k.Lseek(me, fd, -200, SEEK_CUR_).ok()) << "negative position";
+  EXPECT_FALSE(k.Lseek(me, fd, 0, 9).ok()) << "bad whence";
+}
+
+TEST(Descriptors, BadFdErrors) {
+  Sim sim;
+  Kernel& k = sim.kernel();
+  Proc* me = sim.controller();
+  uint8_t b;
+  EXPECT_EQ(k.Read(me, 42, &b, 1).error(), Errno::kEBADF);
+  EXPECT_EQ(k.Close(me, 42).error(), Errno::kEBADF);
+  int fd = *k.Open(me, "/tmp", O_RDONLY);
+  ASSERT_TRUE(k.Close(me, fd).ok());
+  EXPECT_EQ(k.Close(me, fd).error(), Errno::kEBADF) << "double close";
+}
+
+TEST(Descriptors, OpenCreatRespectsUmaskAndTrunc) {
+  Sim sim;
+  Kernel& k = sim.kernel();
+  Proc* me = sim.controller();
+  int fd = *k.Open(me, "/tmp/new", O_WRONLY | O_CREAT, 0666);
+  uint8_t b = 1;
+  ASSERT_TRUE(k.Write(me, fd, &b, 1).ok());
+  (void)k.Close(me, fd);
+  auto attr = *k.Stat(me, "/tmp/new");
+  EXPECT_EQ(attr.mode, 0666u & ~me->umask);
+  EXPECT_EQ(attr.size, 1u);
+  // O_TRUNC empties it.
+  fd = *k.Open(me, "/tmp/new", O_WRONLY | O_TRUNC);
+  (void)k.Close(me, fd);
+  EXPECT_EQ(k.Stat(me, "/tmp/new")->size, 0u);
+}
+
+}  // namespace
+}  // namespace svr4

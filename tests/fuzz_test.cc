@@ -1,0 +1,299 @@
+// Model-based randomized tests: the VM checked against a shadow reference
+// model, a.out parsing against corrupted inputs, and process-group signal
+// semantics under random interleavings.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <random>
+
+#include "svr4proc/isa/aout.h"
+#include "svr4proc/isa/assembler.h"
+#include "svr4proc/tools/sim.h"
+#include "svr4proc/vm/vm.h"
+
+namespace svr4 {
+namespace {
+
+// A byte-level reference model of one address space: per-byte presence,
+// permissions, and content.
+class ShadowAs {
+ public:
+  struct Byte {
+    bool mapped = false;
+    bool readable = false;
+    bool writable = false;
+    uint8_t value = 0;
+  };
+
+  void Map(uint32_t start, uint32_t len, bool r, bool w) {
+    for (uint32_t a = start; a < start + len; ++a) {
+      bytes_[a] = Byte{true, r, w, 0};
+    }
+  }
+  void Unmap(uint32_t start, uint32_t len) {
+    for (uint32_t a = start; a < start + len; ++a) {
+      bytes_.erase(a);
+    }
+  }
+  void Protect(uint32_t start, uint32_t len, bool r, bool w) {
+    for (uint32_t a = start; a < start + len; ++a) {
+      auto it = bytes_.find(a);
+      if (it != bytes_.end()) {
+        it->second.readable = r;
+        it->second.writable = w;
+      }
+    }
+  }
+  // Returns false if the access should fault.
+  bool Read(uint32_t addr, uint32_t len, std::vector<uint8_t>* out) {
+    out->resize(len);
+    for (uint32_t i = 0; i < len; ++i) {
+      auto it = bytes_.find(addr + i);
+      if (it == bytes_.end() || !it->second.readable) {
+        return false;
+      }
+      (*out)[i] = it->second.value;
+    }
+    return true;
+  }
+  bool Write(uint32_t addr, std::span<const uint8_t> data) {
+    for (uint32_t i = 0; i < data.size(); ++i) {
+      auto it = bytes_.find(addr + i);
+      if (it == bytes_.end() || !it->second.writable) {
+        return false;
+      }
+    }
+    for (uint32_t i = 0; i < data.size(); ++i) {
+      bytes_[addr + i].value = data[i];
+    }
+    return true;
+  }
+
+ private:
+  std::map<uint32_t, Byte> bytes_;
+};
+
+TEST(VmFuzz, RandomOperationsMatchShadowModel) {
+  std::mt19937 rng(20260704);
+  constexpr uint32_t kBase = 0x100000;
+  constexpr uint32_t kPages = 64;  // a 256K arena
+
+  for (int trial = 0; trial < 8; ++trial) {
+    AddressSpace as;
+    ShadowAs shadow;
+    for (int op = 0; op < 300; ++op) {
+      uint32_t page = rng() % kPages;
+      uint32_t npages = 1 + rng() % 4;
+      uint32_t start = kBase + page * kPageSize;
+      uint32_t len = npages * kPageSize;
+      switch (rng() % 5) {
+        case 0: {  // map anon rw or ro
+          bool writable = rng() % 2;
+          uint32_t prot = MA_READ | (writable ? MA_WRITE : 0u);
+          ASSERT_TRUE(as.Map(start, len, prot, std::make_shared<AnonObject>(), 0,
+                             "fuzz")
+                          .ok());
+          shadow.Map(start, len, true, writable);
+          break;
+        }
+        case 1: {  // unmap
+          ASSERT_TRUE(as.Unmap(start, len).ok());
+          shadow.Unmap(start, len);
+          break;
+        }
+        case 2: {  // protect (only when fully mapped; else both must refuse)
+          uint32_t prot = (rng() % 2) ? (MA_READ | MA_WRITE) : MA_READ;
+          bool ok = as.Protect(start, len, prot).ok();
+          if (ok) {
+            shadow.Protect(start, len, true, prot & MA_WRITE);
+          }
+          break;
+        }
+        case 3: {  // write a small run at a random byte offset
+          uint32_t addr = kBase + (rng() % (kPages * kPageSize));
+          uint32_t n = 1 + rng() % 64;
+          std::vector<uint8_t> data(n);
+          for (auto& b : data) {
+            b = static_cast<uint8_t>(rng());
+          }
+          bool model_ok = shadow.Write(addr, data);
+          auto real = as.MemWrite(addr, data.data(), n);
+          EXPECT_EQ(!real.has_value(), model_ok)
+              << "write fault divergence at 0x" << std::hex << addr;
+          break;
+        }
+        case 4: {  // read back and compare contents
+          uint32_t addr = kBase + (rng() % (kPages * kPageSize));
+          uint32_t n = 1 + rng() % 64;
+          std::vector<uint8_t> want;
+          bool model_ok = shadow.Read(addr, n, &want);
+          std::vector<uint8_t> got(n);
+          auto real = as.MemRead(addr, got.data(), n, Access::kRead);
+          ASSERT_EQ(!real.has_value(), model_ok)
+              << "read fault divergence at 0x" << std::hex << addr;
+          if (model_ok) {
+            EXPECT_EQ(got, want) << "content divergence at 0x" << std::hex << addr;
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(VmFuzz, PrIoNeverFaultsAndRespectsShadowContents) {
+  std::mt19937 rng(777);
+  AddressSpace as;
+  ASSERT_TRUE(as.Map(0x200000, 8 * kPageSize, MA_READ, std::make_shared<AnonObject>(),
+                     0, "ro")
+                  .ok());
+  // PrWrite ignores protections (forced access) — fill read-only memory.
+  for (int i = 0; i < 100; ++i) {
+    uint32_t addr = 0x200000 + (rng() % (8 * kPageSize - 64));
+    std::vector<uint8_t> data(1 + rng() % 64);
+    for (auto& b : data) {
+      b = static_cast<uint8_t>(rng());
+    }
+    auto w = as.PrWrite(addr, data);
+    ASSERT_TRUE(w.ok());
+    ASSERT_EQ(*w, static_cast<int64_t>(data.size()));
+    std::vector<uint8_t> back(data.size());
+    auto r = as.PrRead(addr, back);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(back, data);
+  }
+}
+
+TEST(AoutFuzz, TruncationsAndBitflipsNeverCrashParse) {
+  Assembler as;
+  auto img = as.Assemble(R"(
+main: ldi r1, msg
+      sys
+      .data
+msg:  .asciz "payload for fuzzing with symbols"
+other: .word 1, 2, 3
+  )");
+  ASSERT_TRUE(img.ok());
+  img->symbols.push_back({"extra", 42, SymType::kAbs});
+  auto bytes = img->Serialize();
+
+  // Every truncation length parses cleanly or fails cleanly.
+  for (size_t n = 0; n <= bytes.size(); n += 97) {
+    auto r = Aout::Parse(std::span<const uint8_t>(bytes.data(), n));
+    (void)r;  // must simply not crash / not over-read
+  }
+  // Random bit flips.
+  std::mt19937 rng(31337);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto copy = bytes;
+    int flips = 1 + static_cast<int>(rng() % 8);
+    for (int i = 0; i < flips; ++i) {
+      copy[rng() % copy.size()] ^= static_cast<uint8_t>(1u << (rng() % 8));
+    }
+    auto r = Aout::Parse(copy);
+    if (r.ok()) {
+      // If it parsed, the contents must be internally consistent enough to
+      // use without crashing.
+      (void)r->SymbolValue("main");
+      (void)r->NearestSymbol(0x80000005);
+      (void)r->VirtualSize();
+    }
+  }
+}
+
+TEST(ProcessGroups, KillToGroupReachesAllMembers) {
+  Sim sim;
+  // A leader that setpgrp()s and forks two members, then everyone pauses.
+  ASSERT_TRUE(sim.InstallProgram("/bin/grp", R"(
+      ldi r0, SYS_setpgrp
+      sys
+      ldi r0, SYS_fork
+      sys
+      cmpi r0, 0
+      jz member
+      ldi r0, SYS_fork
+      sys
+      cmpi r0, 0
+      jz member
+wait1:
+      ldi r0, SYS_pause
+      sys
+      jmp wait1
+member:
+      ldi r0, SYS_pause
+      sys
+      jmp member
+  )").ok());
+  auto pid = sim.Start("/bin/grp");
+  ASSERT_TRUE(pid.ok());
+  // Let the group assemble: 3 processes sleeping in pause.
+  ASSERT_TRUE(sim.kernel().RunUntil([&]() {
+    int asleep = 0;
+    for (Pid p : sim.kernel().AllPids()) {
+      Proc* q = sim.kernel().FindProc(p);
+      if (q != nullptr && q->pgrp == *pid && q->state == Proc::State::kActive &&
+          q->MainLwp() != nullptr && q->MainLwp()->state == LwpState::kSleeping) {
+        ++asleep;
+      }
+    }
+    return asleep == 3;
+  }));
+  // kill(-pgrp, SIGTERM) terminates the whole group.
+  ASSERT_TRUE(sim.kernel().Kill(sim.controller(), -*pid, SIGTERM).ok());
+  ASSERT_TRUE(sim.kernel().RunUntil([&]() {
+    for (Pid p : sim.kernel().AllPids()) {
+      Proc* q = sim.kernel().FindProc(p);
+      if (q != nullptr && q->pgrp == *pid && q->state == Proc::State::kActive) {
+        return false;
+      }
+    }
+    return true;
+  }));
+  SUCCEED();
+}
+
+TEST(ProcessGroups, JobControlStopsWholeGroup) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/grp", R"(
+      ldi r0, SYS_setpgrp
+      sys
+      ldi r0, SYS_fork
+      sys
+spin: jmp spin
+  )").ok());
+  auto pid = sim.Start("/bin/grp");
+  ASSERT_TRUE(pid.ok());
+  ASSERT_TRUE(sim.kernel().RunUntil([&]() {
+    int members = 0;
+    for (Pid p : sim.kernel().AllPids()) {
+      Proc* q = sim.kernel().FindProc(p);
+      if (q != nullptr && q->pgrp == *pid) {
+        ++members;
+      }
+    }
+    return members == 2;
+  }));
+  ASSERT_TRUE(sim.kernel().Kill(sim.controller(), -*pid, SIGSTOP).ok());
+  ASSERT_TRUE(sim.kernel().RunUntil([&]() {
+    for (Pid p : sim.kernel().AllPids()) {
+      Proc* q = sim.kernel().FindProc(p);
+      if (q != nullptr && q->pgrp == *pid && q->MainLwp() != nullptr &&
+          q->MainLwp()->state != LwpState::kStopped) {
+        return false;
+      }
+    }
+    return true;
+  }));
+  // And SIGCONT to the group resumes everyone.
+  ASSERT_TRUE(sim.kernel().Kill(sim.controller(), -*pid, SIGCONT).ok());
+  for (Pid p : sim.kernel().AllPids()) {
+    Proc* q = sim.kernel().FindProc(p);
+    if (q != nullptr && q->pgrp == *pid) {
+      EXPECT_EQ(q->MainLwp()->state, LwpState::kRunning);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace svr4

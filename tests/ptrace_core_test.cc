@@ -1,0 +1,342 @@
+// Coverage for the in-kernel ptrace(2) baseline (the "competing mechanism")
+// and for core dumps — the post-mortem side of the debugging story.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "svr4proc/kernel/core.h"
+#include "svr4proc/tools/proclib.h"
+#include "svr4proc/tools/sim.h"
+
+namespace svr4 {
+namespace {
+
+// A VCPU parent that TRACEMEs a forked child and drives it with ptrace
+// requests, checking results in-program and exiting with a verdict code.
+int RunVerdictProgram(Sim& sim, const std::string& src) {
+  auto img = sim.InstallProgram("/bin/v", src);
+  EXPECT_TRUE(img.ok());
+  auto pid = sim.Start("/bin/v");
+  EXPECT_TRUE(pid.ok());
+  auto st = sim.kernel().RunToExit(*pid);
+  EXPECT_TRUE(st.ok());
+  return st.ok() ? *st : -1;
+}
+
+TEST(KernelPtrace, PeekPokeUserRegisters) {
+  Sim sim;
+  // Parent: wait for the traced child's stop, read its r5 via PEEKUSER (5),
+  // write a new value via POKEUSER, continue; the child exits with r5.
+  int st = RunVerdictProgram(sim, R"(
+      ldi r0, SYS_fork
+      sys
+      cmpi r0, 0
+      jz child
+      mov r8, r0
+      ldi r0, SYS_wait
+      sys
+      ; PEEKUSER r5
+      ldi r0, SYS_ptrace
+      ldi r1, 3           ; PT_PEEKUSER
+      mov r2, r8
+      ldi r3, 5           ; register index
+      ldi r4, 0
+      sys
+      cmpi r0, 1111
+      jnz bad
+      ; POKEUSER r5 = 42
+      ldi r0, SYS_ptrace
+      ldi r1, 6           ; PT_POKEUSER
+      mov r2, r8
+      ldi r3, 5
+      ldi r4, 42
+      sys
+      ; continue with no signal
+      ldi r0, SYS_ptrace
+      ldi r1, 7           ; PT_CONT
+      mov r2, r8
+      ldi r3, 1
+      ldi r4, 0
+      sys
+      ldi r0, SYS_wait
+      sys
+      mov r5, r1
+      ldi r6, 8
+      shr r5, r6
+      ldi r0, SYS_exit
+      mov r1, r5          ; child's exit code (should be 42)
+      sys
+bad:  ldi r0, SYS_exit
+      ldi r1, 99
+      sys
+child:
+      ldi r0, SYS_ptrace  ; PT_TRACEME
+      ldi r1, 0
+      sys
+      ldi r5, 1111
+      ldi r0, SYS_getpid
+      sys
+      mov r7, r0
+      ldi r0, SYS_kill    ; stop ourselves (traced: any signal stops)
+      mov r1, r7
+      ldi r2, SIGUSR1
+      sys
+      ldi r0, SYS_exit
+      mov r1, r5          ; exits with whatever the parent poked into r5
+      sys
+  )");
+  EXPECT_TRUE(WIfExited(st));
+  EXPECT_EQ(WExitCode(st), 42);
+}
+
+TEST(KernelPtrace, StepExecutesOneInstruction) {
+  Sim sim;
+  int st = RunVerdictProgram(sim, R"(
+      ldi r0, SYS_fork
+      sys
+      cmpi r0, 0
+      jz child
+      mov r8, r0
+      ldi r0, SYS_wait
+      sys
+      ; remember pc
+      ldi r0, SYS_ptrace
+      ldi r1, 3           ; PEEKUSER
+      mov r2, r8
+      ldi r3, 16          ; pc
+      ldi r4, 0
+      sys
+      mov r9, r0
+      ; single-step (pc stays, sig cleared)
+      ldi r0, SYS_ptrace
+      ldi r1, 9           ; PT_STEP
+      mov r2, r8
+      ldi r3, 1
+      ldi r4, 0
+      sys
+      ldi r0, SYS_wait    ; stops again after one instruction (SIGTRAP)
+      sys
+      ldi r0, SYS_ptrace
+      ldi r1, 3
+      mov r2, r8
+      ldi r3, 16
+      ldi r4, 0
+      sys
+      sub r0, r9          ; pc delta
+      cmpi r0, 6          ; one ldi instruction
+      jnz bad
+      ldi r0, SYS_ptrace  ; PT_KILL
+      ldi r1, 8
+      mov r2, r8
+      ldi r3, 0
+      ldi r4, 0
+      sys
+      ldi r0, SYS_wait
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+bad:  ldi r0, SYS_exit
+      ldi r1, 1
+      sys
+child:
+      ldi r0, SYS_ptrace
+      ldi r1, 0
+      sys
+      ldi r0, SYS_getpid
+      sys
+      mov r7, r0
+      ldi r0, SYS_kill
+      mov r1, r7
+      ldi r2, SIGUSR1
+      sys
+      ; instructions the parent steps through
+      ldi r5, 1
+      ldi r5, 2
+spin: jmp spin
+  )");
+  EXPECT_TRUE(WIfExited(st));
+  EXPECT_EQ(WExitCode(st), 0);
+}
+
+TEST(KernelPtrace, RequestsOnNonChildFail) {
+  Sim sim;
+  // The controller (native) is not the parent of the spawned process, and
+  // the process never called TRACEME: every request must fail.
+  ASSERT_TRUE(sim.InstallProgram("/bin/spin", "spin: jmp spin\n").ok());
+  auto pid = sim.Start("/bin/spin");
+  auto r = sim.kernel().Ptrace(sim.controller(), PT_PEEKTEXT, *pid, 0x80000000, 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Errno::kESRCH)
+      << "ptrace cannot control unrelated processes — that is /proc's edge";
+}
+
+TEST(KernelPtrace, RequestsOnRunningChildFail) {
+  Sim sim;
+  int st = RunVerdictProgram(sim, R"(
+      ldi r0, SYS_fork
+      sys
+      cmpi r0, 0
+      jz child
+      mov r8, r0
+      ; child is traced but RUNNING (no stop yet): PEEK must fail
+      ldi r0, SYS_ptrace
+      ldi r1, 1           ; PT_PEEKTEXT
+      mov r2, r8
+      ldi r3, 0x80000000
+      ldi r4, 0
+      sys
+      jcc bad             ; must have failed (carry set)
+      ldi r0, SYS_kill
+      mov r1, r8
+      ldi r2, SIGKILL
+      sys
+      ldi r0, SYS_wait
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+bad:  ldi r0, SYS_exit
+      ldi r1, 1
+      sys
+child:
+      ldi r0, SYS_ptrace
+      ldi r1, 0
+      sys
+spin: jmp spin
+  )");
+  EXPECT_TRUE(WIfExited(st));
+  EXPECT_EQ(WExitCode(st), 0);
+}
+
+TEST(KernelPtrace, ContWithSignalDeliversIt) {
+  Sim sim;
+  int st = RunVerdictProgram(sim, R"(
+      ldi r0, SYS_fork
+      sys
+      cmpi r0, 0
+      jz child
+      mov r8, r0
+      ldi r0, SYS_wait    ; child's self-stop
+      sys
+      ; continue delivering SIGTERM: default action terminates the child
+      ldi r0, SYS_ptrace
+      ldi r1, 7
+      mov r2, r8
+      ldi r3, 1
+      ldi r4, SIGTERM
+      sys
+      ldi r0, SYS_wait
+      sys
+      ; status low 7 bits = terminating signal
+      mov r5, r1
+      ldi r6, 0x7F
+      and r5, r6
+      ldi r0, SYS_exit
+      mov r1, r5
+      sys
+child:
+      ldi r0, SYS_ptrace
+      ldi r1, 0
+      sys
+      ldi r0, SYS_getpid
+      sys
+      mov r7, r0
+      ldi r0, SYS_kill
+      mov r1, r7
+      ldi r2, SIGUSR1
+      sys
+spin: jmp spin
+  )");
+  EXPECT_TRUE(WIfExited(st));
+  EXPECT_EQ(WExitCode(st), SIGTERM);
+}
+
+// ---------------------------------------------------------------------------
+// Core dumps.
+// ---------------------------------------------------------------------------
+
+TEST(CoreDumpTest, FatalSignalWritesLoadableCore) {
+  Sim sim;
+  auto img = sim.InstallProgram("/bin/crash", R"(
+      ldi r7, 0xFEED
+      ldi r4, marker
+      ldi r5, 0x600D
+      stw r5, [r4]
+      ldi r1, 1
+      ldi r2, 0
+      div r1, r2          ; FLTIZDIV -> SIGFPE -> core
+      .data
+marker: .word 0
+  )");
+  ASSERT_TRUE(img.ok());
+  auto pid = sim.Start("/bin/crash");
+  auto ec = sim.kernel().RunToExit(*pid);
+  ASSERT_TRUE(ec.ok());
+  ASSERT_TRUE(*ec & 0x80) << "core bit set";
+
+  char path[32];
+  std::snprintf(path, sizeof(path), "/tmp/core.%d", *pid);
+  auto attr = sim.kernel().Stat(sim.controller(), path);
+  ASSERT_TRUE(attr.ok()) << "core file written";
+
+  // Load and examine it post mortem.
+  std::vector<uint8_t> bytes(attr->size);
+  int fd = *sim.kernel().Open(sim.controller(), path, O_RDONLY);
+  ASSERT_TRUE(sim.kernel().Read(sim.controller(), fd, bytes.data(), bytes.size()).ok());
+  auto core = CoreDump::Parse(bytes);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->sig, SIGFPE);
+  EXPECT_EQ(core->status.pr_reg.r[7], 0xFEEDu) << "registers at death";
+  EXPECT_STREQ(core->psinfo.pr_fname, "crash");
+  // The data segment contents are in the dump.
+  uint32_t marker = 0;
+  auto n = core->ReadMem(*img->SymbolValue("marker"),
+                         std::span<uint8_t>(reinterpret_cast<uint8_t*>(&marker), 4));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(marker, 0x600Du);
+  // The pc points at the faulting instruction.
+  uint8_t op = 0;
+  ASSERT_TRUE(core->ReadMem(core->status.pr_reg.pc,
+                            std::span<uint8_t>(&op, 1)).ok());
+  EXPECT_EQ(op, kOpDiv);
+}
+
+TEST(CoreDumpTest, PlainTerminationWritesNoCore) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/spin", "spin: jmp spin\n").ok());
+  auto pid = sim.Start("/bin/spin");
+  for (int i = 0; i < 20; ++i) {
+    sim.kernel().Step();
+  }
+  ASSERT_TRUE(sim.kernel().Kill(sim.controller(), *pid, SIGTERM).ok());
+  ASSERT_TRUE(sim.kernel().RunToExit(*pid).ok());
+  char path[32];
+  std::snprintf(path, sizeof(path), "/tmp/core.%d", *pid);
+  EXPECT_FALSE(sim.kernel().Stat(sim.controller(), path).ok());
+}
+
+TEST(CoreDumpTest, SetIdProcessNeverDumps) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/suidcrash", R"(
+      ldi r1, 1
+      ldi r2, 0
+      div r1, r2
+  )", 04755, 0, 0).ok());
+  auto pid = sim.Start("/bin/suidcrash", {}, Creds::User(100, 10));
+  ASSERT_TRUE(pid.ok());
+  ASSERT_TRUE(sim.kernel().RunToExit(*pid).ok());
+  char path[32];
+  std::snprintf(path, sizeof(path), "/tmp/core.%d", *pid);
+  EXPECT_FALSE(sim.kernel().Stat(sim.controller(), path).ok())
+      << "set-id processes are never dumped";
+}
+
+TEST(CoreDumpTest, ParseRejectsGarbage) {
+  std::vector<uint8_t> junk(64, 0xAB);
+  EXPECT_FALSE(CoreDump::Parse(junk).ok());
+  EXPECT_FALSE(CoreDump::Parse({}).ok());
+}
+
+}  // namespace
+}  // namespace svr4

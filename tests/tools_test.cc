@@ -1,0 +1,363 @@
+// Tests for the /proc applications: ps, truss, and the debugger.
+#include <gtest/gtest.h>
+
+#include "svr4proc/tools/debugger.h"
+#include "svr4proc/tools/ps.h"
+#include "svr4proc/tools/sim.h"
+#include "svr4proc/tools/truss.h"
+
+namespace svr4 {
+namespace {
+
+constexpr char kCounter[] = R"(
+loop: ldi r4, var
+      ldw r5, [r4]
+      addi r5, 1
+      stw r5, [r4]
+      jmp loop
+      .data
+var:  .word 0
+)";
+
+TEST(PsTool, SnapshotSeesAllProcesses) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kCounter).ok());
+  auto p1 = sim.Start("/bin/prog");
+  auto p2 = sim.Start("/bin/prog");
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  auto snap = PsSnapshot(sim.kernel(), sim.controller());
+  ASSERT_TRUE(snap.ok());
+  // sched, init, pageout, controller, two targets.
+  EXPECT_GE(snap->size(), 6u);
+  int targets = 0;
+  for (const auto& ps : *snap) {
+    if (ps.pr_pid == *p1 || ps.pr_pid == *p2) {
+      ++targets;
+      EXPECT_STREQ(ps.pr_fname, "prog");
+    }
+  }
+  EXPECT_EQ(targets, 2);
+}
+
+TEST(PsTool, FormattedListingHasHeaderAndRows) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kCounter).ok());
+  ASSERT_TRUE(sim.Start("/bin/prog").ok());
+  auto out = PsFormat(sim.kernel(), sim.controller(), PsOptions{.full = true});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("UID"), std::string::npos);
+  EXPECT_NE(out->find("prog"), std::string::npos);
+  EXPECT_NE(out->find("init"), std::string::npos);
+}
+
+TEST(PsTool, NonRootSeesOnlyOpenableProcesses) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kCounter).ok());
+  auto mine = sim.kernel().Spawn("/bin/prog", {"prog"}, Creds::User(100, 10));
+  auto theirs = sim.kernel().Spawn("/bin/prog", {"prog"}, Creds::User(200, 20));
+  ASSERT_TRUE(mine.ok() && theirs.ok());
+  Proc* user = sim.NewController(Creds::User(100, 10), "user");
+  auto snap = PsSnapshot(sim.kernel(), user);
+  ASSERT_TRUE(snap.ok());
+  bool saw_mine = false, saw_theirs = false;
+  for (const auto& ps : *snap) {
+    if (ps.pr_pid == *mine) {
+      saw_mine = true;
+    }
+    if (ps.pr_pid == *theirs) {
+      saw_theirs = true;
+    }
+  }
+  EXPECT_TRUE(saw_mine);
+  EXPECT_FALSE(saw_theirs) << "/proc open permissions gate the listing";
+}
+
+TEST(PsTool, LsProcRendersFigure1) {
+  Sim sim;
+  auto out = LsProc(sim.kernel(), sim.controller());
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("00000"), std::string::npos);
+  EXPECT_NE(out->find("00001"), std::string::npos);
+  EXPECT_NE(out->find("00002"), std::string::npos);
+}
+
+TEST(TrussTool, ReportsSyscallsSignalsAndExit) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", R"(
+      ldi r0, SYS_getpid
+      sys
+      ldi r0, SYS_write
+      ldi r1, 1
+      ldi r2, msg
+      ldi r3, 3
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+      .data
+msg:  .asciz "hi\n"
+  )").ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  Truss truss(sim.kernel(), sim.controller());
+  ASSERT_TRUE(truss.Trace(*pid).ok());
+  const std::string& rep = truss.report();
+  EXPECT_NE(rep.find("getpid()"), std::string::npos) << rep;
+  EXPECT_NE(rep.find("write(0x1, "), std::string::npos) << rep;
+  EXPECT_NE(rep.find("= 3"), std::string::npos) << "write returned 3";
+  EXPECT_NE(rep.find("exited"), std::string::npos);
+  EXPECT_EQ(sim.ConsoleOutput(), "hi\n") << "truss must not alter behaviour";
+}
+
+TEST(TrussTool, ReportsFaultsAndSignals) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", R"(
+      ldi r1, 1
+      ldi r2, 0
+      div r1, r2
+  )").ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  Truss truss(sim.kernel(), sim.controller());
+  ASSERT_TRUE(truss.Trace(*pid).ok());
+  EXPECT_NE(truss.report().find("FLTIZDIV"), std::string::npos) << truss.report();
+  EXPECT_NE(truss.report().find("SIGFPE"), std::string::npos) << truss.report();
+}
+
+TEST(TrussTool, ErrorsAreSymbolic) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", R"(
+      ldi r0, SYS_open
+      ldi r1, path
+      ldi r2, O_RDONLY
+      ldi r3, 0
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+      .data
+path: .asciz "/no/such/file"
+  )").ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  Truss truss(sim.kernel(), sim.controller());
+  ASSERT_TRUE(truss.Trace(*pid).ok());
+  EXPECT_NE(truss.report().find("ENOENT"), std::string::npos) << truss.report();
+}
+
+TEST(TrussTool, FollowForkTracesChildren) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", R"(
+      ldi r0, SYS_fork
+      sys
+      cmpi r0, 0
+      jz child
+      ldi r0, SYS_wait
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+child:
+      ldi r0, SYS_getppid
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+  )").ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  Truss truss(sim.kernel(), sim.controller(), TrussOptions{.follow_fork = true});
+  ASSERT_TRUE(truss.Trace(*pid).ok());
+  EXPECT_NE(truss.report().find("getppid()"), std::string::npos)
+      << "the child's syscalls are traced too:\n"
+      << truss.report();
+  auto it = truss.syscall_counts().find(SYS_exit);
+  ASSERT_NE(it, truss.syscall_counts().end());
+  EXPECT_GE(it->second, 2u) << "both exits seen";
+}
+
+TEST(TrussTool, CountsMode) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", R"(
+      ldi r8, 5
+loop: ldi r0, SYS_getpid
+      sys
+      ldi r5, 1
+      sub r8, r5
+      cmpi r8, 0
+      jnz loop
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+  )").ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  Truss truss(sim.kernel(), sim.controller(), TrussOptions{.counts_only = true});
+  ASSERT_TRUE(truss.Trace(*pid).ok());
+  EXPECT_EQ(truss.syscall_counts().at(SYS_getpid), 5u);
+  EXPECT_NE(truss.CountsTable().find("getpid"), std::string::npos);
+}
+
+TEST(DebuggerTool, BreakpointHitAndResume) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kCounter).ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  Debugger dbg(sim.kernel(), sim.controller());
+  ASSERT_TRUE(dbg.Attach(*pid).ok());
+  ASSERT_TRUE(dbg.SetBreakpoint("loop").ok());
+  auto stop = dbg.Continue();
+  ASSERT_TRUE(stop.ok());
+  EXPECT_EQ(stop->kind, Debugger::StopInfo::kBreakpoint);
+  EXPECT_EQ(stop->symbol, "loop");
+  EXPECT_EQ(stop->addr, *dbg.Lookup("loop"));
+  // Continue again: one full loop iteration back to the same breakpoint.
+  auto v1 = dbg.ReadWord("var");
+  ASSERT_TRUE(v1.ok());
+  stop = dbg.Continue();
+  ASSERT_TRUE(stop.ok());
+  EXPECT_EQ(stop->kind, Debugger::StopInfo::kBreakpoint);
+  auto v2 = dbg.ReadWord("var");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v2, *v1 + 1) << "exactly one loop iteration between hits";
+}
+
+TEST(DebuggerTool, ConditionalBreakpoint) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kCounter).ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  Debugger dbg(sim.kernel(), sim.controller());
+  ASSERT_TRUE(dbg.Attach(*pid).ok());
+  // Break at `loop` only when r5 (the counter) reaches 10.
+  ASSERT_TRUE(dbg.SetConditionalBreakpoint(
+                     *dbg.Lookup("loop"),
+                     [](const PrStatus& st) { return st.pr_reg.r[5] >= 10; })
+                  .ok());
+  auto stop = dbg.Continue();
+  ASSERT_TRUE(stop.ok());
+  ASSERT_EQ(stop->kind, Debugger::StopInfo::kBreakpoint);
+  EXPECT_GE(stop->status.pr_reg.r[5], 10u);
+  EXPECT_EQ(stop->status.pr_reg.r[5], 10u) << "stops at the first satisfying hit";
+  EXPECT_GE(dbg.breakpoint_evaluations(), 10u) << "the false hits were evaluated";
+}
+
+TEST(DebuggerTool, SingleStepWalksInstructions) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kCounter).ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  Debugger dbg(sim.kernel(), sim.controller());
+  ASSERT_TRUE(dbg.Attach(*pid).ok());
+  auto st0 = dbg.handle().Status();
+  ASSERT_TRUE(st0.ok());
+  uint32_t pc = st0->pr_reg.pc;
+  auto st1 = dbg.StepInstruction();
+  ASSERT_TRUE(st1.ok());
+  EXPECT_EQ(st1->pr_reg.pc, pc + 6);  // ldi
+  auto st2 = dbg.StepInstruction();
+  ASSERT_TRUE(st2.ok());
+  EXPECT_EQ(st2->pr_reg.pc, pc + 10);  // ldw
+}
+
+TEST(DebuggerTool, WatchpointOnNamedVariable) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kCounter).ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  Debugger dbg(sim.kernel(), sim.controller());
+  ASSERT_TRUE(dbg.Attach(*pid).ok());
+  ASSERT_TRUE(dbg.WatchVariable("var", 4, WA_WRITE).ok());
+  auto stop = dbg.Continue();
+  ASSERT_TRUE(stop.ok());
+  EXPECT_EQ(stop->kind, Debugger::StopInfo::kWatchpoint);
+  EXPECT_EQ(stop->addr, *dbg.Lookup("var"));
+  EXPECT_EQ(stop->symbol, "var");
+}
+
+TEST(DebuggerTool, WriteVariableBySymbol) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kCounter).ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  Debugger dbg(sim.kernel(), sim.controller());
+  ASSERT_TRUE(dbg.Attach(*pid).ok());
+  ASSERT_TRUE(dbg.WriteWord("var", 5000).ok());
+  auto v = dbg.ReadWord("var");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 5000u);
+}
+
+TEST(DebuggerTool, DisassembleShowsOriginalInstructionUnderBreakpoint) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kCounter).ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  Debugger dbg(sim.kernel(), sim.controller());
+  ASSERT_TRUE(dbg.Attach(*pid).ok());
+  uint32_t loop = *dbg.Lookup("loop");
+  ASSERT_TRUE(dbg.SetBreakpoint(loop).ok());
+  auto dis = dbg.Disassemble(loop, 2);
+  ASSERT_TRUE(dis.ok());
+  EXPECT_NE(dis->find("ldi r4"), std::string::npos)
+      << "the planted BPT must not leak into the listing:\n"
+      << *dis;
+  EXPECT_EQ(dis->find("bpt"), std::string::npos);
+}
+
+TEST(DebuggerTool, DetachLiftsBreakpointsAndResumes) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kCounter).ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  {
+    Debugger dbg(sim.kernel(), sim.controller());
+    ASSERT_TRUE(dbg.Attach(*pid).ok());
+    ASSERT_TRUE(dbg.SetBreakpoint("loop").ok());
+    ASSERT_TRUE(dbg.Detach().ok());
+  }
+  // The process must run freely (no breakpoint faults, not stopped).
+  for (int i = 0; i < 500; ++i) {
+    sim.kernel().Step();
+  }
+  Proc* p = sim.kernel().FindProc(*pid);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->state, Proc::State::kActive);
+  EXPECT_EQ(p->MainLwp()->state, LwpState::kRunning);
+}
+
+TEST(DebuggerTool, ContinueReportsExit) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", R"(
+      ldi r0, SYS_exit
+      ldi r1, 12
+      sys
+  )").ok());
+  auto pid = sim.kernel().Spawn("/bin/prog", {"prog"}, Creds::Root(), sim.controller());
+  ASSERT_TRUE(pid.ok());
+  Debugger dbg(sim.kernel(), sim.controller());
+  ASSERT_TRUE(dbg.Attach(*pid).ok());
+  auto stop = dbg.Continue();
+  ASSERT_TRUE(stop.ok());
+  EXPECT_EQ(stop->kind, Debugger::StopInfo::kExited);
+  EXPECT_EQ(WExitCode(stop->exit_status), 12);
+}
+
+TEST(DebuggerTool, GrabAnExistingRunningProcess) {
+  Sim sim;
+  // "the ability to grab and debug an existing process"
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kCounter).ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  for (int i = 0; i < 1000; ++i) {
+    sim.kernel().Step();  // it has been running for a while
+  }
+  Debugger dbg(sim.kernel(), sim.controller());
+  ASSERT_TRUE(dbg.Attach(*pid).ok());
+  auto v = dbg.ReadWord("var");
+  ASSERT_TRUE(v.ok());
+  EXPECT_GT(*v, 0u) << "attached mid-run with symbols resolved via PIOCOPENM";
+}
+
+}  // namespace
+}  // namespace svr4
