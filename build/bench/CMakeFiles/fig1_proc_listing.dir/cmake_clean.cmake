@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_proc_listing.dir/fig1_proc_listing.cc.o"
+  "CMakeFiles/fig1_proc_listing.dir/fig1_proc_listing.cc.o.d"
+  "fig1_proc_listing"
+  "fig1_proc_listing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_proc_listing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_memory_map.dir/fig2_memory_map.cc.o"
+  "CMakeFiles/fig2_memory_map.dir/fig2_memory_map.cc.o.d"
+  "fig2_memory_map"
+  "fig2_memory_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_memory_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

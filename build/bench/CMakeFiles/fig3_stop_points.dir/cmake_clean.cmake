@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_stop_points.dir/fig3_stop_points.cc.o"
+  "CMakeFiles/fig3_stop_points.dir/fig3_stop_points.cc.o.d"
+  "fig3_stop_points"
+  "fig3_stop_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_stop_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_issig_logic.dir/fig4_issig_logic.cc.o"
+  "CMakeFiles/fig4_issig_logic.dir/fig4_issig_logic.cc.o.d"
+  "fig4_issig_logic"
+  "fig4_issig_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_issig_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

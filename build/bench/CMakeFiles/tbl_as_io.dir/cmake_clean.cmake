@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_as_io.dir/tbl_as_io.cc.o"
+  "CMakeFiles/tbl_as_io.dir/tbl_as_io.cc.o.d"
+  "tbl_as_io"
+  "tbl_as_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_as_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_breakpoints.dir/tbl_breakpoints.cc.o"
+  "CMakeFiles/tbl_breakpoints.dir/tbl_breakpoints.cc.o.d"
+  "tbl_breakpoints"
+  "tbl_breakpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_breakpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

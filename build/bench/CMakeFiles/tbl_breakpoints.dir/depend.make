@@ -1,0 +1,2 @@
+# Empty dependencies file for tbl_breakpoints.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_ctl_batching.dir/tbl_ctl_batching.cc.o"
+  "CMakeFiles/tbl_ctl_batching.dir/tbl_ctl_batching.cc.o.d"
+  "tbl_ctl_batching"
+  "tbl_ctl_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_ctl_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_ps_snapshot.dir/tbl_ps_snapshot.cc.o"
+  "CMakeFiles/tbl_ps_snapshot.dir/tbl_ps_snapshot.cc.o.d"
+  "tbl_ps_snapshot"
+  "tbl_ps_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_ps_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_truss_overhead.dir/tbl_truss_overhead.cc.o"
+  "CMakeFiles/tbl_truss_overhead.dir/tbl_truss_overhead.cc.o.d"
+  "tbl_truss_overhead"
+  "tbl_truss_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_truss_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_watchpoints.dir/tbl_watchpoints.cc.o"
+  "CMakeFiles/tbl_watchpoints.dir/tbl_watchpoints.cc.o.d"
+  "tbl_watchpoints"
+  "tbl_watchpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_watchpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

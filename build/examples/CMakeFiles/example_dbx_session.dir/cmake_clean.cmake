@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dbx_session.dir/dbx_session.cpp.o"
+  "CMakeFiles/example_dbx_session.dir/dbx_session.cpp.o.d"
+  "example_dbx_session"
+  "example_dbx_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dbx_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

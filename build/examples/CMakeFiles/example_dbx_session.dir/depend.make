@@ -1,0 +1,2 @@
+# Empty dependencies file for example_dbx_session.
+# This may be replaced when dependencies are built.

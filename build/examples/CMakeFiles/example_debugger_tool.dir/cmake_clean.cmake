@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_debugger_tool.dir/debugger_tool.cpp.o"
+  "CMakeFiles/example_debugger_tool.dir/debugger_tool.cpp.o.d"
+  "example_debugger_tool"
+  "example_debugger_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_debugger_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_encapsulation.dir/encapsulation.cpp.o"
+  "CMakeFiles/example_encapsulation.dir/encapsulation.cpp.o.d"
+  "example_encapsulation"
+  "example_encapsulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_encapsulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

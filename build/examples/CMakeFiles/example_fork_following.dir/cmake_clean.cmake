@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fork_following.dir/fork_following.cpp.o"
+  "CMakeFiles/example_fork_following.dir/fork_following.cpp.o.d"
+  "example_fork_following"
+  "example_fork_following.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fork_following.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

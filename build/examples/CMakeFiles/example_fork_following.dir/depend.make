@@ -1,0 +1,2 @@
+# Empty dependencies file for example_fork_following.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hierarchy.dir/hierarchy.cpp.o"
+  "CMakeFiles/example_hierarchy.dir/hierarchy.cpp.o.d"
+  "example_hierarchy"
+  "example_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

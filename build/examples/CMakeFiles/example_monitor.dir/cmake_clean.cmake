@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_monitor.dir/monitor.cpp.o"
+  "CMakeFiles/example_monitor.dir/monitor.cpp.o.d"
+  "example_monitor"
+  "example_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ps_tool.dir/ps_tool.cpp.o"
+  "CMakeFiles/example_ps_tool.dir/ps_tool.cpp.o.d"
+  "example_ps_tool"
+  "example_ps_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ps_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

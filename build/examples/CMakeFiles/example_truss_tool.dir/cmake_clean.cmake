@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_truss_tool.dir/truss_tool.cpp.o"
+  "CMakeFiles/example_truss_tool.dir/truss_tool.cpp.o.d"
+  "example_truss_tool"
+  "example_truss_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_truss_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/result.cc" "src/CMakeFiles/svr4proc.dir/base/result.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/base/result.cc.o.d"
+  "/root/repo/src/fs/dev.cc" "src/CMakeFiles/svr4proc.dir/fs/dev.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/fs/dev.cc.o.d"
+  "/root/repo/src/fs/memfs.cc" "src/CMakeFiles/svr4proc.dir/fs/memfs.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/fs/memfs.cc.o.d"
+  "/root/repo/src/fs/vfs.cc" "src/CMakeFiles/svr4proc.dir/fs/vfs.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/fs/vfs.cc.o.d"
+  "/root/repo/src/fs/vnode.cc" "src/CMakeFiles/svr4proc.dir/fs/vnode.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/fs/vnode.cc.o.d"
+  "/root/repo/src/isa/aout.cc" "src/CMakeFiles/svr4proc.dir/isa/aout.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/isa/aout.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/svr4proc.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/cpu.cc" "src/CMakeFiles/svr4proc.dir/isa/cpu.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/isa/cpu.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/svr4proc.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/CMakeFiles/svr4proc.dir/isa/isa.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/isa/isa.cc.o.d"
+  "/root/repo/src/kernel/core.cc" "src/CMakeFiles/svr4proc.dir/kernel/core.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/kernel/core.cc.o.d"
+  "/root/repo/src/kernel/exec.cc" "src/CMakeFiles/svr4proc.dir/kernel/exec.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/kernel/exec.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/CMakeFiles/svr4proc.dir/kernel/kernel.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/kernel/kernel.cc.o.d"
+  "/root/repo/src/kernel/ptrace.cc" "src/CMakeFiles/svr4proc.dir/kernel/ptrace.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/kernel/ptrace.cc.o.d"
+  "/root/repo/src/kernel/signal.cc" "src/CMakeFiles/svr4proc.dir/kernel/signal.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/kernel/signal.cc.o.d"
+  "/root/repo/src/kernel/syscall_table.cc" "src/CMakeFiles/svr4proc.dir/kernel/syscall_table.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/kernel/syscall_table.cc.o.d"
+  "/root/repo/src/kernel/syscalls.cc" "src/CMakeFiles/svr4proc.dir/kernel/syscalls.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/kernel/syscalls.cc.o.d"
+  "/root/repo/src/procfs/build.cc" "src/CMakeFiles/svr4proc.dir/procfs/build.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/procfs/build.cc.o.d"
+  "/root/repo/src/procfs/flat.cc" "src/CMakeFiles/svr4proc.dir/procfs/flat.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/procfs/flat.cc.o.d"
+  "/root/repo/src/procfs/hier.cc" "src/CMakeFiles/svr4proc.dir/procfs/hier.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/procfs/hier.cc.o.d"
+  "/root/repo/src/ptlib/ptrace_lib.cc" "src/CMakeFiles/svr4proc.dir/ptlib/ptrace_lib.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/ptlib/ptrace_lib.cc.o.d"
+  "/root/repo/src/tools/dbx_shell.cc" "src/CMakeFiles/svr4proc.dir/tools/dbx_shell.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/tools/dbx_shell.cc.o.d"
+  "/root/repo/src/tools/debugger.cc" "src/CMakeFiles/svr4proc.dir/tools/debugger.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/tools/debugger.cc.o.d"
+  "/root/repo/src/tools/proclib.cc" "src/CMakeFiles/svr4proc.dir/tools/proclib.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/tools/proclib.cc.o.d"
+  "/root/repo/src/tools/ps.cc" "src/CMakeFiles/svr4proc.dir/tools/ps.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/tools/ps.cc.o.d"
+  "/root/repo/src/tools/sim.cc" "src/CMakeFiles/svr4proc.dir/tools/sim.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/tools/sim.cc.o.d"
+  "/root/repo/src/tools/truss.cc" "src/CMakeFiles/svr4proc.dir/tools/truss.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/tools/truss.cc.o.d"
+  "/root/repo/src/vm/vm.cc" "src/CMakeFiles/svr4proc.dir/vm/vm.cc.o" "gcc" "src/CMakeFiles/svr4proc.dir/vm/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/asm_extra_test.cc" "tests/CMakeFiles/svr4proc_tests.dir/asm_extra_test.cc.o" "gcc" "tests/CMakeFiles/svr4proc_tests.dir/asm_extra_test.cc.o.d"
+  "/root/repo/tests/dbx_shell_test.cc" "tests/CMakeFiles/svr4proc_tests.dir/dbx_shell_test.cc.o" "gcc" "tests/CMakeFiles/svr4proc_tests.dir/dbx_shell_test.cc.o.d"
+  "/root/repo/tests/extended_test.cc" "tests/CMakeFiles/svr4proc_tests.dir/extended_test.cc.o" "gcc" "tests/CMakeFiles/svr4proc_tests.dir/extended_test.cc.o.d"
+  "/root/repo/tests/fs_test.cc" "tests/CMakeFiles/svr4proc_tests.dir/fs_test.cc.o" "gcc" "tests/CMakeFiles/svr4proc_tests.dir/fs_test.cc.o.d"
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/svr4proc_tests.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/svr4proc_tests.dir/fuzz_test.cc.o.d"
+  "/root/repo/tests/isa_test.cc" "tests/CMakeFiles/svr4proc_tests.dir/isa_test.cc.o" "gcc" "tests/CMakeFiles/svr4proc_tests.dir/isa_test.cc.o.d"
+  "/root/repo/tests/kernel_test.cc" "tests/CMakeFiles/svr4proc_tests.dir/kernel_test.cc.o" "gcc" "tests/CMakeFiles/svr4proc_tests.dir/kernel_test.cc.o.d"
+  "/root/repo/tests/procfs2_test.cc" "tests/CMakeFiles/svr4proc_tests.dir/procfs2_test.cc.o" "gcc" "tests/CMakeFiles/svr4proc_tests.dir/procfs2_test.cc.o.d"
+  "/root/repo/tests/procfs_test.cc" "tests/CMakeFiles/svr4proc_tests.dir/procfs_test.cc.o" "gcc" "tests/CMakeFiles/svr4proc_tests.dir/procfs_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/svr4proc_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/svr4proc_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/ptrace_core_test.cc" "tests/CMakeFiles/svr4proc_tests.dir/ptrace_core_test.cc.o" "gcc" "tests/CMakeFiles/svr4proc_tests.dir/ptrace_core_test.cc.o.d"
+  "/root/repo/tests/tools_test.cc" "tests/CMakeFiles/svr4proc_tests.dir/tools_test.cc.o" "gcc" "tests/CMakeFiles/svr4proc_tests.dir/tools_test.cc.o.d"
+  "/root/repo/tests/vm_test.cc" "tests/CMakeFiles/svr4proc_tests.dir/vm_test.cc.o" "gcc" "tests/CMakeFiles/svr4proc_tests.dir/vm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svr4proc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

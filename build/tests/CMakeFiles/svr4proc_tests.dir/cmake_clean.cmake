@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svr4proc_tests.dir/asm_extra_test.cc.o"
+  "CMakeFiles/svr4proc_tests.dir/asm_extra_test.cc.o.d"
+  "CMakeFiles/svr4proc_tests.dir/dbx_shell_test.cc.o"
+  "CMakeFiles/svr4proc_tests.dir/dbx_shell_test.cc.o.d"
+  "CMakeFiles/svr4proc_tests.dir/extended_test.cc.o"
+  "CMakeFiles/svr4proc_tests.dir/extended_test.cc.o.d"
+  "CMakeFiles/svr4proc_tests.dir/fs_test.cc.o"
+  "CMakeFiles/svr4proc_tests.dir/fs_test.cc.o.d"
+  "CMakeFiles/svr4proc_tests.dir/fuzz_test.cc.o"
+  "CMakeFiles/svr4proc_tests.dir/fuzz_test.cc.o.d"
+  "CMakeFiles/svr4proc_tests.dir/isa_test.cc.o"
+  "CMakeFiles/svr4proc_tests.dir/isa_test.cc.o.d"
+  "CMakeFiles/svr4proc_tests.dir/kernel_test.cc.o"
+  "CMakeFiles/svr4proc_tests.dir/kernel_test.cc.o.d"
+  "CMakeFiles/svr4proc_tests.dir/procfs2_test.cc.o"
+  "CMakeFiles/svr4proc_tests.dir/procfs2_test.cc.o.d"
+  "CMakeFiles/svr4proc_tests.dir/procfs_test.cc.o"
+  "CMakeFiles/svr4proc_tests.dir/procfs_test.cc.o.d"
+  "CMakeFiles/svr4proc_tests.dir/property_test.cc.o"
+  "CMakeFiles/svr4proc_tests.dir/property_test.cc.o.d"
+  "CMakeFiles/svr4proc_tests.dir/ptrace_core_test.cc.o"
+  "CMakeFiles/svr4proc_tests.dir/ptrace_core_test.cc.o.d"
+  "CMakeFiles/svr4proc_tests.dir/tools_test.cc.o"
+  "CMakeFiles/svr4proc_tests.dir/tools_test.cc.o.d"
+  "CMakeFiles/svr4proc_tests.dir/vm_test.cc.o"
+  "CMakeFiles/svr4proc_tests.dir/vm_test.cc.o.d"
+  "svr4proc_tests"
+  "svr4proc_tests.pdb"
+  "svr4proc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svr4proc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
