@@ -32,7 +32,12 @@ class MemFile : public Vnode {
  private:
   VAttr attr_;
   std::vector<uint8_t> data_;
-  std::shared_ptr<FileVmObject> vmobj_;  // one object per file: mappings share pages
+  // One object per file so concurrent mappings share pages. Weak: the
+  // object holds a VnodePtr back to this file, and an owning pointer here
+  // would form a reference cycle that leaks the file and its page cache.
+  // Mappings keep the object alive; when the last one goes, it is rebuilt
+  // on the next exec/mmap of the file.
+  std::weak_ptr<FileVmObject> vmobj_;
 };
 
 class MemDir : public Vnode {

@@ -30,6 +30,20 @@ class MemoryIf {
   virtual std::optional<MemFault> MemRead(uint32_t addr, void* buf, uint32_t len,
                                           Access kind) = 0;
   virtual std::optional<MemFault> MemWrite(uint32_t addr, const void* buf, uint32_t len) = 0;
+
+  // Best-effort wide instruction fetch: copies up to len executable bytes
+  // starting at addr into buf, never crossing a page, and returns how many
+  // were copied. 0 means "unsupported or not fetchable this way" — the
+  // caller must fall back to exact MemRead fetches, which also yields the
+  // precise faulting byte address. Implementations may over-read past the
+  // instruction, so they must not have byte-granular side effects (e.g.
+  // watchpoints) on the fetched range.
+  virtual uint32_t FetchWindow(uint32_t addr, void* buf, uint32_t len) {
+    (void)addr;
+    (void)buf;
+    (void)len;
+    return 0;
+  }
 };
 
 struct StepResult {

@@ -152,6 +152,14 @@ std::string_view OpcodeName(uint8_t opcode);
 inline constexpr int kBreakpointLength = 1;
 inline constexpr uint8_t kBreakpointByte = kOpBpt;
 
+// The longest instruction in the ISA (fldi: opcode, fd, 8-byte double).
+inline constexpr int kMaxInstrLen = 10;
+
+// Fetch-window size the interpreter requests per instruction: a power of two
+// no smaller than kMaxInstrLen, so memory implementations can satisfy a full
+// window with one fixed-size copy instead of a variable-length one.
+inline constexpr uint32_t kFetchWindowBytes = 16;
+
 }  // namespace svr4
 
 #endif  // SVR4PROC_ISA_ISA_H_

@@ -18,6 +18,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <queue>
 #include <span>
 #include <string>
 #include <vector>
@@ -49,6 +50,13 @@ struct RunArgs {
   bool stop = false;          // PRSTOP: direct it to stop again at issig
 };
 
+// Cheap scheduler/execution counters (plain increments on existing paths).
+struct KernelCounters {
+  uint64_t instructions = 0;  // virtual-ISA instructions retired
+  uint64_t timer_events = 0;  // alarms fired + timed sleeps woken
+  uint64_t reaps = 0;         // zombies reaped into init off the reap list
+};
+
 // ptrace(2) requests (the SVR4 set; no attach — controlling unrelated
 // processes is exactly what /proc added).
 enum PtReq : int {
@@ -76,6 +84,8 @@ class Kernel {
   Vfs& vfs() { return vfs_; }
   ConsoleVnode& console() { return *console_; }
   uint64_t Ticks() const { return ticks_; }
+  const KernelCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = KernelCounters{}; }
 
   // Writes a regular file (creating directories as needed).
   Result<void> WriteFileAt(const std::string& path, std::span<const uint8_t> bytes,
@@ -183,7 +193,27 @@ class Kernel {
   // Scheduling.
   Lwp* PickNext();
   void ExecuteLwp(Lwp* lwp, int budget);
-  void CheckTimers();
+
+  // O(1)-amortized timer bookkeeping: every timed sleep and alarm pushes a
+  // TimerEvent; entries are validated lazily against current process/lwp
+  // state when popped, so cancellation and re-arming cost nothing.
+  struct TimerEvent {
+    uint64_t tick = 0;
+    Pid pid = 0;
+    int lwpid = 0;  // 0: process alarm; else a timed lwp sleep
+    bool operator>(const TimerEvent& o) const { return tick > o.tick; }
+  };
+  void ArmAlarm(Proc* p);
+  void ArmSleepTimer(Lwp* lwp);
+  // Fires every due timer (alarm signals, timed wakeups).
+  void FireDueTimers();
+  // Earliest tick with a live timer, discarding stale entries; 0 if none.
+  uint64_t NextTimerTick();
+
+  // Event-driven zombie reaping: ExitProc marks processes whose zombie will
+  // never be waited for (parent is init or gone); Step() drains the list.
+  void MarkReapable(Pid pid);
+  void DrainReapList();
 
   // Signals & stops (issig/psig per Figure 4).
   bool NeedIssig(Lwp* lwp) const;
@@ -281,6 +311,11 @@ class Kernel {
   // Round-robin scheduling cursor.
   Pid rr_pid_ = 0;
   int rr_lwp_ = 0;
+
+  // Pending wakeups/alarms (min-heap by tick) and zombies awaiting reap.
+  std::priority_queue<TimerEvent, std::vector<TimerEvent>, std::greater<TimerEvent>> timerq_;
+  std::vector<Pid> reap_list_;
+  KernelCounters counters_;
 
   static constexpr int kQuantum = 64;
 };

@@ -156,6 +156,17 @@ struct PrLwpIds {
   int32_t ids[PRNLWPIDS] = {};
 };
 
+// Execution-path statistics: the process's software-TLB counters plus the
+// system-wide instruction count (a performance monitor samples these the
+// same way it samples PIOCUSAGE).
+struct PrVmStats {
+  uint64_t pr_tlb_hits = 0;
+  uint64_t pr_tlb_misses = 0;
+  uint64_t pr_slow_lookups = 0;
+  uint64_t pr_tlb_flushes = 0;
+  uint64_t pr_instructions = 0;  // kernel-wide instructions retired
+};
+
 // Per-lwp status for the hierarchical interface's lwp subdirectories.
 struct PrLwpStatus {
   uint16_t pr_lwpid = 0;
@@ -238,6 +249,7 @@ enum Pioc : uint32_t {
   PIOCSWATCH = kPiocBase | 41,  // PrWatch*             set/clear a watchpoint
   PIOCPAGEDATA = kPiocBase | 42,  // PrPageData*        ref/mod page data (proposed)
   PIOCLWPIDS = kPiocBase | 43,  // PrLwpIds*            lwp ids
+  PIOCVMSTATS = kPiocBase | 44,  // PrVmStats*          TLB/exec-path counters
 };
 
 // --- Builders shared by both /proc implementations ---------------------------

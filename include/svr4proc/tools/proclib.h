@@ -83,6 +83,7 @@ class ProcHandle {
   Result<PrPsinfo> Psinfo();
   Result<PrCred> Cred();
   Result<PrUsage> Usage();
+  Result<PrVmStats> VmStats();
   Result<void> Nice(int delta);
 
   // --- proposed extensions ---

@@ -20,7 +20,12 @@
 //    layer: watched ranges have byte granularity; accesses to unwatched
 //    bytes — even in the same page — proceed transparently;
 //  * referenced/modified page information can be sampled and cleared (the
-//    proposed page-data interface for performance monitors).
+//    proposed page-data interface for performance monitors);
+//  * a per-address-space software TLB caches page translations for the CPU
+//    access path. Entries are invalidated wholesale by bumping a generation
+//    counter whenever the mapping structure, protections, frames, or
+//    watchpoints change; watch-active address spaces bypass the TLB so
+//    watchpoints keep their byte granularity.
 #ifndef SVR4PROC_VM_VM_H_
 #define SVR4PROC_VM_VM_H_
 
@@ -121,6 +126,18 @@ struct PageDataSeg {
 class AddressSpace;
 using AddressSpacePtr = std::shared_ptr<AddressSpace>;
 
+// Software-TLB and access-path counters (cheap: plain increments on paths
+// that already exist). Exposed through PIOCVMSTATS for observability.
+struct VmCounters {
+  uint64_t tlb_hits = 0;      // accesses satisfied by the TLB fast path
+  uint64_t tlb_misses = 0;    // fast-path-eligible accesses that fell through
+  uint64_t slow_lookups = 0;  // mapping resolutions on the slow path
+  uint64_t tlb_flushes = 0;   // generation bumps (whole-TLB invalidations)
+};
+
+// Number of direct-mapped TLB entries; must be a power of two.
+inline constexpr uint32_t kTlbEntries = 64;
+
 class AddressSpace : public MemoryIf {
  public:
   AddressSpace() = default;
@@ -142,6 +159,17 @@ class AddressSpace : public MemoryIf {
   std::optional<MemFault> MemRead(uint32_t addr, void* buf, uint32_t len,
                                   Access kind) override;
   std::optional<MemFault> MemWrite(uint32_t addr, const void* buf, uint32_t len) override;
+
+  // Best-effort instruction-window fetch (never crosses a page); see
+  // MemoryIf. Returns 0 when watchpoints are active so the caller falls back
+  // to byte-exact fetches.
+  uint32_t FetchWindow(uint32_t addr, void* buf, uint32_t len) override;
+
+  // Runtime knob for the software TLB (benchmarks compare on vs. off).
+  void SetTlbEnabled(bool on);
+  bool TlbEnabled() const { return tlb_enabled_; }
+  const VmCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = VmCounters{}; }
 
   // Controlling-process (/proc) access. Protections are ignored; private
   // mappings are copied-on-write; transfers are truncated at the first
@@ -198,6 +226,30 @@ class AddressSpace : public MemoryIf {
     uint32_t end() const { return start + npages * kPageSize; }
   };
 
+  // One direct-mapped translation-cache slot. A slot is valid only while its
+  // gen matches tlb_gen_, so invalidation is a single counter bump. The raw
+  // page/frame pointers are safe because every operation that can move or
+  // replace them (Map/Unmap/Protect/SetBreak/stack growth/COW/Clone) bumps
+  // the generation first.
+  struct TlbEntry {
+    uint32_t vpn = 0;        // virtual page number this slot translates
+    uint32_t gen = 0;        // valid iff gen == tlb_gen_
+    uint32_t flags = 0;      // mapping MA_READ/MA_WRITE/MA_EXEC bits
+    bool write_ok = false;   // page may be stored to in place (COW resolved)
+    VmPage* page = nullptr;
+    Frame* frame = nullptr;  // for referenced/modified accounting
+  };
+
+  // Invalidate every TLB entry (generation bump). Const because Clone()
+  // must invalidate the source TLB; only mutable state is touched.
+  void TlbFlush() const {
+    ++tlb_gen_;
+    ++counters_.tlb_flushes;
+  }
+  bool TlbActive() const { return tlb_enabled_ && !watch_active_; }
+  // Install/refresh the slot for the page just resolved by the slow path.
+  void TlbFill(const Mapping& m, uint32_t page_index, Frame& f);
+
   Mapping* FindMapping(uint32_t addr);
   const Mapping* FindMapping(uint32_t addr) const;
   // Grows the stack if addr falls within the growth window of a grows_down
@@ -214,6 +266,13 @@ class AddressSpace : public MemoryIf {
   std::map<uint32_t, Mapping> maps_;
   std::vector<Watch> watches_;
   bool watch_active_ = false;
+
+  // Software TLB state. Mutable because Clone() (const) must invalidate the
+  // source's write-in-place entries when frames become COW-shared.
+  mutable std::array<TlbEntry, kTlbEntries> tlb_{};
+  mutable uint32_t tlb_gen_ = 1;
+  bool tlb_enabled_ = true;
+  mutable VmCounters counters_;
 };
 
 inline constexpr uint32_t kMaxStackGrowPages = 256;

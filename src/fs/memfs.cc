@@ -49,10 +49,12 @@ Result<int64_t> MemFile::Write(OpenFile& /*of*/, uint64_t off, std::span<const u
 int MemFile::Poll(OpenFile& /*of*/) { return POLLIN | POLLOUT; }
 
 Result<std::shared_ptr<VmObject>> MemFile::GetVmObject() {
-  if (!vmobj_) {
-    vmobj_ = std::make_shared<FileVmObject>(shared_from_this());
+  std::shared_ptr<FileVmObject> obj = vmobj_.lock();
+  if (!obj) {
+    obj = std::make_shared<FileVmObject>(shared_from_this());
+    vmobj_ = obj;
   }
-  return std::static_pointer_cast<VmObject>(vmobj_);
+  return std::static_pointer_cast<VmObject>(obj);
 }
 
 Result<VAttr> MemDir::GetAttr() {

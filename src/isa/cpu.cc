@@ -55,10 +55,20 @@ bool SignedLt(const Regs& regs) {
 StepResult CpuStep(Regs& regs, FpRegs& fp, MemoryIf& mem) {
   const uint32_t pc = regs.pc;
 
-  uint8_t opcode = 0;
-  if (auto mf = mem.MemRead(pc, &opcode, 1, Access::kExec)) {
-    return FaultFromMem(*mf);
+  // Fast fetch: pull opcode and operands in one translated window when the
+  // memory supports it. `have` bytes of ibuf are valid executable bytes
+  // starting at pc, from the same page. The buffer is wider than any
+  // instruction so implementations can use a single fixed-size copy.
+  alignas(8) uint8_t ibuf[kFetchWindowBytes] = {};
+  static_assert(kFetchWindowBytes >= kMaxInstrLen);
+  uint32_t have = mem.FetchWindow(pc, ibuf, kFetchWindowBytes);
+  if (have == 0) {
+    if (auto mf = mem.MemRead(pc, ibuf, 1, Access::kExec)) {
+      return FaultFromMem(*mf);
+    }
+    have = 1;
   }
+  const uint8_t opcode = ibuf[0];
   const int len = InstrLength(opcode);
   if (len == 0) {
     return FaultAt(FLTILL, pc);
@@ -71,12 +81,16 @@ StepResult CpuStep(Regs& regs, FpRegs& fp, MemoryIf& mem) {
     return FaultAt(FLTPRIV, pc);
   }
 
-  uint8_t operand[9] = {};
-  if (len > 1) {
-    if (auto mf = mem.MemRead(pc + 1, operand, static_cast<uint32_t>(len - 1), Access::kExec)) {
+  if (static_cast<uint32_t>(len) > have) {
+    // The instruction straddles the fetch window (a page boundary, or the
+    // byte-exact fallback). Fetch the tail at its own address so a fault
+    // reports the operand byte that faulted, not the opcode.
+    if (auto mf =
+            mem.MemRead(pc + have, ibuf + have, static_cast<uint32_t>(len) - have, Access::kExec)) {
       return FaultFromMem(*mf);
     }
   }
+  uint8_t* const operand = ibuf + 1;
   auto imm32at = [&](int i) {
     uint32_t v;
     std::memcpy(&v, &operand[i], 4);

@@ -395,10 +395,14 @@ void Kernel::ExitProc(Proc* p, int wstatus) {
   // /proc file reports size zero and address-space I/O fails.
   p->as.reset();
 
-  // Reparent children to init.
+  // Reparent children to init; any that are already zombies will never be
+  // waited for, so queue them for reaping.
   for (auto& [pid, q] : procs_) {
     if (q->ppid == p->pid && q.get() != p) {
       q->ppid = init_->pid;
+      if (q->state == Proc::State::kZombie) {
+        MarkReapable(q->pid);
+      }
     }
   }
 
@@ -406,6 +410,9 @@ void Kernel::ExitProc(Proc* p, int wstatus) {
   p->exit_status = wstatus;
 
   Proc* parent = FindProc(p->ppid);
+  if (parent == nullptr || parent == init_) {
+    MarkReapable(p->pid);
+  }
   if (parent != nullptr) {
     SigInfo info;
     info.si_signo = SIGCLD;

@@ -425,62 +425,100 @@ Lwp* Kernel::PickNext() {
   return nullptr;
 }
 
-void Kernel::CheckTimers() {
-  for (auto& [pid, p] : procs_) {
-    if (p->state != Proc::State::kActive) {
-      continue;
+// A heap entry is live iff the process/lwp timer state still matches its
+// tick; cancelled or re-armed timers simply leave stale entries behind to be
+// discarded here.
+void Kernel::ArmAlarm(Proc* p) {
+  if (p->alarm_tick != 0) {
+    timerq_.push(TimerEvent{p->alarm_tick, p->pid, 0});
+  }
+}
+
+void Kernel::ArmSleepTimer(Lwp* lwp) {
+  if (lwp->sleep.wake_tick != 0) {
+    timerq_.push(TimerEvent{lwp->sleep.wake_tick, lwp->proc->pid, lwp->lwpid});
+  }
+}
+
+void Kernel::FireDueTimers() {
+  while (!timerq_.empty() && timerq_.top().tick <= ticks_) {
+    TimerEvent ev = timerq_.top();
+    timerq_.pop();
+    Proc* p = FindProc(ev.pid);
+    if (p == nullptr || p->state != Proc::State::kActive) {
+      continue;  // stale
     }
-    if (p->alarm_tick != 0 && ticks_ >= p->alarm_tick) {
+    if (ev.lwpid == 0) {
+      if (p->alarm_tick != ev.tick) {
+        continue;  // alarm cancelled or re-armed since
+      }
       p->alarm_tick = 0;
       SigInfo info;
       info.si_signo = SIGALRM;
-      PostSignal(p.get(), SIGALRM, info);
-    }
-    for (auto& l : p->lwps) {
-      if (l->state == LwpState::kSleeping && l->sleep.wake_tick != 0 &&
-          ticks_ >= l->sleep.wake_tick) {
+      PostSignal(p, SIGALRM, info);
+      ++counters_.timer_events;
+    } else {
+      Lwp* l = p->FindLwp(ev.lwpid);
+      if (l != nullptr && l->state == LwpState::kSleeping && l->sleep.wake_tick == ev.tick) {
         l->state = LwpState::kRunning;
+        ++counters_.timer_events;
       }
     }
   }
 }
 
-bool Kernel::Step() {
-  // Lazily reap zombies adopted by init.
-  for (auto it = procs_.begin(); it != procs_.end();) {
+uint64_t Kernel::NextTimerTick() {
+  while (!timerq_.empty()) {
+    const TimerEvent& ev = timerq_.top();
+    Proc* p = FindProc(ev.pid);
+    bool live = false;
+    if (p != nullptr && p->state == Proc::State::kActive) {
+      if (ev.lwpid == 0) {
+        live = p->alarm_tick == ev.tick;
+      } else {
+        Lwp* l = p->FindLwp(ev.lwpid);
+        live = l != nullptr && l->state == LwpState::kSleeping && l->sleep.wake_tick == ev.tick;
+      }
+    }
+    if (live) {
+      return ev.tick;
+    }
+    timerq_.pop();
+  }
+  return 0;
+}
+
+void Kernel::MarkReapable(Pid pid) { reap_list_.push_back(pid); }
+
+void Kernel::DrainReapList() {
+  while (!reap_list_.empty()) {
+    Pid pid = reap_list_.back();
+    reap_list_.pop_back();
+    auto it = procs_.find(pid);
+    if (it == procs_.end()) {
+      continue;  // already reaped (e.g. by an explicit wait)
+    }
     Proc* p = it->second.get();
     if (p->state == Proc::State::kZombie &&
         (p->ppid == init_->pid || FindProc(p->ppid) == nullptr)) {
-      it = procs_.erase(it);
-    } else {
-      ++it;
+      procs_.erase(it);
+      ++counters_.reaps;
     }
   }
+}
 
-  CheckTimers();
+bool Kernel::Step() {
+  DrainReapList();
+  FireDueTimers();
   Lwp* lwp = PickNext();
   if (lwp == nullptr) {
     // Nothing runnable; jump the clock to the earliest timed wakeup.
-    uint64_t next = 0;
-    for (auto& [pid, p] : procs_) {
-      if (p->state != Proc::State::kActive) {
-        continue;
-      }
-      if (p->alarm_tick != 0 && (next == 0 || p->alarm_tick < next)) {
-        next = p->alarm_tick;
-      }
-      for (auto& l : p->lwps) {
-        if (l->state == LwpState::kSleeping && l->sleep.wake_tick != 0 &&
-            (next == 0 || l->sleep.wake_tick < next)) {
-          next = l->sleep.wake_tick;
-        }
-      }
-    }
+    uint64_t next = NextTimerTick();
     if (next == 0) {
       return false;
     }
     ticks_ = std::max(ticks_ + 1, next);
-    CheckTimers();
+    FireDueTimers();
     return true;
   }
   // nice(2) weights the quantum: the default (20) gets kQuantum; a fully
@@ -530,37 +568,51 @@ Result<int> Kernel::RunToExit(Pid pid, uint64_t max_steps) {
 
 void Kernel::ExecuteLwp(Lwp* lwp, int budget) {
   Proc* p = lwp->proc;
+  // Pending-work checks (direct-stop requests and signal delivery) only need
+  // to re-run after events that can change that state: within this single-
+  // threaded simulation, nothing outside this LWP's own syscalls, faults and
+  // signal dispatch can post new work mid-quantum. Checking once and again
+  // after each such event keeps the straight-line instruction path free of
+  // per-instruction SigSet arithmetic.
+  bool check_events = true;
   while (budget-- > 0 && lwp->state == LwpState::kRunning &&
          p->state == Proc::State::kActive) {
-    if (lwp->lwp_dstop && !lwp->in_syscall) {
-      lwp->lwp_dstop = false;
-      StopLwp(lwp, PR_REQUESTED, 0, /*istop=*/true);
-      break;
-    }
     if (lwp->in_syscall) {
       ++ticks_;
       ++p->stime;
       ContinueSyscall(lwp);
+      check_events = true;
       continue;
     }
-    // "Just before a process returns to user level, it checks for the
-    // presence of a signal to be acted upon."
-    if (NeedIssig(lwp)) {
-      if (Issig(lwp)) {
-        Psig(lwp);
-      }
-      if (lwp->state != LwpState::kRunning || p->state != Proc::State::kActive) {
+    if (check_events) {
+      if (lwp->lwp_dstop) {
+        lwp->lwp_dstop = false;
+        StopLwp(lwp, PR_REQUESTED, 0, /*istop=*/true);
         break;
       }
-      continue;
+      // "Just before a process returns to user level, it checks for the
+      // presence of a signal to be acted upon."
+      if (NeedIssig(lwp)) {
+        if (Issig(lwp)) {
+          Psig(lwp);
+        }
+        if (lwp->state != LwpState::kRunning || p->state != Proc::State::kActive) {
+          break;
+        }
+        continue;
+      }
+      check_events = false;
     }
     StepResult r = CpuStep(lwp->regs, lwp->fpregs, *p->as);
     ++ticks_;
     ++p->utime;
+    ++counters_.instructions;
     if (r.kind == StepResult::kSyscall) {
       SyscallTrap(lwp);
+      check_events = true;
     } else if (r.kind == StepResult::kFault) {
       HandleFault(lwp, r.fault, r.fault_addr);
+      check_events = true;
     }
   }
 }
@@ -772,6 +824,7 @@ void Kernel::ResumeLwp(Lwp* lwp) {
     lwp->stopped_while_asleep = false;
     lwp->sleep = lwp->saved_sleep;
     lwp->state = LwpState::kSleeping;
+    ArmSleepTimer(lwp);  // the heap entry went stale while it was stopped
   } else {
     lwp->state = LwpState::kRunning;
   }

@@ -79,6 +79,7 @@ void Kernel::ContinueSyscall(Lwp* lwp) {
       if (r.kind == SysResult::kBlock) {
         lwp->sleep = r.sleep;
         lwp->state = LwpState::kSleeping;
+        ArmSleepTimer(lwp);
         return;
       }
       FinishSyscall(lwp, r);
@@ -657,6 +658,7 @@ Kernel::SysResult Kernel::SysAlarm(Lwp* lwp) {
   uint64_t prev = p->alarm_tick == 0 ? 0 : p->alarm_tick - ticks_;
   uint32_t n = lwp->sysargs[0];
   p->alarm_tick = n == 0 ? 0 : ticks_ + n;
+  ArmAlarm(p);
   return SysResult::Ok(static_cast<uint32_t>(prev));
 }
 

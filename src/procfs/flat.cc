@@ -41,6 +41,7 @@ bool IsReadOnlyOp(uint32_t op) {
     case PIOCGWATCH:
     case PIOCPAGEDATA:
     case PIOCLWPIDS:
+    case PIOCVMSTATS:
       return true;
     default:
       return false;
@@ -506,6 +507,19 @@ Result<int32_t> ProcVnode::Ioctl(OpenFile& of, Proc* caller, uint32_t op, void* 
     case PIOCUSAGE:
       *static_cast<PrUsage*>(arg) = BuildPrUsage(k, p);
       return 0;
+    case PIOCVMSTATS: {
+      if (!p->as) {
+        return Errno::kEINVAL;  // zombie: no address space
+      }
+      auto* out = static_cast<PrVmStats*>(arg);
+      const VmCounters& c = p->as->counters();
+      out->pr_tlb_hits = c.tlb_hits;
+      out->pr_tlb_misses = c.tlb_misses;
+      out->pr_slow_lookups = c.slow_lookups;
+      out->pr_tlb_flushes = c.tlb_flushes;
+      out->pr_instructions = k.counters().instructions;
+      return 0;
+    }
     case PIOCNWATCH:
       *static_cast<int*>(arg) =
           p->as ? static_cast<int>(p->as->Watches().size()) : 0;

@@ -274,6 +274,12 @@ Result<PrUsage> ProcHandle::Usage() {
   return u;
 }
 
+Result<PrVmStats> ProcHandle::VmStats() {
+  PrVmStats s;
+  SVR4_RETURN_IF_ERROR(Io(PIOCVMSTATS, &s));
+  return s;
+}
+
 Result<void> ProcHandle::Nice(int delta) {
   SVR4_RETURN_IF_ERROR(Io(PIOCNICE, &delta));
   return Result<void>::Ok();

@@ -64,6 +64,7 @@ AddressSpace::Mapping* AddressSpace::GrowStackFor(uint32_t addr) {
     // obj_pgoff stays 0 for anon stacks; adjust for object-backed ones.
     auto [it, ok] = maps_.emplace(new_start, std::move(grown));
     (void)ok;
+    TlbFlush();  // the frames vector was reallocated and reindexed
     return &it->second;
   }
   return nullptr;
@@ -97,6 +98,7 @@ Result<void> AddressSpace::Map(uint32_t start, uint32_t len, uint32_t ma_flags,
   m.grows_down = grows_down;
   m.frames.resize(m.npages);
   maps_.emplace(start, std::move(m));
+  TlbFlush();
   return Result<void>::Ok();
 }
 
@@ -106,6 +108,7 @@ Result<void> AddressSpace::Unmap(uint32_t start, uint32_t len) {
   }
   uint32_t end = start + PageAlignUp(len);
   // Collect overlapping mappings; split partial overlaps.
+  bool changed = false;
   std::vector<Mapping> to_insert;
   for (auto it = maps_.begin(); it != maps_.end();) {
     Mapping& m = it->second;
@@ -132,10 +135,14 @@ Result<void> AddressSpace::Unmap(uint32_t start, uint32_t len) {
       to_insert.push_back(std::move(right));
     }
     it = maps_.erase(it);
+    changed = true;
   }
   for (auto& m : to_insert) {
     uint32_t s = m.start;
     maps_.emplace(s, std::move(m));
+  }
+  if (changed) {
+    TlbFlush();
   }
   return Result<void>::Ok();
 }
@@ -198,6 +205,7 @@ Result<void> AddressSpace::Protect(uint32_t start, uint32_t len, uint32_t prot) 
       it = maps_.begin();  // restart; the map changed shape
     }
   }
+  TlbFlush();
   return Result<void>::Ok();
 }
 
@@ -222,6 +230,7 @@ Result<void> AddressSpace::SetBreak(uint32_t new_end) {
     }
     m.frames.resize(want_pages);
     m.npages = want_pages;
+    TlbFlush();  // resize may have reallocated the frames vector
     return Result<void>::Ok();
   }
   return Errno::kENOMEM;  // no break mapping
@@ -267,6 +276,7 @@ Result<VmPage*> AddressSpace::EnsureFrame(Mapping& m, uint32_t page_index, bool 
       auto copy = std::make_shared<VmPage>(*f.page);
       f.page = std::move(copy);
       f.owned = true;
+      TlbFlush();  // cached translations may point at the replaced page
     }
   }
   return f.page.get();
@@ -299,6 +309,7 @@ std::optional<MemFault> AddressSpace::AccessCommon(uint32_t addr, void* rbuf, co
     }
   }
 
+  uint32_t need = kind == Access::kWrite ? MA_WRITE : kind == Access::kExec ? MA_EXEC : MA_READ;
   uint32_t done = 0;
   while (done < len) {
     uint32_t a = addr + done;
@@ -309,38 +320,162 @@ std::optional<MemFault> AddressSpace::AccessCommon(uint32_t addr, void* rbuf, co
         return MemFault{FLTBOUNDS, a};
       }
     }
-    uint32_t need = kind == Access::kWrite ? MA_WRITE : kind == Access::kExec ? MA_EXEC : MA_READ;
+    ++counters_.slow_lookups;
     if ((m->flags & need) == 0) {
       return MemFault{FLTACCESS, a};
     }
-    uint32_t page_index = (a - m->start) / kPageSize;
-    auto page = EnsureFrame(*m, page_index, kind == Access::kWrite);
-    if (!page.ok()) {
-      return MemFault{FLTBOUNDS, a};
+    // Copy page-at-a-time within this mapping without re-resolving it.
+    uint32_t m_end = m->end();
+    while (done < len) {
+      a = addr + done;
+      if (a >= m_end || a < m->start) {
+        break;  // left the mapping (or wrapped); resolve again
+      }
+      uint32_t page_index = (a - m->start) / kPageSize;
+      auto page = EnsureFrame(*m, page_index, kind == Access::kWrite);
+      if (!page.ok()) {
+        return MemFault{FLTBOUNDS, a};
+      }
+      uint32_t in_page = a & (kPageSize - 1);
+      uint32_t chunk = std::min(len - done, kPageSize - in_page);
+      Frame& f = m->frames[page_index];
+      if (kind == Access::kWrite) {
+        std::memcpy((*page)->bytes.data() + in_page, static_cast<const uint8_t*>(wbuf) + done,
+                    chunk);
+        f.pg |= PG_REFERENCED | PG_MODIFIED;
+      } else {
+        std::memcpy(static_cast<uint8_t*>(rbuf) + done, (*page)->bytes.data() + in_page, chunk);
+        f.pg |= PG_REFERENCED;
+      }
+      TlbFill(*m, page_index, f);
+      done += chunk;
     }
-    uint32_t in_page = a & (kPageSize - 1);
-    uint32_t chunk = std::min(len - done, kPageSize - in_page);
-    Frame& f = m->frames[page_index];
-    if (kind == Access::kWrite) {
-      std::memcpy((*page)->bytes.data() + in_page, static_cast<const uint8_t*>(wbuf) + done,
-                  chunk);
-      f.pg |= PG_REFERENCED | PG_MODIFIED;
-    } else {
-      std::memcpy(static_cast<uint8_t*>(rbuf) + done, (*page)->bytes.data() + in_page, chunk);
-      f.pg |= PG_REFERENCED;
-    }
-    done += chunk;
   }
   return std::nullopt;
 }
 
+namespace {
+
+// memcpy with a size-specialised dispatch: the TLB hit paths see 1/2/4/8-byte
+// accesses almost exclusively, and fixed-size copies compile to single
+// load/store pairs where a variable-length memcpy pays its dispatch cost on
+// every instruction.
+inline void CopySmall(void* dst, const void* src, uint32_t n) {
+  switch (n) {
+    case 1:
+      std::memcpy(dst, src, 1);
+      break;
+    case 2:
+      std::memcpy(dst, src, 2);
+      break;
+    case 4:
+      std::memcpy(dst, src, 4);
+      break;
+    case 8:
+      std::memcpy(dst, src, 8);
+      break;
+    default:
+      std::memcpy(dst, src, n);
+      break;
+  }
+}
+
+}  // namespace
+
+void AddressSpace::TlbFill(const Mapping& m, uint32_t page_index, Frame& f) {
+  if (!TlbActive()) {
+    return;
+  }
+  uint32_t vpn = (m.start >> kPageShift) + page_index;
+  TlbEntry& e = tlb_[vpn & (kTlbEntries - 1)];
+  e.vpn = vpn;
+  e.gen = tlb_gen_;
+  e.flags = m.flags & (MA_READ | MA_WRITE | MA_EXEC);
+  // A store may go in place only when no COW copy would be needed: the
+  // mapping is bona-fide shared memory, or this frame already holds a
+  // private copy nobody else references.
+  e.write_ok = (m.flags & MA_WRITE) != 0 &&
+               ((m.flags & MA_SHARED) != 0 || (f.owned && f.page.use_count() == 1));
+  e.page = f.page.get();
+  e.frame = &f;
+}
+
 std::optional<MemFault> AddressSpace::MemRead(uint32_t addr, void* buf, uint32_t len,
                                               Access kind) {
+  // TLB fast path: single-page access whose translation is cached with the
+  // required permission.
+  if (TlbActive() && len != 0 && ((addr & (kPageSize - 1)) + len) <= kPageSize) {
+    uint32_t vpn = addr >> kPageShift;
+    TlbEntry& e = tlb_[vpn & (kTlbEntries - 1)];
+    uint32_t need = kind == Access::kExec ? MA_EXEC : MA_READ;
+    if (e.gen == tlb_gen_ && e.vpn == vpn && (e.flags & need) != 0) {
+      ++counters_.tlb_hits;
+      CopySmall(buf, e.page->bytes.data() + (addr & (kPageSize - 1)), len);
+      e.frame->pg |= PG_REFERENCED;
+      return std::nullopt;
+    }
+    ++counters_.tlb_misses;
+  }
   return AccessCommon(addr, buf, nullptr, len, kind);
 }
 
 std::optional<MemFault> AddressSpace::MemWrite(uint32_t addr, const void* buf, uint32_t len) {
+  if (TlbActive() && len != 0 && ((addr & (kPageSize - 1)) + len) <= kPageSize) {
+    uint32_t vpn = addr >> kPageShift;
+    TlbEntry& e = tlb_[vpn & (kTlbEntries - 1)];
+    if (e.gen == tlb_gen_ && e.vpn == vpn && e.write_ok) {
+      ++counters_.tlb_hits;
+      CopySmall(e.page->bytes.data() + (addr & (kPageSize - 1)), buf, len);
+      e.frame->pg |= PG_REFERENCED | PG_MODIFIED;
+      return std::nullopt;
+    }
+    ++counters_.tlb_misses;
+  }
   return AccessCommon(addr, nullptr, buf, len, Access::kWrite);
+}
+
+uint32_t AddressSpace::FetchWindow(uint32_t addr, void* buf, uint32_t len) {
+  // Watch-active address spaces must take the byte-exact path so an
+  // over-read never trips an exec watchpoint on bytes past the instruction.
+  if (!TlbActive() || len == 0) {
+    return 0;
+  }
+  uint32_t in_page = addr & (kPageSize - 1);
+  uint32_t avail = std::min(len, kPageSize - in_page);
+  uint32_t vpn = addr >> kPageShift;
+  TlbEntry& e = tlb_[vpn & (kTlbEntries - 1)];
+  if (e.gen != tlb_gen_ || e.vpn != vpn || (e.flags & MA_EXEC) == 0) {
+    ++counters_.tlb_misses;
+    // Prime the entry with one slow-path byte fetch; on fault let the caller
+    // take the exact path so the fault address comes out right.
+    uint8_t probe = 0;
+    if (AccessCommon(addr, &probe, nullptr, 1, Access::kExec)) {
+      return 0;
+    }
+    if (e.gen != tlb_gen_ || e.vpn != vpn || (e.flags & MA_EXEC) == 0) {
+      return 0;  // not cacheable right now (e.g. TLB disabled mid-call)
+    }
+  } else {
+    ++counters_.tlb_hits;
+  }
+  const uint8_t* src = e.page->bytes.data() + in_page;
+  if (avail == 16) {
+    // The interpreter's full window: one fixed-size copy (two 8-byte moves)
+    // instead of a variable-length memcpy on every instruction.
+    std::memcpy(buf, src, 16);
+  } else {
+    std::memcpy(buf, src, avail);
+  }
+  e.frame->pg |= PG_REFERENCED;
+  return avail;
+}
+
+void AddressSpace::SetTlbEnabled(bool on) {
+  if (tlb_enabled_ == on) {
+    return;
+  }
+  tlb_enabled_ = on;
+  TlbFlush();
 }
 
 Result<void> AddressSpace::AsFault(uint32_t addr, uint32_t len, bool for_write) {
@@ -364,27 +499,35 @@ Result<int64_t> AddressSpace::PrRead(uint32_t addr, std::span<uint8_t> buf) {
   if (buf.empty()) {
     return int64_t{0};
   }
-  if (!FindMapping(addr)) {
-    return Errno::kEIO;  // offset in an unmapped area
-  }
   uint64_t done = 0;
   while (done < buf.size()) {
     uint32_t a = addr + static_cast<uint32_t>(done);
     Mapping* m = FindMapping(a);
     if (!m) {
+      if (done == 0) {
+        return Errno::kEIO;  // offset in an unmapped area
+      }
       break;  // truncate at the boundary
     }
-    uint32_t page_index = (a - m->start) / kPageSize;
-    auto page = EnsureFrame(*m, page_index, /*for_write=*/false);
-    if (!page.ok()) {
-      break;
+    ++counters_.slow_lookups;
+    // Copy page-at-a-time to the end of this mapping without re-resolving.
+    while (done < buf.size()) {
+      a = addr + static_cast<uint32_t>(done);
+      if (a >= m->end() || a < m->start) {
+        break;
+      }
+      uint32_t page_index = (a - m->start) / kPageSize;
+      auto page = EnsureFrame(*m, page_index, /*for_write=*/false);
+      if (!page.ok()) {
+        return static_cast<int64_t>(done);
+      }
+      uint32_t in_page = a & (kPageSize - 1);
+      uint32_t chunk = static_cast<uint32_t>(
+          std::min<uint64_t>(buf.size() - done, kPageSize - in_page));
+      std::memcpy(buf.data() + done, (*page)->bytes.data() + in_page, chunk);
+      m->frames[page_index].pg |= PG_REFERENCED;
+      done += chunk;
     }
-    uint32_t in_page = a & (kPageSize - 1);
-    uint32_t chunk = static_cast<uint32_t>(
-        std::min<uint64_t>(buf.size() - done, kPageSize - in_page));
-    std::memcpy(buf.data() + done, (*page)->bytes.data() + in_page, chunk);
-    m->frames[page_index].pg |= PG_REFERENCED;
-    done += chunk;
   }
   return static_cast<int64_t>(done);
 }
@@ -393,30 +536,37 @@ Result<int64_t> AddressSpace::PrWrite(uint32_t addr, std::span<const uint8_t> bu
   if (buf.empty()) {
     return int64_t{0};
   }
-  if (!FindMapping(addr)) {
-    return Errno::kEIO;
-  }
   uint64_t done = 0;
   while (done < buf.size()) {
     uint32_t a = addr + static_cast<uint32_t>(done);
     Mapping* m = FindMapping(a);
     if (!m) {
+      if (done == 0) {
+        return Errno::kEIO;
+      }
       break;  // writes are truncated at the boundary too
     }
-    uint32_t page_index = (a - m->start) / kPageSize;
-    // Copy-on-write for private mappings — planting a breakpoint in shared
-    // text never corrupts other processes or the executable file. Writes to
-    // bona-fide shared memory go through to the object.
-    auto page = EnsureFrame(*m, page_index, /*for_write=*/true);
-    if (!page.ok()) {
-      break;
+    ++counters_.slow_lookups;
+    while (done < buf.size()) {
+      a = addr + static_cast<uint32_t>(done);
+      if (a >= m->end() || a < m->start) {
+        break;
+      }
+      uint32_t page_index = (a - m->start) / kPageSize;
+      // Copy-on-write for private mappings — planting a breakpoint in shared
+      // text never corrupts other processes or the executable file. Writes to
+      // bona-fide shared memory go through to the object.
+      auto page = EnsureFrame(*m, page_index, /*for_write=*/true);
+      if (!page.ok()) {
+        return static_cast<int64_t>(done);
+      }
+      uint32_t in_page = a & (kPageSize - 1);
+      uint32_t chunk = static_cast<uint32_t>(
+          std::min<uint64_t>(buf.size() - done, kPageSize - in_page));
+      std::memcpy((*page)->bytes.data() + in_page, buf.data() + done, chunk);
+      m->frames[page_index].pg |= PG_REFERENCED | PG_MODIFIED;
+      done += chunk;
     }
-    uint32_t in_page = a & (kPageSize - 1);
-    uint32_t chunk = static_cast<uint32_t>(
-        std::min<uint64_t>(buf.size() - done, kPageSize - in_page));
-    std::memcpy((*page)->bytes.data() + in_page, buf.data() + done, chunk);
-    m->frames[page_index].pg |= PG_REFERENCED | PG_MODIFIED;
-    done += chunk;
   }
   return static_cast<int64_t>(done);
 }
@@ -426,6 +576,10 @@ AddressSpacePtr AddressSpace::Clone() const {
   child->maps_ = maps_;  // shares PagePtr frames: COW via use_count
   child->watches_ = watches_;
   child->watch_active_ = watch_active_;
+  child->tlb_enabled_ = tlb_enabled_;
+  // Our frames just became COW-shared with the child: cached write-in-place
+  // entries are no longer valid.
+  TlbFlush();
   return child;
 }
 
@@ -438,6 +592,7 @@ Result<void> AddressSpace::AddWatch(const Watch& w) {
   }
   watches_.push_back(w);
   watch_active_ = true;
+  TlbFlush();
   return Result<void>::Ok();
 }
 
@@ -447,12 +602,14 @@ Result<void> AddressSpace::ClearWatch(uint32_t vaddr) {
                                 [vaddr](const Watch& w) { return w.vaddr == vaddr; }),
                  watches_.end());
   watch_active_ = !watches_.empty();
+  TlbFlush();
   return before != watches_.size() ? Result<void>::Ok() : Result<void>(Errno::kESRCH);
 }
 
 void AddressSpace::ClearAllWatches() {
   watches_.clear();
   watch_active_ = false;
+  TlbFlush();
 }
 
 std::vector<MappingInfo> AddressSpace::Maps() const {

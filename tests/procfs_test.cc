@@ -1769,5 +1769,31 @@ tstack: .space 1024
   EXPECT_EQ(st->pr_nlwp, 2u);
 }
 
+// ---------------------------------------------------------------------------
+// Execution-path statistics (PIOCVMSTATS).
+// ---------------------------------------------------------------------------
+
+TEST(ProcVmStats, CountersAdvanceWithExecution) {
+  Sim sim;
+  auto t = StartProgram(sim, kCounter);
+  auto h = Grab(sim, t.pid);
+  for (int i = 0; i < 500; ++i) {
+    sim.kernel().Step();
+  }
+  auto s1 = h.VmStats();
+  ASSERT_TRUE(s1.ok());
+  EXPECT_GT(s1->pr_instructions, 0u);
+  EXPECT_GT(s1->pr_tlb_hits, 0u) << "a tight loop should run out of the TLB";
+  EXPECT_GT(s1->pr_slow_lookups, 0u) << "first touches take the slow path";
+
+  for (int i = 0; i < 500; ++i) {
+    sim.kernel().Step();
+  }
+  auto s2 = h.VmStats();
+  ASSERT_TRUE(s2.ok());
+  EXPECT_GT(s2->pr_instructions, s1->pr_instructions);
+  EXPECT_GT(s2->pr_tlb_hits, s1->pr_tlb_hits);
+}
+
 }  // namespace
 }  // namespace svr4

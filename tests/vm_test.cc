@@ -415,5 +415,159 @@ TEST(VmMisc, MapRejectsBadArguments) {
       << "wraps around the address space";
 }
 
+// --- Edge cases the software TLB must not break ------------------------------
+
+TEST(VmStack, GrowsExactlyAtLimit) {
+  AddressSpace as;
+  uint32_t top = 0x8000000;
+  ASSERT_TRUE(as.Map(top - kPageSize, kPageSize, MA_READ | MA_WRITE | MA_STACK, Anon(),
+                     0, "stack", true)
+                  .ok());
+  // gap_pages == kMaxStackGrowPages: still inside the growth window.
+  uint32_t at_limit = top - kPageSize - kMaxStackGrowPages * kPageSize;
+  uint32_t v = 7;
+  EXPECT_FALSE(as.MemWrite(at_limit, &v, 4).has_value());
+  EXPECT_TRUE(as.Mapped(at_limit));
+  uint32_t r = 0;
+  ASSERT_FALSE(as.MemRead(at_limit, &r, 4, Access::kRead).has_value());
+  EXPECT_EQ(r, 7u);
+
+  // One page further down would need kMaxStackGrowPages + 1 pages: fault.
+  AddressSpace as2;
+  ASSERT_TRUE(as2.Map(top - kPageSize, kPageSize, MA_READ | MA_WRITE | MA_STACK, Anon(),
+                      0, "stack", true)
+                  .ok());
+  uint32_t past_limit = top - kPageSize - (kMaxStackGrowPages + 1) * kPageSize;
+  auto f = as2.MemWrite(past_limit, &v, 4);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->fault, FLTBOUNDS);
+}
+
+TEST(VmCow, CloneAfterWarmTlbIsolatesParentAndChild) {
+  AddressSpace as;
+  ASSERT_TRUE(as.Map(0x10000, kPageSize, MA_READ | MA_WRITE, Anon(), 0, "d").ok());
+  uint32_t v = 0x1111;
+  // Warm the parent's TLB with a writable-in-place entry.
+  ASSERT_FALSE(as.MemWrite(0x10000, &v, 4).has_value());
+  ASSERT_FALSE(as.MemWrite(0x10000, &v, 4).has_value());
+  EXPECT_GT(as.counters().tlb_hits, 0u);
+
+  auto child = as.Clone();
+
+  // The warm entry must not let the parent scribble on the shared page.
+  uint32_t pv = 0x2222;
+  ASSERT_FALSE(as.MemWrite(0x10000, &pv, 4).has_value());
+  uint32_t cr = 0;
+  ASSERT_FALSE(child->MemRead(0x10000, &cr, 4, Access::kRead).has_value());
+  EXPECT_EQ(cr, 0x1111u) << "child still sees the pre-fork value";
+
+  // And the other way: the child's write stays invisible to the parent.
+  uint32_t cv = 0x3333;
+  ASSERT_FALSE(child->MemWrite(0x10000, &cv, 4).has_value());
+  uint32_t pr = 0;
+  ASSERT_FALSE(as.MemRead(0x10000, &pr, 4, Access::kRead).has_value());
+  EXPECT_EQ(pr, 0x2222u);
+}
+
+TEST(VmWatch, RangeCrossingPageBoundary) {
+  AddressSpace as;
+  ASSERT_TRUE(as.Map(0x10000, 2 * kPageSize, MA_READ | MA_WRITE, Anon(), 0, "d").ok());
+  uint32_t boundary = 0x10000 + kPageSize;
+  // Warm the TLB on both pages first; the watch must still fire afterwards.
+  uint32_t v = 1;
+  ASSERT_FALSE(as.MemWrite(boundary - 8, &v, 4).has_value());
+  ASSERT_FALSE(as.MemWrite(boundary + 8, &v, 4).has_value());
+  ASSERT_TRUE(as.AddWatch(Watch{boundary - 2, 4, WA_WRITE}).ok());
+
+  // A store to the tail of the first page fires.
+  auto f = as.MemWrite(boundary - 2, &v, 1);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->fault, FLTWATCH);
+  // A store to the head of the second page fires too.
+  f = as.MemWrite(boundary + 1, &v, 1);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->fault, FLTWATCH);
+  // Unwatched bytes on either page proceed at full speed.
+  EXPECT_FALSE(as.MemWrite(boundary - 8, &v, 4).has_value());
+  EXPECT_FALSE(as.MemWrite(boundary + 2, &v, 4).has_value());
+}
+
+TEST(VmTlb, CountersTrackHitsAndInvalidation) {
+  AddressSpace as;
+  ASSERT_TRUE(as.Map(0x10000, kPageSize, MA_READ | MA_WRITE, Anon(), 0, "d").ok());
+  uint32_t v = 0;
+  ASSERT_FALSE(as.MemRead(0x10000, &v, 4, Access::kRead).has_value());  // fill
+  uint64_t hits0 = as.counters().tlb_hits;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_FALSE(as.MemRead(0x10000 + 4 * i, &v, 4, Access::kRead).has_value());
+  }
+  EXPECT_EQ(as.counters().tlb_hits, hits0 + 10);
+
+  // A protection change invalidates the cached permission immediately.
+  uint32_t w = 5;
+  ASSERT_FALSE(as.MemWrite(0x10000, &w, 4).has_value());  // warms write_ok
+  ASSERT_TRUE(as.Protect(0x10000, kPageSize, MA_READ).ok());
+  auto f = as.MemWrite(0x10000, &w, 4);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->fault, FLTACCESS) << "stale TLB entry must not bypass mprotect";
+}
+
+TEST(VmTlb, DisableKnobFallsBackToSlowPath) {
+  AddressSpace as;
+  ASSERT_TRUE(as.Map(0x10000, kPageSize, MA_READ | MA_WRITE, Anon(), 0, "d").ok());
+  as.SetTlbEnabled(false);
+  EXPECT_FALSE(as.TlbEnabled());
+  uint32_t v = 0xBEEF;
+  ASSERT_FALSE(as.MemWrite(0x10000, &v, 4).has_value());
+  uint32_t r = 0;
+  ASSERT_FALSE(as.MemRead(0x10000, &r, 4, Access::kRead).has_value());
+  EXPECT_EQ(r, 0xBEEFu);
+  EXPECT_EQ(as.counters().tlb_hits, 0u);
+  EXPECT_GT(as.counters().slow_lookups, 0u);
+
+  as.SetTlbEnabled(true);
+  ASSERT_FALSE(as.MemRead(0x10000, &r, 4, Access::kRead).has_value());  // fill
+  ASSERT_FALSE(as.MemRead(0x10000, &r, 4, Access::kRead).has_value());
+  EXPECT_GT(as.counters().tlb_hits, 0u);
+}
+
+// --- Instruction fetch through the address space -----------------------------
+
+TEST(CpuFetch, StraddlingInstructionExecutes) {
+  AddressSpace as;
+  ASSERT_TRUE(
+      as.Map(0x10000, 2 * kPageSize, MA_READ | MA_WRITE | MA_EXEC, Anon(), 0, "t").ok());
+  // ldi r1, 0xDDCCBBAA with the opcode on the last byte of the first page.
+  uint32_t pc = 0x10000 + kPageSize - 1;
+  uint8_t instr[6] = {kOpLdi, 0x01, 0xAA, 0xBB, 0xCC, 0xDD};
+  ASSERT_FALSE(as.MemWrite(pc, instr, sizeof(instr)).has_value());
+  Regs regs;
+  FpRegs fp;
+  regs.pc = pc;
+  StepResult r = CpuStep(regs, fp, as);
+  EXPECT_EQ(r.kind, StepResult::kOk);
+  EXPECT_EQ(regs.r[1], 0xDDCCBBAAu);
+  EXPECT_EQ(regs.pc, pc + 6);
+}
+
+TEST(CpuFetch, MidInstructionFaultReportsOperandAddress) {
+  AddressSpace as;
+  // Only the first page is mapped; the instruction runs off its end.
+  ASSERT_TRUE(as.Map(0x10000, kPageSize, MA_READ | MA_WRITE | MA_EXEC, Anon(), 0, "t").ok());
+  uint32_t page_end = 0x10000 + kPageSize;
+  uint32_t pc = page_end - 2;  // opcode + rd fit; the imm32 does not
+  uint8_t head[2] = {kOpLdi, 0x01};
+  ASSERT_FALSE(as.MemWrite(pc, head, sizeof(head)).has_value());
+  Regs regs;
+  FpRegs fp;
+  regs.pc = pc;
+  StepResult r = CpuStep(regs, fp, as);
+  ASSERT_EQ(r.kind, StepResult::kFault);
+  EXPECT_EQ(r.fault, FLTBOUNDS);
+  EXPECT_EQ(r.fault_addr, page_end)
+      << "the fault address is the first missing operand byte, not the opcode";
+  EXPECT_EQ(regs.pc, pc) << "pc stays at the faulting instruction";
+}
+
 }  // namespace
 }  // namespace svr4
