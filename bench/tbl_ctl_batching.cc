@@ -102,6 +102,76 @@ void BM_HierOneMessagePerWrite(benchmark::State& state) {
 }
 BENCHMARK(BM_HierOneMessagePerWrite)->Arg(16)->Arg(64);
 
+// --- Dispatch overhead of the unified control table --------------------------
+// Both front-ends now route through the declarative op table in
+// procfs/ctl.h. These two benchmarks isolate the per-operation dispatch
+// cost — lookup, row checks, audit append — on the cheapest real operation
+// each encoding has, so a table change that regresses dispatch shows up
+// here rather than hiding inside the batching numbers above.
+
+// Flat path: ioctl(2) entry -> PIOC lookup -> row checks -> handler.
+// PIOCGTRACE is a read-only query (no audit append); PIOCSTRACE adds the
+// audit-ring write. The difference bounds the audit cost.
+void BM_DispatchFlatQuery(benchmark::State& state) {
+  auto s = MakeSystem();
+  auto h = *ProcHandle::Grab(s.sim->kernel(), s.sim->controller(), s.pid);
+  SigSet out;
+  for (auto _ : state) {
+    (void)s.sim->kernel().Ioctl(s.sim->controller(), h.fd(), PIOCGTRACE, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DispatchFlatQuery);
+
+void BM_DispatchFlatControl(benchmark::State& state) {
+  auto s = MakeSystem();
+  auto h = *ProcHandle::Grab(s.sim->kernel(), s.sim->controller(), s.pid);
+  SigSet sigs;
+  sigs.Add(SIGUSR1);
+  for (auto _ : state) {
+    (void)s.sim->kernel().Ioctl(s.sim->controller(), h.fd(), PIOCSTRACE, &sigs);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DispatchFlatControl);
+
+// Hierarchical path: write(2) entry -> message walk -> PC lookup -> operand
+// decode -> row checks -> handler. PCNULL is the minimal message (4 bytes,
+// no operand, no audit), so this is the framing + dispatch floor.
+void BM_DispatchHierNull(benchmark::State& state) {
+  auto s = MakeSystem();
+  char path[40];
+  std::snprintf(path, sizeof(path), "/proc2/%05d/ctl", s.pid);
+  int ctl = *s.sim->kernel().Open(s.sim->controller(), path, O_WRONLY);
+  int32_t code = PCNULL;
+  for (auto _ : state) {
+    (void)s.sim->kernel().Write(s.sim->controller(), ctl, &code, 4);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DispatchHierNull);
+
+void BM_DispatchHierControl(benchmark::State& state) {
+  auto s = MakeSystem();
+  char path[40];
+  std::snprintf(path, sizeof(path), "/proc2/%05d/ctl", s.pid);
+  int ctl = *s.sim->kernel().Open(s.sim->controller(), path, O_WRONLY);
+  SigSet sigs;
+  sigs.Add(SIGUSR1);
+  std::vector<uint8_t> one;
+  int32_t code = PCSTRACE;
+  one.insert(one.end(), reinterpret_cast<uint8_t*>(&code),
+             reinterpret_cast<uint8_t*>(&code) + 4);
+  one.insert(one.end(), reinterpret_cast<uint8_t*>(&sigs),
+             reinterpret_cast<uint8_t*>(&sigs) + sizeof(sigs));
+  for (auto _ : state) {
+    (void)s.sim->kernel().Write(s.sim->controller(), ctl, one.data(), one.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DispatchHierControl);
+
 }  // namespace
 
 BENCHMARK_MAIN();

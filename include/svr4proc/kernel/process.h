@@ -4,6 +4,7 @@
 #ifndef SVR4PROC_KERNEL_PROCESS_H_
 #define SVR4PROC_KERNEL_PROCESS_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -111,6 +112,22 @@ struct SignalState {
   SigInfo cursig_info;
 };
 
+// One record of the per-process control audit ring: who issued which
+// control operation, against which lwp, with what result. Appended by the
+// shared control-plane core for every control (non-read-only) operation,
+// whichever front-end — PIOC* ioctl or ctl-message write — carried it, so
+// the ring doubles as an oracle for differential testing of the two
+// encodings. Identified by canonical operation name, not wire code: the
+// same script driven through either front-end produces identical records.
+inline constexpr int kCtlAuditCap = 64;
+struct CtlAuditRec {
+  char pr_op[16] = {};    // canonical operation name ("PCRUN", "PCKILL", ...)
+  Pid pr_caller = 0;      // controlling process; 0 if issued anonymously
+  int32_t pr_lwpid = 0;   // lwp-scoped target; 0 = process scope
+  int32_t pr_errno = 0;   // Errno result; 0 = success
+  uint64_t pr_tick = 0;   // virtual time at completion
+};
+
 // /proc tracing state; persists when the process file is closed unless
 // run-on-last-close is set.
 struct TraceState {
@@ -126,6 +143,11 @@ struct TraceState {
   // converted to its signal on resume.
   int cur_fault = 0;
   uint32_t cur_fault_addr = 0;
+
+  // Control audit ring (bounded; audit_total % kCtlAuditCap is the next
+  // slot, so the ring and its drop count need no separate head pointer).
+  std::array<CtlAuditRec, kCtlAuditCap> audit{};
+  uint64_t audit_total = 0;  // records ever appended
 
   // Security bookkeeping.
   int writable_opens = 0;   // writable /proc descriptors outstanding

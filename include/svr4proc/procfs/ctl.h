@@ -1,0 +1,111 @@
+// The unified /proc control-plane core.
+//
+// Both front-ends of the process file system — the flat SVR4 PIOC* ioctl
+// family and the hierarchical write(2) ctl-message stream — expose the same
+// process model, and historically each encoded its operations in its own
+// switch against the Kernel::Pr* primitives. This header replaces both with
+// one declarative table: one row per operation, carrying the flat code, the
+// hierarchical code, the canonical name, operand type and wire size, access
+// class (read-only vs writable descriptor), zombie semantics, lwp scope,
+// blocking behaviour, and privilege predicate — and exactly one handler.
+// flat.cc and hier.cc are thin marshalling shims over this table, so an
+// operation's behaviour, error codes, and permission rules cannot diverge
+// between encodings.
+//
+// Adding a control operation means adding one row (and, for a new code, the
+// enum value in types.h or procfs2.h); the table-completeness test asserts
+// every code is covered exactly once.
+#ifndef SVR4PROC_PROCFS_CTL_H_
+#define SVR4PROC_PROCFS_CTL_H_
+
+#include <span>
+
+#include "svr4proc/procfs/procfs2.h"
+#include "svr4proc/procfs/types.h"
+
+namespace svr4 {
+
+// The canonical in-memory operand type a handler receives. The ioctl
+// front-end passes the caller's host pointer through; the ctl-message
+// front-end decodes the fixed-size wire operand into this type first.
+enum class CtlArgKind : uint8_t {
+  kNone,     // no operand
+  kInt,      // int32_t (signal number, nice delta)
+  kFlags,    // uint32_t mode-flag word (PR_FORK | PR_RLC)
+  kSigSet,   // SigSet
+  kFltSet,   // FltSet
+  kSysSet,   // SysSet
+  kSigInfo,  // SigInfo
+  kRegs,     // Regs
+  kFpRegs,   // FpRegs
+  kRun,      // PrRun (wire form: u32 flags + u32 vaddr)
+  kWatch,    // PrWatch
+  kOut,      // flat-only query: host pointer the handler fills in
+};
+
+// Which front-end carried the operation (transport detail; the audit ring
+// deliberately does not record it, so both encodings produce identical
+// audit streams for the same script).
+enum class CtlSource : uint8_t { kIoctl, kCtlMsg };
+
+struct CtlCtx {
+  Kernel* k = nullptr;
+  Proc* p = nullptr;            // target process
+  Lwp* lwp = nullptr;           // non-null: lwp-scoped dispatch (lwpctl)
+  Proc* caller = nullptr;       // controlling process, if known
+  bool native_caller = false;   // host-driven controller (may block)
+  bool fd_writable = false;     // descriptor carries the write right
+  CtlSource source = CtlSource::kIoctl;
+};
+
+using CtlHandler = Result<int32_t> (*)(CtlCtx&, void* arg);
+// Extra privilege predicate evaluated before the handler (e.g. PCNICE:
+// raising priority needs the super-user).
+using CtlPrivCheck = Result<void> (*)(const CtlCtx&, const void* arg);
+
+// One row: the complete declarative description of a control operation.
+struct CtlOp {
+  const char* name;       // canonical name, recorded in the audit ring
+  uint32_t pioc;          // flat PIOC* code; 0 = no flat encoding
+  int32_t pc;             // hierarchical PC* code; -1 = no ctl encoding
+  CtlArgKind arg;         // operand type the handler receives
+  int16_t operand_size;   // ctl-message operand bytes; -1 when pc < 0
+  bool read_only;         // permitted on a read-only descriptor (=> not audited)
+  bool zombie_ok;         // still answers once the process is a zombie
+  bool lwp_scope;         // honors an lwp-granular target (lwpctl)
+  bool blocking;          // pumps the simulation; needs a native controller
+  bool status_out;        // flat: optional PrStatus out-parameter on success
+  int32_t alias_pc;       // >= 0: flat-only code that marshals to this PC row
+  uint32_t alias_operand; //       ... with this fixed operand
+  CtlPrivCheck priv;      // extra privilege predicate; nullptr = none
+  CtlHandler handler;     // nullptr only on pure alias rows
+};
+
+// The table and its indexes.
+std::span<const CtlOp> CtlOpTable();
+const CtlOp* FindCtlOpByPioc(uint32_t pioc);
+const CtlOp* FindCtlOpByPc(int32_t pc);
+
+// Flat front-end entry point: looks up the PIOC* row, applies the flat
+// marshalling quirks (null-operand PIOCSSIG clears, mode-code aliases,
+// optional PrStatus out-parameter), and dispatches. ctx.fd_writable must
+// reflect the descriptor; unknown codes keep the historical errno order
+// (EBADF on a read-only fd, ENOENT on a zombie, else EINVAL).
+Result<int32_t> CtlDispatchPioc(CtlCtx& ctx, uint32_t code, void* arg);
+
+// Hierarchical front-end entry point: walks a ctl-message stream (4-byte
+// code + fixed-size operand per message), decoding each operand to its
+// canonical type and dispatching. Messages already executed keep their
+// effect if a later one fails. lwp non-null scopes lwp-capable operations.
+Result<int64_t> RunCtlStream(Kernel& k, Proc* p, Lwp* lwp, std::span<const uint8_t> buf,
+                             bool native_caller, Proc* caller);
+
+// The shared core: runs the access checks encoded in the row (write right,
+// zombie state, native-caller requirement, privilege predicate), invokes
+// the handler, and appends an audit record for control operations. Exposed
+// for the differential tests; front-ends reach it via the entry points.
+Result<int32_t> CtlDispatchOp(CtlCtx& ctx, const CtlOp& op, void* arg);
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_PROCFS_CTL_H_

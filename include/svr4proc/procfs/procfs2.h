@@ -19,8 +19,15 @@
 //   /proc2/<pid>/map      read-only   PrMapEntry[]
 //   /proc2/<pid>/as       read/write  the address space (offset = vaddr)
 //   /proc2/<pid>/ctl      write-only  control message stream
+//   /proc2/<pid>/ctlaudit read-only   PrCtlAudit (control audit ring)
 //   /proc2/<pid>/lwp/<n>/lwpstatus    PrLwpStatus
 //   /proc2/<pid>/lwp/<n>/lwpctl       per-lwp control message stream
+//
+// Control semantics are defined once, in the shared op table (procfs/ctl.h);
+// this front-end only parses the message framing. Note PCRUN's 8-byte wire
+// form (u32 flags + u32 vaddr) cannot carry the signal/fault sets, so
+// PRSTRACE/PRSHOLD/PRSFAULT in a PCRUN message are rejected with EINVAL —
+// send the sets as separate PCSTRACE/PCSHOLD/PCSFAULT messages.
 #ifndef SVR4PROC_PROCFS_PROCFS2_H_
 #define SVR4PROC_PROCFS_PROCFS2_H_
 
@@ -58,7 +65,8 @@ enum PrCtl : int32_t {
   PCWATCH = 20,  // PrWatch: set or clear a watchpoint
 };
 
-// Bytes of operand following each code; -1 for unknown codes.
+// Bytes of operand following each code; -1 for unknown codes. Derived from
+// the shared op table in procfs/ctl.h, not a hand-maintained switch.
 int PrCtlOperandSize(int32_t code);
 
 // Root of the hierarchical fstype: directories named by pid.

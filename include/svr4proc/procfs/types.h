@@ -167,6 +167,16 @@ struct PrVmStats {
   uint64_t pr_instructions = 0;  // kernel-wide instructions retired
 };
 
+// Snapshot of the per-process control audit ring (PIOCAUDIT and the
+// read-only /proc2/<pid>/ctlaudit file). Records are oldest-first;
+// pr_total - pr_n records have been overwritten by ring wrap.
+struct PrCtlAudit {
+  uint64_t pr_total = 0;  // control operations ever recorded
+  uint32_t pr_n = 0;      // valid entries in pr_rec
+  uint32_t pr_pad = 0;
+  CtlAuditRec pr_rec[kCtlAuditCap] = {};
+};
+
 // Per-lwp status for the hierarchical interface's lwp subdirectories.
 struct PrLwpStatus {
   uint16_t pr_lwpid = 0;
@@ -250,6 +260,7 @@ enum Pioc : uint32_t {
   PIOCPAGEDATA = kPiocBase | 42,  // PrPageData*        ref/mod page data (proposed)
   PIOCLWPIDS = kPiocBase | 43,  // PrLwpIds*            lwp ids
   PIOCVMSTATS = kPiocBase | 44,  // PrVmStats*          TLB/exec-path counters
+  PIOCAUDIT = kPiocBase | 45,   // PrCtlAudit*          control audit ring
 };
 
 // --- Builders shared by both /proc implementations ---------------------------
@@ -260,6 +271,7 @@ PrCred BuildPrCred(const Proc* p);
 PrUsage BuildPrUsage(const Kernel& k, const Proc* p);
 std::vector<PrMapEntry> BuildPrMap(const Proc* p);
 PrLwpStatus BuildPrLwpStatus(const Proc* p, const Lwp* l);
+PrCtlAudit BuildPrCtlAudit(const Proc* p);
 
 }  // namespace svr4
 

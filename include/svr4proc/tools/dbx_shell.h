@@ -20,6 +20,7 @@
 //   dis [<sym|0xADDR>] [n]              disassemble
 //   where                               stack trace
 //   status                              prstatus summary
+//   audit                               control audit ring (who did what)
 //   syscall <name> [args...]            force the target to execute a call
 //   kill                                SIGKILL the target
 //   detach                              release the target
@@ -62,6 +63,7 @@ class DbxShell {
   std::string CmdDis(const std::vector<std::string>& args);
   std::string CmdWhere();
   std::string CmdStatus();
+  std::string CmdAudit();
   std::string CmdSyscall(const std::vector<std::string>& args);
 
   Result<uint32_t> ResolveAddr(const std::string& tok);

@@ -84,6 +84,7 @@ class ProcHandle {
   Result<PrCred> Cred();
   Result<PrUsage> Usage();
   Result<PrVmStats> VmStats();
+  Result<PrCtlAudit> Audit();  // the control audit ring (PIOCAUDIT)
   Result<void> Nice(int delta);
 
   // --- proposed extensions ---

@@ -13,6 +13,11 @@
 
 namespace svr4 {
 
+// Renders a control audit ring snapshot (PIOCAUDIT / /proc2/<pid>/ctlaudit)
+// as a symbolic report, one line per record: operation, caller, lwp,
+// result, tick. The observability counterpart of the syscall trace.
+std::string FormatCtlAudit(const PrCtlAudit& a);
+
 struct TrussOptions {
   bool follow_fork = false;   // -f: trace children as they are created
   bool counts_only = false;   // -c: summary table instead of a line per call

@@ -1,10 +1,12 @@
 // The flat SVR4 /proc: prlookup/preaddir, address-space I/O, the PIOC*
-// operation family, and the security provisions.
-#include <algorithm>
+// front-end, and the security provisions. Operation semantics — access
+// class, zombie behaviour, privilege rules, handlers — live in the shared
+// control-plane table (procfs/ctl.h); Ioctl() only marshals into it.
 #include <cstdio>
-#include <cstring>
 
 #include "svr4proc/procfs/procfs.h"
+
+#include "svr4proc/procfs/ctl.h"
 
 namespace svr4 {
 namespace {
@@ -13,54 +15,6 @@ namespace {
 struct PrPriv {
   bool excl = false;  // this descriptor holds the exclusive-write right
 };
-
-// Operations permitted on a read-only descriptor; everything else modifies
-// process state or behaviour and needs write access.
-bool IsReadOnlyOp(uint32_t op) {
-  switch (op) {
-    case PIOCSTATUS:
-    case PIOCGTRACE:
-    case PIOCGHOLD:
-    case PIOCMAXSIG:
-    case PIOCACTION:
-    case PIOCGFAULT:
-    case PIOCGENTRY:
-    case PIOCGEXIT:
-    case PIOCGREG:
-    case PIOCGFPREG:
-    case PIOCNMAP:
-    case PIOCMAP:
-    case PIOCOPENM:
-    case PIOCCRED:
-    case PIOCGROUPS:
-    case PIOCPSINFO:
-    case PIOCGETPR:
-    case PIOCGETU:
-    case PIOCUSAGE:
-    case PIOCNWATCH:
-    case PIOCGWATCH:
-    case PIOCPAGEDATA:
-    case PIOCLWPIDS:
-    case PIOCVMSTATS:
-      return true;
-    default:
-      return false;
-  }
-}
-
-// Operations that still work on a zombie (it has status but no context).
-bool WorksOnZombie(uint32_t op) {
-  switch (op) {
-    case PIOCPSINFO:
-    case PIOCCRED:
-    case PIOCGROUPS:
-    case PIOCUSAGE:
-    case PIOCMAXSIG:
-      return true;
-    default:
-      return false;
-  }
-}
 
 std::string PidName(Pid pid) {
   char buf[8];
@@ -81,24 +35,6 @@ Result<void> ProcOpenPermission(const Creds& cr, const Proc* target) {
     return Errno::kEACCES;  // both the uid and gid must match
   }
   return Result<void>::Ok();
-}
-
-RunArgs ToRunArgs(const PrRun& r) {
-  RunArgs a;
-  a.clear_sig = r.pr_flags & PRCSIG;
-  a.clear_fault = r.pr_flags & PRCFAULT;
-  a.set_trace = r.pr_flags & PRSTRACE;
-  a.trace = r.pr_trace;
-  a.set_hold = r.pr_flags & PRSHOLD;
-  a.hold = r.pr_hold;
-  a.set_fault = r.pr_flags & PRSFAULT;
-  a.fault = r.pr_fault;
-  a.set_vaddr = r.pr_flags & PRSVADDR;
-  a.vaddr = r.pr_vaddr;
-  a.step = r.pr_flags & PRSTEP;
-  a.abort = r.pr_flags & PRSABORT;
-  a.stop = r.pr_flags & PRSTOP;
-  return a;
 }
 
 Result<int32_t> ProcOpenMappedObject(Kernel& k, Proc* caller, Proc* target, bool use_exe,
@@ -292,286 +228,14 @@ Result<int32_t> ProcVnode::Ioctl(OpenFile& of, Proc* caller, uint32_t op, void* 
   if (!tp.ok()) {
     return tp.error();
   }
-  Proc* p = *tp;
-  Kernel& k = *kernel_;
-
-  if (!IsReadOnlyOp(op) && !of.writable) {
-    return Errno::kEBADF;
-  }
-  if (p->state == Proc::State::kZombie && !WorksOnZombie(op)) {
-    return Errno::kENOENT;
-  }
-
-  switch (op) {
-    case PIOCSTATUS:
-      *static_cast<PrStatus*>(arg) = BuildPrStatus(k, p);
-      return 0;
-    case PIOCSTOP: {
-      SVR4_RETURN_IF_ERROR(k.PrStop(p));
-      SVR4_RETURN_IF_ERROR(k.PrWaitStop(p));
-      if (arg != nullptr) {
-        *static_cast<PrStatus*>(arg) = BuildPrStatus(k, p);
-      }
-      return 0;
-    }
-    case PIOCWSTOP: {
-      SVR4_RETURN_IF_ERROR(k.PrWaitStop(p));
-      if (arg != nullptr) {
-        *static_cast<PrStatus*>(arg) = BuildPrStatus(k, p);
-      }
-      return 0;
-    }
-    case PIOCRUN: {
-      PrRun run;
-      if (arg != nullptr) {
-        run = *static_cast<PrRun*>(arg);
-      }
-      SVR4_RETURN_IF_ERROR(k.PrRun(p, ToRunArgs(run)));
-      return 0;
-    }
-    case PIOCGTRACE:
-      *static_cast<SigSet*>(arg) = p->trace.sigtrace;
-      return 0;
-    case PIOCSTRACE:
-      p->trace.sigtrace = *static_cast<SigSet*>(arg);
-      return 0;
-    case PIOCSSIG: {
-      if (arg == nullptr) {
-        SVR4_RETURN_IF_ERROR(k.PrSetSig(p, 0, SigInfo{}));
-        return 0;
-      }
-      const SigInfo& info = *static_cast<SigInfo*>(arg);
-      SVR4_RETURN_IF_ERROR(k.PrSetSig(p, info.si_signo, info));
-      return 0;
-    }
-    case PIOCKILL:
-      SVR4_RETURN_IF_ERROR(k.PrKill(p, *static_cast<int*>(arg)));
-      return 0;
-    case PIOCUNKILL:
-      SVR4_RETURN_IF_ERROR(k.PrUnkill(p, *static_cast<int*>(arg)));
-      return 0;
-    case PIOCGHOLD:
-      *static_cast<SigSet*>(arg) = p->sig.hold;
-      return 0;
-    case PIOCSHOLD: {
-      SigSet hold = *static_cast<SigSet*>(arg);
-      hold.Remove(SIGKILL);
-      hold.Remove(SIGSTOP);
-      p->sig.hold = hold;
-      return 0;
-    }
-    case PIOCMAXSIG:
-      *static_cast<int*>(arg) = SigSet::kMaxMember;
-      return 0;
-    case PIOCACTION: {
-      auto* actions = static_cast<SigAction*>(arg);
-      for (int s = 1; s <= SigSet::kMaxMember; ++s) {
-        actions[s - 1] = p->sig.actions[s];
-      }
-      return 0;
-    }
-    case PIOCGFAULT:
-      *static_cast<FltSet*>(arg) = p->trace.flttrace;
-      return 0;
-    case PIOCSFAULT:
-      p->trace.flttrace = *static_cast<FltSet*>(arg);
-      return 0;
-    case PIOCCFAULT:
-      p->trace.cur_fault = 0;
-      return 0;
-    case PIOCGENTRY:
-      *static_cast<SysSet*>(arg) = p->trace.sysentry;
-      return 0;
-    case PIOCSENTRY:
-      p->trace.sysentry = *static_cast<SysSet*>(arg);
-      return 0;
-    case PIOCGEXIT:
-      *static_cast<SysSet*>(arg) = p->trace.sysexit;
-      return 0;
-    case PIOCSEXIT:
-      p->trace.sysexit = *static_cast<SysSet*>(arg);
-      return 0;
-    case PIOCSFORK:
-      p->trace.inherit_on_fork = true;
-      return 0;
-    case PIOCRFORK:
-      p->trace.inherit_on_fork = false;
-      return 0;
-    case PIOCSRLC:
-      p->trace.run_on_last_close = true;
-      return 0;
-    case PIOCRRLC:
-      p->trace.run_on_last_close = false;
-      return 0;
-    case PIOCGREG: {
-      Lwp* l = p->RepresentativeLwp();
-      if (l == nullptr) {
-        return Errno::kENOENT;
-      }
-      *static_cast<Regs*>(arg) = l->regs;
-      return 0;
-    }
-    case PIOCSREG: {
-      Lwp* l = p->RepresentativeLwp();
-      if (l == nullptr) {
-        return Errno::kENOENT;
-      }
-      l->regs = *static_cast<Regs*>(arg);
-      return 0;
-    }
-    case PIOCGFPREG: {
-      Lwp* l = p->RepresentativeLwp();
-      if (l == nullptr) {
-        return Errno::kENOENT;
-      }
-      *static_cast<FpRegs*>(arg) = l->fpregs;
-      return 0;
-    }
-    case PIOCSFPREG: {
-      Lwp* l = p->RepresentativeLwp();
-      if (l == nullptr) {
-        return Errno::kENOENT;
-      }
-      l->fpregs = *static_cast<FpRegs*>(arg);
-      return 0;
-    }
-    case PIOCNMAP:
-      *static_cast<int*>(arg) = static_cast<int>(BuildPrMap(p).size());
-      return 0;
-    case PIOCMAP: {
-      auto maps = BuildPrMap(p);
-      auto* out = static_cast<PrMapEntry*>(arg);
-      for (size_t i = 0; i < maps.size(); ++i) {
-        out[i] = maps[i];
-      }
-      out[maps.size()] = PrMapEntry{};  // zero-filled terminator
-      return 0;
-    }
-    case PIOCOPENM: {
-      bool use_exe = arg == nullptr;
-      uint32_t vaddr = use_exe ? 0 : *static_cast<uint32_t*>(arg);
-      return ProcOpenMappedObject(k, caller, p, use_exe, vaddr);
-    }
-    case PIOCCRED:
-      *static_cast<PrCred*>(arg) = BuildPrCred(p);
-      return 0;
-    case PIOCGROUPS: {
-      auto* out = static_cast<Gid*>(arg);
-      size_t n = std::min<size_t>(p->creds.groups.size(), PRNGROUPS);
-      for (size_t i = 0; i < n; ++i) {
-        out[i] = p->creds.groups[i];
-      }
-      return static_cast<int32_t>(n);
-    }
-    case PIOCPSINFO:
-      *static_cast<PrPsinfo*>(arg) = BuildPrPsinfo(k, p);
-      return 0;
-    case PIOCNICE: {
-      int delta = *static_cast<int*>(arg);
-      if (delta < 0 && !caller->creds.IsSuper()) {
-        return Errno::kEPERM;
-      }
-      p->nice = std::clamp(p->nice + delta, 0, 39);
-      return 0;
-    }
-    case PIOCGETPR: {
-      // Deprecated: exposes the raw proc structure.
-      auto* raw = static_cast<PrRawProc*>(arg);
-      raw->p_pid = p->pid;
-      raw->p_ppid = p->ppid;
-      raw->p_pgrp = p->pgrp;
-      raw->p_stat = p->state == Proc::State::kZombie ? 5 : 1;
-      raw->p_uid = p->creds.ruid;
-      raw->p_nice = static_cast<uint32_t>(p->nice);
-      raw->p_nlwp = static_cast<uint32_t>(p->lwps.size());
-      uint64_t low = 0;
-      for (int s = 1; s <= 64; ++s) {
-        if (p->sig.pending.Has(s)) {
-          low |= uint64_t{1} << (s - 1);
-        }
-      }
-      raw->p_sig_pending_low = low;
-      return 0;
-    }
-    case PIOCGETU: {
-      // Deprecated: exposes the user area.
-      auto* raw = static_cast<PrRawUser*>(arg);
-      raw->u_nofiles = static_cast<uint32_t>(p->fds.size());
-      raw->u_cmask = p->umask;
-      std::snprintf(raw->u_comm, PRFNSZ, "%s", p->name.c_str());
-      std::snprintf(raw->u_psargs, PRARGSZ, "%s", p->psargs.c_str());
-      raw->u_utime = p->utime;
-      raw->u_stime = p->stime;
-      return 0;
-    }
-    case PIOCUSAGE:
-      *static_cast<PrUsage*>(arg) = BuildPrUsage(k, p);
-      return 0;
-    case PIOCVMSTATS: {
-      if (!p->as) {
-        return Errno::kEINVAL;  // zombie: no address space
-      }
-      auto* out = static_cast<PrVmStats*>(arg);
-      const VmCounters& c = p->as->counters();
-      out->pr_tlb_hits = c.tlb_hits;
-      out->pr_tlb_misses = c.tlb_misses;
-      out->pr_slow_lookups = c.slow_lookups;
-      out->pr_tlb_flushes = c.tlb_flushes;
-      out->pr_instructions = k.counters().instructions;
-      return 0;
-    }
-    case PIOCNWATCH:
-      *static_cast<int*>(arg) =
-          p->as ? static_cast<int>(p->as->Watches().size()) : 0;
-      return 0;
-    case PIOCGWATCH: {
-      if (!p->as) {
-        return Errno::kEINVAL;
-      }
-      auto* out = static_cast<PrWatch*>(arg);
-      int i = 0;
-      for (const auto& w : p->as->Watches()) {
-        out[i].pr_vaddr = w.vaddr;
-        out[i].pr_size = w.size;
-        out[i].pr_wflags = w.wflags;
-        ++i;
-      }
-      return i;
-    }
-    case PIOCSWATCH: {
-      if (!p->as) {
-        return Errno::kEINVAL;
-      }
-      const auto& w = *static_cast<PrWatch*>(arg);
-      if (w.pr_wflags == 0) {
-        SVR4_RETURN_IF_ERROR(p->as->ClearWatch(w.pr_vaddr));
-        return 0;
-      }
-      SVR4_RETURN_IF_ERROR(
-          p->as->AddWatch(Watch{w.pr_vaddr, w.pr_size, w.pr_wflags}));
-      return 0;
-    }
-    case PIOCPAGEDATA: {
-      if (!p->as) {
-        return Errno::kEINVAL;
-      }
-      auto* pd = static_cast<PrPageData*>(arg);
-      pd->segs = p->as->SamplePageData(pd->clear);
-      return 0;
-    }
-    case PIOCLWPIDS: {
-      auto* out = static_cast<PrLwpIds*>(arg);
-      out->n = 0;
-      for (const auto& l : p->lwps) {
-        if (l->state != LwpState::kDead && out->n < PRNLWPIDS) {
-          out->ids[out->n++] = l->lwpid;
-        }
-      }
-      return 0;
-    }
-    default:
-      return Errno::kEINVAL;
-  }
+  CtlCtx ctx;
+  ctx.k = kernel_;
+  ctx.p = *tp;
+  ctx.caller = caller;
+  ctx.native_caller = true;  // enforced above
+  ctx.fd_writable = of.writable;
+  ctx.source = CtlSource::kIoctl;
+  return CtlDispatchPioc(ctx, op, arg);
 }
 
 Result<void> MountProcFs(Kernel& k, const std::string& path) {

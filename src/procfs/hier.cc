@@ -1,10 +1,12 @@
 // The hierarchical /proc2: per-process directories, read(2)-based status
 // files, write(2)-based structured control messages, and per-lwp
-// subdirectories.
+// subdirectories. Control-message semantics live in the shared control-plane
+// table (procfs/ctl.h); ctl/lwpctl writes only hand the stream to it.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 
+#include "svr4proc/procfs/ctl.h"
 #include "svr4proc/procfs/procfs.h"
 #include "svr4proc/procfs/procfs2.h"
 
@@ -18,7 +20,9 @@ struct Pr2Priv {
   bool counted_writable = false;
 };
 
-enum class Pr2Kind { kStatus, kPsinfo, kCred, kUsage, kSigact, kMap, kAs, kCtl };
+enum class Pr2Kind {
+  kStatus, kPsinfo, kCred, kUsage, kSigact, kMap, kAs, kCtl, kCtlAudit
+};
 
 std::string PidName(Pid pid) {
   char buf[8];
@@ -164,6 +168,8 @@ class Pr2FileVnode : public Vnode {
         }
         return p->as->PrRead(static_cast<uint32_t>(off), buf);
       }
+      case Pr2Kind::kCtlAudit:
+        return ServeStruct(BuildPrCtlAudit(p), off, buf);
       case Pr2Kind::kCtl:
         return Errno::kEACCES;
     }
@@ -186,7 +192,8 @@ class Pr2FileVnode : public Vnode {
       case Pr2Kind::kCtl: {
         auto* priv = static_cast<Pr2Priv*>(of.priv.get());
         bool native = priv != nullptr && priv->opener != nullptr && priv->opener->native;
-        return RunCtl(p, buf, native, priv ? priv->opener : nullptr, nullptr);
+        return RunCtlStream(*kernel_, p, nullptr, buf, native,
+                            priv ? priv->opener : nullptr);
       }
       default:
         return Errno::kEACCES;
@@ -204,12 +211,6 @@ class Pr2FileVnode : public Vnode {
     return kernel_->PrIsStopped(p) ? POLLPRI : 0;
   }
 
-  // Executes a control-message stream against a process (lwp == nullptr) or
-  // a single lwp. Messages already executed keep their effect if a later
-  // one fails.
-  Result<int64_t> RunCtl(Proc* p, std::span<const uint8_t> buf, bool native_caller,
-                         Proc* caller, Lwp* lwp);
-
  private:
   Result<Proc*> Target(const OpenFile& of) const {
     Proc* p = kernel_->FindProc(pid_);
@@ -220,7 +221,8 @@ class Pr2FileVnode : public Vnode {
       return Errno::kEACCES;
     }
     if (p->state == Proc::State::kZombie && kind_ != Pr2Kind::kPsinfo &&
-        kind_ != Pr2Kind::kCred && kind_ != Pr2Kind::kUsage) {
+        kind_ != Pr2Kind::kCred && kind_ != Pr2Kind::kUsage &&
+        kind_ != Pr2Kind::kCtlAudit) {
       return Errno::kENOENT;
     }
     return p;
@@ -300,8 +302,7 @@ class Pr2LwpFileVnode : public Vnode {
     }
     auto* priv = static_cast<Pr2Priv*>(of.priv.get());
     bool native = priv != nullptr && priv->opener != nullptr && priv->opener->native;
-    Pr2FileVnode helper(kernel_, pid_, Pr2Kind::kCtl);
-    return helper.RunCtl(p, buf, native, priv ? priv->opener : nullptr, l);
+    return RunCtlStream(*kernel_, p, l, buf, native, priv ? priv->opener : nullptr);
   }
 
  private:
@@ -428,6 +429,8 @@ class Pr2ProcDirVnode : public Vnode {
       kind = Pr2Kind::kAs;
     } else if (name == "ctl") {
       kind = Pr2Kind::kCtl;
+    } else if (name == "ctlaudit") {
+      kind = Pr2Kind::kCtlAudit;
     } else if (name == "lwp") {
       return VnodePtr(std::make_shared<Pr2LwpListVnode>(kernel_, pid_));
     } else {
@@ -439,7 +442,8 @@ class Pr2ProcDirVnode : public Vnode {
     return std::vector<DirEnt>{
         {"as", VType::kProc},     {"ctl", VType::kProc},   {"status", VType::kProc},
         {"psinfo", VType::kProc}, {"map", VType::kProc},   {"cred", VType::kProc},
-        {"sigact", VType::kProc}, {"usage", VType::kProc}, {"lwp", VType::kDir},
+        {"sigact", VType::kProc}, {"usage", VType::kProc}, {"ctlaudit", VType::kProc},
+        {"lwp", VType::kDir},
     };
   }
 
@@ -449,209 +453,6 @@ class Pr2ProcDirVnode : public Vnode {
 };
 
 }  // namespace
-
-int PrCtlOperandSize(int32_t code) {
-  switch (code) {
-    case PCNULL:
-    case PCSTOP:
-    case PCDSTOP:
-    case PCWSTOP:
-    case PCCSIG:
-    case PCCFAULT:
-      return 0;
-    case PCRUN:
-      return 8;  // u32 flags + u32 vaddr
-    case PCSTRACE:
-    case PCSHOLD:
-      return sizeof(SigSet);
-    case PCSFAULT:
-      return sizeof(FltSet);
-    case PCSENTRY:
-    case PCSEXIT:
-      return sizeof(SysSet);
-    case PCKILL:
-    case PCUNKILL:
-    case PCNICE:
-      return 4;
-    case PCSSIG:
-      return sizeof(SigInfo);
-    case PCSREG:
-      return sizeof(Regs);
-    case PCSFPREG:
-      return sizeof(FpRegs);
-    case PCSET:
-    case PCUNSET:
-      return 4;
-    case PCWATCH:
-      return sizeof(PrWatch);
-    default:
-      return -1;
-  }
-}
-
-namespace {
-
-Result<void> ApplyCtl(Kernel& k, Proc* p, Lwp* lwp, int32_t code, const uint8_t* operand,
-                      bool native_caller, Proc* caller) {
-  auto as_u32 = [&](int at) {
-    uint32_t v;
-    std::memcpy(&v, operand + at, 4);
-    return v;
-  };
-  switch (code) {
-    case PCNULL:
-      return Result<void>::Ok();
-    case PCSTOP: {
-      if (!native_caller) {
-        return Errno::kEINVAL;  // blocking messages need a native controller
-      }
-      if (lwp != nullptr) {
-        SVR4_RETURN_IF_ERROR(k.PrStopLwp(lwp));
-      } else {
-        SVR4_RETURN_IF_ERROR(k.PrStop(p));
-      }
-      return k.PrWaitStop(p);
-    }
-    case PCDSTOP:
-      if (lwp != nullptr) {
-        return k.PrStopLwp(lwp);
-      }
-      return k.PrStop(p);
-    case PCWSTOP:
-      if (!native_caller) {
-        return Errno::kEINVAL;
-      }
-      return k.PrWaitStop(p);
-    case PCRUN: {
-      PrRun run;
-      run.pr_flags = as_u32(0);
-      run.pr_vaddr = as_u32(4);
-      // Set-operations travel as separate messages in this encoding.
-      run.pr_flags &= ~(PRSTRACE | PRSHOLD | PRSFAULT);
-      RunArgs args = ToRunArgs(run);
-      if (lwp != nullptr) {
-        return k.PrRunLwp(lwp, args);
-      }
-      return k.PrRun(p, args);
-    }
-    case PCSTRACE:
-      std::memcpy(&p->trace.sigtrace, operand, sizeof(SigSet));
-      return Result<void>::Ok();
-    case PCSFAULT:
-      std::memcpy(&p->trace.flttrace, operand, sizeof(FltSet));
-      return Result<void>::Ok();
-    case PCSENTRY:
-      std::memcpy(&p->trace.sysentry, operand, sizeof(SysSet));
-      return Result<void>::Ok();
-    case PCSEXIT:
-      std::memcpy(&p->trace.sysexit, operand, sizeof(SysSet));
-      return Result<void>::Ok();
-    case PCSHOLD: {
-      SigSet hold;
-      std::memcpy(&hold, operand, sizeof(SigSet));
-      hold.Remove(SIGKILL);
-      hold.Remove(SIGSTOP);
-      p->sig.hold = hold;
-      return Result<void>::Ok();
-    }
-    case PCKILL:
-      return k.PrKill(p, static_cast<int32_t>(as_u32(0)));
-    case PCUNKILL:
-      return k.PrUnkill(p, static_cast<int32_t>(as_u32(0)));
-    case PCSSIG: {
-      SigInfo info;
-      std::memcpy(&info, operand, sizeof(SigInfo));
-      return k.PrSetSig(p, info.si_signo, info);
-    }
-    case PCCSIG:
-      return k.PrSetSig(p, 0, SigInfo{});
-    case PCCFAULT:
-      p->trace.cur_fault = 0;
-      return Result<void>::Ok();
-    case PCSREG: {
-      Lwp* l = lwp != nullptr ? lwp : p->RepresentativeLwp();
-      if (l == nullptr) {
-        return Errno::kENOENT;
-      }
-      std::memcpy(&l->regs, operand, sizeof(Regs));
-      return Result<void>::Ok();
-    }
-    case PCSFPREG: {
-      Lwp* l = lwp != nullptr ? lwp : p->RepresentativeLwp();
-      if (l == nullptr) {
-        return Errno::kENOENT;
-      }
-      std::memcpy(&l->fpregs, operand, sizeof(FpRegs));
-      return Result<void>::Ok();
-    }
-    case PCNICE: {
-      int delta = static_cast<int32_t>(as_u32(0));
-      if (delta < 0 && (caller == nullptr || !caller->creds.IsSuper())) {
-        return Errno::kEPERM;
-      }
-      p->nice = std::clamp(p->nice + delta, 0, 39);
-      return Result<void>::Ok();
-    }
-    case PCSET: {
-      uint32_t flags = as_u32(0);
-      if (flags & PR_FORK) {
-        p->trace.inherit_on_fork = true;
-      }
-      if (flags & PR_RLC) {
-        p->trace.run_on_last_close = true;
-      }
-      return Result<void>::Ok();
-    }
-    case PCUNSET: {
-      uint32_t flags = as_u32(0);
-      if (flags & PR_FORK) {
-        p->trace.inherit_on_fork = false;
-      }
-      if (flags & PR_RLC) {
-        p->trace.run_on_last_close = false;
-      }
-      return Result<void>::Ok();
-    }
-    case PCWATCH: {
-      if (!p->as) {
-        return Errno::kEINVAL;
-      }
-      PrWatch w;
-      std::memcpy(&w, operand, sizeof(PrWatch));
-      if (w.pr_wflags == 0) {
-        return p->as->ClearWatch(w.pr_vaddr);
-      }
-      return p->as->AddWatch(Watch{w.pr_vaddr, w.pr_size, w.pr_wflags});
-    }
-    default:
-      return Errno::kEINVAL;
-  }
-}
-
-}  // namespace
-
-Result<int64_t> Pr2FileVnode::RunCtl(Proc* p, std::span<const uint8_t> buf,
-                                     bool native_caller, Proc* caller, Lwp* lwp) {
-  size_t pos = 0;
-  while (pos + 4 <= buf.size()) {
-    int32_t code;
-    std::memcpy(&code, buf.data() + pos, 4);
-    int opsize = PrCtlOperandSize(code);
-    if (opsize < 0 || pos + 4 + static_cast<size_t>(opsize) > buf.size()) {
-      return Errno::kEINVAL;
-    }
-    auto r = ApplyCtl(*kernel_, p, lwp, code, buf.data() + pos + 4, native_caller, caller);
-    if (!r.ok()) {
-      // Messages already executed keep their effect.
-      return r.error();
-    }
-    pos += 4 + static_cast<size_t>(opsize);
-  }
-  if (pos != buf.size()) {
-    return Errno::kEINVAL;  // trailing garbage
-  }
-  return static_cast<int64_t>(buf.size());
-}
 
 Result<VAttr> Pr2RootVnode::GetAttr() {
   VAttr a;

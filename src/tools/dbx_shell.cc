@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "svr4proc/kernel/syscall.h"
+#include "svr4proc/tools/truss.h"
 
 namespace svr4 {
 namespace {
@@ -313,6 +314,14 @@ std::string DbxShell::CmdStatus() {
   return buf;
 }
 
+std::string DbxShell::CmdAudit() {
+  auto a = dbg_.handle().Audit();
+  if (!a.ok()) {
+    return std::string(ErrnoName(a.error())) + "\n";
+  }
+  return FormatCtlAudit(*a);
+}
+
 std::string DbxShell::CmdSyscall(const std::vector<std::string>& args) {
   if (args.size() < 2) {
     return "usage: syscall <name> [args...]\n";
@@ -404,6 +413,9 @@ std::string DbxShell::Command(const std::string& line) {
   }
   if (cmd == "status") {
     return CmdStatus();
+  }
+  if (cmd == "audit") {
+    return CmdAudit();
   }
   if (cmd == "syscall") {
     return CmdSyscall(args);

@@ -280,6 +280,12 @@ Result<PrVmStats> ProcHandle::VmStats() {
   return s;
 }
 
+Result<PrCtlAudit> ProcHandle::Audit() {
+  PrCtlAudit a;
+  SVR4_RETURN_IF_ERROR(Io(PIOCAUDIT, &a));
+  return a;
+}
+
 Result<void> ProcHandle::Nice(int delta) {
   SVR4_RETURN_IF_ERROR(Io(PIOCNICE, &delta));
   return Result<void>::Ok();

@@ -34,6 +34,30 @@ std::string FormatSyscall(const PrStatus& st) {
 
 }  // namespace
 
+std::string FormatCtlAudit(const PrCtlAudit& a) {
+  std::string out;
+  char line[96];
+  std::snprintf(line, sizeof(line), "ctl audit: %llu total, %u retained\n",
+                static_cast<unsigned long long>(a.pr_total), a.pr_n);
+  out += line;
+  uint64_t first = a.pr_total - a.pr_n;  // sequence number of pr_rec[0]
+  for (uint32_t i = 0; i < a.pr_n; ++i) {
+    const CtlAuditRec& r = a.pr_rec[i];
+    std::snprintf(line, sizeof(line), "%6llu: %-10s caller=%d lwp=%d tick=%llu",
+                  static_cast<unsigned long long>(first + i), r.pr_op, r.pr_caller,
+                  r.pr_lwpid, static_cast<unsigned long long>(r.pr_tick));
+    out += line;
+    if (r.pr_errno != 0) {
+      out += " Err#";
+      out += std::to_string(r.pr_errno);
+      out += " ";
+      out += ErrnoName(static_cast<Errno>(r.pr_errno));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
 Truss::Truss(Kernel& k, Proc* caller, TrussOptions opts)
     : kernel_(&k), caller_(caller), opts_(opts) {}
 
