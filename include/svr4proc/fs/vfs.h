@@ -14,6 +14,8 @@
 
 namespace svr4 {
 
+class FaultInjector;  // kernel/faults.h; optional, null in normal operation
+
 class Vfs {
  public:
   Vfs();  // creates an empty memfs root
@@ -32,11 +34,15 @@ class Vfs {
   // Creates all directories along `path` (mkdir -p).
   Result<VnodePtr> MkdirAll(const std::string& path, const VAttr& attr);
 
+  // Arms resolution-failure injection (kVfsResolve); null disarms.
+  void SetFaultInjector(FaultInjector* finj) { finj_ = finj; }
+
  private:
   VnodePtr CrossMounts(VnodePtr vp) const;
 
   VnodePtr root_;
   std::map<Vnode*, VnodePtr> mounts_;
+  FaultInjector* finj_ = nullptr;
 };
 
 }  // namespace svr4

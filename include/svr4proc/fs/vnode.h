@@ -120,6 +120,12 @@ class Vnode : public std::enable_shared_from_this<Vnode> {
 
   // Memory object for mmap/exec; ENODEV if the file cannot be mapped.
   virtual Result<std::shared_ptr<VmObject>> GetVmObject();
+
+  // Pid whose /proc open ledger (TraceState counters) this vnode's
+  // descriptors are counted in; -1 for everything that is not a counted
+  // /proc file. Lets the kernel's invariant checker recount descriptor
+  // references without knowing the fstypes.
+  virtual int32_t PrCountedTarget() const { return -1; }
 };
 
 // Maps a regular file's contents as a VM object. Pages are cached in the

@@ -1,0 +1,100 @@
+// Deterministic fault injection for the simulated kernel.
+//
+// A FaultPlan arms named injection sites — the error and lifecycle seams
+// that real workloads almost never exercise — with a per-site seed, a fire
+// probability expressed as a ratio, and a hit cap. The FaultInjector built
+// from a plan makes every decision with a private splitmix64 stream, so a
+// given (plan, workload) pair replays identically: every chaos failure is a
+// reproducible test case. Sites are wired through the kernel, vm, and fs
+// layers behind a branch on a null injector pointer, so a kernel with no
+// plan set pays one predicted-not-taken branch per site.
+//
+// This header is self-contained (no kernel types) so the vm and fs layers
+// can hold an injector pointer without a layering inversion.
+#ifndef SVR4PROC_KERNEL_FAULTS_H_
+#define SVR4PROC_KERNEL_FAULTS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace svr4 {
+
+// Named injection sites. Each maps to one seam:
+//   kCopyin / kCopyout  user-memory copies fail with EFAULT
+//   kVmMap              AddressSpace::Map fails with ENOMEM
+//   kVmGrow             brk growth / automatic stack growth refused
+//   kVfsResolve         path resolution fails with EIO
+//   kVnodeRead          vnode read path (ReadCommon) fails with EIO
+//   kVnodeWrite         vnode write path (WriteCommon) fails with EIO
+//   kTlbFlush           whole-TLB invalidation forced before a quantum
+//   kSpuriousWakeup     Wakeup(PollChan()) with nothing actually ready
+//   kDelayedStop        issig() defers delivery of a pending stop directive
+enum class FaultSite : int {
+  kCopyin = 0,
+  kCopyout,
+  kVmMap,
+  kVmGrow,
+  kVfsResolve,
+  kVnodeRead,
+  kVnodeWrite,
+  kTlbFlush,
+  kSpuriousWakeup,
+  kDelayedStop,
+};
+inline constexpr int kFaultSiteCount = 10;
+
+const char* FaultSiteName(FaultSite s);
+
+// How one site fires. Probability is the ratio num/den per evaluation;
+// max_hits caps total fires so any armed plan eventually goes quiet and
+// workloads terminate (kDelayedStop in particular must not defer forever).
+struct FaultRule {
+  uint64_t seed = 0;
+  uint32_t num = 0;       // fire with probability num/den; 0 disarms
+  uint32_t den = 1;
+  uint64_t max_hits = 64;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan& Arm(FaultSite s, const FaultRule& r) {
+    rules_[static_cast<int>(s)] = r;
+    return *this;
+  }
+  const FaultRule& rule(FaultSite s) const { return rules_[static_cast<int>(s)]; }
+  bool AnyArmed() const;
+
+ private:
+  std::array<FaultRule, kFaultSiteCount> rules_{};
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  // One deterministic decision for the site; counts the evaluation and, on
+  // true, the fire. The caller applies the site's failure.
+  bool Fire(FaultSite s);
+
+  const FaultPlan& plan() const { return plan_; }
+  uint64_t evals(FaultSite s) const { return state_[static_cast<int>(s)].evals; }
+  uint64_t fires(FaultSite s) const { return state_[static_cast<int>(s)].fires; }
+
+  // Text rendering served by /proc2/kernel/faults: one line per armed site.
+  std::string Describe() const;
+
+ private:
+  struct SiteState {
+    uint64_t rng = 0;
+    uint64_t evals = 0;
+    uint64_t fires = 0;
+  };
+
+  FaultPlan plan_;
+  std::array<SiteState, kFaultSiteCount> state_{};
+};
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_KERNEL_FAULTS_H_

@@ -27,10 +27,16 @@
 #include "svr4proc/fs/dev.h"
 #include "svr4proc/fs/vfs.h"
 #include "svr4proc/isa/aout.h"
+#include "svr4proc/kernel/faults.h"
 #include "svr4proc/kernel/process.h"
 #include "svr4proc/kernel/syscall.h"
 
 namespace svr4 {
+
+// poll(2) descriptor-count ceiling. Exceeding it is an EINVAL, never a
+// silent truncation: dropped entries would simply never get their revents
+// written back.
+inline constexpr uint32_t kPollMaxFds = 64;
 
 // Resume arguments for a stopped process (prrun_t semantics).
 struct RunArgs {
@@ -148,6 +154,24 @@ class Kernel {
   // Called by procfs when the last writable descriptor closes.
   void PrLastClose(Proc* target);
 
+  // --- Fault injection & chaos (faults.cc) ----------------------------------
+  // Arms (or replaces) the fault plan; the injector pointer is propagated to
+  // every live address space and the vfs so their sites fire too. With no
+  // plan set every site is one branch on a null pointer.
+  void SetFaultPlan(const FaultPlan& plan);
+  void ClearFaultPlan();
+  FaultInjector* fault_injector() { return finj_.get(); }
+  // Seeded chaos scheduling: PRNG-driven choice among runnable lwps plus
+  // forced preemption at syscall entry/exit stop points.
+  void SetChaosScheduler(uint64_t seed);
+  void ClearChaosScheduler();
+  bool ChaosSchedulerEnabled() const { return chaos_; }
+  // Checks kernel-wide structural invariants (open-count balance and
+  // conservation, exclusive-holder consistency, audit-ring monotonicity,
+  // scheduler and sleep coherence). Returns one string per violation; empty
+  // means consistent. Cheap enough to call after every tick.
+  std::vector<std::string> CheckInvariants();
+
   // --- Simulation control ----------------------------------------------------
   // Executes one scheduling quantum. Returns false when nothing can run
   // (no runnable lwps and no timed sleepers).
@@ -192,7 +216,14 @@ class Kernel {
 
   // Scheduling.
   Lwp* PickNext();
+  Lwp* PickNextChaos();
+  uint64_t ChaosNext();
   void ExecuteLwp(Lwp* lwp, int budget);
+  // The interpreter loop, stamped once without perturbation hooks (the hot
+  // path stays byte-identical to an unhooked kernel) and once with the
+  // fault-injection and chaos-preemption checks compiled in.
+  template <bool kHooks>
+  void ExecuteLwpImpl(Lwp* lwp, int budget);
 
   // O(1)-amortized timer bookkeeping: every timed sleep and alarm pushes a
   // TimerEvent; entries are validated lazily against current process/lwp
@@ -316,6 +347,13 @@ class Kernel {
   std::priority_queue<TimerEvent, std::vector<TimerEvent>, std::greater<TimerEvent>> timerq_;
   std::vector<Pid> reap_list_;
   KernelCounters counters_;
+
+  // Fault injection and chaos scheduling; both off by default.
+  std::unique_ptr<FaultInjector> finj_;
+  bool chaos_ = false;
+  uint64_t chaos_rng_ = 0;
+  // Last observed audit_total per pid, for the monotonicity invariant.
+  std::map<Pid, uint64_t> audit_watermark_;
 
   static constexpr int kQuantum = 64;
 };

@@ -149,9 +149,14 @@ struct TraceState {
   std::array<CtlAuditRec, kCtlAuditCap> audit{};
   uint64_t audit_total = 0;  // records ever appended
 
-  // Security bookkeeping.
+  // Security bookkeeping. The live counters track descriptors of the
+  // current generation only; when a set-id exec bumps `gen`, outstanding
+  // counts move to the stale ledger so closes of invalidated descriptors
+  // can never disturb a new controller's accounting or exclusivity.
   int writable_opens = 0;   // writable /proc descriptors outstanding
   int total_opens = 0;      // all /proc descriptors outstanding
+  int stale_writable_opens = 0;  // invalidated writable descriptors not yet closed
+  int stale_total_opens = 0;     // invalidated descriptors not yet closed
   bool excl = false;        // an O_EXCL writer exists
   uint64_t gen = 1;         // descriptor generation; bumped on set-id exec
 };

@@ -41,6 +41,7 @@ class ProcVnode : public Vnode {
   Result<int64_t> Write(OpenFile& of, uint64_t off, std::span<const uint8_t> buf) override;
   Result<int32_t> Ioctl(OpenFile& of, Proc* caller, uint32_t op, void* arg) override;
   int Poll(OpenFile& of) override;
+  int32_t PrCountedTarget() const override { return pid_; }
 
   Pid pid() const { return pid_; }
 

@@ -43,6 +43,8 @@
 
 namespace svr4 {
 
+class FaultInjector;  // kernel/faults.h; optional, null in normal operation
+
 inline constexpr uint32_t kPageSize = 4096;
 inline constexpr uint32_t kPageShift = 12;
 
@@ -171,6 +173,12 @@ class AddressSpace : public MemoryIf {
   const VmCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = VmCounters{}; }
 
+  // Forced whole-TLB invalidation (fault injection: a flush must only cost
+  // misses, never serve stale translations).
+  void FlushTlb() { TlbFlush(); }
+  // Arms allocation-failure injection (kVmMap/kVmGrow); null disarms.
+  void SetFaultInjector(FaultInjector* finj) { finj_ = finj; }
+
   // Controlling-process (/proc) access. Protections are ignored; private
   // mappings are copied-on-write; transfers are truncated at the first
   // unmapped address; a transfer starting at an unmapped address fails EIO.
@@ -273,6 +281,7 @@ class AddressSpace : public MemoryIf {
   mutable uint32_t tlb_gen_ = 1;
   bool tlb_enabled_ = true;
   mutable VmCounters counters_;
+  FaultInjector* finj_ = nullptr;
 };
 
 inline constexpr uint32_t kMaxStackGrowPages = 256;

@@ -1,6 +1,7 @@
 #include "svr4proc/fs/vfs.h"
 
 #include "svr4proc/fs/memfs.h"
+#include "svr4proc/kernel/faults.h"
 
 namespace svr4 {
 namespace {
@@ -49,6 +50,9 @@ VnodePtr Vfs::CrossMounts(VnodePtr vp) const {
 Result<VnodePtr> Vfs::Resolve(const std::string& path) {
   if (path.empty() || path[0] != '/') {
     return Errno::kEINVAL;
+  }
+  if (finj_ && finj_->Fire(FaultSite::kVfsResolve)) {
+    return Errno::kEIO;
   }
   VnodePtr cur = CrossMounts(root_);
   for (const auto& part : SplitPath(path)) {

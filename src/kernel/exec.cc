@@ -182,6 +182,15 @@ Result<void> Kernel::ExecImage(Proc* p, const std::string& path,
       // controlling process becomes invalid ... the traced process is
       // directed to stop and its run-on-last-close flag is set."
       ++p->trace.gen;
+      // Rebalance the open counts at invalidation time: the outstanding
+      // descriptors now belong to a dead generation, so their counts move
+      // to the stale ledger and any exclusivity they held dissolves. A new
+      // controller of the new generation starts from clean counters.
+      p->trace.stale_writable_opens += p->trace.writable_opens;
+      p->trace.stale_total_opens += p->trace.total_opens;
+      p->trace.writable_opens = 0;
+      p->trace.total_opens = 0;
+      p->trace.excl = false;
       p->trace.dstop_pending = true;
       p->trace.run_on_last_close = true;
     }
@@ -192,6 +201,7 @@ Result<void> Kernel::ExecImage(Proc* p, const std::string& path,
   // bss and stack anonymous; the break mapping grows on brk(2) request; a
   // shared library contributes its own text and data mappings.
   auto as = std::make_shared<AddressSpace>();
+  as->SetFaultInjector(finj_.get());
   auto fobj = (*vp)->GetVmObject();
   if (!fobj.ok()) {
     return fobj.error();

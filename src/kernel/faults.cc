@@ -1,0 +1,316 @@
+// Fault injection, the seeded chaos scheduler, and the kernel-wide
+// invariant checker. Everything here is test machinery in the sense that
+// production runs never arm it, but it lives in the kernel proper because
+// the injection sites and the invariants are statements about kernel
+// structure, not about any one test.
+#include "svr4proc/kernel/faults.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "svr4proc/kernel/kernel.h"
+
+namespace svr4 {
+namespace {
+
+// splitmix64: tiny, well-distributed, and stateful enough that every site
+// gets an independent deterministic stream.
+uint64_t SplitMix64(uint64_t* s) {
+  uint64_t z = (*s += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite s) {
+  switch (s) {
+    case FaultSite::kCopyin: return "COPYIN";
+    case FaultSite::kCopyout: return "COPYOUT";
+    case FaultSite::kVmMap: return "VM_MAP";
+    case FaultSite::kVmGrow: return "VM_GROW";
+    case FaultSite::kVfsResolve: return "VFS_RESOLVE";
+    case FaultSite::kVnodeRead: return "VNODE_READ";
+    case FaultSite::kVnodeWrite: return "VNODE_WRITE";
+    case FaultSite::kTlbFlush: return "TLB_FLUSH";
+    case FaultSite::kSpuriousWakeup: return "SPURIOUS_WAKEUP";
+    case FaultSite::kDelayedStop: return "DELAYED_STOP";
+  }
+  return "?";
+}
+
+bool FaultPlan::AnyArmed() const {
+  for (const FaultRule& r : rules_) {
+    if (r.num != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    // Decorrelate sites that share a seed by folding the site index in.
+    state_[i].rng =
+        plan_.rule(static_cast<FaultSite>(i)).seed + 0x9E3779B97F4A7C15ull * (i + 1);
+  }
+}
+
+bool FaultInjector::Fire(FaultSite s) {
+  const FaultRule& r = plan_.rule(s);
+  SiteState& st = state_[static_cast<int>(s)];
+  ++st.evals;
+  if (r.num == 0 || r.den == 0 || st.fires >= r.max_hits) {
+    return false;
+  }
+  if (SplitMix64(&st.rng) % r.den >= r.num) {
+    return false;
+  }
+  ++st.fires;
+  return true;
+}
+
+std::string FaultInjector::Describe() const {
+  std::string out = "faults: armed\n";
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    FaultSite s = static_cast<FaultSite>(i);
+    const FaultRule& r = plan_.rule(s);
+    if (r.num == 0) {
+      continue;
+    }
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "site=%s seed=%llu prob=%u/%u max_hits=%llu evals=%llu fires=%llu\n",
+                  FaultSiteName(s), static_cast<unsigned long long>(r.seed), r.num, r.den,
+                  static_cast<unsigned long long>(r.max_hits),
+                  static_cast<unsigned long long>(state_[i].evals),
+                  static_cast<unsigned long long>(state_[i].fires));
+    out += line;
+  }
+  return out;
+}
+
+// --- Kernel integration ------------------------------------------------------
+
+void Kernel::SetFaultPlan(const FaultPlan& plan) {
+  finj_ = std::make_unique<FaultInjector>(plan);
+  vfs_.SetFaultInjector(finj_.get());
+  for (auto& [pid, p] : procs_) {
+    if (p->as) {
+      p->as->SetFaultInjector(finj_.get());
+    }
+  }
+}
+
+void Kernel::ClearFaultPlan() {
+  vfs_.SetFaultInjector(nullptr);
+  for (auto& [pid, p] : procs_) {
+    if (p->as) {
+      p->as->SetFaultInjector(nullptr);
+    }
+  }
+  finj_.reset();
+}
+
+void Kernel::SetChaosScheduler(uint64_t seed) {
+  chaos_ = true;
+  chaos_rng_ = seed ^ 0xC4A05E7B9D2F1683ull;
+}
+
+void Kernel::ClearChaosScheduler() { chaos_ = false; }
+
+uint64_t Kernel::ChaosNext() { return SplitMix64(&chaos_rng_); }
+
+// PRNG-driven choice among every runnable lwp, replacing the round-robin
+// scan. The rr cursor is kept coherent so switching chaos off mid-run
+// resumes fair rotation from the last chaotic pick.
+Lwp* Kernel::PickNextChaos() {
+  std::vector<Lwp*> runnable;
+  for (auto& [pid, p] : procs_) {
+    if (p->state != Proc::State::kActive || p->native || p->system_proc) {
+      continue;
+    }
+    for (auto& l : p->lwps) {
+      if (l->state == LwpState::kRunning) {
+        runnable.push_back(l.get());
+      }
+    }
+  }
+  if (runnable.empty()) {
+    return nullptr;
+  }
+  Lwp* pick = runnable[ChaosNext() % runnable.size()];
+  rr_pid_ = pick->proc->pid;
+  for (size_t i = 0; i < pick->proc->lwps.size(); ++i) {
+    if (pick->proc->lwps[i].get() == pick) {
+      rr_lwp_ = static_cast<int>(i);
+      break;
+    }
+  }
+  return pick;
+}
+
+// --- Invariant checker -------------------------------------------------------
+
+namespace {
+
+std::string Violation(Pid pid, const char* what, long long got, long long want) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "pid %d: %s (got %lld, want %lld)", pid, what, got, want);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<std::string> Kernel::CheckInvariants() {
+  std::vector<std::string> v;
+
+  // Recount /proc descriptor references from every descriptor table, split
+  // by generation: a descriptor whose pr_gen matches the target's current
+  // generation is live; a mismatched one was invalidated by a set-id exec
+  // and must be accounted in the stale ledger instead.
+  struct Counts {
+    int total = 0;
+    int writable = 0;
+    int stale_total = 0;
+    int stale_writable = 0;
+  };
+  std::map<Pid, Counts> seen_counts;
+  std::vector<const OpenFile*> seen;  // dup/fork share one OpenFile
+  for (auto& [pid, p] : procs_) {
+    for (auto& of : p->fds) {
+      if (!of || !of->vp) {
+        continue;
+      }
+      int32_t target = of->vp->PrCountedTarget();
+      if (target < 0) {
+        continue;
+      }
+      if (std::find(seen.begin(), seen.end(), of.get()) != seen.end()) {
+        continue;
+      }
+      seen.push_back(of.get());
+      Proc* tp = FindProc(target);
+      if (tp == nullptr) {
+        continue;  // target reaped; its ledger went with it
+      }
+      Counts& c = seen_counts[target];
+      if (of->pr_gen == tp->trace.gen) {
+        ++c.total;
+        c.writable += of->writable ? 1 : 0;
+      } else {
+        ++c.stale_total;
+        c.stale_writable += of->writable ? 1 : 0;
+      }
+    }
+  }
+
+  for (auto& [pid, p] : procs_) {
+    const TraceState& t = p->trace;
+
+    // Open-count balance and conservation against the recount.
+    if (t.writable_opens < 0) {
+      v.push_back(Violation(pid, "writable_opens negative", t.writable_opens, 0));
+    }
+    if (t.total_opens < t.writable_opens) {
+      v.push_back(Violation(pid, "total_opens < writable_opens", t.total_opens,
+                            t.writable_opens));
+    }
+    if (t.stale_writable_opens < 0) {
+      v.push_back(
+          Violation(pid, "stale_writable_opens negative", t.stale_writable_opens, 0));
+    }
+    if (t.stale_total_opens < t.stale_writable_opens) {
+      v.push_back(Violation(pid, "stale_total_opens < stale_writable_opens",
+                            t.stale_total_opens, t.stale_writable_opens));
+    }
+    Counts c;
+    auto it = seen_counts.find(pid);
+    if (it != seen_counts.end()) {
+      c = it->second;
+    }
+    if (c.total != t.total_opens) {
+      v.push_back(Violation(pid, "total_opens conservation", t.total_opens, c.total));
+    }
+    if (c.writable != t.writable_opens) {
+      v.push_back(
+          Violation(pid, "writable_opens conservation", t.writable_opens, c.writable));
+    }
+    if (c.stale_total != t.stale_total_opens) {
+      v.push_back(Violation(pid, "stale_total_opens conservation", t.stale_total_opens,
+                            c.stale_total));
+    }
+
+    // An exclusive holder must itself be one of the writable opens.
+    if (t.excl && t.writable_opens < 1) {
+      v.push_back(Violation(pid, "excl set with no writable open", t.writable_opens, 1));
+    }
+
+    // Audit-ring monotonicity: the total never regresses across checks, and
+    // the retained records carry non-decreasing completion ticks, none from
+    // the future.
+    uint64_t& mark = audit_watermark_[pid];
+    if (t.audit_total < mark) {
+      v.push_back(Violation(pid, "audit_total regressed",
+                            static_cast<long long>(t.audit_total),
+                            static_cast<long long>(mark)));
+    }
+    mark = t.audit_total;
+    uint64_t kept = std::min<uint64_t>(t.audit_total, kCtlAuditCap);
+    uint64_t first = t.audit_total - kept;
+    uint64_t prev_tick = 0;
+    for (uint64_t i = 0; i < kept; ++i) {
+      const CtlAuditRec& rec = t.audit[(first + i) % kCtlAuditCap];
+      if (rec.pr_tick < prev_tick) {
+        v.push_back(Violation(pid, "audit ring ticks out of order",
+                              static_cast<long long>(rec.pr_tick),
+                              static_cast<long long>(prev_tick)));
+        break;
+      }
+      if (rec.pr_tick > ticks_) {
+        v.push_back(Violation(pid, "audit record from the future",
+                              static_cast<long long>(rec.pr_tick),
+                              static_cast<long long>(ticks_)));
+        break;
+      }
+      prev_tick = rec.pr_tick;
+    }
+
+    // Lifecycle and scheduler coherence.
+    if (p->state == Proc::State::kZombie) {
+      if (p->as) {
+        v.push_back(Violation(pid, "zombie retains an address space", 1, 0));
+      }
+      for (const auto& l : p->lwps) {
+        if (l->state != LwpState::kDead) {
+          v.push_back(Violation(pid, "zombie with a live lwp", l->lwpid, 0));
+        }
+      }
+    }
+    for (const auto& l : p->lwps) {
+      // A runnable lwp must be schedulable: PickNext only considers active
+      // non-native, non-system processes, so a kRunning lwp anywhere else
+      // would spin forever unscheduled.
+      if (l->state == LwpState::kRunning &&
+          (p->state != Proc::State::kActive || p->system_proc)) {
+        v.push_back(Violation(pid, "runnable lwp is unschedulable", l->lwpid, 0));
+      }
+      // A sleeper with no channel and no wake tick can never be woken.
+      if (l->state == LwpState::kSleeping && l->sleep.chan == nullptr &&
+          l->sleep.wake_tick == 0) {
+        v.push_back(Violation(pid, "sleeping lwp has no wake source", l->lwpid, 0));
+      }
+      if (l->istop && l->state != LwpState::kStopped) {
+        v.push_back(Violation(pid, "istop on a non-stopped lwp", l->lwpid, 0));
+      }
+      if (l->stopped_while_asleep && l->state != LwpState::kStopped) {
+        v.push_back(
+            Violation(pid, "stopped_while_asleep on a non-stopped lwp", l->lwpid, 0));
+      }
+    }
+  }
+  return v;
+}
+
+}  // namespace svr4

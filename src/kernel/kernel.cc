@@ -206,6 +206,9 @@ Result<int64_t> Kernel::ReadCommon(Proc* p, OpenFile& of, std::span<uint8_t> buf
   if (acc == O_WRONLY) {
     return Errno::kEBADF;
   }
+  if (finj_ && finj_->Fire(FaultSite::kVnodeRead)) {
+    return Errno::kEIO;
+  }
   auto n = of.vp->Read(of, of.offset, buf);
   if (n.ok()) {
     of.offset += static_cast<uint64_t>(*n);
@@ -217,6 +220,9 @@ Result<int64_t> Kernel::ReadCommon(Proc* p, OpenFile& of, std::span<uint8_t> buf
 Result<int64_t> Kernel::WriteCommon(Proc* p, OpenFile& of, std::span<const uint8_t> buf) {
   if (!of.writable) {
     return Errno::kEBADF;
+  }
+  if (finj_ && finj_->Fire(FaultSite::kVnodeWrite)) {
+    return Errno::kEIO;
   }
   auto n = of.vp->Write(of, of.offset, buf);
   if (n.ok()) {
@@ -335,7 +341,9 @@ Result<int> Kernel::PollFds(Proc* p, std::span<PollFd> fds, int64_t timeout_tick
         continue;
       }
       int bits = (*of)->vp->Poll(**of);
-      pf.revents = bits & (pf.events | POLLERR | POLLHUP | POLLNVAL | POLLPRI);
+      // Only POLLERR/POLLHUP/POLLNVAL may be reported unrequested; POLLPRI
+      // (like POLLIN/POLLOUT) must have been asked for in events.
+      pf.revents = bits & (pf.events | POLLERR | POLLHUP | POLLNVAL);
       if (pf.revents != 0) {
         ++ready;
       }
@@ -400,6 +408,9 @@ Result<void> Kernel::InstallAout(const std::string& path, const Aout& image, uin
 Lwp* Kernel::PickNext() {
   if (procs_.empty()) {
     return nullptr;
+  }
+  if (chaos_) {
+    return PickNextChaos();
   }
   // Round-robin over processes starting just past the last scheduled pid.
   auto start = procs_.upper_bound(rr_pid_);
@@ -510,6 +521,11 @@ void Kernel::DrainReapList() {
 bool Kernel::Step() {
   DrainReapList();
   FireDueTimers();
+  if (finj_ && finj_->Fire(FaultSite::kSpuriousWakeup)) {
+    // Wake every poll-style sleeper with nothing actually ready: they must
+    // re-evaluate their poll sets and go back to sleep unharmed.
+    Wakeup(kPollChan);
+  }
   Lwp* lwp = PickNext();
   if (lwp == nullptr) {
     // Nothing runnable; jump the clock to the earliest timed wakeup.
@@ -567,7 +583,26 @@ Result<int> Kernel::RunToExit(Pid pid, uint64_t max_steps) {
 }
 
 void Kernel::ExecuteLwp(Lwp* lwp, int budget) {
+  // The perturbation hooks (fault injection, chaos preemption) are compiled
+  // into a separate stamp of the loop so the common unhooked case keeps the
+  // exact instruction path of a kernel without them.
+  if (finj_ != nullptr || chaos_) {
+    ExecuteLwpImpl<true>(lwp, budget);
+  } else {
+    ExecuteLwpImpl<false>(lwp, budget);
+  }
+}
+
+template <bool kHooks>
+void Kernel::ExecuteLwpImpl(Lwp* lwp, int budget) {
   Proc* p = lwp->proc;
+  if constexpr (kHooks) {
+    if (finj_ && p->as && finj_->Fire(FaultSite::kTlbFlush)) {
+      // Forced whole-TLB invalidation: every cached translation must be
+      // re-derivable from the mapping structure (misses, never wrong data).
+      p->as->FlushTlb();
+    }
+  }
   // Pending-work checks (direct-stop requests and signal delivery) only need
   // to re-run after events that can change that state: within this single-
   // threaded simulation, nothing outside this LWP's own syscalls, faults and
@@ -582,6 +617,12 @@ void Kernel::ExecuteLwp(Lwp* lwp, int budget) {
       ++p->stime;
       ContinueSyscall(lwp);
       check_events = true;
+      if constexpr (kHooks) {
+        // Chaos: the syscall-exit stop point is also a preemption point.
+        if (chaos_ && !lwp->in_syscall && (ChaosNext() & 3) == 0) {
+          break;
+        }
+      }
       continue;
     }
     if (check_events) {
@@ -610,6 +651,13 @@ void Kernel::ExecuteLwp(Lwp* lwp, int budget) {
     if (r.kind == StepResult::kSyscall) {
       SyscallTrap(lwp);
       check_events = true;
+      if constexpr (kHooks) {
+        // Chaos: force preemption at the syscall-entry stop point so other
+        // runnable lwps interleave with the entry/exit window.
+        if (chaos_ && (ChaosNext() & 3) == 0) {
+          break;
+        }
+      }
     } else if (r.kind == StepResult::kFault) {
       HandleFault(lwp, r.fault, r.fault_addr);
       check_events = true;
@@ -719,6 +767,12 @@ bool Kernel::Issig(Lwp* lwp) {
     }
     // The /proc stop directive is checked last: "/proc gets the last word."
     if (p->trace.dstop_pending) {
+      if (finj_ && finj_->Fire(FaultSite::kDelayedStop)) {
+        // Chaos: delivery is deferred to a later issig(); the directive
+        // itself stays pending, so the stop still lands eventually (the
+        // rule's max_hits bounds the total deferral).
+        return p->sig.cursig != 0;
+      }
       p->trace.dstop_pending = false;
       StopLwp(lwp, PR_REQUESTED, 0, /*istop=*/true);
       return false;
@@ -1306,6 +1360,9 @@ Result<void> Kernel::Copyin(Proc* p, uint32_t va, void* buf, uint32_t n) {
   if (!p->as) {
     return Errno::kEFAULT;
   }
+  if (finj_ && finj_->Fire(FaultSite::kCopyin)) {
+    return Errno::kEFAULT;
+  }
   auto r = p->as->PrRead(va, std::span<uint8_t>(static_cast<uint8_t*>(buf), n));
   if (!r.ok() || *r != static_cast<int64_t>(n)) {
     return Errno::kEFAULT;
@@ -1315,6 +1372,9 @@ Result<void> Kernel::Copyin(Proc* p, uint32_t va, void* buf, uint32_t n) {
 
 Result<void> Kernel::Copyout(Proc* p, uint32_t va, const void* buf, uint32_t n) {
   if (!p->as) {
+    return Errno::kEFAULT;
+  }
+  if (finj_ && finj_->Fire(FaultSite::kCopyout)) {
     return Errno::kEFAULT;
   }
   auto r = p->as->PrWrite(va, std::span<const uint8_t>(static_cast<const uint8_t*>(buf), n));

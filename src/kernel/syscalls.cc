@@ -700,7 +700,12 @@ Kernel::SysResult Kernel::SysLwpExit(Lwp* lwp) {
 Kernel::SysResult Kernel::SysPoll(Lwp* lwp) {
   Proc* p = lwp->proc;
   uint32_t fds_va = lwp->sysargs[0];
-  uint32_t nfds = std::min<uint32_t>(lwp->sysargs[1], 64);
+  uint32_t nfds = lwp->sysargs[1];
+  if (nfds > kPollMaxFds) {
+    // Truncating would silently drop entries and never write their revents
+    // back; poll(2) specifies EINVAL for an over-limit nfds.
+    return SysResult::Fail(Errno::kEINVAL);
+  }
   int32_t timeout = static_cast<int32_t>(lwp->sysargs[2]);
 
   // On-wire pollfd: i32 fd, i32 events, i32 revents.
@@ -724,7 +729,9 @@ Kernel::SysResult Kernel::SysPoll(Lwp* lwp) {
       continue;
     }
     int bits = (*of)->vp->Poll(**of);
-    pf.revents = bits & (pf.events | POLLERR | POLLHUP | POLLNVAL | POLLPRI);
+    // Only POLLERR/POLLHUP/POLLNVAL may be reported unrequested; POLLPRI
+    // (like POLLIN/POLLOUT) must have been asked for in events.
+    pf.revents = bits & (pf.events | POLLERR | POLLHUP | POLLNVAL);
     if (pf.revents != 0) {
       ++ready;
     }

@@ -169,6 +169,21 @@ void ProcVnode::Close(OpenFile& of) {
   if (p == nullptr) {
     return;
   }
+  if (of.pr_gen != p->trace.gen) {
+    // Invalidated by a set-id exec: this descriptor's counts were moved to
+    // the stale ledger at invalidation time, so its close must never touch
+    // the new incarnation's counters or exclusivity. Run-on-last-close
+    // fires only when the stale ledger drains with no live writer around
+    // to carry the trigger.
+    if (p->trace.stale_total_opens > 0) {
+      --p->trace.stale_total_opens;
+    }
+    if (of.writable && p->trace.stale_writable_opens > 0 &&
+        --p->trace.stale_writable_opens == 0 && p->trace.writable_opens == 0) {
+      kernel_->PrLastClose(p);
+    }
+    return;
+  }
   auto* priv = static_cast<PrPriv*>(of.priv.get());
   if (priv != nullptr && priv->excl) {
     p->trace.excl = false;

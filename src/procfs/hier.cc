@@ -122,11 +122,25 @@ class Pr2FileVnode : public Vnode {
       return;
     }
     auto* priv = static_cast<Pr2Priv*>(of.priv.get());
-    if ((of.oflags & O_EXCL) && priv != nullptr && priv->counted_writable) {
+    bool counted_writable = priv != nullptr && priv->counted_writable;
+    if (of.pr_gen != p->trace.gen) {
+      // Invalidated by a set-id exec: drain the stale ledger only (same
+      // rule as the flat implementation's close); the live incarnation's
+      // counters and exclusivity are off limits.
+      if (p->trace.stale_total_opens > 0) {
+        --p->trace.stale_total_opens;
+      }
+      if (counted_writable && p->trace.stale_writable_opens > 0 &&
+          --p->trace.stale_writable_opens == 0 && p->trace.writable_opens == 0) {
+        kernel_->PrLastClose(p);
+      }
+      return;
+    }
+    if ((of.oflags & O_EXCL) && counted_writable) {
       p->trace.excl = false;
     }
     --p->trace.total_opens;
-    if (priv != nullptr && priv->counted_writable) {
+    if (counted_writable) {
       if (--p->trace.writable_opens == 0) {
         kernel_->PrLastClose(p);
       }
@@ -210,6 +224,8 @@ class Pr2FileVnode : public Vnode {
     }
     return kernel_->PrIsStopped(p) ? POLLPRI : 0;
   }
+
+  int32_t PrCountedTarget() const override { return pid_; }
 
  private:
   Result<Proc*> Target(const OpenFile& of) const {
@@ -452,6 +468,69 @@ class Pr2ProcDirVnode : public Vnode {
   Pid pid_;
 };
 
+// /proc2/kernel/faults: read-only introspection of the armed fault plan and
+// its per-site hit counters. Zombie-safe by construction — no process is
+// involved, so it reads identically whatever the process table holds.
+class Pr2FaultsVnode : public Vnode {
+ public:
+  explicit Pr2FaultsVnode(Kernel* k) : kernel_(k) {}
+
+  VType type() const override { return VType::kProc; }
+  Result<VAttr> GetAttr() override {
+    VAttr a;
+    a.type = VType::kProc;
+    a.mode = 0444;
+    a.size = Render().size();
+    return a;
+  }
+  Result<void> Open(OpenFile& of, const Creds& /*cr*/, Proc* /*caller*/) override {
+    if (of.writable) {
+      return Errno::kEACCES;
+    }
+    return Result<void>::Ok();
+  }
+  Result<int64_t> Read(OpenFile& /*of*/, uint64_t off, std::span<uint8_t> buf) override {
+    std::string text = Render();
+    std::vector<uint8_t> bytes(text.begin(), text.end());
+    return ServeBytes(bytes, off, buf);
+  }
+
+ private:
+  std::string Render() const {
+    FaultInjector* finj = kernel_->fault_injector();
+    return finj ? finj->Describe() : std::string("faults: off\n");
+  }
+
+  Kernel* kernel_;
+};
+
+// /proc2/kernel: kernel-wide (process-independent) introspection files.
+class Pr2KernelDirVnode : public Vnode {
+ public:
+  explicit Pr2KernelDirVnode(Kernel* k) : kernel_(k) {}
+
+  VType type() const override { return VType::kDir; }
+  Result<VAttr> GetAttr() override {
+    VAttr a;
+    a.type = VType::kDir;
+    a.mode = 0555;
+    a.nlink = 2;
+    return a;
+  }
+  Result<VnodePtr> Lookup(const std::string& name) override {
+    if (name == "faults") {
+      return VnodePtr(std::make_shared<Pr2FaultsVnode>(kernel_));
+    }
+    return Errno::kENOENT;
+  }
+  Result<std::vector<DirEnt>> Readdir() override {
+    return std::vector<DirEnt>{{"faults", VType::kProc}};
+  }
+
+ private:
+  Kernel* kernel_;
+};
+
 }  // namespace
 
 Result<VAttr> Pr2RootVnode::GetAttr() {
@@ -464,6 +543,9 @@ Result<VAttr> Pr2RootVnode::GetAttr() {
 }
 
 Result<VnodePtr> Pr2RootVnode::Lookup(const std::string& name) {
+  if (name == "kernel") {
+    return VnodePtr(std::make_shared<Pr2KernelDirVnode>(kernel_));
+  }
   if (name.empty() || name.size() > 10) {
     return Errno::kENOENT;
   }
@@ -482,6 +564,7 @@ Result<VnodePtr> Pr2RootVnode::Lookup(const std::string& name) {
 
 Result<std::vector<DirEnt>> Pr2RootVnode::Readdir() {
   std::vector<DirEnt> out;
+  out.push_back(DirEnt{"kernel", VType::kDir});
   for (Pid pid : kernel_->AllPids()) {
     out.push_back(DirEnt{PidName(pid), VType::kDir});
   }

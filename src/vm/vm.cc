@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "svr4proc/kernel/faults.h"
+
 namespace svr4 {
 
 Result<PagePtr> AnonObject::GetPage(uint64_t page_index) {
@@ -31,6 +33,9 @@ const AddressSpace::Mapping* AddressSpace::FindMapping(uint32_t addr) const {
 }
 
 AddressSpace::Mapping* AddressSpace::GrowStackFor(uint32_t addr) {
+  if (finj_ && finj_->Fire(FaultSite::kVmGrow)) {
+    return nullptr;  // injected growth refusal: the access faults
+  }
   // Find the nearest grows-down mapping above addr and extend it if the
   // fault is within the automatic growth window and the space is free.
   for (auto& [start, m] : maps_) {
@@ -75,6 +80,9 @@ Result<void> AddressSpace::Map(uint32_t start, uint32_t len, uint32_t ma_flags,
                                std::string name, bool grows_down) {
   if (len == 0 || start % kPageSize != 0 || obj_offset % kPageSize != 0) {
     return Errno::kEINVAL;
+  }
+  if (finj_ && finj_->Fire(FaultSite::kVmMap)) {
+    return Errno::kENOMEM;
   }
   uint32_t end = start + PageAlignUp(len);
   if (end <= start) {
@@ -222,6 +230,9 @@ Result<void> AddressSpace::SetBreak(uint32_t new_end) {
       want_pages = 0;
     }
     if (want_pages > m.npages) {
+      if (finj_ && finj_->Fire(FaultSite::kVmGrow)) {
+        return Errno::kENOMEM;
+      }
       // Refuse growth into a following mapping.
       auto next = maps_.upper_bound(m.start);
       if (next != maps_.end() && m.start + want_pages * kPageSize > next->second.start) {
@@ -577,6 +588,7 @@ AddressSpacePtr AddressSpace::Clone() const {
   child->watches_ = watches_;
   child->watch_active_ = watch_active_;
   child->tlb_enabled_ = tlb_enabled_;
+  child->finj_ = finj_;
   // Our frames just became COW-shared with the child: cached write-in-place
   // entries are no longer valid.
   TlbFlush();

@@ -1,0 +1,467 @@
+// The seeded chaos harness: deterministic fault injection, the chaos
+// scheduler, the kernel invariant checker, and sweeps of the example
+// workloads (truss, debugger, fork-following) across many seeds. Every
+// sweep asserts that Kernel::CheckInvariants() stays clean and that the
+// simulation tears down without leaks (the sanitizer build enforces the
+// latter).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "svr4proc/kernel/faults.h"
+#include "svr4proc/tools/debugger.h"
+#include "svr4proc/tools/proclib.h"
+#include "svr4proc/tools/sim.h"
+#include "svr4proc/tools/truss.h"
+
+namespace svr4 {
+namespace {
+
+// A branch-free burst of syscalls: every path, including injected-error
+// paths, leads to exit.
+constexpr char kSysBurst[] = R"(
+      ldi r0, SYS_getpid
+      sys
+      ldi r0, SYS_write
+      ldi r1, 1
+      ldi r2, msg
+      ldi r3, 6
+      sys
+      ldi r0, SYS_open
+      ldi r1, nopath
+      ldi r2, O_RDONLY
+      ldi r3, 0
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+      .data
+msg:  .asciz "chaos\n"
+nopath: .asciz "/no/such"
+)";
+
+// Parent forks, both sides write one byte, parent reaps the child.
+constexpr char kForkWriter[] = R"(
+      ldi r0, SYS_fork
+      sys
+      cmpi r0, 0
+      jz child
+      ldi r0, SYS_write
+      ldi r1, 1
+      ldi r2, pmsg
+      ldi r3, 1
+      sys
+      ldi r0, SYS_wait
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+child:
+      ldi r0, SYS_write
+      ldi r1, 1
+      ldi r2, cmsg
+      ldi r3, 1
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+      .data
+pmsg: .asciz "P"
+cmsg: .asciz "C"
+)";
+
+// A bounded loop with a named label for breakpoints, then a clean exit.
+constexpr char kBoundedLoop[] = R"(
+      ldi r8, 0
+loop: addi r8, 1
+      cmpi r8, 40
+      jlt loop
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+)";
+
+// A fault plan arming every site at a low, seed-controlled rate. max_hits
+// keeps each site bounded so no run can livelock on repeated injection.
+FaultPlan LowRatePlan(uint64_t seed) {
+  FaultPlan plan;
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    plan.Arm(static_cast<FaultSite>(i),
+             FaultRule{seed, /*num=*/1, /*den=*/16, /*max_hits=*/8});
+  }
+  return plan;
+}
+
+void ExpectInvariantsClean(Kernel& k, uint64_t seed) {
+  auto violations = k.CheckInvariants();
+  for (const auto& v : violations) {
+    ADD_FAILURE() << "seed " << seed << ": invariant violated: " << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector unit behavior.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, SameSeedSameSequence) {
+  FaultPlan plan;
+  plan.Arm(FaultSite::kCopyin, FaultRule{42, 1, 4, 1000});
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.Fire(FaultSite::kCopyin), b.Fire(FaultSite::kCopyin))
+        << "diverged at evaluation " << i;
+  }
+  EXPECT_EQ(a.fires(FaultSite::kCopyin), b.fires(FaultSite::kCopyin));
+  EXPECT_GT(a.fires(FaultSite::kCopyin), 0u) << "1/4 over 500 draws must hit";
+  EXPECT_LT(a.fires(FaultSite::kCopyin), 500u);
+}
+
+TEST(FaultInjector, SitesDrawIndependentStreams) {
+  FaultPlan plan;
+  plan.Arm(FaultSite::kCopyin, FaultRule{7, 1, 2, 1000});
+  plan.Arm(FaultSite::kCopyout, FaultRule{7, 1, 2, 1000});
+  FaultInjector inj(plan);
+  bool diverged = false;
+  for (int i = 0; i < 64; ++i) {
+    if (inj.Fire(FaultSite::kCopyin) != inj.Fire(FaultSite::kCopyout)) {
+      diverged = true;
+    }
+  }
+  EXPECT_TRUE(diverged) << "per-site streams must not be in lockstep";
+}
+
+TEST(FaultInjector, DisabledSiteNeverFires) {
+  FaultPlan plan;
+  plan.Arm(FaultSite::kVmMap, FaultRule{1, 1, 1, 100});
+  FaultInjector inj(plan);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(inj.Fire(FaultSite::kCopyin)) << "unarmed site fired";
+  }
+  EXPECT_EQ(inj.evals(FaultSite::kCopyin), 100u) << "evaluations are counted";
+  EXPECT_EQ(inj.fires(FaultSite::kCopyin), 0u);
+}
+
+TEST(FaultInjector, MaxHitsCapsFiring) {
+  FaultPlan plan;
+  plan.Arm(FaultSite::kVnodeRead, FaultRule{9, 1, 1, 3});
+  FaultInjector inj(plan);
+  int fired = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (inj.Fire(FaultSite::kVnodeRead)) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 3) << "max_hits bounds total injections";
+  EXPECT_EQ(inj.fires(FaultSite::kVnodeRead), 3u);
+}
+
+TEST(FaultInjector, DescribeNamesArmedSites) {
+  FaultPlan plan;
+  plan.Arm(FaultSite::kTlbFlush, FaultRule{5, 1, 8, 16});
+  FaultInjector inj(plan);
+  std::string d = inj.Describe();
+  EXPECT_NE(d.find("TLB_FLUSH"), std::string::npos) << d;
+  EXPECT_NE(d.find("prob=1/8"), std::string::npos) << d;
+  EXPECT_EQ(d.find("COPYIN"), std::string::npos) << "unarmed sites are omitted";
+}
+
+// ---------------------------------------------------------------------------
+// Targeted injection through the kernel seams.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, CopyinFailsSyscallWithEfault) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", R"(
+      ldi r0, SYS_write
+      ldi r1, 1
+      ldi r2, msg
+      ldi r3, 5
+      sys
+      jcs err
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+err:  mov r1, r0
+      ldi r0, SYS_exit
+      sys
+      .data
+msg:  .asciz "hello"
+  )").ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  FaultPlan plan;
+  plan.Arm(FaultSite::kCopyin, FaultRule{1, 1, 1, 1});
+  sim.kernel().SetFaultPlan(plan);
+  auto st = sim.kernel().RunToExit(*pid);
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(WIfExited(*st));
+  EXPECT_EQ(WExitCode(*st), static_cast<int>(Errno::kEFAULT))
+      << "the injected copyin failure surfaces as EFAULT";
+  EXPECT_EQ(sim.kernel().fault_injector()->fires(FaultSite::kCopyin), 1u);
+  ExpectInvariantsClean(sim.kernel(), 1);
+}
+
+TEST(FaultInjection, VnodeReadFailsWithEioUntilCleared) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kSysBurst).ok());
+  FaultPlan plan;
+  plan.Arm(FaultSite::kVnodeRead, FaultRule{3, 1, 1, 2});
+  sim.kernel().SetFaultPlan(plan);
+  auto fd = sim.kernel().Open(sim.controller(), "/bin/prog", O_RDONLY);
+  ASSERT_TRUE(fd.ok());
+  char buf[16];
+  auto r = sim.kernel().Read(sim.controller(), *fd, buf, sizeof(buf));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Errno::kEIO);
+  r = sim.kernel().Read(sim.controller(), *fd, buf, sizeof(buf));
+  ASSERT_FALSE(r.ok()) << "max_hits=2: the second read is also poisoned";
+  r = sim.kernel().Read(sim.controller(), *fd, buf, sizeof(buf));
+  EXPECT_TRUE(r.ok()) << "after max_hits the site goes quiet";
+  sim.kernel().ClearFaultPlan();
+  EXPECT_EQ(sim.kernel().fault_injector(), nullptr);
+  ASSERT_TRUE(sim.kernel().Close(sim.controller(), *fd).ok());
+  ExpectInvariantsClean(sim.kernel(), 3);
+}
+
+TEST(FaultInjection, DelayedStopStillLands) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", "spin: jmp spin\n").ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  FaultPlan plan;
+  plan.Arm(FaultSite::kDelayedStop, FaultRule{11, 1, 1, 2});
+  sim.kernel().SetFaultPlan(plan);
+  auto h = ProcHandle::Grab(sim.kernel(), sim.controller(), *pid);
+  ASSERT_TRUE(h.ok());
+  // The first two deliveries are deferred by injection; the directive stays
+  // pending and the stop must still land.
+  ASSERT_TRUE(h->Stop().ok());
+  auto st = h->Status();
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(sim.kernel().fault_injector()->fires(FaultSite::kDelayedStop), 2u);
+  ExpectInvariantsClean(sim.kernel(), 11);
+}
+
+TEST(FaultInjection, SpuriousWakeupDoesNotBreakPoll) {
+  Sim sim;
+  auto img = sim.InstallProgram("/bin/prog", "spin: jmp spin\n");
+  ASSERT_TRUE(img.ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  FaultPlan plan;
+  plan.Arm(FaultSite::kSpuriousWakeup, FaultRule{13, 1, 2, 64});
+  sim.kernel().SetFaultPlan(plan);
+  auto h = ProcHandle::Grab(sim.kernel(), sim.controller(), *pid);
+  ASSERT_TRUE(h.ok());
+  PollFd pf;
+  pf.fd = h->fd();
+  pf.events = POLLPRI;
+  // The target never stops: every spurious wakeup must re-block until the
+  // timeout expires with nothing ready.
+  auto n = sim.kernel().PollFds(sim.controller(), std::span<PollFd>(&pf, 1), 500);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0);
+  EXPECT_EQ(pf.revents, 0);
+  ExpectInvariantsClean(sim.kernel(), 13);
+}
+
+// ---------------------------------------------------------------------------
+// The invariant checker itself.
+// ---------------------------------------------------------------------------
+
+TEST(Invariants, CleanOnFreshAndActiveKernel) {
+  Sim sim;
+  ExpectInvariantsClean(sim.kernel(), 0);
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kSysBurst).ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  auto h = ProcHandle::Grab(sim.kernel(), sim.controller(), *pid);
+  ASSERT_TRUE(h.ok());
+  ExpectInvariantsClean(sim.kernel(), 0);
+  ASSERT_TRUE(h->Stop().ok());
+  ExpectInvariantsClean(sim.kernel(), 0);
+  ASSERT_TRUE(h->Run().ok());
+  h->Close();
+  ASSERT_TRUE(sim.kernel().RunToExit(*pid).ok());
+  ExpectInvariantsClean(sim.kernel(), 0);
+}
+
+TEST(Invariants, DetectsOpenCountImbalance) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", "spin: jmp spin\n").ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  auto h = ProcHandle::Grab(sim.kernel(), sim.controller(), *pid);
+  ASSERT_TRUE(h.ok());
+  ExpectInvariantsClean(sim.kernel(), 0);
+  Proc* p = sim.kernel().FindProc(*pid);
+  ASSERT_NE(p, nullptr);
+  ++p->trace.total_opens;  // simulate a leaked reference
+  EXPECT_FALSE(sim.kernel().CheckInvariants().empty())
+      << "an unbalanced open ledger must be reported";
+  --p->trace.total_opens;
+  ExpectInvariantsClean(sim.kernel(), 0);
+}
+
+TEST(Invariants, DetectsExclWithoutWriter) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", "spin: jmp spin\n").ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  Proc* p = sim.kernel().FindProc(*pid);
+  ASSERT_NE(p, nullptr);
+  p->trace.excl = true;  // exclusivity with no writable descriptor
+  EXPECT_FALSE(sim.kernel().CheckInvariants().empty());
+  p->trace.excl = false;
+  ExpectInvariantsClean(sim.kernel(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// /proc2/kernel/faults introspection.
+// ---------------------------------------------------------------------------
+
+std::string ReadFaultsFile(Sim& sim) {
+  auto fd = sim.kernel().Open(sim.controller(), "/proc2/kernel/faults", O_RDONLY);
+  EXPECT_TRUE(fd.ok());
+  if (!fd.ok()) {
+    return {};
+  }
+  char buf[1024];
+  auto n = sim.kernel().Read(sim.controller(), *fd, buf, sizeof(buf));
+  EXPECT_TRUE(n.ok());
+  EXPECT_TRUE(sim.kernel().Close(sim.controller(), *fd).ok());
+  return n.ok() ? std::string(buf, static_cast<size_t>(*n)) : std::string();
+}
+
+TEST(FaultsFile, ReportsOffThenArmedPlan) {
+  Sim sim;
+  EXPECT_EQ(ReadFaultsFile(sim), "faults: off\n");
+  FaultPlan plan;
+  plan.Arm(FaultSite::kCopyout, FaultRule{21, 1, 32, 8});
+  sim.kernel().SetFaultPlan(plan);
+  std::string d = ReadFaultsFile(sim);
+  EXPECT_NE(d.find("armed"), std::string::npos) << d;
+  EXPECT_NE(d.find("COPYOUT"), std::string::npos) << d;
+  EXPECT_NE(d.find("seed=21"), std::string::npos) << d;
+  // Read-only: a writable open is refused.
+  auto wfd = sim.kernel().Open(sim.controller(), "/proc2/kernel/faults", O_RDWR);
+  ASSERT_FALSE(wfd.ok());
+  EXPECT_EQ(wfd.error(), Errno::kEACCES);
+}
+
+TEST(FaultsFile, ReadableWithZombiePresent) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", R"(
+      ldi r0, SYS_exit
+      ldi r1, 3
+      sys
+  )").ok());
+  // Child of the native controller: stays a zombie until waited for.
+  auto pid = sim.kernel().Spawn("/bin/prog", {"prog"}, Creds::Root(), sim.controller());
+  ASSERT_TRUE(pid.ok());
+  ASSERT_TRUE(sim.kernel().RunToExit(*pid).ok());
+  FaultPlan plan;
+  plan.Arm(FaultSite::kVfsResolve, FaultRule{33, 0, 1, 8});  // armed site, rate 0
+  sim.kernel().SetFaultPlan(plan);
+  std::string d = ReadFaultsFile(sim);
+  EXPECT_NE(d.find("armed"), std::string::npos) << d;
+  ExpectInvariantsClean(sim.kernel(), 33);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos scheduler.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosScheduler, SameSeedIsDeterministic) {
+  std::string console[2];
+  uint64_t ticks[2];
+  for (int run = 0; run < 2; ++run) {
+    Sim sim;
+    ASSERT_TRUE(sim.InstallProgram("/bin/prog", kForkWriter).ok());
+    auto pid = sim.Start("/bin/prog");
+    ASSERT_TRUE(pid.ok());
+    sim.kernel().SetChaosScheduler(99);
+    auto st = sim.kernel().RunToExit(*pid);
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(WExitCode(*st), 0);
+    console[run] = sim.ConsoleOutput();
+    ticks[run] = sim.kernel().Ticks();
+    ExpectInvariantsClean(sim.kernel(), 99);
+  }
+  EXPECT_EQ(console[0], console[1]) << "same seed, same interleaving";
+  EXPECT_EQ(ticks[0], ticks[1]);
+}
+
+TEST(ChaosScheduler, EnableAndClear) {
+  Sim sim;
+  EXPECT_FALSE(sim.kernel().ChaosSchedulerEnabled());
+  sim.kernel().SetChaosScheduler(1);
+  EXPECT_TRUE(sim.kernel().ChaosSchedulerEnabled());
+  sim.kernel().ClearChaosScheduler();
+  EXPECT_FALSE(sim.kernel().ChaosSchedulerEnabled());
+}
+
+// ---------------------------------------------------------------------------
+// Seed sweeps over the example workloads. Together these cover 110 seeds;
+// every seed runs with the chaos scheduler on and all sites armed at a low
+// rate, and must leave the kernel invariant-clean with a clean teardown.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosSweep, TrussWorkload) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Sim sim;
+    ASSERT_TRUE(sim.InstallProgram("/bin/prog", kSysBurst).ok());
+    sim.kernel().SetFaultPlan(LowRatePlan(seed));
+    sim.kernel().SetChaosScheduler(seed);
+    Truss truss(sim.kernel(), sim.controller());
+    // Injected errors may abort the trace early; that is chaos working as
+    // intended. Only the kernel's internal consistency is asserted.
+    (void)truss.TraceCommand("/bin/prog", {"prog"});
+    ExpectInvariantsClean(sim.kernel(), seed);
+  }
+}
+
+TEST(ChaosSweep, DebuggerWorkload) {
+  for (uint64_t seed = 101; seed <= 135; ++seed) {
+    Sim sim;
+    ASSERT_TRUE(sim.InstallProgram("/bin/prog", kBoundedLoop).ok());
+    auto pid = sim.Start("/bin/prog");
+    ASSERT_TRUE(pid.ok());
+    sim.kernel().SetFaultPlan(LowRatePlan(seed));
+    sim.kernel().SetChaosScheduler(seed);
+    Debugger dbg(sim.kernel(), sim.controller());
+    if (dbg.Attach(*pid).ok()) {
+      if (dbg.SetBreakpoint("loop").ok()) {
+        for (int i = 0; i < 3; ++i) {
+          auto stop = dbg.Continue();
+          if (!stop.ok() || stop->kind == Debugger::StopInfo::kExited) {
+            break;
+          }
+        }
+      }
+      (void)dbg.Detach();
+    }
+    // Drain whatever is left; a failed detach may leave the target wedged,
+    // so the drive is bounded rather than run-to-exit.
+    sim.kernel().RunUntil(
+        [&]() { return sim.kernel().FindProc(*pid) == nullptr; }, 100'000);
+    ExpectInvariantsClean(sim.kernel(), seed);
+  }
+}
+
+TEST(ChaosSweep, ForkFollowWorkload) {
+  for (uint64_t seed = 201; seed <= 235; ++seed) {
+    Sim sim;
+    ASSERT_TRUE(sim.InstallProgram("/bin/prog", kForkWriter).ok());
+    sim.kernel().SetFaultPlan(LowRatePlan(seed));
+    sim.kernel().SetChaosScheduler(seed);
+    Truss truss(sim.kernel(), sim.controller(), TrussOptions{.follow_fork = true});
+    (void)truss.TraceCommand("/bin/prog", {"prog"});
+    ExpectInvariantsClean(sim.kernel(), seed);
+  }
+}
+
+}  // namespace
+}  // namespace svr4

@@ -962,5 +962,71 @@ TEST(KernelNative, NativeWaitReapsSpawnedChild) {
   EXPECT_EQ(sim.kernel().FindProc(*pid), nullptr) << "zombie must be reaped";
 }
 
+TEST(KernelPoll, NfdsAboveLimitIsEinval) {
+  Sim sim;
+  // Regression: nfds beyond kPollMaxFds used to be silently clamped to 64,
+  // making poll report on a truncated set while claiming success. It must
+  // fail loudly instead.
+  int st = RunProgram(sim, R"(
+      ldi r0, SYS_poll
+      ldi r1, pfd
+      ldi r2, 65          ; kPollMaxFds + 1
+      ldi r3, 0
+      sys
+      jcs err
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+err:  mov r1, r0
+      ldi r0, SYS_exit
+      sys
+      .bss
+pfd:  .space 12
+  )");
+  EXPECT_TRUE(WIfExited(st));
+  EXPECT_EQ(WExitCode(st), static_cast<int>(Errno::kEINVAL));
+}
+
+TEST(KernelPoll, NfdsAtLimitIsAccepted) {
+  Sim sim;
+  // Exactly kPollMaxFds descriptors is legal; with all slots naming an
+  // invalid fd and a zero timeout, every entry comes back POLLNVAL.
+  int st = RunProgram(sim, R"(
+      ; fill 64 pollfd slots: fd=99 (invalid), events=POLLIN
+      ldi r4, pfd
+      ldi r8, 64
+fill: ldi r5, 99
+      stw r5, [r4]
+      ldi r5, 1
+      stw r5, [r4+4]
+      addi r4, 12
+      ldi r5, 1
+      sub r8, r5
+      cmpi r8, 0
+      jnz fill
+      ldi r0, SYS_poll
+      ldi r1, pfd
+      ldi r2, 64
+      ldi r3, 0
+      sys
+      jcs err
+      cmpi r0, 64         ; every slot reports POLLNVAL
+      jnz bad
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+bad:  ldi r0, SYS_exit
+      ldi r1, 1
+      sys
+err:  mov r1, r0
+      ldi r0, SYS_exit
+      sys
+      .bss
+pfd:  .space 768
+  )");
+  EXPECT_TRUE(WIfExited(st));
+  EXPECT_EQ(WExitCode(st), 0);
+}
+
 }  // namespace
 }  // namespace svr4

@@ -1171,6 +1171,68 @@ path: .asciz "/bin/suid"
   EXPECT_FALSE(p->trace.run_on_last_close);
 }
 
+TEST(ProcSecurity, StaleCloseDoesNotDisturbNewController) {
+  Sim sim;
+  // Regression: closing a descriptor invalidated by a set-id exec used to
+  // run the ordinary close path, decrementing the *new* incarnation's open
+  // counters — one stale close could zero writable_opens, fire last-close,
+  // drop another controller's exclusivity, and set the process running
+  // underneath it.
+  ASSERT_TRUE(sim.InstallProgram("/bin/suid", kSpin, 04755, 0, 0).ok());
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", R"(
+      ldi r0, SYS_exec
+      ldi r1, path
+      ldi r2, 0
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 1
+      sys
+      .data
+path: .asciz "/bin/suid"
+  )").ok());
+  auto pid = sim.Start("/bin/prog", {}, Creds::User(100, 10));
+  ASSERT_TRUE(pid.ok());
+  Proc* owner = sim.NewController(Creds::User(100, 10), "owner");
+  auto h = ProcHandle::Grab(sim.kernel(), owner, *pid);  // writable, pre-exec
+  ASSERT_TRUE(h.ok());
+  sim.kernel().RunUntil([&]() {
+    Proc* p = sim.kernel().FindProc(*pid);
+    return p == nullptr || (p->MainLwp() != nullptr &&
+                            p->MainLwp()->state == LwpState::kStopped);
+  });
+  Proc* p = sim.kernel().FindProc(*pid);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->trace.stale_writable_opens, 1)
+      << "invalidation moved the old descriptor to the stale ledger";
+  EXPECT_EQ(p->trace.writable_opens, 0);
+
+  // A privileged controller takes exclusive control of the new incarnation.
+  auto root_h =
+      ProcHandle::Grab(sim.kernel(), sim.controller(), *pid, O_RDWR | O_EXCL);
+  ASSERT_TRUE(root_h.ok());
+  EXPECT_TRUE(p->trace.excl);
+  EXPECT_EQ(p->trace.writable_opens, 1);
+
+  // Closing the stale descriptor must not touch the live ledger, drop the
+  // exclusive right, or resume the stopped process.
+  h->Close();
+  EXPECT_TRUE(p->trace.excl) << "stale close stole the exclusive right";
+  EXPECT_EQ(p->trace.writable_opens, 1) << "stale close hit the live counter";
+  EXPECT_EQ(p->trace.total_opens, 1);
+  EXPECT_EQ(p->trace.stale_writable_opens, 0) << "the stale ledger drains";
+  EXPECT_EQ(p->trace.stale_total_opens, 0);
+  EXPECT_EQ(p->MainLwp()->state, LwpState::kStopped)
+      << "the new controller's target must stay stopped";
+  auto other = ProcHandle::Grab(sim.kernel(), sim.controller(), *pid);
+  ASSERT_FALSE(other.ok()) << "exclusivity survives the stale close";
+  EXPECT_EQ(other.error(), Errno::kEBUSY);
+
+  // The live controller's last close still triggers run-on-last-close.
+  root_h->Close();
+  EXPECT_FALSE(p->trace.excl);
+  EXPECT_EQ(p->MainLwp()->state, LwpState::kRunning);
+}
+
 // ---------------------------------------------------------------------------
 // Information operations.
 // ---------------------------------------------------------------------------
@@ -1578,6 +1640,117 @@ spin: jmp spin
   EXPECT_EQ(*n, 1);
   EXPECT_FALSE(pfs[0].revents & POLLPRI);
   EXPECT_TRUE(pfs[1].revents & POLLPRI) << "the breakpointed process stopped";
+}
+
+TEST(ProcPoll, UnrequestedPriIsNotReported) {
+  Sim sim;
+  auto t = StartProgram(sim, kCounter);
+  auto h = Grab(sim, t.pid);
+  ASSERT_TRUE(h.Stop().ok());
+  // Regression: a stopped target used to leak POLLPRI into revents even
+  // when the caller never asked for it. Like POLLIN/POLLOUT, POLLPRI must
+  // be gated on events; only POLLERR/POLLHUP/POLLNVAL pass unrequested.
+  PollFd pf;
+  pf.fd = h.fd();
+  pf.events = 0;
+  auto n = sim.kernel().PollFds(sim.controller(), std::span<PollFd>(&pf, 1), 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0) << "POLLPRI was not requested";
+  EXPECT_EQ(pf.revents, 0);
+  pf.events = POLLIN;
+  n = sim.kernel().PollFds(sim.controller(), std::span<PollFd>(&pf, 1), 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0) << "POLLIN does not imply POLLPRI";
+  EXPECT_EQ(pf.revents, 0);
+}
+
+TEST(ProcPoll, HupOnZombieIsReportedUnrequested) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", R"(
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+  )").ok());
+  auto pid = sim.kernel().Spawn("/bin/prog", {"prog"}, Creds::Root(), sim.controller());
+  ASSERT_TRUE(pid.ok());
+  auto h = Grab(sim, *pid);
+  ASSERT_TRUE(sim.kernel().RunToExit(*pid).ok());
+  // POLLHUP belongs to the always-reported class: events = 0 must not
+  // suppress it.
+  PollFd pf;
+  pf.fd = h.fd();
+  pf.events = 0;
+  auto n = sim.kernel().PollFds(sim.controller(), std::span<PollFd>(&pf, 1), 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);
+  EXPECT_EQ(pf.revents, POLLHUP);
+}
+
+TEST(ProcPoll, NvalAfterSetIdExecIsReportedUnrequested) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/suid", kSpin, 04755, 0, 0).ok());
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", R"(
+      ldi r0, SYS_exec
+      ldi r1, path
+      ldi r2, 0
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 1
+      sys
+      .data
+path: .asciz "/bin/suid"
+  )").ok());
+  auto pid = sim.Start("/bin/prog", {}, Creds::User(100, 10));
+  ASSERT_TRUE(pid.ok());
+  Proc* owner = sim.NewController(Creds::User(100, 10), "owner");
+  auto h = ProcHandle::Grab(sim.kernel(), owner, *pid);
+  ASSERT_TRUE(h.ok());
+  sim.kernel().RunUntil([&]() {
+    Proc* p = sim.kernel().FindProc(*pid);
+    return p == nullptr || (p->MainLwp() != nullptr &&
+                            p->MainLwp()->state == LwpState::kStopped);
+  });
+  // The set-id exec invalidated the descriptor: poll reports POLLNVAL even
+  // with no events requested, so a multiplexing controller notices.
+  PollFd pf;
+  pf.fd = h->fd();
+  pf.events = 0;
+  auto n = sim.kernel().PollFds(owner, std::span<PollFd>(&pf, 1), 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);
+  EXPECT_EQ(pf.revents, POLLNVAL);
+  h->Close();
+}
+
+TEST(ProcPoll, BlockedPollWakesOnStopDespiteSpuriousWakeups) {
+  Sim sim;
+  auto t = StartProgram(sim, R"(
+      ldi r0, SYS_sleep
+      ldi r1, 500
+      sys
+      bpt
+spin: jmp spin
+  )");
+  auto h = Grab(sim, t.pid);
+  FltSet faults;
+  faults.Add(FLTBPT);
+  ASSERT_TRUE(h.Stop().ok());
+  ASSERT_TRUE(h.SetFltTrace(faults).ok());
+  ASSERT_TRUE(h.Run().ok());
+  // Spurious wakeups on the poll channel force the sleeping poller through
+  // extra wake/recheck/re-block cycles; the result must be unchanged.
+  FaultPlan plan;
+  plan.Arm(FaultSite::kSpuriousWakeup, FaultRule{17, 1, 4, 64});
+  sim.kernel().SetFaultPlan(plan);
+  PollFd pf;
+  pf.fd = h.fd();
+  pf.events = POLLPRI;
+  auto n = sim.kernel().PollFds(sim.controller(), std::span<PollFd>(&pf, 1), 1'000'000);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);
+  EXPECT_TRUE(pf.revents & POLLPRI) << "the breakpoint stop wakes the poller";
+  EXPECT_GT(sim.kernel().fault_injector()->fires(FaultSite::kSpuriousWakeup), 0u)
+      << "the sweep actually exercised spurious wakeups";
 }
 
 TEST(ProcPoll, PollReportsExitAsHup) {
