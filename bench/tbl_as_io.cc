@@ -4,6 +4,8 @@
 // the /proc file versus ptrace's one-word-per-call PEEK/POKE.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "svr4proc/ptlib/ptrace_lib.h"
 #include "svr4proc/tools/proclib.h"
 #include "svr4proc/tools/sim.h"
@@ -93,4 +95,4 @@ BENCHMARK(BM_PtracePokeLoop)->Arg(4096)->Arg(65536);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SVR4_BENCH_MAIN("tbl_as_io")

@@ -9,6 +9,8 @@
 // round-trips; the ptrace API adds wait()-style dispatch on top.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "svr4proc/ptlib/ptrace_lib.h"
 #include "svr4proc/tools/debugger.h"
 #include "svr4proc/tools/sim.h"
@@ -142,4 +144,4 @@ BENCHMARK(BM_PtraceApiBreakpoints);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SVR4_BENCH_MAIN("tbl_breakpoints")

@@ -7,6 +7,8 @@
 // as a function of batch size.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstring>
 
 #include "svr4proc/procfs/procfs2.h"
@@ -174,4 +176,4 @@ BENCHMARK(BM_DispatchHierControl);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SVR4_BENCH_MAIN("tbl_ctl_batching")

@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.h"
+
 #include "svr4proc/tools/proclib.h"
 #include "svr4proc/tools/sim.h"
 
@@ -56,10 +58,15 @@ ExecSystem MakeSystem(bool tlb_on) {
 }
 
 // range(0): 1 = TLB on, 0 = TLB off.
+// range(1): tracing — 0 = disarmed (compiled in, gates cold: the
+// zero-cost-when-off claim), 1 = event ring armed, 2 = ring + metrics
+// registry. The trace-overhead table in EXPERIMENTS.md compares the three.
 void BM_ExecThroughput(benchmark::State& state) {
   const bool tlb_on = state.range(0) != 0;
+  const int trace_mode = static_cast<int>(state.range(1));
   auto s = MakeSystem(tlb_on);
   Kernel& k = s.sim->kernel();
+  k.SetTracing(/*ring=*/trace_mode >= 1, /*metrics=*/trace_mode >= 2);
   const uint64_t before = k.counters().instructions;
   for (auto _ : state) {
     for (int i = 0; i < 64; ++i) {
@@ -68,7 +75,10 @@ void BM_ExecThroughput(benchmark::State& state) {
   }
   const uint64_t executed = k.counters().instructions - before;
   state.SetItemsProcessed(static_cast<int64_t>(executed));
-  state.SetLabel(tlb_on ? "tlb=on" : "tlb=off");
+  std::string label = tlb_on ? "tlb=on" : "tlb=off";
+  label += trace_mode == 0 ? " trace=off" : trace_mode == 1 ? " trace=ring"
+                                                            : " trace=ring+hist";
+  state.SetLabel(label);
 
   Proc* p = k.FindProc(s.pid);
   const VmCounters& c = p->as->counters();
@@ -88,7 +98,11 @@ void BM_ExecThroughput(benchmark::State& state) {
     }
   }
 }
-BENCHMARK(BM_ExecThroughput)->Arg(1)->Arg(0);
+BENCHMARK(BM_ExecThroughput)
+    ->Args({1, 0})
+    ->Args({0, 0})
+    ->Args({1, 1})
+    ->Args({1, 2});
 
 // /proc bulk read with the target's TLB knob (PrRead shares the single-
 // resolve copy loop; the knob shows the slow path alone).
@@ -117,4 +131,4 @@ BENCHMARK(BM_ProcBulkRead)->Args({65536, 1})->Args({65536, 0})->Args({262144, 1}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SVR4_BENCH_MAIN("tbl_exec_throughput")

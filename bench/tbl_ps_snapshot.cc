@@ -5,6 +5,8 @@
 // that assembles the same record from many small operations.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "svr4proc/tools/proclib.h"
 #include "svr4proc/tools/ps.h"
 #include "svr4proc/tools/sim.h"
@@ -80,4 +82,4 @@ BENCHMARK(BM_PsPiecemeal)->Arg(8)->Arg(32)->Arg(128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SVR4_BENCH_MAIN("tbl_ps_snapshot")

@@ -6,6 +6,8 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
+
 #include "svr4proc/tools/sim.h"
 #include "svr4proc/tools/truss.h"
 
@@ -104,6 +106,8 @@ msg:  .asciz "same!\n"
 int main(int argc, char** argv) {
   VerifyBehaviourPreserved();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  svr4bench::CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return svr4bench::WriteBenchJson("tbl_truss_overhead", reporter.captured());
 }

@@ -8,6 +8,8 @@
 // watched store is rare.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 
 #include "svr4proc/tools/proclib.h"
@@ -120,4 +122,4 @@ BENCHMARK(BM_SingleStepEmulation)->Arg(10)->Arg(100);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SVR4_BENCH_MAIN("tbl_watchpoints")

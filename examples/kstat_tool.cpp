@@ -1,0 +1,96 @@
+// kstat: samples the kernel event-trace ring and metrics registry through
+// /proc itself — PIOCKSTAT for the structured registry snapshot,
+// /proc2/kernel/metrics for the text rendering, and /proc2/kernel/trace for
+// the raw event ring. The kernel's own observability travels over the same
+// filesystem interface a debugger uses for processes.
+#include <cstdio>
+
+#include "svr4proc/tools/proclib.h"
+#include "svr4proc/tools/sim.h"
+
+using namespace svr4;
+
+int main() {
+  Sim sim;
+  // Arm both layers: the ring records individual events, the registry
+  // aggregates counters and latency histograms.
+  sim.kernel().SetTracing(/*ring=*/true, /*metrics=*/true);
+
+  // Workload: a parent forks a syscall-happy child and waits for it.
+  (void)sim.InstallProgram("/bin/forker", R"(
+      ldi r0, SYS_fork
+      sys
+      cmpi r0, 0
+      jz child
+      ldi r0, SYS_wait
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+child:
+      ldi r8, 50
+loop: ldi r0, SYS_getpid
+      sys
+      ldi r5, 1
+      sub r8, r5
+      cmpi r8, 0
+      jnz loop
+      ldi r0, SYS_exit
+      ldi r1, 7
+      sys
+  )");
+  auto pid = sim.Start("/bin/forker");
+  (void)sim.kernel().RunToExit(*pid);
+
+  // --- PIOCKSTAT: the structured registry snapshot -------------------------
+  auto h = *ProcHandle::Grab(sim.kernel(), sim.controller(),
+                             sim.kernel().init_proc()->pid, O_RDONLY);
+  auto ks = *h.Kstat();
+  std::printf("kstat @ tick %llu: %llu instructions, %llu trace records "
+              "(%llu dropped)\n",
+              static_cast<unsigned long long>(ks.pr_ticks),
+              static_cast<unsigned long long>(ks.pr_instructions),
+              static_cast<unsigned long long>(ks.pr_trace_total),
+              static_cast<unsigned long long>(ks.pr_trace_dropped));
+
+  std::printf("\nevents:\n");
+  for (uint32_t e = 0; e < kKtEventCount; ++e) {
+    if (ks.pr_events[e] != 0) {
+      std::printf("  %-16s %8llu\n", KtEventName(static_cast<KtEvent>(e)),
+                  static_cast<unsigned long long>(ks.pr_events[e]));
+    }
+  }
+
+  std::printf("\nsyscalls:             calls   errors  avg(ticks)\n");
+  for (int s = 0; s < kPrKstatSyscalls; ++s) {
+    const PrKstatSys& st = ks.pr_sys[s];
+    if (st.pr_calls == 0) {
+      continue;
+    }
+    std::printf("  %-16s %8llu %8llu %11.1f\n",
+                std::string(SyscallName(s)).c_str(),
+                static_cast<unsigned long long>(st.pr_calls),
+                static_cast<unsigned long long>(st.pr_errors),
+                static_cast<double>(st.pr_latsum) / static_cast<double>(st.pr_calls));
+  }
+
+  // --- The event ring, read back as a file ---------------------------------
+  auto t = *ReadTraceFile(sim.kernel(), sim.controller(), "/proc2/kernel/trace");
+  std::printf("\nlast events of %u in the ring:\n", t.hdr.kt_nrec);
+  size_t first = t.recs.size() > 12 ? t.recs.size() - 12 : 0;
+  for (size_t i = first; i < t.recs.size(); ++i) {
+    const KtRec& r = t.recs[i];
+    std::printf("  tick=%-6llu pid=%-3d %-14s a0=0x%x a1=0x%x\n",
+                static_cast<unsigned long long>(r.kt_tick), r.kt_pid,
+                KtEventName(static_cast<KtEvent>(r.kt_event)), r.kt_a0, r.kt_a1);
+  }
+
+  // --- The registry, rendered as text by the kernel ------------------------
+  char buf[512];
+  auto fd = sim.kernel().Open(sim.controller(), "/proc2/kernel/metrics", O_RDONLY);
+  auto n = sim.kernel().Read(sim.controller(), *fd, buf, sizeof(buf) - 1);
+  buf[n.ok() ? *n : 0] = 0;
+  std::printf("\n/proc2/kernel/metrics (first %d bytes):\n%s", static_cast<int>(*n),
+              buf);
+  return 0;
+}

@@ -20,6 +20,8 @@
 
 namespace svr4 {
 
+class KTrace;
+
 // Named injection sites. Each maps to one seam:
 //   kCopyin / kCopyout  user-memory copies fail with EFAULT
 //   kVmMap              AddressSpace::Map fails with ENOMEM
@@ -84,6 +86,11 @@ class FaultInjector {
   // Text rendering served by /proc2/kernel/faults: one line per armed site.
   std::string Describe() const;
 
+  // Wires the kernel trace ring so every firing emits a FAULT_INJECT
+  // record. The eval/fire counters themselves stay here (their single
+  // home); the metrics registry renders them from this object.
+  void SetKtrace(KTrace* kt) { kt_ = kt; }
+
  private:
   struct SiteState {
     uint64_t rng = 0;
@@ -93,6 +100,7 @@ class FaultInjector {
 
   FaultPlan plan_;
   std::array<SiteState, kFaultSiteCount> state_{};
+  KTrace* kt_ = nullptr;
 };
 
 }  // namespace svr4

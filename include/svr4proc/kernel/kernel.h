@@ -28,6 +28,7 @@
 #include "svr4proc/fs/vfs.h"
 #include "svr4proc/isa/aout.h"
 #include "svr4proc/kernel/faults.h"
+#include "svr4proc/kernel/ktrace.h"
 #include "svr4proc/kernel/process.h"
 #include "svr4proc/kernel/syscall.h"
 
@@ -171,6 +172,17 @@ class Kernel {
   // scheduler and sleep coherence). Returns one string per violation; empty
   // means consistent. Cheap enough to call after every tick.
   std::vector<std::string> CheckInvariants();
+
+  // --- Tracing & metrics (ktrace.h) -----------------------------------------
+  // The global event ring and metrics registry, served through
+  // /proc2/kernel/{trace,metrics}, /proc2/<pid>/trace, and PIOCKSTAT.
+  // Disarmed by default; every emission site is one predicted branch then.
+  KTrace& ktrace() { return kt_; }
+  const KTrace& ktrace() const { return kt_; }
+  void SetTracing(bool ring, bool metrics) {
+    kt_.EnableRing(ring);
+    kt_.EnableMetrics(metrics);
+  }
 
   // --- Simulation control ----------------------------------------------------
   // Executes one scheduling quantum. Returns false when nothing can run
@@ -354,6 +366,14 @@ class Kernel {
   uint64_t chaos_rng_ = 0;
   // Last observed audit_total per pid, for the monotonicity invariant.
   std::map<Pid, uint64_t> audit_watermark_;
+
+  // Event-trace ring + metrics registry (reads ticks_ through a pointer so
+  // every layer can emit without seeing the kernel).
+  KTrace kt_{&ticks_};
+  // Last scheduled lwp, for SCHED_SWITCH records (ids, not pointers: the
+  // previous lwp may be gone by the next switch).
+  Pid last_sched_pid_ = 0;
+  int last_sched_lwpid_ = 0;
 
   static constexpr int kQuantum = 64;
 };

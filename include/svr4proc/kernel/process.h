@@ -97,6 +97,10 @@ struct Lwp {
   uint64_t sys_deadline = 0;   // absolute wake tick for timed syscalls
   Pid vfork_child = 0;         // child being waited on by vfork
 
+  // Tick at the trap into the current syscall; the exit trace record and
+  // the per-syscall latency histogram measure from here.
+  uint64_t sys_entry_tick = 0;
+
   // Per-lwp stop directive (hierarchical /proc lwpctl).
   bool lwp_dstop = false;
 };
@@ -222,10 +226,20 @@ struct Proc {
   uint64_t nsignals = 0;
   uint64_t nfaults = 0;
   uint64_t ioch = 0;    // bytes read+written
+  // Page-fault classes folded out of address spaces this process has shed
+  // (exec replaces the AS; exit destroys it). The live totals the usage
+  // interface reports are these bases plus the current AS's counters.
+  uint64_t minflt_base = 0;  // satisfied without simulated I/O
+  uint64_t majflt_base = 0;  // first touch of a file-backed page
   uint64_t start_tick = 0;
   int nice = 20;
   uint32_t umask = 022;
   uint64_t alarm_tick = 0;  // 0 = no alarm pending
+
+  // Tick of the oldest outstanding stop directive; when the last lwp
+  // reaches its stop the request->all-stopped wait feeds the stop_wait
+  // histogram and this resets to 0.
+  uint64_t stop_req_tick = 0;
 
   Lwp* MainLwp() {
     for (auto& l : lwps) {

@@ -107,7 +107,9 @@ struct PrUsage {
   uint64_t pr_rtime = 0;   // real time since creation
   uint64_t pr_utime = 0;   // user-level instruction count
   uint64_t pr_stime = 0;   // kernel time on the process's behalf
-  uint64_t pr_minf = 0;    // faults
+  uint64_t pr_minf = 0;    // minor faults (resolved without "I/O": zero-fill,
+                           // COW copies)
+  uint64_t pr_majf = 0;    // major faults (first touch of a file-backed page)
   uint64_t pr_nsig = 0;    // signals delivered
   uint64_t pr_sysc = 0;    // system calls
   uint64_t pr_ioch = 0;    // characters read and written
@@ -261,6 +263,36 @@ enum Pioc : uint32_t {
   PIOCLWPIDS = kPiocBase | 43,  // PrLwpIds*            lwp ids
   PIOCVMSTATS = kPiocBase | 44,  // PrVmStats*          TLB/exec-path counters
   PIOCAUDIT = kPiocBase | 45,   // PrCtlAudit*          control audit ring
+  PIOCKSTAT = kPiocBase | 46,   // PrKstat*             kernel-wide metrics
+};
+
+// --- Kernel-wide metrics snapshot (PIOCKSTAT / /proc2/kernel/metrics) --------
+//
+// Fixed-size aggregate of the kernel trace/metrics registry. The array
+// bounds are part of the ABI: kPrKstatEvents must cover every KtEvent code
+// and kPrKstatSyscalls every syscall number (static_asserts in build.cc pin
+// them against the kernel enums).
+inline constexpr int kPrKstatEvents = 32;
+inline constexpr int kPrKstatSyscalls = 200;
+
+struct PrKstatSys {
+  uint64_t pr_calls = 0;   // completed syscalls (exit records)
+  uint64_t pr_errors = 0;  // completions with a nonzero errno
+  uint64_t pr_latsum = 0;  // total entry->exit latency, ticks
+  uint64_t pr_latmax = 0;  // worst single completion, ticks
+};
+
+struct PrKstat {
+  uint64_t pr_ticks = 0;         // current virtual time
+  uint64_t pr_instructions = 0;  // virtual-ISA instructions retired
+  uint64_t pr_timer_events = 0;  // alarms fired + timed sleeps woken
+  uint64_t pr_reaps = 0;         // zombies reaped into init
+  uint32_t pr_ring_on = 0;       // trace ring armed?
+  uint32_t pr_metrics_on = 0;    // metrics registry armed?
+  uint64_t pr_trace_total = 0;   // trace records ever appended
+  uint64_t pr_trace_dropped = 0;  // records lost to ring wrap
+  uint64_t pr_events[kPrKstatEvents] = {};  // per-KtEvent emission counts
+  PrKstatSys pr_sys[kPrKstatSyscalls] = {};
 };
 
 // --- Builders shared by both /proc implementations ---------------------------
@@ -272,6 +304,7 @@ PrUsage BuildPrUsage(const Kernel& k, const Proc* p);
 std::vector<PrMapEntry> BuildPrMap(const Proc* p);
 PrLwpStatus BuildPrLwpStatus(const Proc* p, const Lwp* l);
 PrCtlAudit BuildPrCtlAudit(const Proc* p);
+PrKstat BuildPrKstat(const Kernel& k);
 
 }  // namespace svr4
 

@@ -8,9 +8,16 @@
 #include <vector>
 
 #include "svr4proc/kernel/kernel.h"
+#include "svr4proc/kernel/ktrace.h"
 #include "svr4proc/procfs/types.h"
 
 namespace svr4 {
+
+// A parsed /proc2/<pid>/trace (or /proc2/kernel/trace) snapshot.
+struct PrTrace {
+  KtSnapHeader hdr{};
+  std::vector<KtRec> recs;
+};
 
 // A controlling process's grip on one target process: an open descriptor on
 // /proc/<pid> plus typed wrappers for the PIOC* operations.
@@ -85,6 +92,11 @@ class ProcHandle {
   Result<PrUsage> Usage();
   Result<PrVmStats> VmStats();
   Result<PrCtlAudit> Audit();  // the control audit ring (PIOCAUDIT)
+  Result<PrKstat> Kstat();     // kernel-wide metrics registry (PIOCKSTAT)
+  // The target's slice of the kernel event ring, read from
+  // /proc2/<pid>/trace. Works on zombies, and keeps working after the
+  // target is reaped as long as records survive in the ring.
+  Result<PrTrace> Trace();
   Result<void> Nice(int delta);
 
   // --- proposed extensions ---
@@ -108,6 +120,11 @@ class ProcHandle {
   Pid pid_ = 0;
   int fd_ = -1;
 };
+
+// Reads and parses a binary trace-snapshot file (/proc2/kernel/trace or
+// /proc2/<pid>/trace). An empty file — ring never armed — parses as an
+// empty snapshot, not an error.
+Result<PrTrace> ReadTraceFile(Kernel& k, Proc* caller, const std::string& path);
 
 }  // namespace svr4
 

@@ -43,7 +43,11 @@ class Truss {
   const std::map<int, uint64_t>& syscall_counts() const { return counts_; }
   uint64_t events() const { return events_; }
 
-  // Formats the -c style summary table.
+  // Formats the -c style summary table. When the kernel metrics registry
+  // was armed for the trace, each row carries count, error count, and
+  // average/max entry->exit latency in ticks, computed as registry deltas
+  // across the trace window; otherwise it falls back to truss's own event
+  // counts.
   std::string CountsTable() const;
 
  private:
@@ -60,6 +64,10 @@ class Truss {
   std::string report_;
   std::map<int, uint64_t> counts_;
   uint64_t events_ = 0;
+  // Registry snapshots bracketing the trace, for the -c latency columns.
+  PrKstat kstat_base_;
+  PrKstat kstat_end_;
+  bool kstat_valid_ = false;
 };
 
 }  // namespace svr4

@@ -44,6 +44,7 @@
 namespace svr4 {
 
 class FaultInjector;  // kernel/faults.h; optional, null in normal operation
+class KTrace;         // kernel/ktrace.h; optional, disarmed in normal operation
 
 inline constexpr uint32_t kPageSize = 4096;
 inline constexpr uint32_t kPageShift = 12;
@@ -135,6 +136,11 @@ struct VmCounters {
   uint64_t tlb_misses = 0;    // fast-path-eligible accesses that fell through
   uint64_t slow_lookups = 0;  // mapping resolutions on the slow path
   uint64_t tlb_flushes = 0;   // generation bumps (whole-TLB invalidations)
+  // Page-fault classes, counted where frames materialize (EnsureFrame):
+  // a first touch of a file-backed page pays simulated I/O (major); zero-fill
+  // and copy-on-write resolutions do not (minor).
+  uint64_t minor_faults = 0;
+  uint64_t major_faults = 0;
 };
 
 // Number of direct-mapped TLB entries; must be a power of two.
@@ -178,6 +184,12 @@ class AddressSpace : public MemoryIf {
   void FlushTlb() { TlbFlush(); }
   // Arms allocation-failure injection (kVmMap/kVmGrow); null disarms.
   void SetFaultInjector(FaultInjector* finj) { finj_ = finj; }
+  // Wires the kernel trace ring (COW_BREAK / TLB_FLUSH events) with the
+  // owning pid to stamp into records. Always wired; KTrace gates emission.
+  void SetKtrace(KTrace* kt, int32_t pid) {
+    kt_ = kt;
+    kt_pid_ = pid;
+  }
 
   // Controlling-process (/proc) access. Protections are ignored; private
   // mappings are copied-on-write; transfers are truncated at the first
@@ -249,11 +261,9 @@ class AddressSpace : public MemoryIf {
   };
 
   // Invalidate every TLB entry (generation bump). Const because Clone()
-  // must invalidate the source TLB; only mutable state is touched.
-  void TlbFlush() const {
-    ++tlb_gen_;
-    ++counters_.tlb_flushes;
-  }
+  // must invalidate the source TLB; only mutable state is touched. Out of
+  // line so the flush can be traced without this header seeing KTrace.
+  void TlbFlush() const;
   bool TlbActive() const { return tlb_enabled_ && !watch_active_; }
   // Install/refresh the slot for the page just resolved by the slow path.
   void TlbFill(const Mapping& m, uint32_t page_index, Frame& f);
@@ -282,6 +292,8 @@ class AddressSpace : public MemoryIf {
   bool tlb_enabled_ = true;
   mutable VmCounters counters_;
   FaultInjector* finj_ = nullptr;
+  KTrace* kt_ = nullptr;
+  int32_t kt_pid_ = 0;
 };
 
 inline constexpr uint32_t kMaxStackGrowPages = 256;

@@ -37,6 +37,9 @@ Result<Pid> Kernel::ForkCommon(Lwp* parent_lwp, bool vfork) {
     child->is_vfork_child = true;
   } else {
     child->as = parent->as ? parent->as->Clone() : nullptr;
+    if (child->as) {
+      child->as->SetKtrace(&kt_, child->pid);
+    }
   }
 
   // Descriptors are shared open-file objects.
@@ -73,12 +76,15 @@ Result<Pid> Kernel::ForkCommon(Lwp* parent_lwp, bool vfork) {
   cl->regs = parent_lwp->regs;
   cl->fpregs = parent_lwp->fpregs;
   cl->cur_syscall = parent_lwp->cur_syscall;
+  cl->sys_entry_tick = parent_lwp->sys_entry_tick;  // child fork-exit latency
   Lwp* craw = cl.get();
   child->lwps.push_back(std::move(cl));
   craw->in_syscall = true;
   craw->sys_phase = SysPhase::kExec;  // FinishSyscall runs the exit-side path
   FinishSyscall(craw, SysResult::Ok(0));
 
+  kt_.Emit(KtEvent::kFork, parent->pid, parent_lwp->lwpid,
+           static_cast<uint32_t>(child->pid), vfork ? 1 : 0);
   return child->pid;
 }
 
@@ -202,6 +208,7 @@ Result<void> Kernel::ExecImage(Proc* p, const std::string& path,
   // shared library contributes its own text and data mappings.
   auto as = std::make_shared<AddressSpace>();
   as->SetFaultInjector(finj_.get());
+  as->SetKtrace(&kt_, p->pid);
   auto fobj = (*vp)->GetVmObject();
   if (!fobj.ok()) {
     return fobj.error();
@@ -302,6 +309,13 @@ Result<void> Kernel::ExecImage(Proc* p, const std::string& path,
     p->vfork_done = true;
     Wakeup(p);
   }
+  // The outgoing address space takes its fault accounting with it; fold the
+  // classes into the proc so PIOCUSAGE survives exec. A vfork child's shared
+  // space (use_count > 1) still belongs to the parent — nothing to fold.
+  if (p->as && p->as.use_count() == 1) {
+    p->minflt_base += p->as->counters().minor_faults;
+    p->majflt_base += p->as->counters().major_faults;
+  }
   p->as = std::move(as);
   p->exe = *vp;
   p->name = base;
@@ -352,6 +366,7 @@ Result<void> Kernel::ExecImage(Proc* p, const std::string& path,
   if (survivor->state == LwpState::kDead) {
     survivor->state = LwpState::kRunning;
   }
+  kt_.Emit(KtEvent::kExec, p->pid, survivor->lwpid, image->entry, 0);
   return Result<void>::Ok();
 }
 
@@ -402,7 +417,13 @@ void Kernel::ExitProc(Proc* p, int wstatus) {
     Wakeup(p);
   }
   // Address-space teardown: a zombie has no user address space, so its
-  // /proc file reports size zero and address-space I/O fails.
+  // /proc file reports size zero and address-space I/O fails. The fault
+  // accounting folds into the proc first so PIOCUSAGE on the zombie still
+  // reports it (shared vfork spaces keep their counts with the parent).
+  if (p->as && p->as.use_count() == 1) {
+    p->minflt_base += p->as->counters().minor_faults;
+    p->majflt_base += p->as->counters().major_faults;
+  }
   p->as.reset();
 
   // Reparent children to init; any that are already zombies will never be
@@ -418,6 +439,7 @@ void Kernel::ExitProc(Proc* p, int wstatus) {
 
   p->state = Proc::State::kZombie;
   p->exit_status = wstatus;
+  kt_.Emit(KtEvent::kExit, p->pid, 0, static_cast<uint32_t>(wstatus), 0);
 
   Proc* parent = FindProc(p->ppid);
   if (parent == nullptr || parent == init_) {

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "svr4proc/kernel/kernel.h"
+#include "svr4proc/kernel/ktrace.h"
 
 namespace svr4 {
 namespace {
@@ -68,6 +69,11 @@ bool FaultInjector::Fire(FaultSite s) {
     return false;
   }
   ++st.fires;
+  if (kt_ != nullptr) {
+    // pid 0: injection sites are kernel-wide seams, not per-process events.
+    kt_->Emit(KtEvent::kFaultInject, 0, 0, static_cast<uint32_t>(s),
+              static_cast<uint32_t>(st.fires));
+  }
   return true;
 }
 
@@ -95,6 +101,7 @@ std::string FaultInjector::Describe() const {
 
 void Kernel::SetFaultPlan(const FaultPlan& plan) {
   finj_ = std::make_unique<FaultInjector>(plan);
+  finj_->SetKtrace(&kt_);
   vfs_.SetFaultInjector(finj_.get());
   for (auto& [pid, p] : procs_) {
     if (p->as) {

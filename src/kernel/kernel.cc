@@ -537,6 +537,27 @@ bool Kernel::Step() {
     FireDueTimers();
     return true;
   }
+  if (kt_.armed() &&
+      (lwp->proc->pid != last_sched_pid_ || lwp->lwpid != last_sched_lwpid_)) {
+    // A context switch: record who ran before and sample run-queue depth
+    // (the count includes the lwp just picked). Once per switch, not per
+    // quantum, so an idle single-process system stays quiet.
+    uint32_t depth = 0;
+    for (auto& [pid2, p2] : procs_) {
+      if (p2->state != Proc::State::kActive || p2->native || p2->system_proc) {
+        continue;
+      }
+      for (auto& l2 : p2->lwps) {
+        if (l2->state == LwpState::kRunning) {
+          ++depth;
+        }
+      }
+    }
+    kt_.Emit(KtEvent::kSchedSwitch, lwp->proc->pid, lwp->lwpid,
+             static_cast<uint32_t>(last_sched_pid_), depth);
+    last_sched_pid_ = lwp->proc->pid;
+    last_sched_lwpid_ = lwp->lwpid;
+  }
   // nice(2) weights the quantum: the default (20) gets kQuantum; a fully
   // niced process (39) gets a sliver; a high-priority one (0) gets double.
   int quantum = kQuantum * (40 - lwp->proc->nice) / 20;
@@ -585,8 +606,11 @@ Result<int> Kernel::RunToExit(Pid pid, uint64_t max_steps) {
 void Kernel::ExecuteLwp(Lwp* lwp, int budget) {
   // The perturbation hooks (fault injection, chaos preemption) are compiled
   // into a separate stamp of the loop so the common unhooked case keeps the
-  // exact instruction path of a kernel without them.
-  if (finj_ != nullptr || chaos_) {
+  // exact instruction path of a kernel without them. Tracing rides the same
+  // gate: with tracing disarmed the unhooked stamp carries no tracing code
+  // at all (events are emitted from the cold syscall/stop/fault functions
+  // behind single-branch armed checks, never per instruction).
+  if (finj_ != nullptr || chaos_ || kt_.armed()) {
     ExecuteLwpImpl<true>(lwp, budget);
   } else {
     ExecuteLwpImpl<false>(lwp, budget);
@@ -804,6 +828,8 @@ void Kernel::Psig(Lwp* lwp) {
   ++p->nsignals;
 
   const SigAction& act = p->sig.actions[s];
+  kt_.Emit(KtEvent::kSignalDeliver, p->pid, lwp->lwpid, static_cast<uint32_t>(s),
+           act.handler == SIG_IGN || act.handler == SIG_DFL ? 0 : act.handler);
   if (act.handler == SIG_IGN) {
     return;
   }
@@ -867,10 +893,23 @@ void Kernel::StopLwp(Lwp* lwp, uint16_t why, uint16_t what, bool istop) {
   lwp->stop_why = why;
   lwp->stop_what = what;
   lwp->istop = istop;
+  if (kt_.armed()) {
+    Proc* p = lwp->proc;
+    kt_.Emit(KtEvent::kStop, p->pid, lwp->lwpid, why, what);
+    // If a stop directive was outstanding and this was the last lwp to
+    // reach its stop, the request->all-stopped wait is complete.
+    if (p->stop_req_tick != 0 && p->AllLwpsStopped()) {
+      kt_.RecordStopWait(ticks_ - (p->stop_req_tick - 1));
+      p->stop_req_tick = 0;
+    }
+  }
   Wakeup(kPollChan);
 }
 
 void Kernel::ResumeLwp(Lwp* lwp) {
+  if (lwp->stop_why != 0) {
+    kt_.Emit(KtEvent::kRun, lwp->proc->pid, lwp->lwpid, lwp->stop_why, 0);
+  }
   lwp->stop_why = 0;
   lwp->stop_what = 0;
   lwp->istop = false;
@@ -920,6 +959,8 @@ void Kernel::PostSignal(Proc* p, int sig, const SigInfo& info) {
   if (p->native || p->system_proc) {
     return;  // controllers and system processes do not take signals
   }
+  kt_.Emit(KtEvent::kSignalPost, p->pid, 0, static_cast<uint32_t>(sig),
+           static_cast<uint32_t>(info.si_pid));
   if (sig == SIGCONT) {
     // Continuing is done when the signal is generated, not delivered.
     for (int stop_sig : {SIGSTOP, SIGTSTP, SIGTTIN, SIGTTOU}) {
@@ -973,6 +1014,7 @@ void Kernel::PostSignal(Proc* p, int sig, const SigInfo& info) {
 void Kernel::HandleFault(Lwp* lwp, int fault, uint32_t addr) {
   Proc* p = lwp->proc;
   ++p->nfaults;
+  kt_.Emit(KtEvent::kFault, p->pid, lwp->lwpid, static_cast<uint32_t>(fault), addr);
   if (fault == FLTTRACE) {
     lwp->regs.psr &= ~kPsrT;  // single-step is one-shot
   }
@@ -1010,6 +1052,11 @@ void Kernel::ConvertFaultToSignal(Lwp* lwp, int fault, uint32_t addr) {
 Result<void> Kernel::PrStop(Proc* target) {
   if (target->state != Proc::State::kActive) {
     return Errno::kENOENT;
+  }
+  if (kt_.metrics_on() && target->stop_req_tick == 0 && !target->AllLwpsStopped()) {
+    // Start the request->all-stopped clock (closed in StopLwp). Stored with
+    // a +1 bias so tick 0 is distinguishable from "no request outstanding".
+    target->stop_req_tick = ticks_ + 1;
   }
   bool any_pending = false;
   for (auto& l : target->lwps) {

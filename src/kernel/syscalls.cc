@@ -21,6 +21,9 @@ void Kernel::SyscallTrap(Lwp* lwp) {
   for (int i = 0; i < 6; ++i) {
     lwp->sysargs[i] = lwp->regs.r[i + 1];
   }
+  lwp->sys_entry_tick = ticks_;
+  kt_.Emit(KtEvent::kSyscallEntry, p->pid, lwp->lwpid, lwp->cur_syscall,
+           lwp->sysargs[0]);
   // "A stop on system call entry occurs before the system has fetched the
   // system call arguments from the process."
   if (p->trace.sysentry.Has(lwp->cur_syscall)) {
@@ -112,6 +115,14 @@ void Kernel::FinishSyscall(Lwp* lwp, const SysResult& r) {
       }
       lwp->regs.psr &= ~kPsrC;
     }
+  }
+  if (kt_.armed()) {
+    // The exit record carries the errno and the entry->exit service latency
+    // in ticks (time stopped at the exit stop point is not service time).
+    uint32_t err = r.kind == SysResult::kError ? static_cast<uint32_t>(r.err) : 0;
+    kt_.Emit(KtEvent::kSyscallExit, p->pid, lwp->lwpid,
+             static_cast<uint32_t>(lwp->cur_syscall) | (err << 16),
+             static_cast<uint32_t>(ticks_ - lwp->sys_entry_tick));
   }
   if (p->trace.sysexit.Has(lwp->cur_syscall)) {
     lwp->sys_phase = SysPhase::kExit;

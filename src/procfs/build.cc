@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "svr4proc/kernel/kernel.h"
+#include "svr4proc/kernel/ktrace.h"
 #include "svr4proc/kernel/syscall.h"
 #include "svr4proc/procfs/types.h"
 
@@ -187,11 +188,48 @@ PrUsage BuildPrUsage(const Kernel& k, const Proc* p) {
   u.pr_rtime = k.Ticks() - p->start_tick;
   u.pr_utime = p->utime;
   u.pr_stime = p->stime;
-  u.pr_minf = p->nfaults;
+  // Fault counts live in the address space; the bases fold in counts from
+  // address spaces the process has already discarded (exec replaces the
+  // image, exit drops it before the zombie is interrogated).
+  u.pr_minf = p->minflt_base;
+  u.pr_majf = p->majflt_base;
+  if (p->as) {
+    u.pr_minf += p->as->counters().minor_faults;
+    u.pr_majf += p->as->counters().major_faults;
+  }
   u.pr_nsig = p->nsignals;
   u.pr_sysc = p->nsyscalls;
   u.pr_ioch = p->ioch;
   return u;
+}
+
+// The array bounds in the PrKstat ABI must track the kernel enums; a new
+// KtEvent or syscall past the bound would silently vanish from snapshots.
+static_assert(kPrKstatEvents >= kKtEventCount, "PrKstat event array too small");
+static_assert(kPrKstatSyscalls >= kKtMaxSyscall, "PrKstat syscall array too small");
+
+PrKstat BuildPrKstat(const Kernel& k) {
+  PrKstat ks;
+  ks.pr_ticks = k.Ticks();
+  ks.pr_instructions = k.counters().instructions;
+  ks.pr_timer_events = k.counters().timer_events;
+  ks.pr_reaps = k.counters().reaps;
+  const KTrace& kt = k.ktrace();
+  ks.pr_ring_on = kt.ring_on() ? 1 : 0;
+  ks.pr_metrics_on = kt.metrics_on() ? 1 : 0;
+  ks.pr_trace_total = kt.total();
+  ks.pr_trace_dropped = kt.dropped();
+  for (uint32_t e = 0; e < kKtEventCount; ++e) {
+    ks.pr_events[e] = kt.event_count(static_cast<KtEvent>(e));
+  }
+  for (int s = 0; s < kKtMaxSyscall; ++s) {
+    const KtSyscallStat& st = kt.syscall_stat(s);
+    ks.pr_sys[s].pr_calls = st.calls;
+    ks.pr_sys[s].pr_errors = st.errors;
+    ks.pr_sys[s].pr_latsum = st.lat.sum;
+    ks.pr_sys[s].pr_latmax = st.lat.max;
+  }
+  return ks;
 }
 
 std::vector<PrMapEntry> BuildPrMap(const Proc* p) {

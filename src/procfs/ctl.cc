@@ -419,6 +419,12 @@ Result<int32_t> OpAudit(CtlCtx& c, void* arg) {
   return 0;
 }
 
+Result<int32_t> OpKstat(CtlCtx& c, void* arg) {
+  // Kernel-wide: the target process is only the handle the caller used.
+  *static_cast<PrKstat*>(arg) = BuildPrKstat(*c.k);
+  return 0;
+}
+
 // --- The table --------------------------------------------------------------
 
 constexpr int32_t kNoPc = -1;
@@ -535,9 +541,11 @@ const CtlOp kCtlOps[] = {
      true, false, false, false, false, kNoPc, 0, nullptr, OpVmStats},
     {"PIOCAUDIT", PIOCAUDIT, kNoPc, CtlArgKind::kOut, -1,
      true, true, false, false, false, kNoPc, 0, nullptr, OpAudit},
+    {"PIOCKSTAT", PIOCKSTAT, kNoPc, CtlArgKind::kOut, -1,
+     true, true, false, false, false, kNoPc, 0, nullptr, OpKstat},
 };
 
-// Both code spaces are dense — PIOC codes are kPiocBase|1..45, PC codes
+// Both code spaces are dense — PIOC codes are kPiocBase|1..46, PC codes
 // 0..20 — so the indexes are direct-addressed arrays: dispatch stays on
 // par with the switch statements the table replaced.
 constexpr int kPiocSlots = 64;

@@ -13,7 +13,8 @@ namespace {
 
 // Per-OpenFile private state for a /proc descriptor.
 struct PrPriv {
-  bool excl = false;  // this descriptor holds the exclusive-write right
+  bool excl = false;   // this descriptor holds the exclusive-write right
+  Pid opener = 0;      // who opened it, for the PROC_CLOSE trace record
 };
 
 std::string PidName(Pid pid) {
@@ -135,13 +136,14 @@ Result<VAttr> ProcVnode::GetAttr() {
   return a;
 }
 
-Result<void> ProcVnode::Open(OpenFile& of, const Creds& cr, Proc* /*caller*/) {
+Result<void> ProcVnode::Open(OpenFile& of, const Creds& cr, Proc* caller) {
   Proc* p = kernel_->FindProc(pid_);
   if (p == nullptr) {
     return Errno::kENOENT;
   }
   SVR4_RETURN_IF_ERROR(ProcOpenPermission(cr, p));
   auto priv = std::make_shared<PrPriv>();
+  priv->opener = caller != nullptr ? caller->pid : 0;
   if (of.writable) {
     if (p->trace.excl) {
       return Errno::kEBUSY;  // an exclusive controller exists
@@ -161,6 +163,8 @@ Result<void> ProcVnode::Open(OpenFile& of, const Creds& cr, Proc* /*caller*/) {
   ++p->trace.total_opens;
   of.pr_gen = p->trace.gen;
   of.priv = priv;
+  kernel_->ktrace().Emit(KtEvent::kProcOpen, p->pid, 0,
+                         static_cast<uint32_t>(priv->opener), of.writable ? 1 : 0);
   return Result<void>::Ok();
 }
 
@@ -188,6 +192,9 @@ void ProcVnode::Close(OpenFile& of) {
   if (priv != nullptr && priv->excl) {
     p->trace.excl = false;
   }
+  kernel_->ktrace().Emit(KtEvent::kProcClose, p->pid, 0,
+                         priv != nullptr ? static_cast<uint32_t>(priv->opener) : 0,
+                         of.writable ? 1 : 0);
   --p->trace.total_opens;
   if (of.writable) {
     if (--p->trace.writable_opens == 0) {

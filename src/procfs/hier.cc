@@ -21,7 +21,7 @@ struct Pr2Priv {
 };
 
 enum class Pr2Kind {
-  kStatus, kPsinfo, kCred, kUsage, kSigact, kMap, kAs, kCtl, kCtlAudit
+  kStatus, kPsinfo, kCred, kUsage, kSigact, kMap, kAs, kCtl, kCtlAudit, kTrace
 };
 
 std::string PidName(Pid pid) {
@@ -113,6 +113,10 @@ class Pr2FileVnode : public Vnode {
     ++p->trace.total_opens;
     of.pr_gen = p->trace.gen;
     of.priv = priv;
+    kernel_->ktrace().Emit(
+        KtEvent::kProcOpen, p->pid, 0,
+        caller != nullptr ? static_cast<uint32_t>(caller->pid) : 0,
+        want_write ? 1 : 0);
     return Result<void>::Ok();
   }
 
@@ -122,6 +126,12 @@ class Pr2FileVnode : public Vnode {
       return;
     }
     auto* priv = static_cast<Pr2Priv*>(of.priv.get());
+    kernel_->ktrace().Emit(
+        KtEvent::kProcClose, p->pid, 0,
+        priv != nullptr && priv->opener != nullptr
+            ? static_cast<uint32_t>(priv->opener->pid)
+            : 0,
+        priv != nullptr && priv->counted_writable ? 1 : 0);
     bool counted_writable = priv != nullptr && priv->counted_writable;
     if (of.pr_gen != p->trace.gen) {
       // Invalidated by a set-id exec: drain the stale ledger only (same
@@ -148,6 +158,13 @@ class Pr2FileVnode : public Vnode {
   }
 
   Result<int64_t> Read(OpenFile& of, uint64_t off, std::span<uint8_t> buf) override {
+    if (kind_ == Pr2Kind::kTrace) {
+      // The per-process trace is a filtered view of the *global* ring; the
+      // records outlive the process, so the read deliberately bypasses the
+      // process lookup — a descriptor held across the reap still serves the
+      // reaped pid's history.
+      return ServeBytes(kernel_->ktrace().Snapshot(pid_), off, buf);
+    }
     auto tp = Target(of);
     if (!tp.ok()) {
       return tp.error();
@@ -186,6 +203,8 @@ class Pr2FileVnode : public Vnode {
         return ServeStruct(BuildPrCtlAudit(p), off, buf);
       case Pr2Kind::kCtl:
         return Errno::kEACCES;
+      case Pr2Kind::kTrace:
+        break;  // handled above, before the process lookup
     }
     return Errno::kEINVAL;
   }
@@ -447,6 +466,8 @@ class Pr2ProcDirVnode : public Vnode {
       kind = Pr2Kind::kCtl;
     } else if (name == "ctlaudit") {
       kind = Pr2Kind::kCtlAudit;
+    } else if (name == "trace") {
+      kind = Pr2Kind::kTrace;
     } else if (name == "lwp") {
       return VnodePtr(std::make_shared<Pr2LwpListVnode>(kernel_, pid_));
     } else {
@@ -459,7 +480,7 @@ class Pr2ProcDirVnode : public Vnode {
         {"as", VType::kProc},     {"ctl", VType::kProc},   {"status", VType::kProc},
         {"psinfo", VType::kProc}, {"map", VType::kProc},   {"cred", VType::kProc},
         {"sigact", VType::kProc}, {"usage", VType::kProc}, {"ctlaudit", VType::kProc},
-        {"lwp", VType::kDir},
+        {"trace", VType::kProc},  {"lwp", VType::kDir},
     };
   }
 
@@ -504,6 +525,70 @@ class Pr2FaultsVnode : public Vnode {
   Kernel* kernel_;
 };
 
+// /proc2/kernel/trace: binary snapshot of the global event ring
+// (KtSnapHeader then oldest-first KtRec records). A disabled or never-armed
+// ring reads as an empty file, not an error.
+class Pr2KtraceVnode : public Vnode {
+ public:
+  explicit Pr2KtraceVnode(Kernel* k) : kernel_(k) {}
+
+  VType type() const override { return VType::kProc; }
+  Result<VAttr> GetAttr() override {
+    VAttr a;
+    a.type = VType::kProc;
+    a.mode = 0444;
+    a.size = kernel_->ktrace().Snapshot().size();
+    return a;
+  }
+  Result<void> Open(OpenFile& of, const Creds& /*cr*/, Proc* /*caller*/) override {
+    if (of.writable) {
+      return Errno::kEACCES;
+    }
+    return Result<void>::Ok();
+  }
+  Result<int64_t> Read(OpenFile& /*of*/, uint64_t off, std::span<uint8_t> buf) override {
+    return ServeBytes(kernel_->ktrace().Snapshot(), off, buf);
+  }
+
+ private:
+  Kernel* kernel_;
+};
+
+// /proc2/kernel/metrics: the metrics registry rendered as text, one line
+// per counter or histogram, with the fault injector's per-site counters
+// folded in from their single home.
+class Pr2KmetricsVnode : public Vnode {
+ public:
+  explicit Pr2KmetricsVnode(Kernel* k) : kernel_(k) {}
+
+  VType type() const override { return VType::kProc; }
+  Result<VAttr> GetAttr() override {
+    VAttr a;
+    a.type = VType::kProc;
+    a.mode = 0444;
+    a.size = Render().size();
+    return a;
+  }
+  Result<void> Open(OpenFile& of, const Creds& /*cr*/, Proc* /*caller*/) override {
+    if (of.writable) {
+      return Errno::kEACCES;
+    }
+    return Result<void>::Ok();
+  }
+  Result<int64_t> Read(OpenFile& /*of*/, uint64_t off, std::span<uint8_t> buf) override {
+    std::string text = Render();
+    std::vector<uint8_t> bytes(text.begin(), text.end());
+    return ServeBytes(bytes, off, buf);
+  }
+
+ private:
+  std::string Render() const {
+    return kernel_->ktrace().MetricsText(kernel_->fault_injector());
+  }
+
+  Kernel* kernel_;
+};
+
 // /proc2/kernel: kernel-wide (process-independent) introspection files.
 class Pr2KernelDirVnode : public Vnode {
  public:
@@ -521,10 +606,18 @@ class Pr2KernelDirVnode : public Vnode {
     if (name == "faults") {
       return VnodePtr(std::make_shared<Pr2FaultsVnode>(kernel_));
     }
+    if (name == "trace") {
+      return VnodePtr(std::make_shared<Pr2KtraceVnode>(kernel_));
+    }
+    if (name == "metrics") {
+      return VnodePtr(std::make_shared<Pr2KmetricsVnode>(kernel_));
+    }
     return Errno::kENOENT;
   }
   Result<std::vector<DirEnt>> Readdir() override {
-    return std::vector<DirEnt>{{"faults", VType::kProc}};
+    return std::vector<DirEnt>{{"faults", VType::kProc},
+                               {"trace", VType::kProc},
+                               {"metrics", VType::kProc}};
   }
 
  private:

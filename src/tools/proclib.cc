@@ -1,6 +1,7 @@
 #include "svr4proc/tools/proclib.h"
 
 #include <cstdio>
+#include <cstring>
 
 namespace svr4 {
 namespace {
@@ -284,6 +285,56 @@ Result<PrCtlAudit> ProcHandle::Audit() {
   PrCtlAudit a;
   SVR4_RETURN_IF_ERROR(Io(PIOCAUDIT, &a));
   return a;
+}
+
+Result<PrKstat> ProcHandle::Kstat() {
+  PrKstat ks;
+  SVR4_RETURN_IF_ERROR(Io(PIOCKSTAT, &ks));
+  return ks;
+}
+
+Result<PrTrace> ProcHandle::Trace() {
+  char path[64];
+  std::snprintf(path, sizeof(path), "/proc2/%05d/trace", pid_);
+  return ReadTraceFile(*kernel_, controller_, path);
+}
+
+Result<PrTrace> ReadTraceFile(Kernel& k, Proc* caller, const std::string& path) {
+  auto fd = k.Open(caller, path, O_RDONLY);
+  if (!fd.ok()) {
+    return fd.error();
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t chunk[4096];
+  for (;;) {
+    auto n = k.Read(caller, *fd, chunk, sizeof(chunk));
+    if (!n.ok()) {
+      (void)k.Close(caller, *fd);
+      return n.error();
+    }
+    if (*n == 0) {
+      break;
+    }
+    bytes.insert(bytes.end(), chunk, chunk + *n);
+  }
+  (void)k.Close(caller, *fd);
+
+  PrTrace t;
+  if (bytes.empty()) {
+    return t;  // ring never armed: an empty snapshot, by design
+  }
+  if (bytes.size() < sizeof(KtSnapHeader)) {
+    return Errno::kEIO;
+  }
+  std::memcpy(&t.hdr, bytes.data(), sizeof(KtSnapHeader));
+  if (t.hdr.kt_magic != kKtMagic || t.hdr.kt_recsize != sizeof(KtRec) ||
+      bytes.size() < sizeof(KtSnapHeader) + t.hdr.kt_nrec * sizeof(KtRec)) {
+    return Errno::kEIO;
+  }
+  t.recs.resize(t.hdr.kt_nrec);
+  std::memcpy(t.recs.data(), bytes.data() + sizeof(KtSnapHeader),
+              t.recs.size() * sizeof(KtRec));
+  return t;
 }
 
 Result<void> ProcHandle::Nice(int delta) {

@@ -159,6 +159,19 @@ Result<void> Truss::Trace(Pid pid) {
     }
     SVR4_RETURN_IF_ERROR(h->Stop());
     SVR4_RETURN_IF_ERROR(Arm(*h));
+    if (opts_.counts_only) {
+      // -c: arm the metrics registry (if not already on) and take the
+      // baseline through PIOCKSTAT, so the summary table reports registry
+      // deltas over exactly the traced window.
+      if (!kernel_->ktrace().metrics_on()) {
+        kernel_->SetTracing(kernel_->ktrace().ring_on(), true);
+      }
+      auto base = h->Kstat();
+      if (base.ok()) {
+        kstat_base_ = *base;
+        kstat_valid_ = true;
+      }
+    }
     SVR4_RETURN_IF_ERROR(h->Run());
     tracees_.emplace(pid, std::move(*h));
   }
@@ -203,6 +216,9 @@ Result<void> Truss::Trace(Pid pid) {
       }
     }
   }
+  if (kstat_valid_) {
+    kstat_end_ = BuildPrKstat(*kernel_);
+  }
   return Result<void>::Ok();
 }
 
@@ -219,14 +235,54 @@ Result<void> Truss::TraceCommand(const std::string& path,
 }
 
 std::string Truss::CountsTable() const {
-  std::string out = "syscall               seen calls\n";
-  for (const auto& [num, count] : counts_) {
-    char line[64];
-    std::snprintf(line, sizeof(line), "%-20s %10llu\n",
-                  std::string(SyscallName(num)).c_str(),
-                  static_cast<unsigned long long>(count));
-    out += line;
+  if (!kstat_valid_) {
+    // Registry unavailable: truss's own event counts, as before.
+    std::string out = "syscall               seen calls\n";
+    for (const auto& [num, count] : counts_) {
+      char line[64];
+      std::snprintf(line, sizeof(line), "%-20s %10llu\n",
+                    std::string(SyscallName(num)).c_str(),
+                    static_cast<unsigned long long>(count));
+      out += line;
+    }
+    return out;
   }
+  std::string out =
+      "syscall                   calls     errors  avg(ticks)  max(ticks)\n";
+  uint64_t tcalls = 0, terrs = 0, tsum = 0;
+  for (const auto& [num, count] : counts_) {
+    (void)count;
+    if (num < 0 || num >= kPrKstatSyscalls) {
+      continue;
+    }
+    const PrKstatSys& b = kstat_base_.pr_sys[num];
+    const PrKstatSys& e = kstat_end_.pr_sys[num];
+    uint64_t calls = e.pr_calls - b.pr_calls;
+    uint64_t errors = e.pr_errors - b.pr_errors;
+    uint64_t latsum = e.pr_latsum - b.pr_latsum;
+    // The max column is a trace-lifetime watermark, not a windowed delta;
+    // report it only if this window contributed calls.
+    uint64_t latmax = calls != 0 ? e.pr_latmax : 0;
+    double avg = calls != 0 ? static_cast<double>(latsum) / static_cast<double>(calls)
+                            : 0.0;
+    char line[112];
+    std::snprintf(line, sizeof(line), "%-20s %10llu %10llu %11.1f %11llu\n",
+                  std::string(SyscallName(num)).c_str(),
+                  static_cast<unsigned long long>(calls),
+                  static_cast<unsigned long long>(errors), avg,
+                  static_cast<unsigned long long>(latmax));
+    out += line;
+    tcalls += calls;
+    terrs += errors;
+    tsum += latsum;
+  }
+  char totals[112];
+  std::snprintf(totals, sizeof(totals), "%-20s %10llu %10llu %11.1f\n", "total",
+                static_cast<unsigned long long>(tcalls),
+                static_cast<unsigned long long>(terrs),
+                tcalls != 0 ? static_cast<double>(tsum) / static_cast<double>(tcalls)
+                            : 0.0);
+  out += totals;
   return out;
 }
 

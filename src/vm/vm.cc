@@ -4,8 +4,17 @@
 #include <cstring>
 
 #include "svr4proc/kernel/faults.h"
+#include "svr4proc/kernel/ktrace.h"
 
 namespace svr4 {
+
+void AddressSpace::TlbFlush() const {
+  ++tlb_gen_;
+  ++counters_.tlb_flushes;
+  if (kt_ != nullptr) {
+    kt_->Emit(KtEvent::kTlbFlush, kt_pid_, 0, tlb_gen_, 0);
+  }
+}
 
 Result<PagePtr> AnonObject::GetPage(uint64_t page_index) {
   auto it = pages_.find(page_index);
@@ -267,10 +276,17 @@ Result<VmPage*> AddressSpace::EnsureFrame(Mapping& m, uint32_t page_index, bool 
       }
       f.page = *pg;
       f.owned = false;
+      // Anonymous shared memory zero-fills; file-backed pages pay I/O.
+      if (m.obj->IsAnon()) {
+        ++counters_.minor_faults;
+      } else {
+        ++counters_.major_faults;
+      }
     } else if (m.obj->IsAnon()) {
       // Private anonymous memory: private zero page, no object involvement.
       f.page = std::make_shared<VmPage>();
       f.owned = true;
+      ++counters_.minor_faults;
     } else {
       auto pg = m.obj->GetPage(m.obj_pgoff + page_index);
       if (!pg.ok()) {
@@ -278,6 +294,7 @@ Result<VmPage*> AddressSpace::EnsureFrame(Mapping& m, uint32_t page_index, bool 
       }
       f.page = *pg;
       f.owned = false;  // still the object's page; copy on write
+      ++counters_.major_faults;
     }
   }
   if (for_write && !shared) {
@@ -287,6 +304,10 @@ Result<VmPage*> AddressSpace::EnsureFrame(Mapping& m, uint32_t page_index, bool 
       auto copy = std::make_shared<VmPage>(*f.page);
       f.page = std::move(copy);
       f.owned = true;
+      ++counters_.minor_faults;  // resolved from an in-memory page
+      if (kt_ != nullptr) {
+        kt_->Emit(KtEvent::kCowBreak, kt_pid_, 0, m.start + page_index * kPageSize, 0);
+      }
       TlbFlush();  // cached translations may point at the replaced page
     }
   }
