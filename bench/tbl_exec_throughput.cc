@@ -11,6 +11,7 @@
 
 #include "bench_json.h"
 
+#include "svr4proc/isa/blocks.h"
 #include "svr4proc/tools/proclib.h"
 #include "svr4proc/tools/sim.h"
 
@@ -61,11 +62,16 @@ ExecSystem MakeSystem(bool tlb_on) {
 // range(1): tracing — 0 = disarmed (compiled in, gates cold: the
 // zero-cost-when-off claim), 1 = event ring armed, 2 = ring + metrics
 // registry. The trace-overhead table in EXPERIMENTS.md compares the three.
+// range(2): execution engine — 0 = interpreter pinned, 1 = predecoded-block
+// engine pinned. Armed tracing forces the interpreter regardless (hooks
+// observe every instruction), so the engine axis only moves trace=off rows.
 void BM_ExecThroughput(benchmark::State& state) {
   const bool tlb_on = state.range(0) != 0;
   const int trace_mode = static_cast<int>(state.range(1));
+  const bool blocks = state.range(2) != 0;
   auto s = MakeSystem(tlb_on);
   Kernel& k = s.sim->kernel();
+  k.SetExecEngine(blocks ? ExecEngine::kBlocks : ExecEngine::kInterp);
   k.SetTracing(/*ring=*/trace_mode >= 1, /*metrics=*/trace_mode >= 2);
   const uint64_t before = k.counters().instructions;
   for (auto _ : state) {
@@ -78,6 +84,7 @@ void BM_ExecThroughput(benchmark::State& state) {
   std::string label = tlb_on ? "tlb=on" : "tlb=off";
   label += trace_mode == 0 ? " trace=off" : trace_mode == 1 ? " trace=ring"
                                                             : " trace=ring+hist";
+  label += blocks ? " engine=blocks" : " engine=interp";
   state.SetLabel(label);
 
   Proc* p = k.FindProc(s.pid);
@@ -85,6 +92,22 @@ void BM_ExecThroughput(benchmark::State& state) {
   state.counters["tlb_hits"] = static_cast<double>(c.tlb_hits);
   state.counters["tlb_misses"] = static_cast<double>(c.tlb_misses);
   state.counters["slow_lookups"] = static_cast<double>(c.slow_lookups);
+  // Engine mode travels into the JSON both via the metric name (the third
+  // Args dimension) and as an explicit counter.
+  state.counters["engine_blocks"] = blocks ? 1 : 0;
+  if (const BlockCache* bc = p->as->blocks_if()) {
+    const BlockStats& bs = bc->stats();
+    state.counters["bb_built"] = static_cast<double>(bs.built);
+    state.counters["bb_hits"] = static_cast<double>(bs.hits);
+    state.counters["bb_misses"] = static_cast<double>(bs.misses);
+    state.counters["bb_fallbacks"] = static_cast<double>(bs.fallback_steps);
+    if (blocks && trace_mode == 0 && tlb_on && bs.hits < bs.misses) {
+      state.SkipWithError("block cache not serving the hot loop: hits "
+                          "should dwarf misses in steady state");
+    }
+  } else if (blocks && trace_mode == 0 && tlb_on) {
+    state.SkipWithError("block engine pinned but no block cache exists");
+  }
   if (tlb_on) {
     // Counter non-regression: a steady-state tight loop must run out of the
     // TLB. If hits stop dwarfing misses + slow lookups, the cache broke.
@@ -99,10 +122,11 @@ void BM_ExecThroughput(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExecThroughput)
-    ->Args({1, 0})
-    ->Args({0, 0})
-    ->Args({1, 1})
-    ->Args({1, 2});
+    ->Args({1, 0, 0})
+    ->Args({1, 0, 1})
+    ->Args({0, 0, 0})
+    ->Args({1, 1, 0})
+    ->Args({1, 2, 0});
 
 // /proc bulk read with the target's TLB knob (PrRead shares the single-
 // resolve copy loop; the knob shows the slow path alone).

@@ -86,11 +86,41 @@ loop: ldi r0, SYS_getpid
   }
 
   // --- The registry, rendered as text by the kernel ------------------------
-  char buf[512];
+  char buf[1024];
   auto fd = sim.kernel().Open(sim.controller(), "/proc2/kernel/metrics", O_RDONLY);
   auto n = sim.kernel().Read(sim.controller(), *fd, buf, sizeof(buf) - 1);
   buf[n.ok() ? *n : 0] = 0;
   std::printf("\n/proc2/kernel/metrics (first %d bytes):\n%s", static_cast<int>(*n),
               buf);
+
+  // --- Block-engine counters (PIOCVMSTATS) ---------------------------------
+  // The trace ring forces the instrumented interpreter; with tracing
+  // disarmed the predecoded-block engine runs and its cache counters show
+  // up both per-process (PIOCVMSTATS) and kernel-wide (the bb_* lines of
+  // /proc2/kernel/metrics).
+  sim.kernel().SetTracing(/*ring=*/false, /*metrics=*/false);
+  (void)sim.InstallProgram("/bin/spin", R"(
+      ldi r1, 0
+      ldi r2, 200000
+loop: addi r1, 1
+      cmp r1, r2
+      jlt loop
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+  )");
+  auto spin = sim.Start("/bin/spin");
+  auto hs = *ProcHandle::Grab(sim.kernel(), sim.controller(), *spin, O_RDWR);
+  for (int i = 0; i < 2000; ++i) {
+    sim.kernel().Step();
+  }
+  auto vs = *hs.VmStats();
+  std::printf("\nblock engine (pid %d): built=%llu hits=%llu misses=%llu "
+              "invalidations=%llu fallbacks=%llu\n",
+              *spin, static_cast<unsigned long long>(vs.pr_bb_built),
+              static_cast<unsigned long long>(vs.pr_bb_hits),
+              static_cast<unsigned long long>(vs.pr_bb_misses),
+              static_cast<unsigned long long>(vs.pr_bb_invalidations),
+              static_cast<unsigned long long>(vs.pr_bb_fallbacks));
   return 0;
 }

@@ -1,0 +1,180 @@
+// Predecoded basic-block execution engine for the virtual ISA.
+//
+// The decode-dispatch interpreter (CpuStep) pays an instruction fetch, a
+// length check, and operand extraction on every instruction. This engine
+// decodes each straight-line block once — terminated by any control
+// transfer, syscall, trapping instruction, or a length/page cap — into an
+// array of predecoded operands, and executes blocks with threaded-code
+// dispatch (computed goto where the compiler supports it, a dense jump-table
+// switch otherwise). Architectural behaviour is byte-identical to CpuStep:
+// the same faults at the same pc with the same register and flag effects.
+//
+// Validity is generation-based: a block records the owning AddressSpace's
+// code generation (AddressSpace::CodeGen()) at build time and is dropped the
+// moment the generations disagree. The generation advances on every mapping
+// or protection change, COW break, watchpoint change, TLB flush, and on any
+// store into an executable mapping — so a planted breakpoint, a /proc text
+// write, or self-modifying code can never execute out of a stale block. The
+// executor additionally re-checks the generation after every store it
+// performs, so code that patches an instruction *later in its own block*
+// observes the new bytes exactly as the interpreter would.
+//
+// The engine never runs when per-instruction observation is required: the
+// kernel falls back to the interpreter whenever hooks are armed (fault
+// injection, chaos, tracing), the trace bit is set, watchpoints are active,
+// or the software TLB is disabled.
+#ifndef SVR4PROC_ISA_BLOCKS_H_
+#define SVR4PROC_ISA_BLOCKS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "svr4proc/isa/cpu.h"
+#include "svr4proc/isa/isa.h"
+
+namespace svr4 {
+
+class AddressSpace;
+
+// Dense dispatch indices, one per defined opcode. Kept dense (unlike the
+// sparse Opcode byte space) so the dispatch table has no holes.
+enum BKind : uint8_t {
+  B_ILL,  // any undefined opcode byte; raises FLTILL at the instruction
+  B_NOP,
+  B_BPT,
+  B_RET,
+  B_HLT,
+  B_SYS,
+  B_MOV,
+  B_ADD,
+  B_SUB,
+  B_MUL,
+  B_DIV,
+  B_MOD,
+  B_AND,
+  B_OR,
+  B_XOR,
+  B_SHL,
+  B_SHR,
+  B_CMP,
+  B_ADDV,
+  B_LDI,
+  B_ADDI,
+  B_CMPI,
+  B_LDW,
+  B_STW,
+  B_LDB,
+  B_STB,
+  B_JMP,
+  B_JZ,
+  B_JNZ,
+  B_JLT,
+  B_JGE,
+  B_JGT,
+  B_JLE,
+  B_JCS,
+  B_JCC,
+  B_CALL,
+  B_PUSH,
+  B_POP,
+  B_CALLR,
+  B_JMPR,
+  B_FLDI,
+  B_FMOV,
+  B_FADD,
+  B_FSUB,
+  B_FMUL,
+  B_FDIV,
+  B_FTOI,
+  B_ITOF,
+  B_KIND_COUNT,
+};
+
+// One predecoded instruction: operands extracted, lengths resolved, no
+// byte-level work left at execution time. 16 bytes, array-of-structs.
+struct PInstr {
+  uint8_t kind = B_ILL;  // BKind dispatch index
+  uint8_t rd = 0;        // destination register / fp register
+  uint8_t rs = 0;        // source register / fp register
+  uint8_t len = 1;       // encoded length in bytes
+  uint32_t imm = 0;      // imm32, branch target, sign-extended off16,
+                         // or fimm[] index for fldi
+  uint32_t pc = 0;       // virtual address of this instruction
+};
+
+struct Block {
+  uint32_t start = 0;  // pc of the first instruction
+  uint32_t gen = 0;    // AddressSpace::CodeGen() at build time
+  std::vector<PInstr> code;
+  std::vector<double> fimm;  // fldi payloads, indexed by PInstr::imm
+};
+
+// Per-address-space engine counters, exposed through PIOCVMSTATS and
+// aggregated into /proc2/kernel/metrics.
+struct BlockStats {
+  uint64_t built = 0;          // blocks (re)decoded
+  uint64_t hits = 0;           // lookups served by a valid cached block
+  uint64_t misses = 0;         // lookups with no block cached at that pc
+  uint64_t invalidations = 0;  // cached blocks dropped on generation mismatch
+  uint64_t fallback_steps = 0; // instructions run via the interpreter while
+                               // the block engine was selected (trace bit,
+                               // watchpoints, TLB off, unfetchable pc)
+};
+
+// Predecodes the single instruction at `bytes` (which holds at least
+// InstrLength(bytes[0]) valid bytes; undefined opcodes need 1). Fills *out
+// and returns its encoded length. Shared by the block builder and the
+// decoder-consistency tests.
+int PredecodeOne(const uint8_t* bytes, uint32_t pc, PInstr* out);
+
+// True when the opcode ends a basic block: control transfers, syscalls, and
+// every instruction that can only trap (bpt/hlt/undefined).
+bool IsBlockTerminator(uint8_t opcode);
+
+// Direct-mapped block cache slots; power of two.
+inline constexpr uint32_t kBlockCacheSlots = 512;
+// Block length cap in instructions.
+inline constexpr uint32_t kMaxBlockInstrs = 64;
+
+// Per-AddressSpace cache of predecoded blocks keyed by start pc.
+class BlockCache {
+ public:
+  // Returns a valid block starting at pc, building one if necessary.
+  // Returns nullptr when pc cannot be block-cached right now (first
+  // instruction unfetchable, or its page is not a cacheable private
+  // executable mapping) — the caller must interpret that instruction.
+  const Block* Get(uint32_t pc, AddressSpace& as);
+
+  BlockStats& stats() { return stats_; }
+  const BlockStats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    bool valid = false;
+    Block blk;
+  };
+
+  bool BuildInto(Slot& s, uint32_t pc, AddressSpace& as);
+
+  std::array<Slot, kBlockCacheSlots> slots_;
+  BlockStats stats_;
+};
+
+// Result of running (a prefix of) a block.
+struct BlockRun {
+  uint32_t executed = 0;  // instructions retired
+  StepResult last;        // kOk: ran to the block end or the instruction
+                          // budget; kSyscall/kFault: the terminating event,
+                          // with regs.pc positioned exactly as CpuStep would
+};
+
+// Executes up to max_instrs instructions of the block (max_instrs >= 1).
+// The caller guarantees b is valid for as's current code generation and
+// that the trace bit is clear and watchpoints are inactive.
+BlockRun ExecuteBlock(const Block& b, Regs& regs, FpRegs& fp, AddressSpace& as,
+                      uint32_t max_instrs);
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_ISA_BLOCKS_H_

@@ -62,6 +62,18 @@ struct KernelCounters {
   uint64_t instructions = 0;  // virtual-ISA instructions retired
   uint64_t timer_events = 0;  // alarms fired + timed sleeps woken
   uint64_t reaps = 0;         // zombies reaped into init off the reap list
+  uint64_t quanta_interp = 0;  // quanta run by the interpreter (incl. hooked)
+  uint64_t quanta_blocks = 0;  // quanta run by the block engine
+};
+
+// Which execution engine runs un-hooked quanta. Hooked quanta (fault
+// injection, chaos, trace ring armed) always take the instrumented
+// interpreter regardless of this setting, so observation hooks never miss an
+// instruction.
+enum class ExecEngine {
+  kAuto,    // block engine whenever hooks are off (the default)
+  kInterp,  // force the decode-dispatch interpreter
+  kBlocks,  // force the predecoded-block engine (still interp when hooked)
 };
 
 // ptrace(2) requests (the SVR4 set; no attach — controlling unrelated
@@ -184,6 +196,16 @@ class Kernel {
     kt_.EnableMetrics(metrics);
   }
 
+  // --- Execution engine (isa/blocks.h) --------------------------------------
+  // Engine selection for un-hooked quanta. The constructor honors the
+  // SVR4PROC_EXEC_ENGINE environment variable ("interp" or "blocks") so
+  // tests, benches, and CI sweeps can pin an engine without code changes.
+  void SetExecEngine(ExecEngine e) { exec_engine_ = e; }
+  ExecEngine exec_engine() const { return exec_engine_; }
+  // Block-cache counters aggregated over all live address spaces, rendered
+  // in /proc2/kernel/metrics format (one "name value" line each).
+  std::string ExecEngineMetricsText() const;
+
   // --- Simulation control ----------------------------------------------------
   // Executes one scheduling quantum. Returns false when nothing can run
   // (no runnable lwps and no timed sleepers).
@@ -236,6 +258,11 @@ class Kernel {
   // fault-injection and chaos-preemption checks compiled in.
   template <bool kHooks>
   void ExecuteLwpImpl(Lwp* lwp, int budget);
+  // The block-engine quantum loop: identical event/budget structure to
+  // ExecuteLwpImpl<false>, but straight-line runs execute from the
+  // predecoded block cache. Falls back to single CpuStep calls whenever a
+  // block cannot be used (trace bit, watchpoints, TLB off, uncacheable pc).
+  void ExecuteLwpBlocks(Lwp* lwp, int budget);
 
   // O(1)-amortized timer bookkeeping: every timed sleep and alarm pushes a
   // TimerEvent; entries are validated lazily against current process/lwp
@@ -359,6 +386,9 @@ class Kernel {
   std::priority_queue<TimerEvent, std::vector<TimerEvent>, std::greater<TimerEvent>> timerq_;
   std::vector<Pid> reap_list_;
   KernelCounters counters_;
+
+  // Execution-engine selection (see SetExecEngine).
+  ExecEngine exec_engine_ = ExecEngine::kAuto;
 
   // Fault injection and chaos scheduling; both off by default.
   std::unique_ptr<FaultInjector> finj_;

@@ -167,6 +167,13 @@ struct PrVmStats {
   uint64_t pr_slow_lookups = 0;
   uint64_t pr_tlb_flushes = 0;
   uint64_t pr_instructions = 0;  // kernel-wide instructions retired
+  // Predecoded-block engine counters for this process's address space
+  // (all zero while the block engine has never touched it).
+  uint64_t pr_bb_built = 0;
+  uint64_t pr_bb_hits = 0;
+  uint64_t pr_bb_misses = 0;
+  uint64_t pr_bb_invalidations = 0;
+  uint64_t pr_bb_fallbacks = 0;
 };
 
 // Snapshot of the per-process control audit ring (PIOCAUDIT and the

@@ -31,6 +31,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <optional>
@@ -45,6 +46,7 @@ namespace svr4 {
 
 class FaultInjector;  // kernel/faults.h; optional, null in normal operation
 class KTrace;         // kernel/ktrace.h; optional, disarmed in normal operation
+class BlockCache;     // isa/blocks.h; predecoded-block cache, lazily created
 
 inline constexpr uint32_t kPageSize = 4096;
 inline constexpr uint32_t kPageShift = 12;
@@ -148,7 +150,8 @@ inline constexpr uint32_t kTlbEntries = 64;
 
 class AddressSpace : public MemoryIf {
  public:
-  AddressSpace() = default;
+  AddressSpace();
+  ~AddressSpace() override;
 
   // Establishes a mapping of [start, start + len) onto obj at obj_offset
   // (all page aligned). Replaces any overlapping mappings (like mmap with
@@ -178,6 +181,61 @@ class AddressSpace : public MemoryIf {
   bool TlbEnabled() const { return tlb_enabled_; }
   const VmCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = VmCounters{}; }
+
+  // --- Predecoded-block engine support (isa/blocks.h) ----------------------
+  // Code generation: advances on every TLB flush (mapping/protection/frame/
+  // watchpoint change, COW break, clone) and on every store into an
+  // executable mapping, through any path (CPU store, /proc write, copyout).
+  // Predecoded blocks are valid only while their recorded generation
+  // matches, so stale code can never execute.
+  uint32_t CodeGen() const { return code_gen_; }
+  // Whether block caching may be used at all right now: watchpoints force
+  // byte-granular access checks and the TLB knob doubles as the master
+  // switch for all translation/decode caching.
+  bool CodeCacheActive() const { return tlb_enabled_ && !watch_active_; }
+  // Mapping MA_* flags covering addr, or 0 if unmapped (block-builder gate:
+  // only private executable pages are cacheable).
+  uint32_t FlagsAt(uint32_t addr) const;
+  // The per-AS block cache, created on first use. Never cloned: a forked
+  // child re-decodes against its own generation.
+  BlockCache& blocks();
+  BlockCache* blocks_if() const { return bcache_.get(); }
+
+  // Inline single-page TLB fast paths for the block executor. Return false
+  // to route the access through the full MemRead/MemWrite path (miss,
+  // permission failure, page crossing). Callers guarantee watchpoints are
+  // inactive (the block engine never runs with watches armed).
+  bool TlbLoad(uint32_t addr, void* out, uint32_t len) {
+    if (((addr & (kPageSize - 1)) + len) > kPageSize) {
+      return false;
+    }
+    uint32_t vpn = addr >> kPageShift;
+    TlbEntry& e = tlb_[vpn & (kTlbEntries - 1)];
+    if (e.gen != tlb_gen_ || e.vpn != vpn || (e.flags & MA_READ) == 0) {
+      return false;
+    }
+    ++counters_.tlb_hits;
+    CopySmallN(out, e.page->bytes.data() + (addr & (kPageSize - 1)), len);
+    e.frame->pg |= PG_REFERENCED;
+    return true;
+  }
+  bool TlbStore(uint32_t addr, const void* src, uint32_t len) {
+    if (((addr & (kPageSize - 1)) + len) > kPageSize) {
+      return false;
+    }
+    uint32_t vpn = addr >> kPageShift;
+    TlbEntry& e = tlb_[vpn & (kTlbEntries - 1)];
+    if (e.gen != tlb_gen_ || e.vpn != vpn || !e.write_ok) {
+      return false;
+    }
+    ++counters_.tlb_hits;
+    if (e.flags & MA_EXEC) {
+      ++code_gen_;  // a store into executable memory invalidates blocks
+    }
+    CopySmallN(e.page->bytes.data() + (addr & (kPageSize - 1)), src, len);
+    e.frame->pg |= PG_REFERENCED | PG_MODIFIED;
+    return true;
+  }
 
   // Forced whole-TLB invalidation (fault injection: a flush must only cost
   // misses, never serve stale translations).
@@ -227,6 +285,28 @@ class AddressSpace : public MemoryIf {
   std::vector<PageDataSeg> SamplePageData(bool clear);
 
  private:
+  // Fixed-size copies compile to single load/store pairs on the sizes the
+  // CPU paths actually use; shared by the inline TLB fast paths above.
+  static void CopySmallN(void* dst, const void* src, uint32_t n) {
+    switch (n) {
+      case 1:
+        std::memcpy(dst, src, 1);
+        break;
+      case 2:
+        std::memcpy(dst, src, 2);
+        break;
+      case 4:
+        std::memcpy(dst, src, 4);
+        break;
+      case 8:
+        std::memcpy(dst, src, 8);
+        break;
+      default:
+        std::memcpy(dst, src, n);
+        break;
+    }
+  }
+
   struct Frame {
     PagePtr page;
     bool owned = false;  // private copy already made (writes go in place)
@@ -289,6 +369,12 @@ class AddressSpace : public MemoryIf {
   // source's write-in-place entries when frames become COW-shared.
   mutable std::array<TlbEntry, kTlbEntries> tlb_{};
   mutable uint32_t tlb_gen_ = 1;
+  // Block-validity generation (see CodeGen()). Mutable for the same reason
+  // as the TLB state: Clone() is const but must invalidate the source.
+  mutable uint32_t code_gen_ = 1;
+  // Predecoded-block cache, created on first use by the block engine; never
+  // copied on Clone().
+  std::unique_ptr<BlockCache> bcache_;
   bool tlb_enabled_ = true;
   mutable VmCounters counters_;
   FaultInjector* finj_ = nullptr;

@@ -4,10 +4,15 @@
 #include "svr4proc/kernel/kernel.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <set>
+#include <sstream>
 
 #include "svr4proc/fs/memfs.h"
+#include "svr4proc/isa/blocks.h"
 #include "svr4proc/isa/cpu.h"
+#include "svr4proc/vm/vm.h"
 
 namespace svr4 {
 namespace {
@@ -61,6 +66,15 @@ Kernel::Kernel() {
   init_ = init;
   Proc* pageout = AllocProc("pageout", Creds::Root(), sched);
   pageout->system_proc = true;
+
+  // Engine pin for tests/benches/CI sweeps; unset or unrecognized = auto.
+  if (const char* e = std::getenv("SVR4PROC_EXEC_ENGINE")) {
+    if (std::strcmp(e, "interp") == 0) {
+      exec_engine_ = ExecEngine::kInterp;
+    } else if (std::strcmp(e, "blocks") == 0) {
+      exec_engine_ = ExecEngine::kBlocks;
+    }
+  }
 }
 
 Kernel::~Kernel() = default;
@@ -611,9 +625,18 @@ void Kernel::ExecuteLwp(Lwp* lwp, int budget) {
   // at all (events are emitted from the cold syscall/stop/fault functions
   // behind single-branch armed checks, never per instruction).
   if (finj_ != nullptr || chaos_ || kt_.armed()) {
+    ++counters_.quanta_interp;
     ExecuteLwpImpl<true>(lwp, budget);
-  } else {
+    return;
+  }
+  // Un-hooked: the block engine is the default; kInterp pins the classic
+  // interpreter (differential testing, benchmarking the baseline).
+  if (exec_engine_ == ExecEngine::kInterp) {
+    ++counters_.quanta_interp;
     ExecuteLwpImpl<false>(lwp, budget);
+  } else {
+    ++counters_.quanta_blocks;
+    ExecuteLwpBlocks(lwp, budget);
   }
 }
 
@@ -687,6 +710,116 @@ void Kernel::ExecuteLwpImpl(Lwp* lwp, int budget) {
       check_events = true;
     }
   }
+}
+
+void Kernel::ExecuteLwpBlocks(Lwp* lwp, int budget) {
+  // This loop is the un-hooked interpreter quantum (ExecuteLwpImpl<false>)
+  // with the single CpuStep replaced by a block-cache run. Everything
+  // observable — ticks, utime/stime, instruction counts, the order of
+  // event checks relative to executed instructions, fault/syscall pcs —
+  // must stay byte-identical between the two; change them in lockstep.
+  Proc* p = lwp->proc;
+  bool check_events = true;
+  while (budget-- > 0 && lwp->state == LwpState::kRunning &&
+         p->state == Proc::State::kActive) {
+    if (lwp->in_syscall) {
+      ++ticks_;
+      ++p->stime;
+      ContinueSyscall(lwp);
+      check_events = true;
+      continue;
+    }
+    if (check_events) {
+      if (lwp->lwp_dstop) {
+        lwp->lwp_dstop = false;
+        StopLwp(lwp, PR_REQUESTED, 0, /*istop=*/true);
+        break;
+      }
+      if (NeedIssig(lwp)) {
+        if (Issig(lwp)) {
+          Psig(lwp);
+        }
+        if (lwp->state != LwpState::kRunning || p->state != Proc::State::kActive) {
+          break;
+        }
+        continue;
+      }
+      check_events = false;
+    }
+    AddressSpace& as = *p->as;
+    const Block* blk = nullptr;
+    if ((lwp->regs.psr & kPsrT) == 0 && as.CodeCacheActive()) {
+      blk = as.blocks().Get(lwp->regs.pc, as);
+    }
+    if (blk == nullptr) {
+      // Single-step fallback: trace bit set, watchpoints active, TLB off,
+      // or the pc is not block-cacheable (unmapped, shared text, ...). The
+      // interpreter produces the authoritative result for this instruction.
+      ++as.blocks().stats().fallback_steps;
+      StepResult r = CpuStep(lwp->regs, lwp->fpregs, as);
+      ++ticks_;
+      ++p->utime;
+      ++counters_.instructions;
+      if (r.kind == StepResult::kSyscall) {
+        SyscallTrap(lwp);
+        check_events = true;
+      } else if (r.kind == StepResult::kFault) {
+        HandleFault(lwp, r.fault, r.fault_addr);
+        check_events = true;
+      }
+      continue;
+    }
+    // The loop condition already charged one budget unit for this
+    // iteration, so the block may retire 1 + budget instructions; charge
+    // the surplus afterwards. Exactly the accounting the per-instruction
+    // loop would produce for the same run.
+    BlockRun run =
+        ExecuteBlock(*blk, lwp->regs, lwp->fpregs, as,
+                     static_cast<uint32_t>(budget) + 1);
+    budget -= static_cast<int>(run.executed) - 1;
+    ticks_ += run.executed;
+    p->utime += run.executed;
+    counters_.instructions += run.executed;
+    if (run.last.kind == StepResult::kSyscall) {
+      SyscallTrap(lwp);
+      check_events = true;
+    } else if (run.last.kind == StepResult::kFault) {
+      HandleFault(lwp, run.last.fault, run.last.fault_addr);
+      check_events = true;
+    }
+  }
+}
+
+std::string Kernel::ExecEngineMetricsText() const {
+  BlockStats total;
+  std::set<const AddressSpace*> seen;
+  for (const auto& [pid, p] : procs_) {
+    if (!p->as || !seen.insert(p->as.get()).second) {
+      continue;
+    }
+    if (const BlockCache* bc = p->as->blocks_if()) {
+      const BlockStats& s = bc->stats();
+      total.built += s.built;
+      total.hits += s.hits;
+      total.misses += s.misses;
+      total.invalidations += s.invalidations;
+      total.fallback_steps += s.fallback_steps;
+    }
+  }
+  std::ostringstream os;
+  os << "exec_engine "
+     << (exec_engine_ == ExecEngine::kInterp
+             ? "interp"
+             : exec_engine_ == ExecEngine::kBlocks ? "blocks" : "auto")
+     << "\n";
+  os << "exec_quanta_interp " << counters_.quanta_interp << "\n";
+  os << "exec_quanta_blocks " << counters_.quanta_blocks << "\n";
+  os << "bb_built " << total.built << "\n";
+  os << "bb_hits " << total.hits << "\n";
+  os << "bb_misses " << total.misses << "\n";
+  os << "bb_invalidations " << total.invalidations << "\n";
+  os << "bb_fallback_steps " << total.fallback_steps << "\n";
+  return os.str();
 }
 
 void Kernel::Wakeup(const void* chan) {

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "svr4proc/isa/blocks.h"
 #include "svr4proc/procfs/procfs.h"
 
 namespace svr4 {
@@ -371,6 +372,14 @@ Result<int32_t> OpVmStats(CtlCtx& c, void* arg) {
   out->pr_slow_lookups = vc.slow_lookups;
   out->pr_tlb_flushes = vc.tlb_flushes;
   out->pr_instructions = c.k->counters().instructions;
+  if (const BlockCache* bc = c.p->as->blocks_if()) {
+    const BlockStats& bs = bc->stats();
+    out->pr_bb_built = bs.built;
+    out->pr_bb_hits = bs.hits;
+    out->pr_bb_misses = bs.misses;
+    out->pr_bb_invalidations = bs.invalidations;
+    out->pr_bb_fallbacks = bs.fallback_steps;
+  }
   return 0;
 }
 

@@ -583,7 +583,8 @@ class Pr2KmetricsVnode : public Vnode {
 
  private:
   std::string Render() const {
-    return kernel_->ktrace().MetricsText(kernel_->fault_injector());
+    return kernel_->ktrace().MetricsText(kernel_->fault_injector()) +
+           kernel_->ExecEngineMetricsText();
   }
 
   Kernel* kernel_;

@@ -3,13 +3,33 @@
 #include <algorithm>
 #include <cstring>
 
+#include "svr4proc/isa/blocks.h"
 #include "svr4proc/kernel/faults.h"
 #include "svr4proc/kernel/ktrace.h"
 
 namespace svr4 {
 
+// Out of line so the header can hold BlockCache by unique_ptr without
+// seeing its definition.
+AddressSpace::AddressSpace() = default;
+AddressSpace::~AddressSpace() = default;
+
+BlockCache& AddressSpace::blocks() {
+  if (!bcache_) {
+    bcache_ = std::make_unique<BlockCache>();
+  }
+  return *bcache_;
+}
+
+uint32_t AddressSpace::FlagsAt(uint32_t addr) const {
+  const Mapping* m = FindMapping(addr);
+  return m != nullptr ? m->flags : 0;
+}
+
 void AddressSpace::TlbFlush() const {
   ++tlb_gen_;
+  ++code_gen_;  // anything that can move frames or change mappings also
+                // invalidates predecoded blocks
   ++counters_.tlb_flushes;
   if (kt_ != nullptr) {
     kt_->Emit(KtEvent::kTlbFlush, kt_pid_, 0, tlb_gen_, 0);
@@ -356,6 +376,9 @@ std::optional<MemFault> AddressSpace::AccessCommon(uint32_t addr, void* rbuf, co
     if ((m->flags & need) == 0) {
       return MemFault{FLTACCESS, a};
     }
+    if (kind == Access::kWrite && (m->flags & MA_EXEC) != 0) {
+      ++code_gen_;  // self-modifying code: drop predecoded blocks
+    }
     // Copy page-at-a-time within this mapping without re-resolving it.
     uint32_t m_end = m->end();
     while (done < len) {
@@ -457,6 +480,9 @@ std::optional<MemFault> AddressSpace::MemWrite(uint32_t addr, const void* buf, u
     TlbEntry& e = tlb_[vpn & (kTlbEntries - 1)];
     if (e.gen == tlb_gen_ && e.vpn == vpn && e.write_ok) {
       ++counters_.tlb_hits;
+      if (e.flags & MA_EXEC) {
+        ++code_gen_;  // store into executable memory: drop predecoded blocks
+      }
       CopySmall(e.page->bytes.data() + (addr & (kPageSize - 1)), buf, len);
       e.frame->pg |= PG_REFERENCED | PG_MODIFIED;
       return std::nullopt;
@@ -579,6 +605,12 @@ Result<int64_t> AddressSpace::PrWrite(uint32_t addr, std::span<const uint8_t> bu
       break;  // writes are truncated at the boundary too
     }
     ++counters_.slow_lookups;
+    if (m->flags & MA_EXEC) {
+      // A controller writing text (planting a breakpoint, patching code)
+      // must invalidate predecoded blocks even when the COW copy was
+      // already private and no TLB flush happens.
+      ++code_gen_;
+    }
     while (done < buf.size()) {
       a = addr + static_cast<uint32_t>(done);
       if (a >= m->end() || a < m->start) {

@@ -1,0 +1,430 @@
+// The predecoded basic-block execution engine: decoder consistency with the
+// interpreter's tables, differential engine equivalence, and the
+// generation-based invalidation edges (self-modifying code, breakpoint
+// plants, watchpoints, the trace bit, exec). Architectural behaviour must be
+// byte-identical to the interpreter in every one of these.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "svr4proc/isa/blocks.h"
+#include "svr4proc/isa/disasm.h"
+#include "svr4proc/tools/proclib.h"
+#include "svr4proc/tools/sim.h"
+
+namespace svr4 {
+namespace {
+
+constexpr char kCounter[] = R"(
+loop: ldi r4, var
+      ldw r5, [r4]
+      addi r5, 1
+      stw r5, [r4]
+      jmp loop
+      .data
+var:  .word 0
+)";
+
+struct Target {
+  Pid pid;
+  Aout image;
+};
+
+Target StartProgram(Sim& sim, const std::string& src,
+                    const std::string& path = "/bin/prog") {
+  auto img = sim.InstallProgram(path, src);
+  EXPECT_TRUE(img.ok()) << "assembly failed";
+  auto pid = sim.Start(path);
+  EXPECT_TRUE(pid.ok());
+  return Target{pid.ok() ? *pid : -1, img.ok() ? *img : Aout{}};
+}
+
+ProcHandle Grab(Sim& sim, Pid pid, int oflags = O_RDWR) {
+  auto h = ProcHandle::Grab(sim.kernel(), sim.controller(), pid, oflags);
+  EXPECT_TRUE(h.ok()) << "grab failed: " << ErrnoName(h.error());
+  return std::move(*h);
+}
+
+// ---------------------------------------------------------------------------
+// Decoder consistency: InstrLength, the disassembler, and the predecoder
+// must agree on the length of every defined opcode and reject undefined
+// bytes identically — otherwise the block engine drifts from CpuStep.
+// ---------------------------------------------------------------------------
+
+TEST(BlockDecoder, AgreesWithInstrLengthAndDisassemblerOnAllOpcodes) {
+  for (int op = 0; op < 256; ++op) {
+    uint8_t buf[kFetchWindowBytes] = {};
+    buf[0] = static_cast<uint8_t>(op);
+    const int len = InstrLength(buf[0]);
+    auto d = DisassembleOne(std::span<const uint8_t>(buf, sizeof(buf)));
+    PInstr pi;
+    const int plen = PredecodeOne(buf, 0x1000, &pi);
+
+    if (len == 0) {
+      EXPECT_EQ(d.length, 1) << "opcode " << op;
+      EXPECT_NE(d.mnemonic.find("illegal"), std::string::npos) << "opcode " << op;
+      EXPECT_EQ(pi.kind, B_ILL) << "opcode " << op;
+      EXPECT_EQ(plen, 1) << "opcode " << op;
+      EXPECT_TRUE(IsBlockTerminator(buf[0]))
+          << "undefined opcode " << op << " must end a block (it traps)";
+    } else {
+      EXPECT_EQ(d.length, len) << "opcode " << op;
+      EXPECT_EQ(plen, len) << "opcode " << op;
+      EXPECT_EQ(static_cast<int>(pi.len), len) << "opcode " << op;
+      EXPECT_NE(pi.kind, B_ILL) << "defined opcode " << op;
+      EXPECT_EQ(pi.pc, 0x1000u) << "opcode " << op;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential equivalence: the same program must produce the same exit
+// status, the same virtual time, and the same instruction count under both
+// engines — not just the same answer, the same execution.
+// ---------------------------------------------------------------------------
+
+// Arithmetic, flags, loads/stores, call/ret through a register, push/pop,
+// floating point, and syscalls, iterated enough to make any divergence in
+// budget accounting or flag semantics visible in the totals.
+constexpr char kMixed[] = R"(
+      ldi r8, 0           ; checksum
+      ldi r9, 40          ; outer counter
+outer:
+      ldi r4, var
+      ldw r5, [r4]
+      addi r5, 3
+      stw r5, [r4]
+      add r8, r5
+      ldi r5, fn
+      callr r5
+      push r8
+      pop r10
+      xor r8, r10         ; zero (flags exercise)
+      mov r8, r10
+      itof f1, r8
+      fldi f0, 2.5
+      fadd f0, f1
+      ftoi r7, f0
+      xor r8, r7
+      ldi r0, SYS_getpid
+      sys
+      ldi r5, 1
+      sub r9, r5
+      cmpi r9, 0
+      jnz outer
+      ldi r5, 255
+      and r8, r5
+      mov r1, r8
+      ldi r0, SYS_exit
+      sys
+fn:   ldi r6, 17
+      mul r6, r8
+      xor r8, r6
+      ret
+      .data
+var:  .word 0
+)";
+
+struct RunTotals {
+  int status = 0;
+  uint64_t ticks = 0;
+  uint64_t instructions = 0;
+};
+
+RunTotals RunUnder(ExecEngine engine, const std::string& src) {
+  Sim sim;
+  sim.kernel().SetExecEngine(engine);
+  auto img = sim.InstallProgram("/bin/prog", src);
+  EXPECT_TRUE(img.ok());
+  auto pid = sim.Start("/bin/prog");
+  EXPECT_TRUE(pid.ok());
+  auto st = sim.kernel().RunToExit(*pid);
+  EXPECT_TRUE(st.ok());
+  return RunTotals{st.ok() ? *st : -1, sim.kernel().Ticks(),
+                   sim.kernel().counters().instructions};
+}
+
+TEST(BlockEngine, DifferentialLockstepWithInterpreter) {
+  RunTotals interp = RunUnder(ExecEngine::kInterp, kMixed);
+  RunTotals blocks = RunUnder(ExecEngine::kBlocks, kMixed);
+  EXPECT_EQ(interp.status, blocks.status);
+  EXPECT_EQ(interp.ticks, blocks.ticks)
+      << "engines diverged in virtual time: budget accounting differs";
+  EXPECT_EQ(interp.instructions, blocks.instructions);
+  EXPECT_TRUE(WIfExited(interp.status));
+}
+
+TEST(BlockEngine, ExactResultUnderBlocks) {
+  // Not just engine-vs-engine: pin one known answer so both being wrong
+  // can't pass. 300 iterations of +1 -> exit code 300 & 0xff = 44.
+  constexpr char kToN[] = R"(
+      ldi r5, 0
+loop: addi r5, 1
+      cmpi r5, 300
+      jlt loop
+      mov r1, r5
+      ldi r0, SYS_exit
+      sys
+  )";
+  RunTotals blocks = RunUnder(ExecEngine::kBlocks, kToN);
+  ASSERT_TRUE(WIfExited(blocks.status));
+  EXPECT_EQ(WExitCode(blocks.status), 300 & 0xFF);
+  RunTotals interp = RunUnder(ExecEngine::kInterp, kToN);
+  EXPECT_EQ(interp.status, blocks.status);
+  EXPECT_EQ(interp.ticks, blocks.ticks);
+}
+
+// ---------------------------------------------------------------------------
+// Invalidation edges.
+// ---------------------------------------------------------------------------
+
+TEST(BlockInvalidate, SelfModifyingCodeInOwnBlock) {
+  // The program makes its text writable, then a single straight-line block
+  // patches the immediate of an instruction later in that very block. The
+  // executor's post-store generation check must abandon the predecoded
+  // copy, so the patched byte (42) is what executes — on both engines.
+  constexpr char kSelfMod[] = R"(
+      ldi r0, SYS_mprotect
+      ldi r1, tgt
+      ldi r2, 0xFFFFF000
+      and r1, r2
+      ldi r2, 4096
+      ldi r3, 7           ; READ|WRITE|EXEC
+      sys
+      ldi r4, tgt+2       ; low byte of the ldi immediate below
+      ldi r5, 42
+      stb r5, [r4]
+tgt:  ldi r6, 0           ; becomes ldi r6, 42 before it executes
+      mov r1, r6
+      ldi r0, SYS_exit
+      sys
+  )";
+  RunTotals blocks = RunUnder(ExecEngine::kBlocks, kSelfMod);
+  ASSERT_TRUE(WIfExited(blocks.status));
+  EXPECT_EQ(WExitCode(blocks.status), 42)
+      << "a stale predecoded block executed the pre-patch immediate";
+  RunTotals interp = RunUnder(ExecEngine::kInterp, kSelfMod);
+  EXPECT_EQ(interp.status, blocks.status);
+  EXPECT_EQ(interp.ticks, blocks.ticks);
+}
+
+TEST(BlockInvalidate, BreakpointPlantedMidBlockFires) {
+  Sim sim;
+  sim.kernel().SetExecEngine(ExecEngine::kBlocks);
+  auto t = StartProgram(sim, kCounter);
+  auto h = Grab(sim, t.pid);
+  uint32_t loop = *t.image.SymbolValue("loop");
+
+  // Let the loop get hot so its block is cached.
+  for (int i = 0; i < 200; ++i) {
+    sim.kernel().Step();
+  }
+  ASSERT_TRUE(h.Stop().ok());
+  FltSet faults;
+  faults.Add(FLTBPT);
+  ASSERT_TRUE(h.SetFltTrace(faults).ok());
+
+  // Plant mid-block: the stw is the 4th instruction of the loop body.
+  // ldi(6) + ldw(4) + addi(6) = byte offset 16.
+  uint32_t mid = loop + 16;
+  uint8_t orig;
+  ASSERT_TRUE(h.ReadMem(mid, &orig, 1).ok());
+  uint8_t bpt = kBreakpointByte;
+  ASSERT_TRUE(h.WriteMem(mid, &bpt, 1).ok());
+  ASSERT_TRUE(h.Run().ok());
+  ASSERT_TRUE(h.WaitStop().ok());
+  auto st = h.Status();
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->pr_why, PR_FAULTED);
+  EXPECT_EQ(st->pr_what, FLTBPT);
+  EXPECT_EQ(st->pr_reg.pc, mid) << "pc must rest on the breakpoint itself";
+
+  // Second plant into the SAME page: the COW copy is already private, so
+  // this /proc write happens in place with no TLB flush — the separate code
+  // generation must still drop the cached block.
+  ASSERT_TRUE(h.WriteMem(mid, &orig, 1).ok());  // heal the first one
+  uint32_t mid2 = loop + 6;  // the ldw
+  ASSERT_TRUE(h.ReadMem(mid2, &orig, 1).ok());
+  ASSERT_TRUE(h.WriteMem(mid2, &bpt, 1).ok());
+  ASSERT_TRUE(h.RunClearFault().ok());
+  ASSERT_TRUE(h.WaitStop().ok());
+  st = h.Status();
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->pr_what, FLTBPT);
+  EXPECT_EQ(st->pr_reg.pc, mid2)
+      << "a breakpoint planted without a TLB flush must still invalidate";
+}
+
+TEST(BlockInvalidate, WatchpointArmedMidRunFires) {
+  Sim sim;
+  sim.kernel().SetExecEngine(ExecEngine::kBlocks);
+  auto t = StartProgram(sim, kCounter);
+  auto h = Grab(sim, t.pid);
+  uint32_t var = *t.image.SymbolValue("var");
+
+  for (int i = 0; i < 200; ++i) {
+    sim.kernel().Step();
+  }
+  ASSERT_TRUE(h.Stop().ok());
+  FltSet faults;
+  faults.Add(FLTWATCH);
+  ASSERT_TRUE(h.SetFltTrace(faults).ok());
+  PrWatch w;
+  w.pr_vaddr = var;
+  w.pr_size = 4;
+  w.pr_wflags = WA_WRITE;
+  ASSERT_TRUE(h.SetWatch(w).ok());
+  ASSERT_TRUE(h.Run().ok());
+  ASSERT_TRUE(h.WaitStop().ok());
+  auto st = h.Status();
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->pr_why, PR_FAULTED);
+  EXPECT_EQ(st->pr_what, FLTWATCH)
+      << "the hot cached block must not outrun a freshly armed watchpoint";
+}
+
+TEST(BlockInvalidate, TraceBitStepsExactlyOneInstruction) {
+  Sim sim;
+  sim.kernel().SetExecEngine(ExecEngine::kBlocks);
+  auto t = StartProgram(sim, kCounter);
+  auto h = Grab(sim, t.pid);
+
+  for (int i = 0; i < 200; ++i) {
+    sim.kernel().Step();
+  }
+  ASSERT_TRUE(h.Stop().ok());
+  FltSet faults;
+  faults.Add(FLTTRACE);
+  ASSERT_TRUE(h.SetFltTrace(faults).ok());
+  auto before = h.Status();
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(h.Step().ok());
+  ASSERT_TRUE(h.WaitStop().ok());
+  auto after = h.Status();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->pr_why, PR_FAULTED);
+  EXPECT_EQ(after->pr_what, FLTTRACE);
+  EXPECT_EQ(after->pr_utime, before->pr_utime + 1)
+      << "PRSTEP with a hot block cached must retire exactly one instruction";
+  EXPECT_NE(after->pr_reg.pc, before->pr_reg.pc);
+}
+
+TEST(BlockInvalidate, ExecReplacesAddressSpaceAndBlocks) {
+  Sim sim;
+  sim.kernel().SetExecEngine(ExecEngine::kBlocks);
+  auto img = sim.InstallProgram("/bin/second", R"(
+      ldi r5, 0
+loop: addi r5, 1
+      cmpi r5, 50
+      jlt loop
+      ldi r0, SYS_exit
+      ldi r1, 7
+      sys
+  )");
+  ASSERT_TRUE(img.ok());
+  // Run a hot loop, then exec the second image; the fresh address space
+  // starts with an empty block cache and must run the new text correctly.
+  auto t = StartProgram(sim, R"(
+      ldi r5, 0
+warm: addi r5, 1
+      cmpi r5, 2000
+      jlt warm
+      ldi r0, SYS_exec
+      ldi r1, path
+      ldi r2, 0
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 1           ; exec failed
+      sys
+      .data
+path: .asciz "/bin/second"
+  )");
+  auto st = sim.kernel().RunToExit(t.pid);
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(WIfExited(*st));
+  EXPECT_EQ(WExitCode(*st), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Engine knob and counters.
+// ---------------------------------------------------------------------------
+
+TEST(BlockEngineKnob, EnvironmentOverrideSelectsEngine) {
+  ASSERT_EQ(setenv("SVR4PROC_EXEC_ENGINE", "interp", 1), 0);
+  {
+    Kernel k;
+    EXPECT_EQ(k.exec_engine(), ExecEngine::kInterp);
+  }
+  ASSERT_EQ(setenv("SVR4PROC_EXEC_ENGINE", "blocks", 1), 0);
+  {
+    Kernel k;
+    EXPECT_EQ(k.exec_engine(), ExecEngine::kBlocks);
+  }
+  ASSERT_EQ(setenv("SVR4PROC_EXEC_ENGINE", "bogus", 1), 0);
+  {
+    Kernel k;
+    EXPECT_EQ(k.exec_engine(), ExecEngine::kAuto) << "unknown values mean auto";
+  }
+  ASSERT_EQ(unsetenv("SVR4PROC_EXEC_ENGINE"), 0);
+  {
+    Kernel k;
+    EXPECT_EQ(k.exec_engine(), ExecEngine::kAuto);
+    k.SetExecEngine(ExecEngine::kBlocks);
+    EXPECT_EQ(k.exec_engine(), ExecEngine::kBlocks);
+  }
+}
+
+TEST(BlockStatsExposure, VmStatsAndKernelMetricsCarryBlockCounters) {
+  Sim sim;
+  // Pinned (not left on auto) so this test means the same thing when the
+  // whole suite runs under SVR4PROC_EXEC_ENGINE=interp in CI.
+  sim.kernel().SetExecEngine(ExecEngine::kBlocks);
+  auto t = StartProgram(sim, kCounter);
+  auto h = Grab(sim, t.pid);
+  for (int i = 0; i < 500; ++i) {
+    sim.kernel().Step();
+  }
+  auto s = h.VmStats();
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(s->pr_bb_built, 0u);
+  EXPECT_GT(s->pr_bb_hits, 0u) << "a tight loop must run out of the block cache";
+  EXPECT_GT(s->pr_bb_hits, s->pr_bb_misses);
+
+  EXPECT_GT(sim.kernel().counters().quanta_blocks, 0u);
+  EXPECT_EQ(sim.kernel().counters().quanta_interp, 0u);
+
+  char buf[4096];
+  auto fd = sim.kernel().Open(sim.controller(), "/proc2/kernel/metrics", O_RDONLY);
+  ASSERT_TRUE(fd.ok());
+  auto n = sim.kernel().Read(sim.controller(), *fd, buf, sizeof(buf) - 1);
+  ASSERT_TRUE(n.ok());
+  buf[*n] = 0;
+  std::string text(buf);
+  EXPECT_NE(text.find("exec_engine blocks"), std::string::npos) << text;
+  EXPECT_NE(text.find("bb_hits "), std::string::npos);
+  EXPECT_NE(text.find("bb_built "), std::string::npos);
+  EXPECT_NE(text.find("exec_quanta_blocks "), std::string::npos);
+}
+
+TEST(BlockStatsExposure, FallbacksCountedWhenTlbDisabled) {
+  Sim sim;
+  sim.kernel().SetExecEngine(ExecEngine::kBlocks);
+  auto t = StartProgram(sim, kCounter);
+  Proc* p = sim.kernel().FindProc(t.pid);
+  ASSERT_NE(p, nullptr);
+  p->as->SetTlbEnabled(false);  // CodeCacheActive() false -> per-step fallback
+  for (int i = 0; i < 100; ++i) {
+    sim.kernel().Step();
+  }
+  auto h = Grab(sim, t.pid);
+  auto s = h.VmStats();
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(s->pr_bb_fallbacks, 0u);
+  EXPECT_EQ(s->pr_bb_hits, 0u) << "no blocks may serve with the TLB disabled";
+}
+
+}  // namespace
+}  // namespace svr4
