@@ -5,6 +5,8 @@
 // that assembles the same record from many small operations.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "bench_json.h"
 
 #include "svr4proc/tools/proclib.h"
@@ -79,6 +81,56 @@ void BM_PsPiecemeal(benchmark::State& state) {
   state.counters["ctl_ops_per_line"] = 6;
 }
 BENCHMARK(BM_PsPiecemeal)->Arg(8)->Arg(32)->Arg(128);
+
+// --- Scale axis: per-process snapshot cost vs population size ----------------
+// Populations are built from native processes (host-driven, no address
+// space): what the scale axis measures is table and snapshot machinery, not
+// simulated execution. items_per_second is the per-line rate — flat across
+// the axis when lookup, readdir, and snapshot are all O(1) per process.
+
+std::unique_ptr<Sim> MakePopulation(int nprocs) {
+  auto sim = std::make_unique<Sim>();
+  for (int i = 0; i < nprocs; ++i) {
+    (void)sim->kernel().CreateNativeProc(Creds::Root(), "worker");
+  }
+  return sim;
+}
+
+void ScaleArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(1'000)->Arg(10'000)->Arg(100'000);
+  // The 10^6 point takes minutes on the per-pid path; opt in explicitly.
+  if (std::getenv("SVR4PROC_BENCH_HUGE") != nullptr) {
+    b->Arg(1'000'000);
+  }
+  b->Unit(benchmark::kMillisecond);
+}
+
+// The paper's ps loop at scale: chunked readdir, then one open + PIOCPSINFO
+// + close per process.
+void BM_PsOneOpPerProcessScale(benchmark::State& state) {
+  auto sim = MakePopulation(static_cast<int>(state.range(0)));
+  uint64_t lines = 0;
+  for (auto _ : state) {
+    auto snap = PsSnapshot(sim->kernel(), sim->controller());
+    lines += snap->size();
+    benchmark::DoNotOptimize(snap->size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(lines));
+}
+BENCHMARK(BM_PsOneOpPerProcessScale)->Apply(ScaleArgs);
+
+// The bulk path: one PIOCPSALL returns the whole population.
+void BM_PsBulkSnapshot(benchmark::State& state) {
+  auto sim = MakePopulation(static_cast<int>(state.range(0)));
+  uint64_t lines = 0;
+  for (auto _ : state) {
+    auto snap = PsSnapshotAll(sim->kernel(), sim->controller());
+    lines += snap->size();
+    benchmark::DoNotOptimize(snap->size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(lines));
+}
+BENCHMARK(BM_PsBulkSnapshot)->Apply(ScaleArgs);
 
 }  // namespace
 

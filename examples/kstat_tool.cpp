@@ -93,6 +93,21 @@ loop: ldi r0, SYS_getpid
   std::printf("\n/proc2/kernel/metrics (first %d bytes):\n%s", static_cast<int>(*n),
               buf);
 
+  // --- Bulk population snapshot (PIOCPSALL) --------------------------------
+  // One operation returns psinfo for every process in the system; at large
+  // populations this replaces the open/PIOCPSINFO/close loop ps(1) runs.
+  auto all = *h.PsinfoAll();
+  int active = 0, zombies = 0;
+  for (const PrPsinfo& ps : all) {
+    if (ps.pr_state == 'Z') {
+      ++zombies;
+    } else {
+      ++active;
+    }
+  }
+  std::printf("\npopulation (PIOCPSALL): %zu processes, %d active, %d zombie\n",
+              all.size(), active, zombies);
+
   // --- Block-engine counters (PIOCVMSTATS) ---------------------------------
   // The trace ring forces the instrumented interpreter; with tracing
   // disarmed the predecoded-block engine runs and its cache counters show

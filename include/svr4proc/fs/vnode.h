@@ -84,6 +84,11 @@ struct OpenFile {
   // set-id program, outstanding descriptors go invalid (see paper,
   // "Integrity and Security"). 0 means not subject to invalidation.
   uint64_t pr_gen = 0;
+  // Birth identity (Proc::ident) of the process this /proc descriptor named
+  // at open time. After pid wraparound the same pid can name a different
+  // process; a mismatch here means the descriptor's process is simply gone
+  // (ENOENT), and its close must not touch the new process's ledger.
+  uint64_t pr_ident = 0;
   // fstype-private state.
   std::shared_ptr<void> priv;
 };
@@ -117,6 +122,17 @@ class Vnode : public std::enable_shared_from_this<Vnode> {
   virtual Result<VnodePtr> Mkdir(const std::string& name, const VAttr& attr);
   virtual Result<void> Remove(const std::string& name);
   virtual Result<std::vector<DirEnt>> Readdir();
+  // Chunked directory enumeration with a resumable cursor, for directories
+  // too large to materialize (a /proc root over 10^6 processes). `*cookie`
+  // is an opaque continuation: 0 starts the enumeration and each call
+  // advances it past the entries appended to `out` (at most `max`). Returns
+  // the number appended; 0 means end-of-directory. Entries created or
+  // removed between calls may or may not appear, but every entry that
+  // exists for the whole enumeration appears exactly once. The default
+  // implementation materializes Readdir() and slices; huge directories
+  // override it with a true cursor.
+  virtual Result<size_t> ReaddirChunk(uint64_t* cookie, size_t max,
+                                      std::vector<DirEnt>* out);
 
   // Memory object for mmap/exec; ENODEV if the file cannot be mapped.
   virtual Result<std::shared_ptr<VmObject>> GetVmObject();

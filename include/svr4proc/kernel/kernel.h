@@ -15,12 +15,14 @@
 #ifndef SVR4PROC_KERNEL_KERNEL_H_
 #define SVR4PROC_KERNEL_KERNEL_H_
 
+#include <array>
 #include <functional>
 #include <map>
 #include <memory>
 #include <queue>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "svr4proc/base/result.h"
@@ -34,10 +36,19 @@
 
 namespace svr4 {
 
-// poll(2) descriptor-count ceiling. Exceeding it is an EINVAL, never a
-// silent truncation: dropped entries would simply never get their revents
-// written back.
-inline constexpr uint32_t kPollMaxFds = 64;
+// Default poll(2) descriptor-count ceiling. Exceeding the configured cap
+// (Kernel::SetPollMaxFds) is an EINVAL, never a silent truncation: dropped
+// entries would simply never get their revents written back. The poll set
+// itself is dynamically sized — the cap is policy, not a wired array.
+inline constexpr uint32_t kPollDefaultMaxFds = 16384;
+
+// Default per-process descriptor-table ceiling (EMFILE above it).
+inline constexpr size_t kFdDefaultLimit = 256;
+
+// Default pid-space size: pids live in [0, max_pid); allocation wraps and
+// reuses reaped pids, guarded by a bitmap. Large enough for a 10^6-process
+// population with headroom; SetMaxPid shrinks it for wraparound tests.
+inline constexpr Pid kDefaultMaxPid = 1 << 21;
 
 // Resume arguments for a stopped process (prrun_t semantics).
 struct RunArgs {
@@ -124,6 +135,27 @@ class Kernel {
   Proc* FindProc(Pid pid);
   std::vector<Pid> AllPids() const;
   Proc* init_proc() { return init_; }
+  // Number of processes in the table (zombies included).
+  size_t ProcCount() const { return nprocs_; }
+  // Smallest allocated pid >= from (live or zombie); -1 when none. The
+  // streaming /proc readdir cursors and the bulk-snapshot op iterate the
+  // population with this, one bitmap probe per step.
+  Pid NextAllocatedPid(Pid from) const;
+  // Pid-space bound: allocation wraps within [0, max). Shrinking below pids
+  // already in use is allowed (they stay valid until reaped); meant to be
+  // set at system assembly time, e.g. tiny for wraparound tests.
+  void SetMaxPid(Pid max);
+  Pid max_pid() const { return max_pid_; }
+
+  // poll(2) descriptor-count cap (EINVAL above it); default
+  // kPollDefaultMaxFds. Dynamically sized sets make large monitors
+  // practical; the old wired 64 is still available to tests via this knob.
+  void SetPollMaxFds(uint32_t n) { poll_max_fds_ = n; }
+  uint32_t poll_max_fds() const { return poll_max_fds_; }
+  // Per-process descriptor-table cap (EMFILE above it); default
+  // kFdDefaultLimit. Raised by monitors holding one descriptor per process.
+  void SetFdLimit(size_t n) { fd_limit_ = n; }
+  size_t fd_limit() const { return fd_limit_; }
 
   // --- Syscall-shaped interface for native processes ------------------------
   Result<int> Open(Proc* p, const std::string& path, int oflags, uint32_t mode = 0644);
@@ -133,6 +165,11 @@ class Kernel {
   Result<int64_t> Lseek(Proc* p, int fd, int64_t off, int whence);
   Result<int32_t> Ioctl(Proc* p, int fd, uint32_t op, void* arg);
   Result<std::vector<DirEnt>> ReadDir(Proc* p, const std::string& path);
+  // Chunked directory read (Vnode::ReaddirChunk): appends at most `max`
+  // entries to `out` and advances `*cookie`; returns the count appended, 0
+  // at end-of-directory. O(chunk) even on a /proc root over 10^6 processes.
+  Result<size_t> ReadDirChunk(Proc* p, const std::string& path, uint64_t* cookie,
+                              size_t max, std::vector<DirEnt>* out);
   Result<VAttr> Stat(Proc* p, const std::string& path);
   Result<int> PollFds(Proc* p, std::span<PollFd> fds, int64_t timeout_ticks);
   // Blocking wait for a child transition; pumps the simulation.
@@ -307,6 +344,29 @@ class Kernel {
   void HandleFault(Lwp* lwp, int fault, uint32_t addr);
   void ConvertFaultToSignal(Lwp* lwp, int fault, uint32_t addr);
 
+  // Process table: sharded pid hash + intrusive all-procs list + bitmap pid
+  // allocator (FreeBSD-style). Procs are owned raw pointers threaded on
+  // their intrusive links; FreeProc unlinks everything and deletes.
+  Pid AllocPid();                 // -1 when the pid space is exhausted
+  void PidHashInsert(Proc* p);
+  void PidHashRemove(Proc* p);
+  void ChildLink(Proc* parent, Proc* child);    // append to children tail
+  void ChildUnlink(Proc* child);
+  void FreeProc(Proc* p);        // unlink from every structure and delete
+
+  // Scheduler queues. LwpSetState is the single owner of Lwp::state: it
+  // dequeues from whichever list the lwp is on and enqueues per the new
+  // state (run queue if kRunning and schedulable, sleep bucket if kSleeping
+  // with a channel). EnrollLwp enqueues a newly created lwp, whose default
+  // state is kRunning without ever having transitioned.
+  void LwpSetState(Lwp* l, LwpState ns);
+  void EnrollLwp(Lwp* l);
+  void RunqInsert(Lwp* l);
+  void RunqRemove(Lwp* l);
+  void SleepqInsert(Lwp* l);
+  void SleepqRemove(Lwp* l);
+  static size_t SleepBucket(const void* chan);
+
   // Process lifecycle.
   Proc* AllocProc(const std::string& name, const Creds& creds, Proc* parent);
   void ExitProc(Proc* p, int wstatus);
@@ -372,15 +432,42 @@ class Kernel {
 
   Vfs vfs_;
   std::shared_ptr<ConsoleVnode> console_;
-  std::map<Pid, std::unique_ptr<Proc>> procs_;
-  Pid next_pid_ = 0;
+
+  // The process table. Lookup is a power-of-two pid hash chained through
+  // Proc::pt_hash_next (doubled when the population outgrows the buckets);
+  // enumeration is the intrusive all-procs list (insertion order) or the
+  // allocation bitmap (pid order); ownership is raw — FreeProc deletes.
+  std::vector<Proc*> pid_hash_;
+  Proc* all_head_ = nullptr;
+  Proc* all_tail_ = nullptr;
+  size_t nprocs_ = 0;
+  // Pid allocation: bit set = pid in use (live or zombie). The cursor scans
+  // forward from the last allocation and wraps at max_pid_, so freed pids
+  // are reused only after the space has been traversed once — held stale
+  // /proc descriptors get the longest possible grace period.
+  std::vector<uint64_t> pid_bitmap_;
+  Pid max_pid_ = kDefaultMaxPid;
+  Pid next_pid_ = 0;  // allocation cursor, not a high-water mark
+
   uint64_t ticks_ = 0;
   uint64_t gen_counter_ = 1;
   Proc* init_ = nullptr;
 
-  // Round-robin scheduling cursor.
-  Pid rr_pid_ = 0;
-  int rr_lwp_ = 0;
+  // The run queue: a circular doubly-linked list of runnable lwps threaded
+  // on Lwp::q_prev/q_next. runq_next_ is the round-robin cursor (the next
+  // lwp to run; null iff empty); new arrivals insert just before it, i.e.
+  // at the tail of the current rotation. PickNext is one pointer chase.
+  Lwp* runq_next_ = nullptr;
+  size_t runq_len_ = 0;
+  // Sleeping lwps with a wait channel, hashed by channel so Wakeup(chan)
+  // walks one bucket instead of every process. Purely timed sleeps
+  // (chan == nullptr) are not enqueued; only FireDueTimers wakes them.
+  static constexpr size_t kSleepBuckets = 512;  // power of two
+  std::array<Lwp*, kSleepBuckets> sleepq_{};
+
+  // Configurable caps (see SetPollMaxFds / SetFdLimit).
+  uint32_t poll_max_fds_ = kPollDefaultMaxFds;
+  size_t fd_limit_ = kFdDefaultLimit;
 
   // Pending wakeups/alarms (min-heap by tick) and zombies awaiting reap.
   std::priority_queue<TimerEvent, std::vector<TimerEvent>, std::greater<TimerEvent>> timerq_;
@@ -394,8 +481,10 @@ class Kernel {
   std::unique_ptr<FaultInjector> finj_;
   bool chaos_ = false;
   uint64_t chaos_rng_ = 0;
-  // Last observed audit_total per pid, for the monotonicity invariant.
-  std::map<Pid, uint64_t> audit_watermark_;
+  // Last observed audit_total per process, for the monotonicity invariant.
+  // Keyed by birth identity, not pid: a recycled pid is a new process whose
+  // audit history starts from zero.
+  std::unordered_map<uint64_t, uint64_t> audit_watermark_;
 
   // Event-trace ring + metrics registry (reads ticks_ through a pointer so
   // every layer can emit without seeing the kernel).

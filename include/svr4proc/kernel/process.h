@@ -70,6 +70,15 @@ struct Lwp {
   Proc* proc = nullptr;
   LwpState state = LwpState::kRunning;
 
+  // Scheduler queue linkage, owned by Kernel::LwpSetState: the run queue is
+  // a circular doubly-linked list of runnable lwps; sleepers with a wait
+  // channel hang off a chan-hashed bucket. q_where says which list (if any)
+  // the links are threaded on so transitions unlink in O(1).
+  enum QWhere : uint8_t { kQNone = 0, kQRun = 1, kQSleep = 2 };
+  Lwp* q_prev = nullptr;
+  Lwp* q_next = nullptr;
+  uint8_t q_where = kQNone;
+
   Regs regs;
   FpRegs fpregs;
 
@@ -150,7 +159,10 @@ struct TraceState {
 
   // Control audit ring (bounded; audit_total % kCtlAuditCap is the next
   // slot, so the ring and its drop count need no separate head pointer).
-  std::array<CtlAuditRec, kCtlAuditCap> audit{};
+  // Allocated on first append: the ring is 2.5KB and the overwhelming
+  // majority of a large population is never touched by a controller, so an
+  // uncontrolled Proc stays small. audit_total > 0 implies audit != null.
+  std::unique_ptr<std::array<CtlAuditRec, kCtlAuditCap>> audit;
   uint64_t audit_total = 0;  // records ever appended
 
   // Security bookkeeping. The live counters track descriptors of the
@@ -186,6 +198,27 @@ struct Proc {
   Pid ppid = 0;
   Pid pgrp = 0;
   Pid sid = 0;
+
+  // Birth identity: unique across the whole life of the kernel, never
+  // recycled. A /proc descriptor records the ident of the process it named
+  // so that, after pid wraparound hands the same pid to a new process, the
+  // held descriptor goes invalid (ENOENT) instead of attaching to the
+  // impostor. Orthogonal to trace.gen, which tracks set-id-exec
+  // invalidation *within* one process's life.
+  uint64_t ident = 0;
+
+  // Process-table linkage, owned by the Kernel (kernel.h): pid-hash chain,
+  // all-procs list, and the parent/children tree that makes exit-time
+  // reparenting and wait() scans O(children) instead of O(procs).
+  Proc* pt_hash_next = nullptr;
+  Proc* pt_all_prev = nullptr;
+  Proc* pt_all_next = nullptr;
+  Proc* pt_parent = nullptr;       // null only for sched (pid 0)
+  Proc* pt_first_child = nullptr;  // creation order, oldest first
+  Proc* pt_last_child = nullptr;
+  Proc* pt_sib_prev = nullptr;
+  Proc* pt_sib_next = nullptr;
+
   std::string name;    // pr_fname: executable basename
   std::string psargs;  // pr_psargs: initial argument list
 

@@ -21,6 +21,8 @@ class ProcDirVnode : public Vnode {
   Result<VAttr> GetAttr() override;
   Result<VnodePtr> Lookup(const std::string& name) override;
   Result<std::vector<DirEnt>> Readdir() override;
+  Result<size_t> ReaddirChunk(uint64_t* cookie, size_t max,
+                              std::vector<DirEnt>* out) override;
 
  private:
   Kernel* kernel_;

@@ -271,6 +271,7 @@ enum Pioc : uint32_t {
   PIOCVMSTATS = kPiocBase | 44,  // PrVmStats*          TLB/exec-path counters
   PIOCAUDIT = kPiocBase | 45,   // PrCtlAudit*          control audit ring
   PIOCKSTAT = kPiocBase | 46,   // PrKstat*             kernel-wide metrics
+  PIOCPSALL = kPiocBase | 47,   // PrPsAll*             ps info, whole population
 };
 
 // --- Kernel-wide metrics snapshot (PIOCKSTAT / /proc2/kernel/metrics) --------
@@ -300,6 +301,17 @@ struct PrKstat {
   uint64_t pr_trace_dropped = 0;  // records lost to ring wrap
   uint64_t pr_events[kPrKstatEvents] = {};  // per-KtEvent emission counts
   PrKstatSys pr_sys[kPrKstatSyscalls] = {};
+};
+
+// --- Bulk population snapshot (PIOCPSALL / /proc2/kernel/psall) --------------
+//
+// One operation returning PrPsinfo for every process (zombies included),
+// in ascending pid order. The per-pid alternative — readdir + open + ioctl +
+// close per process — costs four name resolutions per entry; at 10^5+
+// processes the bulk path is the only one that keeps ps-like tools O(n).
+// The /proc2 file serves the same records as packed PrPsinfo bytes.
+struct PrPsAll {
+  std::vector<PrPsinfo> pr_procs;
 };
 
 // --- Builders shared by both /proc implementations ---------------------------

@@ -93,6 +93,9 @@ class ProcHandle {
   Result<PrVmStats> VmStats();
   Result<PrCtlAudit> Audit();  // the control audit ring (PIOCAUDIT)
   Result<PrKstat> Kstat();     // kernel-wide metrics registry (PIOCKSTAT)
+  // Bulk ps info for the whole population, one operation (PIOCPSALL). The
+  // handle's own target is just the descriptor the request rides on.
+  Result<std::vector<PrPsinfo>> PsinfoAll();
   // The target's slice of the kernel event ring, read from
   // /proc2/<pid>/trace. Works on zombies, and keeps working after the
   // target is reaped as long as records survive in the ring.

@@ -20,8 +20,15 @@ struct PsOptions {
 
 // One PIOCPSINFO snapshot per visible process. Opens are read-only, so
 // "the opens always succeed and no interference is created for controlling
-// and controlled processes" (when the caller is privileged).
+// and controlled processes" (when the caller is privileged). Enumerates the
+// directory with the chunked-readdir cursor, so the walk is O(live procs)
+// even over a huge population.
 Result<std::vector<PrPsinfo>> PsSnapshot(Kernel& k, Proc* caller);
+
+// The bulk path: one PIOCPSALL on a single handle returns the whole
+// population. At 10^5+ processes this is the only shape that keeps ps O(n)
+// — the per-pid loop pays open+ioctl+close per process.
+Result<std::vector<PrPsinfo>> PsSnapshotAll(Kernel& k, Proc* caller);
 
 // Formats the classic listing.
 Result<std::string> PsFormat(Kernel& k, Proc* caller, const PsOptions& opts = {});

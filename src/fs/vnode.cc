@@ -50,6 +50,22 @@ Result<void> Vnode::Remove(const std::string&) { return Errno::kENOTDIR; }
 
 Result<std::vector<DirEnt>> Vnode::Readdir() { return Errno::kENOTDIR; }
 
+Result<size_t> Vnode::ReaddirChunk(uint64_t* cookie, size_t max,
+                                   std::vector<DirEnt>* out) {
+  // Generic fallback: materialize and slice by index. Correct for any
+  // directory; fstypes with huge or churning directories override this with
+  // a real cursor (the /proc roots key the cookie on the next pid).
+  auto all = Readdir();
+  if (!all.ok()) {
+    return all.error();
+  }
+  size_t n = 0;
+  for (; *cookie < all->size() && n < max; ++*cookie, ++n) {
+    out->push_back(std::move((*all)[*cookie]));
+  }
+  return n;
+}
+
 Result<std::shared_ptr<VmObject>> Vnode::GetVmObject() { return Errno::kENODEV; }
 
 Result<PagePtr> FileVmObject::GetPage(uint64_t page_index) {

@@ -24,6 +24,9 @@ std::string Basename(const std::string& path) {
 Result<Pid> Kernel::ForkCommon(Lwp* parent_lwp, bool vfork) {
   Proc* parent = parent_lwp->proc;
   Proc* child = AllocProc(parent->name, parent->creds, parent);
+  if (child == nullptr) {
+    return Errno::kEAGAIN;  // pid space exhausted
+  }
   child->psargs = parent->psargs;
   child->umask = parent->umask;
   child->nice = parent->nice;
@@ -79,6 +82,9 @@ Result<Pid> Kernel::ForkCommon(Lwp* parent_lwp, bool vfork) {
   cl->sys_entry_tick = parent_lwp->sys_entry_tick;  // child fork-exit latency
   Lwp* craw = cl.get();
   child->lwps.push_back(std::move(cl));
+  // Enroll before FinishSyscall: a traced fork-exit stops the lwp, and the
+  // stop transition must find it on the run queue to take it off.
+  EnrollLwp(craw);
   craw->in_syscall = true;
   craw->sys_phase = SysPhase::kExec;  // FinishSyscall runs the exit-side path
   FinishSyscall(craw, SysResult::Ok(0));
@@ -345,7 +351,7 @@ Result<void> Kernel::ExecImage(Proc* p, const std::string& path,
     if (survivor == nullptr && l->state != LwpState::kDead) {
       survivor = l.get();
     } else {
-      l->state = LwpState::kDead;
+      LwpSetState(l.get(), LwpState::kDead);
     }
   }
   if (survivor == nullptr) {
@@ -354,6 +360,7 @@ Result<void> Kernel::ExecImage(Proc* p, const std::string& path,
     nl->proc = p;
     survivor = nl.get();
     p->lwps.push_back(std::move(nl));
+    EnrollLwp(survivor);
   }
   survivor->regs = Regs{};
   survivor->fpregs = FpRegs{};
@@ -364,7 +371,7 @@ Result<void> Kernel::ExecImage(Proc* p, const std::string& path,
   survivor->sig_reported = false;
   survivor->pt_reported = false;
   if (survivor->state == LwpState::kDead) {
-    survivor->state = LwpState::kRunning;
+    LwpSetState(survivor, LwpState::kRunning);
   }
   kt_.Emit(KtEvent::kExec, p->pid, survivor->lwpid, image->entry, 0);
   return Result<void>::Ok();
@@ -373,6 +380,9 @@ Result<void> Kernel::ExecImage(Proc* p, const std::string& path,
 Result<Pid> Kernel::Spawn(const std::string& path, const std::vector<std::string>& argv,
                           const Creds& creds, Proc* parent) {
   Proc* p = AllocProc(Basename(path), creds, parent ? parent : init_);
+  if (p == nullptr) {
+    return Errno::kEAGAIN;  // pid space exhausted
+  }
 
   // Standard descriptors on the console.
   auto of = std::make_shared<OpenFile>();
@@ -386,12 +396,14 @@ Result<Pid> Kernel::Spawn(const std::string& path, const std::vector<std::string
   auto l = std::make_unique<Lwp>();
   l->lwpid = 1;
   l->proc = p;
+  Lwp* lraw = l.get();
   p->lwps.push_back(std::move(l));
+  EnrollLwp(lraw);
 
   auto r = ExecImage(p, path, argv.empty() ? std::vector<std::string>{path} : argv);
   if (!r.ok()) {
     FdCloseAll(p);
-    procs_.erase(p->pid);
+    FreeProc(p);
     return r.error();
   }
   return p->pid;
@@ -408,7 +420,7 @@ void Kernel::ExitProc(Proc* p, int wstatus) {
     DumpCore(p, WTermSig(wstatus));
   }
   for (auto& l : p->lwps) {
-    l->state = LwpState::kDead;
+    LwpSetState(l.get(), LwpState::kDead);
   }
   FdCloseAll(p);
 
@@ -427,13 +439,14 @@ void Kernel::ExitProc(Proc* p, int wstatus) {
   p->as.reset();
 
   // Reparent children to init; any that are already zombies will never be
-  // waited for, so queue them for reaping.
-  for (auto& [pid, q] : procs_) {
-    if (q->ppid == p->pid && q.get() != p) {
-      q->ppid = init_->pid;
-      if (q->state == Proc::State::kZombie) {
-        MarkReapable(q->pid);
-      }
+  // waited for, so queue them for reaping. O(children of p): pop the
+  // intrusive children list rather than scanning every process.
+  while (Proc* q = p->pt_first_child) {
+    ChildUnlink(q);
+    q->ppid = init_->pid;
+    ChildLink(init_, q);
+    if (q->state == Proc::State::kZombie) {
+      MarkReapable(q->pid);
     }
   }
 
@@ -481,7 +494,7 @@ void Kernel::DumpCore(Proc* p, int sig) {
 void Kernel::ReapZombie(Proc* zombie, Proc* parent) {
   parent->cutime += zombie->utime + zombie->cutime;
   parent->cstime += zombie->stime + zombie->cstime;
-  procs_.erase(zombie->pid);
+  FreeProc(zombie);
 }
 
 }  // namespace svr4

@@ -6,7 +6,10 @@
 #include "svr4proc/kernel/faults.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "svr4proc/kernel/kernel.h"
 #include "svr4proc/kernel/ktrace.h"
@@ -103,7 +106,7 @@ void Kernel::SetFaultPlan(const FaultPlan& plan) {
   finj_ = std::make_unique<FaultInjector>(plan);
   finj_->SetKtrace(&kt_);
   vfs_.SetFaultInjector(finj_.get());
-  for (auto& [pid, p] : procs_) {
+  for (Proc* p = all_head_; p != nullptr; p = p->pt_all_next) {
     if (p->as) {
       p->as->SetFaultInjector(finj_.get());
     }
@@ -112,7 +115,7 @@ void Kernel::SetFaultPlan(const FaultPlan& plan) {
 
 void Kernel::ClearFaultPlan() {
   vfs_.SetFaultInjector(nullptr);
-  for (auto& [pid, p] : procs_) {
+  for (Proc* p = all_head_; p != nullptr; p = p->pt_all_next) {
     if (p->as) {
       p->as->SetFaultInjector(nullptr);
     }
@@ -130,31 +133,22 @@ void Kernel::ClearChaosScheduler() { chaos_ = false; }
 uint64_t Kernel::ChaosNext() { return SplitMix64(&chaos_rng_); }
 
 // PRNG-driven choice among every runnable lwp, replacing the round-robin
-// scan. The rr cursor is kept coherent so switching chaos off mid-run
-// resumes fair rotation from the last chaotic pick.
+// rotation. The run-queue cursor is advanced past the pick so switching
+// chaos off mid-run resumes fair rotation from the last chaotic choice.
 Lwp* Kernel::PickNextChaos() {
-  std::vector<Lwp*> runnable;
-  for (auto& [pid, p] : procs_) {
-    if (p->state != Proc::State::kActive || p->native || p->system_proc) {
-      continue;
-    }
-    for (auto& l : p->lwps) {
-      if (l->state == LwpState::kRunning) {
-        runnable.push_back(l.get());
-      }
-    }
-  }
-  if (runnable.empty()) {
+  if (runq_next_ == nullptr) {
     return nullptr;
   }
+  // Walk the circle once from the cursor: a deterministic ordering of the
+  // runnable set, so one seed replays the same schedule.
+  std::vector<Lwp*> runnable;
+  Lwp* l = runq_next_;
+  do {
+    runnable.push_back(l);
+    l = l->q_next;
+  } while (l != runq_next_);
   Lwp* pick = runnable[ChaosNext() % runnable.size()];
-  rr_pid_ = pick->proc->pid;
-  for (size_t i = 0; i < pick->proc->lwps.size(); ++i) {
-    if (pick->proc->lwps[i].get() == pick) {
-      rr_lwp_ = static_cast<int>(i);
-      break;
-    }
-  }
+  runq_next_ = pick->q_next;
   return pick;
 }
 
@@ -183,9 +177,9 @@ std::vector<std::string> Kernel::CheckInvariants() {
     int stale_total = 0;
     int stale_writable = 0;
   };
-  std::map<Pid, Counts> seen_counts;
-  std::vector<const OpenFile*> seen;  // dup/fork share one OpenFile
-  for (auto& [pid, p] : procs_) {
+  std::unordered_map<Pid, Counts> seen_counts;
+  std::unordered_set<const OpenFile*> seen;  // dup/fork share one OpenFile
+  for (Proc* p = all_head_; p != nullptr; p = p->pt_all_next) {
     for (auto& of : p->fds) {
       if (!of || !of->vp) {
         continue;
@@ -194,13 +188,18 @@ std::vector<std::string> Kernel::CheckInvariants() {
       if (target < 0) {
         continue;
       }
-      if (std::find(seen.begin(), seen.end(), of.get()) != seen.end()) {
+      if (!seen.insert(of.get()).second) {
         continue;
       }
-      seen.push_back(of.get());
       Proc* tp = FindProc(target);
       if (tp == nullptr) {
         continue;  // target reaped; its ledger went with it
+      }
+      if (of->pr_ident != 0 && of->pr_ident != tp->ident) {
+        // The descriptor's process died and its pid was reused: the
+        // descriptor names nobody, and the successor's ledger never
+        // counted it.
+        continue;
       }
       Counts& c = seen_counts[target];
       if (of->pr_gen == tp->trace.gen) {
@@ -213,8 +212,68 @@ std::vector<std::string> Kernel::CheckInvariants() {
     }
   }
 
-  for (auto& [pid, p] : procs_) {
+  // Process-table coherence: the intrusive all-procs list, the pid hash,
+  // the allocation bitmap and nprocs_ must all agree.
+  {
+    size_t list_len = 0;
+    for (Proc* p = all_head_; p != nullptr; p = p->pt_all_next) {
+      ++list_len;
+      if (FindProc(p->pid) != p) {
+        v.push_back(Violation(p->pid, "pid hash does not resolve to proc", 0, 1));
+      }
+    }
+    if (list_len != nprocs_) {
+      v.push_back(Violation(0, "all-procs list length != nprocs_",
+                            static_cast<long long>(list_len),
+                            static_cast<long long>(nprocs_)));
+    }
+    size_t popcount = 0;
+    for (uint64_t w : pid_bitmap_) {
+      popcount += static_cast<size_t>(std::popcount(w));
+    }
+    if (popcount != nprocs_) {
+      v.push_back(Violation(0, "pid bitmap popcount != nprocs_",
+                            static_cast<long long>(popcount),
+                            static_cast<long long>(nprocs_)));
+    }
+    // The run queue is a closed circle whose members all claim membership.
+    size_t circle = 0;
+    if (runq_next_ != nullptr) {
+      Lwp* l = runq_next_;
+      do {
+        ++circle;
+        if (l->q_where != Lwp::kQRun) {
+          v.push_back(Violation(l->proc->pid, "runq member not marked kQRun",
+                                l->lwpid, 0));
+          break;
+        }
+        l = l->q_next;
+      } while (l != runq_next_ && circle <= runq_len_);
+    }
+    if (circle != runq_len_) {
+      v.push_back(Violation(0, "run-queue circle length != runq_len_",
+                            static_cast<long long>(circle),
+                            static_cast<long long>(runq_len_)));
+    }
+  }
+
+  for (Proc* p = all_head_; p != nullptr; p = p->pt_all_next) {
+    const Pid pid = p->pid;
     const TraceState& t = p->trace;
+
+    // Children-list coherence: every entry in a proc's children list names
+    // it as parent, both in the intrusive link and in ppid.
+    for (Proc* q = p->pt_first_child; q != nullptr; q = q->pt_sib_next) {
+      if (q->pt_parent != p) {
+        v.push_back(Violation(q->pid, "child link does not name parent", 0, pid));
+      }
+      if (q->ppid != p->pid) {
+        v.push_back(Violation(q->pid, "child ppid != parent pid", q->ppid, p->pid));
+      }
+      if (q->pt_sib_next != nullptr && q->pt_sib_next->pt_sib_prev != q) {
+        v.push_back(Violation(q->pid, "sibling list links inconsistent", 0, 1));
+      }
+    }
 
     // Open-count balance and conservation against the recount.
     if (t.writable_opens < 0) {
@@ -256,32 +315,40 @@ std::vector<std::string> Kernel::CheckInvariants() {
 
     // Audit-ring monotonicity: the total never regresses across checks, and
     // the retained records carry non-decreasing completion ticks, none from
-    // the future.
-    uint64_t& mark = audit_watermark_[pid];
+    // the future. Watermarks key on the birth identity, not the pid, so a
+    // reused pid starts from its own zero. The ring is allocated lazily:
+    // a null ring with a non-zero total is itself a violation.
+    uint64_t& mark = audit_watermark_[p->ident];
     if (t.audit_total < mark) {
       v.push_back(Violation(pid, "audit_total regressed",
                             static_cast<long long>(t.audit_total),
                             static_cast<long long>(mark)));
     }
     mark = t.audit_total;
-    uint64_t kept = std::min<uint64_t>(t.audit_total, kCtlAuditCap);
-    uint64_t first = t.audit_total - kept;
-    uint64_t prev_tick = 0;
-    for (uint64_t i = 0; i < kept; ++i) {
-      const CtlAuditRec& rec = t.audit[(first + i) % kCtlAuditCap];
-      if (rec.pr_tick < prev_tick) {
-        v.push_back(Violation(pid, "audit ring ticks out of order",
-                              static_cast<long long>(rec.pr_tick),
-                              static_cast<long long>(prev_tick)));
-        break;
+    if (t.audit_total > 0 && t.audit == nullptr) {
+      v.push_back(Violation(pid, "audit total with no ring allocated",
+                            static_cast<long long>(t.audit_total), 0));
+    }
+    if (t.audit != nullptr) {
+      uint64_t kept = std::min<uint64_t>(t.audit_total, kCtlAuditCap);
+      uint64_t first = t.audit_total - kept;
+      uint64_t prev_tick = 0;
+      for (uint64_t i = 0; i < kept; ++i) {
+        const CtlAuditRec& rec = (*t.audit)[(first + i) % kCtlAuditCap];
+        if (rec.pr_tick < prev_tick) {
+          v.push_back(Violation(pid, "audit ring ticks out of order",
+                                static_cast<long long>(rec.pr_tick),
+                                static_cast<long long>(prev_tick)));
+          break;
+        }
+        if (rec.pr_tick > ticks_) {
+          v.push_back(Violation(pid, "audit record from the future",
+                                static_cast<long long>(rec.pr_tick),
+                                static_cast<long long>(ticks_)));
+          break;
+        }
+        prev_tick = rec.pr_tick;
       }
-      if (rec.pr_tick > ticks_) {
-        v.push_back(Violation(pid, "audit record from the future",
-                              static_cast<long long>(rec.pr_tick),
-                              static_cast<long long>(ticks_)));
-        break;
-      }
-      prev_tick = rec.pr_tick;
     }
 
     // Lifecycle and scheduler coherence.
@@ -314,6 +381,19 @@ std::vector<std::string> Kernel::CheckInvariants() {
       if (l->stopped_while_asleep && l->state != LwpState::kStopped) {
         v.push_back(
             Violation(pid, "stopped_while_asleep on a non-stopped lwp", l->lwpid, 0));
+      }
+      // Scheduler-queue membership mirrors the state machine exactly.
+      bool should_run_q = l->state == LwpState::kRunning &&
+                          p->state == Proc::State::kActive && !p->native &&
+                          !p->system_proc;
+      bool should_sleep_q =
+          l->state == LwpState::kSleeping && l->sleep.chan != nullptr;
+      uint8_t want_q = should_run_q ? Lwp::kQRun
+                       : should_sleep_q ? Lwp::kQSleep
+                                        : Lwp::kQNone;
+      if (l->q_where != want_q) {
+        v.push_back(Violation(pid, "lwp queue membership mismatch", l->q_where,
+                              want_q));
       }
     }
   }

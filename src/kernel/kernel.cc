@@ -4,6 +4,7 @@
 #include "svr4proc/kernel/kernel.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
 #include <cstring>
 #include <set>
@@ -48,6 +49,8 @@ int FaultToSignal(int fault) {
 const void* Kernel::PollChan() { return kPollChan; }
 
 Kernel::Kernel() {
+  pid_hash_.assign(1024, nullptr);
+  pid_bitmap_.assign((static_cast<size_t>(max_pid_) + 63) / 64, 0);
   console_ = std::make_shared<ConsoleVnode>();
 
   VAttr dir_attr;
@@ -77,13 +80,198 @@ Kernel::Kernel() {
   }
 }
 
-Kernel::~Kernel() = default;
+Kernel::~Kernel() {
+  // Procs are owned raw through the intrusive all-procs list.
+  Proc* p = all_head_;
+  while (p != nullptr) {
+    Proc* next = p->pt_all_next;
+    delete p;
+    p = next;
+  }
+}
 
 // --- Process table -----------------------------------------------------------
 
+Pid Kernel::AllocPid() {
+  // Word-wise free-bit scan from the cursor, wrapping once at max_pid_.
+  // Freed pids are therefore reused only after the whole space has been
+  // traversed — the longest grace period for held stale /proc descriptors.
+  auto scan = [&](Pid lo, Pid hi) -> Pid {
+    if (lo >= hi) {
+      return -1;
+    }
+    size_t first_word = static_cast<size_t>(lo) / 64;
+    size_t last_word = static_cast<size_t>(hi - 1) / 64;
+    for (size_t w = first_word; w <= last_word; ++w) {
+      uint64_t free_bits = ~pid_bitmap_[w];
+      if (w == first_word) {
+        free_bits &= ~0ull << (lo % 64);
+      }
+      if (free_bits == 0) {
+        continue;
+      }
+      Pid pid = static_cast<Pid>(w * 64 + std::countr_zero(free_bits));
+      return pid < hi ? pid : -1;
+    }
+    return -1;
+  };
+  Pid start = (next_pid_ >= 0 && next_pid_ < max_pid_) ? next_pid_ : 0;
+  Pid pid = scan(start, max_pid_);
+  if (pid < 0) {
+    pid = scan(0, start);  // wraparound
+  }
+  if (pid < 0) {
+    return -1;  // every pid is held by a live or zombie process
+  }
+  pid_bitmap_[static_cast<size_t>(pid) / 64] |= 1ull << (pid % 64);
+  next_pid_ = pid + 1;
+  return pid;
+}
+
+Pid Kernel::NextAllocatedPid(Pid from) const {
+  if (from < 0) {
+    from = 0;
+  }
+  size_t nbits = pid_bitmap_.size() * 64;
+  if (static_cast<size_t>(from) >= nbits) {
+    return -1;
+  }
+  size_t w = static_cast<size_t>(from) / 64;
+  uint64_t word = pid_bitmap_[w] & (~0ull << (from % 64));
+  for (;;) {
+    if (word != 0) {
+      return static_cast<Pid>(w * 64 + std::countr_zero(word));
+    }
+    if (++w >= pid_bitmap_.size()) {
+      return -1;
+    }
+    word = pid_bitmap_[w];
+  }
+}
+
+void Kernel::SetMaxPid(Pid max) {
+  if (max < 1) {
+    max = 1;
+  }
+  max_pid_ = max;
+  // Never shrink the bitmap: pids already allocated above the new bound
+  // stay valid (and findable) until reaped; the allocator simply stops
+  // handing out new ones up there.
+  size_t words = (static_cast<size_t>(max) + 63) / 64;
+  if (words > pid_bitmap_.size()) {
+    pid_bitmap_.resize(words, 0);
+  }
+  if (next_pid_ >= max_pid_) {
+    next_pid_ = 0;
+  }
+}
+
+void Kernel::PidHashInsert(Proc* p) {
+  if (nprocs_ >= pid_hash_.size()) {
+    // Double the buckets and rehash through the all-procs list; amortized
+    // O(1) per insert, same policy as any open-hash table.
+    std::vector<Proc*> grown(pid_hash_.size() * 2, nullptr);
+    for (Proc* q = all_head_; q != nullptr; q = q->pt_all_next) {
+      size_t b = static_cast<size_t>(q->pid) & (grown.size() - 1);
+      q->pt_hash_next = grown[b];
+      grown[b] = q;
+    }
+    pid_hash_ = std::move(grown);
+  }
+  size_t b = static_cast<size_t>(p->pid) & (pid_hash_.size() - 1);
+  p->pt_hash_next = pid_hash_[b];
+  pid_hash_[b] = p;
+}
+
+void Kernel::PidHashRemove(Proc* p) {
+  size_t b = static_cast<size_t>(p->pid) & (pid_hash_.size() - 1);
+  Proc** link = &pid_hash_[b];
+  while (*link != nullptr && *link != p) {
+    link = &(*link)->pt_hash_next;
+  }
+  if (*link == p) {
+    *link = p->pt_hash_next;
+  }
+  p->pt_hash_next = nullptr;
+}
+
+void Kernel::ChildLink(Proc* parent, Proc* child) {
+  child->pt_parent = parent;
+  child->pt_sib_prev = nullptr;
+  child->pt_sib_next = nullptr;
+  if (parent == nullptr) {
+    return;  // sched has no parent
+  }
+  if (parent->pt_last_child == nullptr) {
+    parent->pt_first_child = child;
+    parent->pt_last_child = child;
+    return;
+  }
+  child->pt_sib_prev = parent->pt_last_child;
+  parent->pt_last_child->pt_sib_next = child;
+  parent->pt_last_child = child;
+}
+
+void Kernel::ChildUnlink(Proc* child) {
+  Proc* parent = child->pt_parent;
+  if (parent == nullptr) {
+    return;
+  }
+  if (child->pt_sib_prev != nullptr) {
+    child->pt_sib_prev->pt_sib_next = child->pt_sib_next;
+  } else {
+    parent->pt_first_child = child->pt_sib_next;
+  }
+  if (child->pt_sib_next != nullptr) {
+    child->pt_sib_next->pt_sib_prev = child->pt_sib_prev;
+  } else {
+    parent->pt_last_child = child->pt_sib_prev;
+  }
+  child->pt_parent = nullptr;
+  child->pt_sib_prev = nullptr;
+  child->pt_sib_next = nullptr;
+}
+
+void Kernel::FreeProc(Proc* p) {
+  // Defensive scheduler-queue unlink: by the time a proc is freed its lwps
+  // are dead and off every queue, but a missed transition must not leave a
+  // dangling queue node behind.
+  for (auto& l : p->lwps) {
+    if (l->q_where == Lwp::kQRun) {
+      RunqRemove(l.get());
+    } else if (l->q_where == Lwp::kQSleep) {
+      SleepqRemove(l.get());
+    }
+  }
+  ChildUnlink(p);
+  PidHashRemove(p);
+  if (p->pt_all_prev != nullptr) {
+    p->pt_all_prev->pt_all_next = p->pt_all_next;
+  } else {
+    all_head_ = p->pt_all_next;
+  }
+  if (p->pt_all_next != nullptr) {
+    p->pt_all_next->pt_all_prev = p->pt_all_prev;
+  } else {
+    all_tail_ = p->pt_all_prev;
+  }
+  --nprocs_;
+  size_t bit = static_cast<size_t>(p->pid);
+  if (bit < pid_bitmap_.size() * 64) {
+    pid_bitmap_[bit / 64] &= ~(1ull << (bit % 64));
+  }
+  audit_watermark_.erase(p->ident);
+  delete p;
+}
+
 Proc* Kernel::AllocProc(const std::string& name, const Creds& creds, Proc* parent) {
-  auto p = std::make_unique<Proc>();
-  p->pid = next_pid_++;
+  Pid pid = AllocPid();
+  if (pid < 0) {
+    return nullptr;  // pid space exhausted: fork fails with EAGAIN
+  }
+  Proc* p = new Proc();
+  p->pid = pid;
+  p->ident = NextProcGen();
   p->ppid = parent ? parent->pid : 0;
   p->pgrp = parent ? parent->pgrp : p->pid;
   p->sid = parent ? parent->sid : p->pid;
@@ -91,29 +279,43 @@ Proc* Kernel::AllocProc(const std::string& name, const Creds& creds, Proc* paren
   p->psargs = name;
   p->creds = creds;
   p->start_tick = ticks_;
-  Proc* raw = p.get();
-  procs_.emplace(raw->pid, std::move(p));
-  return raw;
+  PidHashInsert(p);
+  if (all_tail_ == nullptr) {
+    all_head_ = p;
+    all_tail_ = p;
+  } else {
+    p->pt_all_prev = all_tail_;
+    all_tail_->pt_all_next = p;
+    all_tail_ = p;
+  }
+  ++nprocs_;
+  ChildLink(parent, p);
+  return p;
 }
 
 Proc* Kernel::CreateNativeProc(const Creds& creds, std::string name) {
   Proc* p = AllocProc(name, creds, init_);
-  p->native = true;
+  if (p != nullptr) {
+    p->native = true;
+  }
   return p;
 }
 
 Proc* Kernel::FindProc(Pid pid) {
-  auto it = procs_.find(pid);
-  if (it == procs_.end()) {
+  if (pid < 0) {
     return nullptr;
   }
-  return it->second.get();
+  Proc* p = pid_hash_[static_cast<size_t>(pid) & (pid_hash_.size() - 1)];
+  while (p != nullptr && p->pid != pid) {
+    p = p->pt_hash_next;
+  }
+  return p;
 }
 
 std::vector<Pid> Kernel::AllPids() const {
   std::vector<Pid> out;
-  out.reserve(procs_.size());
-  for (const auto& [pid, p] : procs_) {
+  out.reserve(nprocs_);
+  for (Pid pid = NextAllocatedPid(0); pid >= 0; pid = NextAllocatedPid(pid + 1)) {
     out.push_back(pid);
   }
   return out;
@@ -129,7 +331,7 @@ Result<int> Kernel::FdAlloc(Proc* p, OpenFilePtr of) {
       return static_cast<int>(i);
     }
   }
-  if (p->fds.size() >= 256) {
+  if (p->fds.size() >= fd_limit_) {
     of->refs--;
     return Errno::kEMFILE;
   }
@@ -334,6 +536,16 @@ Result<std::vector<DirEnt>> Kernel::ReadDir(Proc* /*p*/, const std::string& path
   return (*vp)->Readdir();
 }
 
+Result<size_t> Kernel::ReadDirChunk(Proc* /*p*/, const std::string& path,
+                                    uint64_t* cookie, size_t max,
+                                    std::vector<DirEnt>* out) {
+  auto vp = vfs_.Resolve(path);
+  if (!vp.ok()) {
+    return vp.error();
+  }
+  return (*vp)->ReaddirChunk(cookie, max, out);
+}
+
 Result<VAttr> Kernel::Stat(Proc* /*p*/, const std::string& path) {
   auto vp = vfs_.Resolve(path);
   if (!vp.ok()) {
@@ -417,37 +629,119 @@ Result<void> Kernel::InstallAout(const std::string& path, const Aout& image, uin
   return WriteFileAt(path, bytes, mode, uid, gid);
 }
 
+// --- Scheduler queues --------------------------------------------------------
+
+void Kernel::RunqInsert(Lwp* l) {
+  l->q_where = Lwp::kQRun;
+  ++runq_len_;
+  if (runq_next_ == nullptr) {
+    l->q_prev = l;
+    l->q_next = l;
+    runq_next_ = l;
+    return;
+  }
+  // Insert just before the cursor: the newcomer runs last in the current
+  // rotation, i.e. FIFO round-robin.
+  Lwp* at = runq_next_;
+  l->q_prev = at->q_prev;
+  l->q_next = at;
+  at->q_prev->q_next = l;
+  at->q_prev = l;
+}
+
+void Kernel::RunqRemove(Lwp* l) {
+  l->q_where = Lwp::kQNone;
+  --runq_len_;
+  if (l->q_next == l) {
+    runq_next_ = nullptr;
+  } else {
+    l->q_prev->q_next = l->q_next;
+    l->q_next->q_prev = l->q_prev;
+    if (runq_next_ == l) {
+      runq_next_ = l->q_next;
+    }
+  }
+  l->q_prev = nullptr;
+  l->q_next = nullptr;
+}
+
+size_t Kernel::SleepBucket(const void* chan) {
+  uintptr_t h = reinterpret_cast<uintptr_t>(chan);
+  h ^= h >> 9;  // channels are object addresses; mix out alignment zeros
+  return static_cast<size_t>((h * 0x9E3779B97F4A7C15ull) >> 32) &
+         (kSleepBuckets - 1);
+}
+
+void Kernel::SleepqInsert(Lwp* l) {
+  size_t b = SleepBucket(l->sleep.chan);
+  l->q_where = Lwp::kQSleep;
+  l->q_prev = nullptr;
+  l->q_next = sleepq_[b];
+  if (sleepq_[b] != nullptr) {
+    sleepq_[b]->q_prev = l;
+  }
+  sleepq_[b] = l;
+}
+
+void Kernel::SleepqRemove(Lwp* l) {
+  size_t b = SleepBucket(l->sleep.chan);
+  if (l->q_prev != nullptr) {
+    l->q_prev->q_next = l->q_next;
+  } else {
+    sleepq_[b] = l->q_next;
+  }
+  if (l->q_next != nullptr) {
+    l->q_next->q_prev = l->q_prev;
+  }
+  l->q_prev = nullptr;
+  l->q_next = nullptr;
+  l->q_where = Lwp::kQNone;
+}
+
+void Kernel::LwpSetState(Lwp* l, LwpState ns) {
+  if (l->state == ns) {
+    return;
+  }
+  if (l->q_where == Lwp::kQRun) {
+    RunqRemove(l);
+  } else if (l->q_where == Lwp::kQSleep) {
+    // Dequeue before anything can overwrite l->sleep: the bucket is keyed
+    // on the channel the lwp went to sleep on.
+    SleepqRemove(l);
+  }
+  l->state = ns;
+  if (ns == LwpState::kRunning) {
+    Proc* p = l->proc;
+    if (p->state == Proc::State::kActive && !p->native && !p->system_proc) {
+      RunqInsert(l);
+    }
+  } else if (ns == LwpState::kSleeping && l->sleep.chan != nullptr) {
+    SleepqInsert(l);
+  }
+}
+
+void Kernel::EnrollLwp(Lwp* l) {
+  // A freshly constructed lwp is kRunning by default and has never passed
+  // through LwpSetState; put it on the run queue if it is schedulable.
+  Proc* p = l->proc;
+  if (l->state == LwpState::kRunning && l->q_where == Lwp::kQNone &&
+      p->state == Proc::State::kActive && !p->native && !p->system_proc) {
+    RunqInsert(l);
+  }
+}
+
 // --- Scheduling -----------------------------------------------------------------
 
 Lwp* Kernel::PickNext() {
-  if (procs_.empty()) {
-    return nullptr;
-  }
   if (chaos_) {
     return PickNextChaos();
   }
-  // Round-robin over processes starting just past the last scheduled pid.
-  auto start = procs_.upper_bound(rr_pid_);
-  for (size_t scanned = 0; scanned <= procs_.size(); ++scanned) {
-    if (start == procs_.end()) {
-      start = procs_.begin();
-    }
-    Proc* p = start->second.get();
-    if (p->state == Proc::State::kActive && !p->native && !p->system_proc) {
-      int nlwps = static_cast<int>(p->lwps.size());
-      for (int k = 0; k < nlwps; ++k) {
-        int idx = (rr_lwp_ + k + (p->pid == rr_pid_ ? 1 : 0)) % std::max(nlwps, 1);
-        Lwp* l = p->lwps[idx].get();
-        if (l->state == LwpState::kRunning) {
-          rr_pid_ = p->pid;
-          rr_lwp_ = idx;
-          return l;
-        }
-      }
-    }
-    ++start;
+  Lwp* pick = runq_next_;
+  if (pick == nullptr) {
+    return nullptr;
   }
-  return nullptr;
+  runq_next_ = pick->q_next;
+  return pick;
 }
 
 // A heap entry is live iff the process/lwp timer state still matches its
@@ -485,7 +779,7 @@ void Kernel::FireDueTimers() {
     } else {
       Lwp* l = p->FindLwp(ev.lwpid);
       if (l != nullptr && l->state == LwpState::kSleeping && l->sleep.wake_tick == ev.tick) {
-        l->state = LwpState::kRunning;
+        LwpSetState(l, LwpState::kRunning);
         ++counters_.timer_events;
       }
     }
@@ -519,14 +813,13 @@ void Kernel::DrainReapList() {
   while (!reap_list_.empty()) {
     Pid pid = reap_list_.back();
     reap_list_.pop_back();
-    auto it = procs_.find(pid);
-    if (it == procs_.end()) {
+    Proc* p = FindProc(pid);
+    if (p == nullptr) {
       continue;  // already reaped (e.g. by an explicit wait)
     }
-    Proc* p = it->second.get();
     if (p->state == Proc::State::kZombie &&
         (p->ppid == init_->pid || FindProc(p->ppid) == nullptr)) {
-      procs_.erase(it);
+      FreeProc(p);
       ++counters_.reaps;
     }
   }
@@ -556,17 +849,7 @@ bool Kernel::Step() {
     // A context switch: record who ran before and sample run-queue depth
     // (the count includes the lwp just picked). Once per switch, not per
     // quantum, so an idle single-process system stays quiet.
-    uint32_t depth = 0;
-    for (auto& [pid2, p2] : procs_) {
-      if (p2->state != Proc::State::kActive || p2->native || p2->system_proc) {
-        continue;
-      }
-      for (auto& l2 : p2->lwps) {
-        if (l2->state == LwpState::kRunning) {
-          ++depth;
-        }
-      }
-    }
+    uint32_t depth = static_cast<uint32_t>(runq_len_);
     kt_.Emit(KtEvent::kSchedSwitch, lwp->proc->pid, lwp->lwpid,
              static_cast<uint32_t>(last_sched_pid_), depth);
     last_sched_pid_ = lwp->proc->pid;
@@ -793,7 +1076,7 @@ void Kernel::ExecuteLwpBlocks(Lwp* lwp, int budget) {
 std::string Kernel::ExecEngineMetricsText() const {
   BlockStats total;
   std::set<const AddressSpace*> seen;
-  for (const auto& [pid, p] : procs_) {
+  for (const Proc* p = all_head_; p != nullptr; p = p->pt_all_next) {
     if (!p->as || !seen.insert(p->as.get()).second) {
       continue;
     }
@@ -826,12 +1109,15 @@ void Kernel::Wakeup(const void* chan) {
   if (chan == nullptr) {
     return;
   }
-  for (auto& [pid, p] : procs_) {
-    for (auto& l : p->lwps) {
-      if (l->state == LwpState::kSleeping && l->sleep.chan == chan) {
-        l->state = LwpState::kRunning;
-      }
+  // Walk only the sleep bucket this channel hashes to; waking an lwp moves
+  // it off the bucket list, so save the link first.
+  Lwp* l = sleepq_[SleepBucket(chan)];
+  while (l != nullptr) {
+    Lwp* next = l->q_next;
+    if (l->sleep.chan == chan) {
+      LwpSetState(l, LwpState::kRunning);
     }
+    l = next;
   }
 }
 
@@ -1022,7 +1308,7 @@ Kernel::SysResult Kernel::SysSigreturn(Lwp* lwp) {
 }
 
 void Kernel::StopLwp(Lwp* lwp, uint16_t why, uint16_t what, bool istop) {
-  lwp->state = LwpState::kStopped;
+  LwpSetState(lwp, LwpState::kStopped);
   lwp->stop_why = why;
   lwp->stop_what = what;
   lwp->istop = istop;
@@ -1048,11 +1334,13 @@ void Kernel::ResumeLwp(Lwp* lwp) {
   lwp->istop = false;
   if (lwp->stopped_while_asleep) {
     lwp->stopped_while_asleep = false;
+    // Restore the channel before the transition so the sleep-bucket insert
+    // hashes the channel the lwp is actually sleeping on.
     lwp->sleep = lwp->saved_sleep;
-    lwp->state = LwpState::kSleeping;
+    LwpSetState(lwp, LwpState::kSleeping);
     ArmSleepTimer(lwp);  // the heap entry went stale while it was stopped
   } else {
-    lwp->state = LwpState::kRunning;
+    LwpSetState(lwp, LwpState::kRunning);
   }
 }
 
@@ -1137,7 +1425,7 @@ void Kernel::PostSignal(Proc* p, int sig, const SigInfo& info) {
   for (auto& l : p->lwps) {
     if (l->state == LwpState::kSleeping && l->sleep.interruptible) {
       l->interrupted = true;
-      l->state = LwpState::kRunning;
+      LwpSetState(l.get(), LwpState::kRunning);
     }
   }
 }
@@ -1463,11 +1751,11 @@ Result<void> Kernel::Kill(Proc* sender, Pid pid, int sig) {
   // Process group: pid == 0 means the sender's group, negative a named one.
   Pid pgrp = pid == 0 ? sender->pgrp : -pid;
   bool hit = false;
-  for (auto& [id, p] : procs_) {
+  for (Proc* p = all_head_; p != nullptr; p = p->pt_all_next) {
     if (p->pgrp == pgrp && p->state == Proc::State::kActive && !p->system_proc &&
         !p->native) {
-      if (permitted(p.get())) {
-        send_one(p.get());
+      if (permitted(p)) {
+        send_one(p);
         hit = true;
       }
     }
@@ -1477,8 +1765,12 @@ Result<void> Kernel::Kill(Proc* sender, Pid pid, int sig) {
 
 bool Kernel::WaitScan(Proc* parent, Pid filter, WaitResult* out, bool* any_children) {
   *any_children = false;
-  for (auto& [pid, p] : procs_) {
-    if (p->ppid != parent->pid || p.get() == parent) {
+  // O(children of parent), not O(all procs): walk the intrusive children
+  // list. ReapZombie frees the child, so hold the sibling link first.
+  Proc* next = nullptr;
+  for (Proc* p = parent->pt_first_child; p != nullptr; p = next) {
+    next = p->pt_sib_next;
+    if (p->ppid != parent->pid || p == parent) {
       continue;
     }
     if (filter > 0 && p->pid != filter) {
@@ -1488,7 +1780,7 @@ bool Kernel::WaitScan(Proc* parent, Pid filter, WaitResult* out, bool* any_child
     if (p->state == Proc::State::kZombie) {
       out->pid = p->pid;
       out->status = p->exit_status;
-      ReapZombie(p.get(), parent);
+      ReapZombie(p, parent);
       return true;
     }
     // ptrace: a stop is reported to the parent via wait(2).

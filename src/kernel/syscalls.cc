@@ -80,8 +80,9 @@ void Kernel::ContinueSyscall(Lwp* lwp) {
         return;  // exit(2) or a fatal signal consumed the process
       }
       if (r.kind == SysResult::kBlock) {
+        // Set the channel before the transition: the sleep bucket hashes it.
         lwp->sleep = r.sleep;
-        lwp->state = LwpState::kSleeping;
+        LwpSetState(lwp, LwpState::kSleeping);
         ArmSleepTimer(lwp);
         return;
       }
@@ -687,7 +688,9 @@ Kernel::SysResult Kernel::SysLwpCreate(Lwp* lwp) {
   nl->regs.set_sp(sp);
   nl->regs.r[1] = static_cast<uint32_t>(nl->lwpid);
   int id = nl->lwpid;
+  Lwp* raw = nl.get();
   p->lwps.push_back(std::move(nl));
+  EnrollLwp(raw);
   return SysResult::Ok(static_cast<uint32_t>(id));
 }
 
@@ -704,7 +707,7 @@ Kernel::SysResult Kernel::SysLwpExit(Lwp* lwp) {
     ExitProc(p, WExitStatus(0));
     return SysResult::Ok(0);
   }
-  lwp->state = LwpState::kDead;
+  LwpSetState(lwp, LwpState::kDead);
   return SysResult::Ok(0);
 }
 
@@ -712,7 +715,7 @@ Kernel::SysResult Kernel::SysPoll(Lwp* lwp) {
   Proc* p = lwp->proc;
   uint32_t fds_va = lwp->sysargs[0];
   uint32_t nfds = lwp->sysargs[1];
-  if (nfds > kPollMaxFds) {
+  if (nfds > poll_max_fds_) {
     // Truncating would silently drop entries and never write their revents
     // back; poll(2) specifies EINVAL for an over-limit nfds.
     return SysResult::Fail(Errno::kEINVAL);

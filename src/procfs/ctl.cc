@@ -34,12 +34,15 @@ RunArgs ToRunArgs(const PrRun& r) {
 PrCtlAudit BuildPrCtlAudit(const Proc* p) {
   PrCtlAudit a;
   const TraceState& t = p->trace;
+  if (t.audit == nullptr) {
+    return a;  // ring never allocated: no control op has run
+  }
   a.pr_total = t.audit_total;
   uint64_t n = std::min<uint64_t>(t.audit_total, kCtlAuditCap);
   a.pr_n = static_cast<uint32_t>(n);
   uint64_t start = t.audit_total - n;
   for (uint64_t i = 0; i < n; ++i) {
-    a.pr_rec[i] = t.audit[(start + i) % kCtlAuditCap];
+    a.pr_rec[i] = (*t.audit)[(start + i) % kCtlAuditCap];
   }
   return a;
 }
@@ -434,6 +437,23 @@ Result<int32_t> OpKstat(CtlCtx& c, void* arg) {
   return 0;
 }
 
+Result<int32_t> OpPsAll(CtlCtx& c, void* arg) {
+  // Kernel-wide bulk snapshot: one descriptor, one operation, ps info for
+  // the whole population in ascending pid order (zombies included — they
+  // are exactly what ps must still show).
+  auto* all = static_cast<PrPsAll*>(arg);
+  all->pr_procs.clear();
+  all->pr_procs.reserve(c.k->ProcCount());
+  for (Pid pid = c.k->NextAllocatedPid(0); pid >= 0;
+       pid = c.k->NextAllocatedPid(pid + 1)) {
+    Proc* p = c.k->FindProc(pid);
+    if (p != nullptr) {
+      all->pr_procs.push_back(BuildPrPsinfo(*c.k, p));
+    }
+  }
+  return static_cast<int32_t>(all->pr_procs.size());
+}
+
 // --- The table --------------------------------------------------------------
 
 constexpr int32_t kNoPc = -1;
@@ -552,9 +572,11 @@ const CtlOp kCtlOps[] = {
      true, true, false, false, false, kNoPc, 0, nullptr, OpAudit},
     {"PIOCKSTAT", PIOCKSTAT, kNoPc, CtlArgKind::kOut, -1,
      true, true, false, false, false, kNoPc, 0, nullptr, OpKstat},
+    {"PIOCPSALL", PIOCPSALL, kNoPc, CtlArgKind::kOut, -1,
+     true, true, false, false, false, kNoPc, 0, nullptr, OpPsAll},
 };
 
-// Both code spaces are dense — PIOC codes are kPiocBase|1..46, PC codes
+// Both code spaces are dense — PIOC codes are kPiocBase|1..47, PC codes
 // 0..20 — so the indexes are direct-addressed arrays: dispatch stays on
 // par with the switch statements the table replaced.
 constexpr int kPiocSlots = 64;
@@ -583,7 +605,12 @@ const CtlIndex& Index() {
 
 void AppendAudit(const CtlCtx& ctx, const CtlOp& op, const Result<int32_t>& r) {
   TraceState& t = ctx.p->trace;
-  CtlAuditRec& rec = t.audit[t.audit_total % kCtlAuditCap];
+  if (t.audit == nullptr) {
+    // Lazily allocated: most of a large population is never controlled, so
+    // paying 2.5KB of ring per proc up front would dominate Proc's footprint.
+    t.audit = std::make_unique<std::array<CtlAuditRec, kCtlAuditCap>>();
+  }
+  CtlAuditRec& rec = (*t.audit)[t.audit_total % kCtlAuditCap];
   std::strncpy(rec.pr_op, op.name, sizeof(rec.pr_op) - 1);  // NUL-pads the slot
   rec.pr_op[sizeof(rec.pr_op) - 1] = '\0';
   rec.pr_caller = ctx.caller != nullptr ? ctx.caller->pid : 0;

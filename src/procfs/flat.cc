@@ -75,7 +75,7 @@ Result<VAttr> ProcDirVnode::GetAttr() {
   VAttr a;
   a.type = VType::kDir;
   a.mode = 0555;
-  a.size = kernel_->AllPids().size();
+  a.size = kernel_->ProcCount();
   a.nlink = 2;
   return a;
 }
@@ -106,11 +106,38 @@ Result<std::vector<DirEnt>> ProcDirVnode::Readdir() {
   return out;
 }
 
+Result<size_t> ProcDirVnode::ReaddirChunk(uint64_t* cookie, size_t max,
+                                          std::vector<DirEnt>* out) {
+  // The cookie is the next pid to consider, so the cursor survives any
+  // amount of fork/exit between calls: a pid created behind the cursor is
+  // skipped, one created ahead is picked up, and nothing repeats because
+  // the cursor only moves forward. O(chunk), never O(population).
+  Pid next = static_cast<Pid>(*cookie);
+  size_t n = 0;
+  while (n < max) {
+    Pid pid = kernel_->NextAllocatedPid(next);
+    if (pid < 0) {
+      break;
+    }
+    out->push_back(DirEnt{PidName(pid), VType::kProc});
+    ++n;
+    next = pid + 1;
+  }
+  *cookie = static_cast<uint64_t>(next);
+  return n;
+}
+
 // --- Process file -------------------------------------------------------------
 
 Result<Proc*> ProcVnode::Target(const OpenFile& of) const {
   Proc* p = kernel_->FindProc(pid_);
   if (p == nullptr) {
+    return Errno::kENOENT;
+  }
+  if (of.pr_ident != p->ident) {
+    // Pid wraparound: the process this descriptor named is gone and the pid
+    // now belongs to a stranger. The descriptor dangles exactly as if the
+    // pid were free.
     return Errno::kENOENT;
   }
   if (of.pr_gen != p->trace.gen) {
@@ -162,6 +189,7 @@ Result<void> ProcVnode::Open(OpenFile& of, const Creds& cr, Proc* caller) {
   }
   ++p->trace.total_opens;
   of.pr_gen = p->trace.gen;
+  of.pr_ident = p->ident;
   of.priv = priv;
   kernel_->ktrace().Emit(KtEvent::kProcOpen, p->pid, 0,
                          static_cast<uint32_t>(priv->opener), of.writable ? 1 : 0);
@@ -171,6 +199,11 @@ Result<void> ProcVnode::Open(OpenFile& of, const Creds& cr, Proc* caller) {
 void ProcVnode::Close(OpenFile& of) {
   Proc* p = kernel_->FindProc(pid_);
   if (p == nullptr) {
+    return;
+  }
+  if (of.pr_ident != p->ident) {
+    // A reused pid: this descriptor was never counted in the successor's
+    // ledger, so its close must not touch it.
     return;
   }
   if (of.pr_gen != p->trace.gen) {
@@ -227,7 +260,7 @@ Result<int64_t> ProcVnode::Write(OpenFile& of, uint64_t off, std::span<const uin
 
 int ProcVnode::Poll(OpenFile& of) {
   Proc* p = kernel_->FindProc(pid_);
-  if (p == nullptr || of.pr_gen != p->trace.gen) {
+  if (p == nullptr || of.pr_ident != p->ident || of.pr_gen != p->trace.gen) {
     return POLLNVAL;
   }
   if (p->state == Proc::State::kZombie) {

@@ -112,6 +112,7 @@ class Pr2FileVnode : public Vnode {
     }
     ++p->trace.total_opens;
     of.pr_gen = p->trace.gen;
+    of.pr_ident = p->ident;
     of.priv = priv;
     kernel_->ktrace().Emit(
         KtEvent::kProcOpen, p->pid, 0,
@@ -123,6 +124,11 @@ class Pr2FileVnode : public Vnode {
   void Close(OpenFile& of) override {
     Proc* p = kernel_->FindProc(pid_);
     if (p == nullptr) {
+      return;
+    }
+    if (of.pr_ident != p->ident) {
+      // The pid was reused: the successor's ledger never counted this
+      // descriptor, so its close must leave it alone.
       return;
     }
     auto* priv = static_cast<Pr2Priv*>(of.priv.get());
@@ -235,7 +241,7 @@ class Pr2FileVnode : public Vnode {
 
   int Poll(OpenFile& of) override {
     Proc* p = kernel_->FindProc(pid_);
-    if (p == nullptr || of.pr_gen != p->trace.gen) {
+    if (p == nullptr || of.pr_ident != p->ident || of.pr_gen != p->trace.gen) {
       return POLLNVAL;
     }
     if (p->state == Proc::State::kZombie) {
@@ -250,6 +256,11 @@ class Pr2FileVnode : public Vnode {
   Result<Proc*> Target(const OpenFile& of) const {
     Proc* p = kernel_->FindProc(pid_);
     if (p == nullptr) {
+      return Errno::kENOENT;
+    }
+    if (of.pr_ident != p->ident) {
+      // Pid wraparound: the descriptor's process is gone, and the pid now
+      // names a stranger.
       return Errno::kENOENT;
     }
     if (of.pr_gen != p->trace.gen) {
@@ -304,6 +315,7 @@ class Pr2LwpFileVnode : public Vnode {
     priv->opener = caller;
     of.priv = priv;
     of.pr_gen = p->trace.gen;
+    of.pr_ident = p->ident;
     return Result<void>::Ok();
   }
 
@@ -312,7 +324,7 @@ class Pr2LwpFileVnode : public Vnode {
       return Errno::kEACCES;
     }
     Proc* p = kernel_->FindProc(pid_);
-    if (p == nullptr || of.pr_gen != p->trace.gen) {
+    if (p == nullptr || of.pr_ident != p->ident || of.pr_gen != p->trace.gen) {
       return Errno::kENOENT;
     }
     Lwp* l = p->FindLwp(lwpid_);
@@ -328,7 +340,7 @@ class Pr2LwpFileVnode : public Vnode {
       return Errno::kEACCES;
     }
     Proc* p = kernel_->FindProc(pid_);
-    if (p == nullptr || of.pr_gen != p->trace.gen) {
+    if (p == nullptr || of.pr_ident != p->ident || of.pr_gen != p->trace.gen) {
       return Errno::kENOENT;
     }
     Lwp* l = p->FindLwp(lwpid_);
@@ -590,6 +602,53 @@ class Pr2KmetricsVnode : public Vnode {
   Kernel* kernel_;
 };
 
+// /proc2/kernel/psall: the bulk population snapshot as packed PrPsinfo
+// records, ascending pid order, zombies included — the read(2) face of
+// PIOCPSALL. One open+read covers the whole process table; the per-pid
+// alternative costs four name resolutions per process.
+class Pr2PsallVnode : public Vnode {
+ public:
+  explicit Pr2PsallVnode(Kernel* k) : kernel_(k) {}
+
+  VType type() const override { return VType::kProc; }
+  Result<VAttr> GetAttr() override {
+    VAttr a;
+    a.type = VType::kProc;
+    a.mode = 0444;
+    a.size = kernel_->ProcCount() * sizeof(PrPsinfo);
+    return a;
+  }
+  Result<void> Open(OpenFile& of, const Creds& /*cr*/, Proc* /*caller*/) override {
+    if (of.writable) {
+      return Errno::kEACCES;
+    }
+    return Result<void>::Ok();
+  }
+  Result<int64_t> Read(OpenFile& /*of*/, uint64_t off, std::span<uint8_t> buf) override {
+    // Rebuilt per read: each read(2) is a fresh snapshot, like the other
+    // kernel-dir files. A reader paging through with a growing offset sees
+    // each record torn-free (PrPsinfo is trivially copyable and records are
+    // only appended in pid order), though procs that exit mid-pagination
+    // may shift later records — same contract as ps(1) over readdir.
+    std::vector<uint8_t> bytes;
+    bytes.reserve(kernel_->ProcCount() * sizeof(PrPsinfo));
+    for (Pid pid = kernel_->NextAllocatedPid(0); pid >= 0;
+         pid = kernel_->NextAllocatedPid(pid + 1)) {
+      Proc* p = kernel_->FindProc(pid);
+      if (p == nullptr) {
+        continue;
+      }
+      PrPsinfo ps = BuildPrPsinfo(*kernel_, p);
+      const auto* raw = reinterpret_cast<const uint8_t*>(&ps);
+      bytes.insert(bytes.end(), raw, raw + sizeof(ps));
+    }
+    return ServeBytes(bytes, off, buf);
+  }
+
+ private:
+  Kernel* kernel_;
+};
+
 // /proc2/kernel: kernel-wide (process-independent) introspection files.
 class Pr2KernelDirVnode : public Vnode {
  public:
@@ -613,12 +672,16 @@ class Pr2KernelDirVnode : public Vnode {
     if (name == "metrics") {
       return VnodePtr(std::make_shared<Pr2KmetricsVnode>(kernel_));
     }
+    if (name == "psall") {
+      return VnodePtr(std::make_shared<Pr2PsallVnode>(kernel_));
+    }
     return Errno::kENOENT;
   }
   Result<std::vector<DirEnt>> Readdir() override {
     return std::vector<DirEnt>{{"faults", VType::kProc},
                                {"trace", VType::kProc},
-                               {"metrics", VType::kProc}};
+                               {"metrics", VType::kProc},
+                               {"psall", VType::kProc}};
   }
 
  private:
@@ -631,7 +694,7 @@ Result<VAttr> Pr2RootVnode::GetAttr() {
   VAttr a;
   a.type = VType::kDir;
   a.mode = 0555;
-  a.size = kernel_->AllPids().size();
+  a.size = kernel_->ProcCount();
   a.nlink = 2;
   return a;
 }
@@ -663,6 +726,31 @@ Result<std::vector<DirEnt>> Pr2RootVnode::Readdir() {
     out.push_back(DirEnt{PidName(pid), VType::kDir});
   }
   return out;
+}
+
+Result<size_t> Pr2RootVnode::ReaddirChunk(uint64_t* cookie, size_t max,
+                                          std::vector<DirEnt>* out) {
+  // Cookie 0 = start (emit "kernel" first); otherwise cookie-1 is the next
+  // pid to consider. Same churn-stability contract as the flat root: the
+  // cursor is a pid, so entries never repeat and survivors always appear.
+  size_t n = 0;
+  if (*cookie == 0 && n < max) {
+    out->push_back(DirEnt{"kernel", VType::kDir});
+    ++n;
+    *cookie = 1;
+  }
+  Pid next = static_cast<Pid>(*cookie - 1);
+  while (n < max) {
+    Pid pid = kernel_->NextAllocatedPid(next);
+    if (pid < 0) {
+      break;
+    }
+    out->push_back(DirEnt{PidName(pid), VType::kDir});
+    ++n;
+    next = pid + 1;
+  }
+  *cookie = static_cast<uint64_t>(next) + 1;
+  return n;
 }
 
 Result<void> MountProcFs2(Kernel& k, const std::string& path) {

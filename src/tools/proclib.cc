@@ -293,6 +293,12 @@ Result<PrKstat> ProcHandle::Kstat() {
   return ks;
 }
 
+Result<std::vector<PrPsinfo>> ProcHandle::PsinfoAll() {
+  PrPsAll a;
+  SVR4_RETURN_IF_ERROR(Io(PIOCPSALL, &a));
+  return std::move(a.pr_procs);
+}
+
 Result<PrTrace> ProcHandle::Trace() {
   char path[64];
   std::snprintf(path, sizeof(path), "/proc2/%05d/trace", pid_);

@@ -7,23 +7,41 @@
 namespace svr4 {
 
 Result<std::vector<PrPsinfo>> PsSnapshot(Kernel& k, Proc* caller) {
-  auto ents = k.ReadDir(caller, "/proc");
-  if (!ents.ok()) {
-    return ents.error();
-  }
   std::vector<PrPsinfo> out;
-  for (const auto& e : *ents) {
-    Pid pid = static_cast<Pid>(std::strtol(e.name.c_str(), nullptr, 10));
-    auto h = ProcHandle::Grab(k, caller, pid, O_RDONLY);
-    if (!h.ok()) {
-      continue;  // raced with exit, or not permitted
+  uint64_t cookie = 0;
+  std::vector<DirEnt> ents;
+  for (;;) {
+    ents.clear();
+    auto n = k.ReadDirChunk(caller, "/proc", &cookie, 256, &ents);
+    if (!n.ok()) {
+      return n.error();
     }
-    auto ps = h->Psinfo();
-    if (ps.ok()) {
-      out.push_back(*ps);
+    if (*n == 0) {
+      break;
+    }
+    for (const auto& e : ents) {
+      Pid pid = static_cast<Pid>(std::strtol(e.name.c_str(), nullptr, 10));
+      auto h = ProcHandle::Grab(k, caller, pid, O_RDONLY);
+      if (!h.ok()) {
+        continue;  // raced with exit, or not permitted
+      }
+      auto ps = h->Psinfo();
+      if (ps.ok()) {
+        out.push_back(*ps);
+      }
     }
   }
   return out;
+}
+
+Result<std::vector<PrPsinfo>> PsSnapshotAll(Kernel& k, Proc* caller) {
+  // Any live pid serves as the handle; the caller's own entry always exists.
+  Pid handle_pid = caller != nullptr ? caller->pid : k.init_proc()->pid;
+  auto h = ProcHandle::Grab(k, caller, handle_pid, O_RDONLY);
+  if (!h.ok()) {
+    return h.error();
+  }
+  return h->PsinfoAll();
 }
 
 Result<std::string> PsFormat(Kernel& k, Proc* caller, const PsOptions& opts) {

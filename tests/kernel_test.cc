@@ -964,9 +964,11 @@ TEST(KernelNative, NativeWaitReapsSpawnedChild) {
 
 TEST(KernelPoll, NfdsAboveLimitIsEinval) {
   Sim sim;
-  // Regression: nfds beyond kPollMaxFds used to be silently clamped to 64,
+  // Regression: nfds beyond the cap used to be silently clamped to 64,
   // making poll report on a truncated set while claiming success. It must
-  // fail loudly instead.
+  // fail loudly instead. The cap is configurable now; pin the historical
+  // value so the old boundary keeps being exercised.
+  sim.kernel().SetPollMaxFds(64);
   int st = RunProgram(sim, R"(
       ldi r0, SYS_poll
       ldi r1, pfd
@@ -1023,6 +1025,57 @@ err:  mov r1, r0
       sys
       .bss
 pfd:  .space 768
+  )");
+  EXPECT_TRUE(WIfExited(st));
+  EXPECT_EQ(WExitCode(st), 0);
+}
+
+TEST(KernelPoll, ConfiguredCapMovesTheBoundary) {
+  Sim sim;
+  // The cap is a knob, not a constant: with it raised to 128, the old
+  // boundary (65 fds) is legal and the new one (129) is the EINVAL line.
+  sim.kernel().SetPollMaxFds(128);
+  int st = RunProgram(sim, R"(
+      ; fill 65 pollfd slots: fd=99 (invalid), events=POLLIN
+      ldi r4, pfd
+      ldi r8, 65
+fill: ldi r5, 99
+      stw r5, [r4]
+      ldi r5, 1
+      stw r5, [r4+4]
+      addi r4, 12
+      ldi r5, 1
+      sub r8, r5
+      cmpi r8, 0
+      jnz fill
+      ldi r0, SYS_poll
+      ldi r1, pfd
+      ldi r2, 65          ; old cap + 1: legal under the raised cap
+      ldi r3, 0
+      sys
+      jcs err
+      cmpi r0, 65         ; every slot reports POLLNVAL
+      jnz bad
+      ldi r0, SYS_poll
+      ldi r1, pfd
+      ldi r2, 129         ; new cap + 1: the EINVAL line moved with the knob
+      ldi r3, 0
+      sys
+      jcs chk
+      jmp bad
+chk:  cmpi r0, 22         ; EINVAL
+      jnz bad
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+bad:  ldi r0, SYS_exit
+      ldi r1, 1
+      sys
+err:  mov r1, r0
+      ldi r0, SYS_exit
+      sys
+      .bss
+pfd:  .space 780
   )");
   EXPECT_TRUE(WIfExited(st));
   EXPECT_EQ(WExitCode(st), 0);
