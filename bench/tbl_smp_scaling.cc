@@ -1,0 +1,95 @@
+// T-SMP: aggregate simulated-execution throughput as the CPU count grows.
+// Deterministic mode interleaves per-CPU quanta on the calling thread — its
+// value is replayable multi-queue scheduling, and its throughput must stay
+// flat (no regression from the per-CPU machinery). Free-running mode farms
+// user execution chunks out to real worker threads, one per simulated CPU,
+// and is where the wall-clock scaling comes from: independent address
+// spaces, no armed hooks, block engine on. EXPERIMENTS.md records the
+// scaling table; CI asserts the 4-CPU free-running row beats uniprocessor
+// by the documented floor.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench_json.h"
+
+#include "svr4proc/kernel/smp.h"
+#include "svr4proc/tools/sim.h"
+
+using namespace svr4;
+
+namespace {
+
+// The same load/store-heavy loop tbl_exec_throughput measures: every
+// iteration fetches 7 instructions and touches memory twice, so per-CPU
+// TLB banks and the block cache both stay on the hot path.
+constexpr char kComputeLoop[] = R"(
+loop: ldi r4, var
+      ldw r5, [r4]
+      addi r5, 1
+      stw r5, [r4]
+      ldw r6, [r4]
+      add r7, r6
+      jmp loop
+      .data
+var:  .word 0
+)";
+
+// One spinning process per simulated CPU at the widest topology: every
+// run queue stays populated, so the measurement is pure execution scaling,
+// not steal-path churn.
+constexpr int kProcs = 8;
+
+// range(0): simulated CPU count.
+// range(1): 0 = deterministic (round-robin stepping), 1 = free-running
+// (worker threads execute user chunks in parallel).
+void BM_SmpScaling(benchmark::State& state) {
+  const int ncpus = static_cast<int>(state.range(0));
+  const bool free_run = state.range(1) != 0;
+  Sim sim;
+  Kernel& k = sim.kernel();
+  k.SetNumCpus(ncpus);
+  k.SetSmpMode(free_run ? SmpMode::kFreeRun : SmpMode::kDeterministic);
+  (void)*sim.InstallProgram("/bin/loop", kComputeLoop);
+  for (int i = 0; i < kProcs; ++i) {
+    (void)*sim.Start("/bin/loop");
+  }
+  // Warm the block caches and spread the lwps before timing.
+  for (int i = 0; i < 4 * kProcs; ++i) {
+    k.Step();
+  }
+  const uint64_t before = k.counters().instructions;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      k.Step();
+    }
+  }
+  const uint64_t executed = k.counters().instructions - before;
+  state.SetItemsProcessed(static_cast<int64_t>(executed));
+  state.SetLabel(std::string("ncpus=") + std::to_string(ncpus) +
+                 (free_run ? " mode=free" : " mode=det"));
+
+  uint64_t steals = 0, quanta = 0;
+  for (int i = 0; i < k.smp().ncpus(); ++i) {
+    steals += k.smp().cpu(i).stats.steals;
+    quanta += k.smp().cpu(i).stats.quanta;
+  }
+  state.counters["steals"] = static_cast<double>(steals);
+  state.counters["quanta"] = static_cast<double>(quanta);
+  state.counters["ipis"] = static_cast<double>(k.smp().TotalIpisSent());
+}
+BENCHMARK(BM_SmpScaling)
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->UseRealTime();
+
+}  // namespace
+
+SVR4_BENCH_MAIN("tbl_smp_scaling")

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -157,6 +158,9 @@ class FileVmObject : public VmObject {
 
  private:
   VnodePtr file_;
+  // Two address spaces mapping the same file share this object (the vnode
+  // caches it); free-running CPUs can fault its pages concurrently.
+  std::mutex mu_;
   std::map<uint64_t, PagePtr> cache_;
 };
 

@@ -32,6 +32,9 @@ class KTrace;
 //   kTlbFlush           whole-TLB invalidation forced before a quantum
 //   kSpuriousWakeup     Wakeup(PollChan()) with nothing actually ready
 //   kDelayedStop        issig() defers delivery of a pending stop directive
+//   kIpiDelay           a CPU's pending cross-CPU interrupts go one more
+//                       quantum unacknowledged (models slow IPI delivery;
+//                       generation-based invalidation keeps it safe)
 enum class FaultSite : int {
   kCopyin = 0,
   kCopyout,
@@ -43,8 +46,9 @@ enum class FaultSite : int {
   kTlbFlush,
   kSpuriousWakeup,
   kDelayedStop,
+  kIpiDelay,
 };
-inline constexpr int kFaultSiteCount = 10;
+inline constexpr int kFaultSiteCount = 11;
 
 const char* FaultSiteName(FaultSite s);
 

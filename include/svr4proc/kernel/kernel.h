@@ -32,6 +32,7 @@
 #include "svr4proc/kernel/faults.h"
 #include "svr4proc/kernel/ktrace.h"
 #include "svr4proc/kernel/process.h"
+#include "svr4proc/kernel/smp.h"
 #include "svr4proc/kernel/syscall.h"
 
 namespace svr4 {
@@ -243,6 +244,24 @@ class Kernel {
   // in /proc2/kernel/metrics format (one "name value" line each).
   std::string ExecEngineMetricsText() const;
 
+  // --- Simulated SMP (kernel/smp.h) ------------------------------------------
+  // Number of simulated CPUs, default 1 (bit-identical to the uniprocessor
+  // kernel). Runnable lwps are redistributed round-robin over the new CPU
+  // set; live address spaces get one TLB bank per CPU. The constructor
+  // honors SVR4PROC_NCPUS and SVR4PROC_SMP_MODE ("det"/"free") so CI sweeps
+  // can pin a topology without code changes. Clamped to [1, kMaxCpus].
+  void SetNumCpus(int n);
+  int ncpus() const { return smp_.ncpus(); }
+  // Deterministic round-robin stepping (default) vs free-running
+  // std::thread workers. Free-running only engages with ncpus > 1 and no
+  // observation hooks armed; otherwise Step() takes the deterministic path.
+  void SetSmpMode(SmpMode m) { smp_.set_mode(m); }
+  SmpMode smp_mode() const { return smp_.mode(); }
+  SmpState& smp() { return smp_; }
+  const SmpState& smp() const { return smp_; }
+  // Per-CPU stats rendered for /proc2/kernel/cpus.
+  std::string CpuStatsText() const;
+
   // --- Simulation control ----------------------------------------------------
   // Executes one scheduling quantum. Returns false when nothing can run
   // (no runnable lwps and no timed sleepers).
@@ -285,10 +304,28 @@ class Kernel {
     }
   };
 
-  // Scheduling.
-  Lwp* PickNext();
-  Lwp* PickNextChaos();
+  // Scheduling. Every CPU owns a run queue; PickNextOn serves the given
+  // CPU's cursor, stealing a runnable lwp from a seeded-random nonempty
+  // victim queue when its own has drained. The chaos scheduler draws the
+  // CPU too (only when ncpus > 1, so uniprocessor chaos streams replay
+  // unchanged).
+  Lwp* PickNextOn(int cpu);
+  Lwp* StealFor(int thief);
+  Lwp* PickNextChaos(int* cpu_out);
   uint64_t ChaosNext();
+  size_t RunqLenTotal() const;
+  // One deterministic quantum on `cpu`: IPI acknowledge, SCHED_SWITCH
+  // attribution, TLB-bank bind, execute, per-CPU accounting. A positive
+  // budget_override replaces the nice-weighted quantum (the free-running
+  // super-step uses it to give serial picks the same chunk as workers).
+  void RunQuantumOn(int cpu, Lwp* lwp, int budget_override = 0);
+  // Free-running super-step: picks up to ncpus lwps, runs pure user
+  // execution on worker threads, folds results and does kernel work
+  // serially (kernel.cc has the phase breakdown).
+  bool StepFreeRun();
+  // Pure user execution for one lwp on a worker thread: no kernel state is
+  // touched; returns instructions retired and the terminating event.
+  uint32_t RunUserChunk(Lwp* lwp, uint32_t budget, int cpu, StepResult* last);
   void ExecuteLwp(Lwp* lwp, int budget);
   // The interpreter loop, stamped once without perturbation hooks (the hot
   // path stays byte-identical to an unhooked kernel) and once with the
@@ -321,6 +358,11 @@ class Kernel {
   // never be waited for (parent is init or gone); Step() drains the list.
   void MarkReapable(Pid pid);
   void DrainReapList();
+  // Zombie slimming: ExitProc queues the pid; the next Step() releases the
+  // zombie's audit ring, descriptor table, and lwp storage. Deferred one
+  // step because quantum frames and blocking control handlers may still
+  // hold Lwp pointers across the exit.
+  void DrainZombieSlim();
 
   // Signals & stops (issig/psig per Figure 4).
   bool NeedIssig(Lwp* lwp) const;
@@ -453,12 +495,18 @@ class Kernel {
   uint64_t gen_counter_ = 1;
   Proc* init_ = nullptr;
 
-  // The run queue: a circular doubly-linked list of runnable lwps threaded
-  // on Lwp::q_prev/q_next. runq_next_ is the round-robin cursor (the next
-  // lwp to run; null iff empty); new arrivals insert just before it, i.e.
-  // at the tail of the current rotation. PickNext is one pointer chase.
-  Lwp* runq_next_ = nullptr;
-  size_t runq_len_ = 0;
+  // The run queues live in the per-CPU state (SmpState): one circular
+  // doubly-linked list of runnable lwps per CPU, threaded on
+  // Lwp::q_prev/q_next with Lwp::cpu naming the owning queue. At the
+  // default ncpus == 1 this is exactly the old single queue. cur_cpu_rr_
+  // rotates dispatch over the CPUs; cur_cpu_ is the CPU the kernel is
+  // currently executing a quantum for (0 in controller context) — trace
+  // records and shootdowns read it through pointers.
+  SmpState smp_;
+  int cur_cpu_ = 0;
+  int cur_cpu_rr_ = 0;
+  uint64_t enroll_seq_ = 0;  // round-robin home-CPU assignment for new lwps
+  SmpWorkers workers_;       // free-running mode's persistent thread pool
   // Sleeping lwps with a wait channel, hashed by channel so Wakeup(chan)
   // walks one bucket instead of every process. Purely timed sleeps
   // (chan == nullptr) are not enqueued; only FireDueTimers wakes them.
@@ -472,6 +520,7 @@ class Kernel {
   // Pending wakeups/alarms (min-heap by tick) and zombies awaiting reap.
   std::priority_queue<TimerEvent, std::vector<TimerEvent>, std::greater<TimerEvent>> timerq_;
   std::vector<Pid> reap_list_;
+  std::vector<Pid> slim_list_;  // zombies awaiting storage release
   KernelCounters counters_;
 
   // Execution-engine selection (see SetExecEngine).
@@ -486,13 +535,10 @@ class Kernel {
   // audit history starts from zero.
   std::unordered_map<uint64_t, uint64_t> audit_watermark_;
 
-  // Event-trace ring + metrics registry (reads ticks_ through a pointer so
-  // every layer can emit without seeing the kernel).
-  KTrace kt_{&ticks_};
-  // Last scheduled lwp, for SCHED_SWITCH records (ids, not pointers: the
-  // previous lwp may be gone by the next switch).
-  Pid last_sched_pid_ = 0;
-  int last_sched_lwpid_ = 0;
+  // Event-trace ring + metrics registry (reads ticks_ and the executing
+  // CPU through pointers so every layer can emit without seeing the
+  // kernel). Per-CPU SCHED_SWITCH attribution lives in CpuState.
+  KTrace kt_{&ticks_, &cur_cpu_};
 
   static constexpr int kQuantum = 64;
 };

@@ -50,13 +50,16 @@ enum class KtEvent : uint32_t {
   kProcOpen = 14,      // pid = target; a0 = opener pid, a1 = 1 if writable
   kProcClose = 15,     // pid = target; a0 = closer pid, a1 = 1 if writable
   kFaultInject = 16,   // a0 = FaultSite, a1 = cumulative fires at that site
+  kIpi = 17,           // cross-CPU interrupt charged: a0 = sending cpu,
+                       // a1 = target cpu | pending-depth<<16 (smp.h)
 };
-inline constexpr uint32_t kKtEventCount = 17;
+inline constexpr uint32_t kKtEventCount = 18;
 
 const char* KtEventName(KtEvent e);
 
-// One trace record; the layout is the snapshot ABI. 32 bytes, explicit
-// padding, fields in host byte order.
+// One trace record; the layout is the snapshot ABI. 32 bytes, fields in
+// host byte order. kt_cpu (v2) occupies what was v1's always-zero pad
+// word, so uniprocessor snapshots are byte-identical across the versions.
 struct KtRec {
   uint64_t kt_tick;
   int32_t kt_pid;
@@ -64,14 +67,14 @@ struct KtRec {
   uint32_t kt_event;  // KtEvent
   uint32_t kt_a0;
   uint32_t kt_a1;
-  uint32_t kt_pad;
+  uint32_t kt_cpu;    // CPU the kernel was executing for (0 = controller)
 };
 static_assert(sizeof(KtRec) == 32, "trace record ABI is 32 bytes");
 
 // Snapshot header preceding the records in a /proc2/kernel/trace read.
 struct KtSnapHeader {
   uint32_t kt_magic;    // kKtMagic
-  uint32_t kt_version;  // 1
+  uint32_t kt_version;  // kKtVersion (2: kt_pad became kt_cpu, kIpi added)
   uint32_t kt_recsize;  // sizeof(KtRec)
   uint32_t kt_nrec;     // records following this header
   uint64_t kt_total;    // records ever appended (>= kt_nrec before filtering)
@@ -79,7 +82,7 @@ struct KtSnapHeader {
 };
 static_assert(sizeof(KtSnapHeader) == 32, "snapshot header ABI is 32 bytes");
 inline constexpr uint32_t kKtMagic = 0x4B545243u;  // "CRTK" read LE = "KTRC"
-inline constexpr uint32_t kKtVersion = 1;
+inline constexpr uint32_t kKtVersion = 2;
 
 inline constexpr size_t kKtDefaultCap = 4096;
 
@@ -122,9 +125,11 @@ struct KtSyscallStat {
 
 class KTrace {
  public:
-  // tick_src points at the kernel clock so emission sites (including the vm
-  // layer, which has no notion of time) never pass a tick explicitly.
-  explicit KTrace(const uint64_t* tick_src, size_t cap = kKtDefaultCap);
+  // tick_src points at the kernel clock and cpu_src at the executing-CPU
+  // slot so emission sites (including the vm layer, which has no notion of
+  // time or topology) never pass either explicitly.
+  explicit KTrace(const uint64_t* tick_src, const int* cpu_src = nullptr,
+                  size_t cap = kKtDefaultCap);
 
   // Arming. The ring and the registry gate independently; Emit() is a
   // single predicted branch when both are off.
@@ -176,6 +181,7 @@ class KTrace {
 
  private:
   const uint64_t* tick_;
+  const int* cpu_;  // null = always CPU 0
   bool ring_on_ = false;
   bool metrics_on_ = false;
   bool armed_ = false;

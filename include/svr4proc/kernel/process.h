@@ -78,6 +78,10 @@ struct Lwp {
   Lwp* q_prev = nullptr;
   Lwp* q_next = nullptr;
   uint8_t q_where = kQNone;
+  // Home CPU: names the per-CPU run queue this lwp enqueues on (and, while
+  // running, the CPU executing it). Assigned round-robin at enroll, updated
+  // by work stealing; always 0 on a uniprocessor kernel.
+  int cpu = 0;
 
   Regs regs;
   FpRegs fpregs;
@@ -326,6 +330,21 @@ struct Proc {
     return stopped ? stopped : MainLwp();
   }
 };
+
+// Heap-owned storage hanging off a Proc: the quantity zombie slimming
+// releases at exit (audit ring, descriptor table, lwp records). The scale
+// suite asserts a slimmed zombie's footprint collapses to ~0 while the Proc
+// record itself survives until reap.
+inline size_t ProcDynamicFootprint(const Proc& p) {
+  size_t n = 0;
+  if (p.trace.audit != nullptr) {
+    n += sizeof(*p.trace.audit);
+  }
+  n += p.fds.capacity() * sizeof(OpenFilePtr);
+  n += p.lwps.capacity() * sizeof(std::unique_ptr<Lwp>);
+  n += p.lwps.size() * sizeof(Lwp);
+  return n;
+}
 
 }  // namespace svr4
 

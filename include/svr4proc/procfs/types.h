@@ -52,6 +52,7 @@ struct PrStatus {
   uint32_t pr_instr = 0;  // instruction bytes at pr_reg.pc
   Regs pr_reg;
   uint32_t pr_nlwp = 0;
+  uint32_t pr_cpuid = 0;  // CPU the representative lwp last ran on
 };
 
 // Everything ps(1) might want to display, in one operation: "each line of
@@ -77,6 +78,8 @@ struct PrPsinfo {
   char pr_psargs[PRARGSZ] = {};
   uint16_t pr_syscall = 0;
   uint16_t pr_nlwp = 0;
+  uint16_t pr_cpuid = 0;  // CPU the representative lwp last ran on
+  uint16_t pr_pad2 = 0;
 };
 
 // One address-space mapping (PIOCMAP): Figure 2 is a rendering of these.
@@ -311,6 +314,13 @@ struct PrKstat {
 // processes the bulk path is the only one that keeps ps-like tools O(n).
 // The /proc2 file serves the same records as packed PrPsinfo bytes.
 struct PrPsAll {
+  // Window operands: at 10^6 processes one bulk snapshot is tens of MB, so
+  // the caller pages through in pid order. Zero defaults keep the original
+  // whole-table semantics. pr_next_pid comes back -1 on the last window,
+  // else the pid to pass as the next pr_start_pid.
+  Pid pr_start_pid = 0;      // in: first pid of the window (inclusive)
+  uint32_t pr_limit = 0;     // in: max records to return; 0 = unlimited
+  Pid pr_next_pid = -1;      // out: resume point, -1 when exhausted
   std::vector<PrPsinfo> pr_procs;
 };
 

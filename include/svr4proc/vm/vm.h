@@ -34,6 +34,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -47,6 +48,7 @@ namespace svr4 {
 class FaultInjector;  // kernel/faults.h; optional, null in normal operation
 class KTrace;         // kernel/ktrace.h; optional, disarmed in normal operation
 class BlockCache;     // isa/blocks.h; predecoded-block cache, lazily created
+class SmpState;       // kernel/smp.h; optional, null on a pre-SMP kernel
 
 inline constexpr uint32_t kPageSize = 4096;
 inline constexpr uint32_t kPageShift = 12;
@@ -105,6 +107,10 @@ class AnonObject : public VmObject {
   bool IsAnon() const override { return true; }
 
  private:
+  // Free-running SMP workers materialize pages concurrently; everything
+  // else about a frame is private to the one address space touching it, but
+  // the object's page cache is the shared rendezvous.
+  std::mutex mu_;
   std::map<uint64_t, PagePtr> pages_;
 };
 
@@ -231,6 +237,7 @@ class AddressSpace : public MemoryIf {
     ++counters_.tlb_hits;
     if (e.flags & MA_EXEC) {
       ++code_gen_;  // a store into executable memory invalidates blocks
+      CodeShootdown();
     }
     CopySmallN(e.page->bytes.data() + (addr & (kPageSize - 1)), src, len);
     e.frame->pg |= PG_REFERENCED | PG_MODIFIED;
@@ -248,6 +255,27 @@ class AddressSpace : public MemoryIf {
     kt_ = kt;
     kt_pid_ = pid;
   }
+
+  // --- Simulated SMP (kernel/smp.h) ----------------------------------------
+  // Wires the kernel's CPU set so translation/code invalidations charge
+  // cross-CPU shootdown IPIs. Null (or a 1-CPU set) costs one predicted
+  // branch per flush, the same discipline as the kt_/finj_ gates.
+  void SetSmp(SmpState* smp) { smp_ = smp; }
+  // One software-TLB bank per CPU: the same direct-mapped array, replicated,
+  // with the access paths indexing through a bound-bank pointer. Entries are
+  // validated by generation, so a flush still invalidates every bank with
+  // one counter bump.
+  void SetCpuCount(int n);
+  // Binds the access paths to the given CPU's bank (clamped to bank 0 when
+  // the space has fewer banks). Const: only mutable TLB state moves.
+  void BindCpu(int cpu) const {
+    size_t b = static_cast<size_t>(cpu);
+    tlb_ = tlb_banks_[b < tlb_banks_.size() ? b : 0].data();
+  }
+  // Free-running mode's exclusion test: stores to writable MAP_SHARED
+  // mappings are cross-address-space visible, so such a space must not run
+  // user code on a parallel worker.
+  bool HasWritableSharedMapping() const;
 
   // Controlling-process (/proc) access. Protections are ignored; private
   // mappings are copied-on-write; transfers are truncated at the first
@@ -344,6 +372,10 @@ class AddressSpace : public MemoryIf {
   // must invalidate the source TLB; only mutable state is touched. Out of
   // line so the flush can be traced without this header seeing KTrace.
   void TlbFlush() const;
+  // Charges shootdown IPIs for a code-generation-only invalidation (a store
+  // into executable memory with no accompanying TLB flush). Out of line so
+  // the inline store path does not need the SmpState definition.
+  void CodeShootdown() const;
   bool TlbActive() const { return tlb_enabled_ && !watch_active_; }
   // Install/refresh the slot for the page just resolved by the slow path.
   void TlbFill(const Mapping& m, uint32_t page_index, Frame& f);
@@ -365,9 +397,14 @@ class AddressSpace : public MemoryIf {
   std::vector<Watch> watches_;
   bool watch_active_ = false;
 
-  // Software TLB state. Mutable because Clone() (const) must invalidate the
-  // source's write-in-place entries when frames become COW-shared.
-  mutable std::array<TlbEntry, kTlbEntries> tlb_{};
+  // Software TLB state, one bank per CPU (always at least bank 0), with the
+  // access paths indexing through the bound-bank pointer. Mutable because
+  // Clone() (const) must invalidate the source's write-in-place entries when
+  // frames become COW-shared. BindCpu rebinds the pointer; SetCpuCount may
+  // reallocate the banks and rebinds to bank 0.
+  mutable std::vector<std::array<TlbEntry, kTlbEntries>> tlb_banks_ =
+      std::vector<std::array<TlbEntry, kTlbEntries>>(1);
+  mutable TlbEntry* tlb_ = tlb_banks_[0].data();
   mutable uint32_t tlb_gen_ = 1;
   // Block-validity generation (see CodeGen()). Mutable for the same reason
   // as the TLB state: Clone() is const but must invalidate the source.
@@ -380,6 +417,7 @@ class AddressSpace : public MemoryIf {
   FaultInjector* finj_ = nullptr;
   KTrace* kt_ = nullptr;
   int32_t kt_pid_ = 0;
+  SmpState* smp_ = nullptr;
 };
 
 inline constexpr uint32_t kMaxStackGrowPages = 256;

@@ -69,6 +69,7 @@ Result<size_t> Vnode::ReaddirChunk(uint64_t* cookie, size_t max,
 Result<std::shared_ptr<VmObject>> Vnode::GetVmObject() { return Errno::kENODEV; }
 
 Result<PagePtr> FileVmObject::GetPage(uint64_t page_index) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(page_index);
   if (it != cache_.end()) {
     return it->second;

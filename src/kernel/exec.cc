@@ -42,6 +42,8 @@ Result<Pid> Kernel::ForkCommon(Lwp* parent_lwp, bool vfork) {
     child->as = parent->as ? parent->as->Clone() : nullptr;
     if (child->as) {
       child->as->SetKtrace(&kt_, child->pid);
+      child->as->SetSmp(&smp_);
+      child->as->SetCpuCount(smp_.ncpus());
     }
   }
 
@@ -215,6 +217,8 @@ Result<void> Kernel::ExecImage(Proc* p, const std::string& path,
   auto as = std::make_shared<AddressSpace>();
   as->SetFaultInjector(finj_.get());
   as->SetKtrace(&kt_, p->pid);
+  as->SetSmp(&smp_);
+  as->SetCpuCount(smp_.ncpus());
   auto fobj = (*vp)->GetVmObject();
   if (!fobj.ok()) {
     return fobj.error();
@@ -321,6 +325,7 @@ Result<void> Kernel::ExecImage(Proc* p, const std::string& path,
   if (p->as && p->as.use_count() == 1) {
     p->minflt_base += p->as->counters().minor_faults;
     p->majflt_base += p->as->counters().major_faults;
+    smp_.DropAs(p->as.get());
   }
   p->as = std::move(as);
   p->exe = *vp;
@@ -435,6 +440,7 @@ void Kernel::ExitProc(Proc* p, int wstatus) {
   if (p->as && p->as.use_count() == 1) {
     p->minflt_base += p->as->counters().minor_faults;
     p->majflt_base += p->as->counters().major_faults;
+    smp_.DropAs(p->as.get());
   }
   p->as.reset();
 
@@ -452,6 +458,10 @@ void Kernel::ExitProc(Proc* p, int wstatus) {
 
   p->state = Proc::State::kZombie;
   p->exit_status = wstatus;
+  // Queue for zombie slimming: the next Step() releases the audit ring,
+  // descriptor-table capacity, and lwp storage (deferred because frames up
+  // the stack may still hold Lwp pointers).
+  slim_list_.push_back(p->pid);
   kt_.Emit(KtEvent::kExit, p->pid, 0, static_cast<uint32_t>(wstatus), 0);
 
   Proc* parent = FindProc(p->ppid);

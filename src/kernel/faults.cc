@@ -40,6 +40,7 @@ const char* FaultSiteName(FaultSite s) {
     case FaultSite::kTlbFlush: return "TLB_FLUSH";
     case FaultSite::kSpuriousWakeup: return "SPURIOUS_WAKEUP";
     case FaultSite::kDelayedStop: return "DELAYED_STOP";
+    case FaultSite::kIpiDelay: return "IPI_DELAY";
   }
   return "?";
 }
@@ -135,20 +136,38 @@ uint64_t Kernel::ChaosNext() { return SplitMix64(&chaos_rng_); }
 // PRNG-driven choice among every runnable lwp, replacing the round-robin
 // rotation. The run-queue cursor is advanced past the pick so switching
 // chaos off mid-run resumes fair rotation from the last chaotic choice.
-Lwp* Kernel::PickNextChaos() {
-  if (runq_next_ == nullptr) {
-    return nullptr;
+// On a multi-CPU kernel the scheduler first draws which CPU fires this
+// quantum (reported through *cpu_out), then picks chaotically within that
+// CPU's queue — so chaos explores cross-CPU interleavings too. The CPU
+// draw only happens when ncpus > 1, keeping uniprocessor chaos streams
+// bit-identical to the pre-SMP kernel.
+Lwp* Kernel::PickNextChaos(int* cpu_out) {
+  int cpu = 0;
+  if (smp_.ncpus() > 1) {
+    cpu = static_cast<int>(ChaosNext() % static_cast<uint64_t>(smp_.ncpus()));
+  }
+  CpuState& c = smp_.cpu(cpu);
+  if (c.runq_next == nullptr) {
+    // The drawn CPU idles this quantum; steal like the fair scheduler so
+    // chaos never starves a runnable lwp behind an empty queue.
+    Lwp* stolen = StealFor(cpu);
+    if (stolen == nullptr) {
+      return nullptr;
+    }
+    *cpu_out = cpu;
+    return stolen;
   }
   // Walk the circle once from the cursor: a deterministic ordering of the
   // runnable set, so one seed replays the same schedule.
   std::vector<Lwp*> runnable;
-  Lwp* l = runq_next_;
+  Lwp* l = c.runq_next;
   do {
     runnable.push_back(l);
     l = l->q_next;
-  } while (l != runq_next_);
+  } while (l != c.runq_next);
   Lwp* pick = runnable[ChaosNext() % runnable.size()];
-  runq_next_ = pick->q_next;
+  c.runq_next = pick->q_next;
+  *cpu_out = cpu;
   return pick;
 }
 
@@ -236,24 +255,50 @@ std::vector<std::string> Kernel::CheckInvariants() {
                             static_cast<long long>(popcount),
                             static_cast<long long>(nprocs_)));
     }
-    // The run queue is a closed circle whose members all claim membership.
-    size_t circle = 0;
-    if (runq_next_ != nullptr) {
-      Lwp* l = runq_next_;
-      do {
-        ++circle;
-        if (l->q_where != Lwp::kQRun) {
-          v.push_back(Violation(l->proc->pid, "runq member not marked kQRun",
-                                l->lwpid, 0));
-          break;
-        }
-        l = l->q_next;
-      } while (l != runq_next_ && circle <= runq_len_);
+    // Each per-CPU run queue is a closed circle whose members all claim
+    // membership, are homed on that CPU, and appear on no other queue.
+    std::unordered_set<const Lwp*> on_some_queue;
+    for (int ci = 0; ci < smp_.ncpus(); ++ci) {
+      const CpuState& cs = smp_.cpu(ci);
+      size_t circle = 0;
+      if (cs.runq_next != nullptr) {
+        Lwp* l = cs.runq_next;
+        do {
+          ++circle;
+          if (l->q_where != Lwp::kQRun) {
+            v.push_back(Violation(l->proc->pid, "runq member not marked kQRun",
+                                  l->lwpid, 0));
+            break;
+          }
+          if (l->cpu != ci) {
+            v.push_back(Violation(l->proc->pid, "runq member homed on other cpu",
+                                  l->cpu, ci));
+            break;
+          }
+          if (!on_some_queue.insert(l).second) {
+            v.push_back(
+                Violation(l->proc->pid, "lwp on two run queues", l->lwpid, 0));
+            break;
+          }
+          l = l->q_next;
+        } while (l != cs.runq_next && circle <= cs.runq_len);
+      }
+      if (circle != cs.runq_len) {
+        v.push_back(Violation(0, "run-queue circle length != runq_len",
+                              static_cast<long long>(circle),
+                              static_cast<long long>(cs.runq_len)));
+      }
     }
-    if (circle != runq_len_) {
-      v.push_back(Violation(0, "run-queue circle length != runq_len_",
-                            static_cast<long long>(circle),
-                            static_cast<long long>(runq_len_)));
+    // Cross-CPU interrupt conservation: every IPI charged to a sender is
+    // either acknowledged by its target or still pending there.
+    uint64_t acked = 0;
+    for (int ci = 0; ci < smp_.ncpus(); ++ci) {
+      acked += smp_.cpu(ci).stats.ipis_received;
+    }
+    if (smp_.TotalIpisSent() != acked + smp_.TotalIpisPending()) {
+      v.push_back(Violation(0, "IPI conservation (sent != received + pending)",
+                            static_cast<long long>(smp_.TotalIpisSent()),
+                            static_cast<long long>(acked + smp_.TotalIpisPending())));
     }
   }
 
@@ -325,7 +370,10 @@ std::vector<std::string> Kernel::CheckInvariants() {
                             static_cast<long long>(mark)));
     }
     mark = t.audit_total;
-    if (t.audit_total > 0 && t.audit == nullptr) {
+    // Zombies are exempt: exit releases the ring (keeping the totals) so a
+    // dead proc's footprint shrinks to the reap record.
+    if (t.audit_total > 0 && t.audit == nullptr &&
+        p->state != Proc::State::kZombie) {
       v.push_back(Violation(pid, "audit total with no ring allocated",
                             static_cast<long long>(t.audit_total), 0));
     }

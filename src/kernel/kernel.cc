@@ -78,6 +78,25 @@ Kernel::Kernel() {
       exec_engine_ = ExecEngine::kBlocks;
     }
   }
+
+  // SMP wiring: the trace ring stamps kIpi records and cur_cpu_ names the
+  // CPU whose quantum the kernel is currently executing.
+  smp_.SetKtrace(&kt_);
+  smp_.SetCpuSource(&cur_cpu_);
+  // Topology pin for tests/benches/CI sweeps; unset = uniprocessor.
+  if (const char* n = std::getenv("SVR4PROC_NCPUS")) {
+    int v = std::atoi(n);
+    if (v >= 1) {
+      SetNumCpus(v);
+    }
+  }
+  if (const char* m = std::getenv("SVR4PROC_SMP_MODE")) {
+    if (std::strcmp(m, "free") == 0) {
+      smp_.set_mode(SmpMode::kFreeRun);
+    } else if (std::strcmp(m, "det") == 0) {
+      smp_.set_mode(SmpMode::kDeterministic);
+    }
+  }
 }
 
 Kernel::~Kernel() {
@@ -632,17 +651,19 @@ Result<void> Kernel::InstallAout(const std::string& path, const Aout& image, uin
 // --- Scheduler queues --------------------------------------------------------
 
 void Kernel::RunqInsert(Lwp* l) {
+  // The lwp's home CPU (l->cpu, always 0 uniprocessor) names the queue.
+  CpuState& c = smp_.cpu(l->cpu);
   l->q_where = Lwp::kQRun;
-  ++runq_len_;
-  if (runq_next_ == nullptr) {
+  ++c.runq_len;
+  if (c.runq_next == nullptr) {
     l->q_prev = l;
     l->q_next = l;
-    runq_next_ = l;
+    c.runq_next = l;
     return;
   }
   // Insert just before the cursor: the newcomer runs last in the current
   // rotation, i.e. FIFO round-robin.
-  Lwp* at = runq_next_;
+  Lwp* at = c.runq_next;
   l->q_prev = at->q_prev;
   l->q_next = at;
   at->q_prev->q_next = l;
@@ -650,15 +671,16 @@ void Kernel::RunqInsert(Lwp* l) {
 }
 
 void Kernel::RunqRemove(Lwp* l) {
+  CpuState& c = smp_.cpu(l->cpu);
   l->q_where = Lwp::kQNone;
-  --runq_len_;
+  --c.runq_len;
   if (l->q_next == l) {
-    runq_next_ = nullptr;
+    c.runq_next = nullptr;
   } else {
     l->q_prev->q_next = l->q_next;
     l->q_next->q_prev = l->q_prev;
-    if (runq_next_ == l) {
-      runq_next_ = l->q_next;
+    if (c.runq_next == l) {
+      c.runq_next = l->q_next;
     }
   }
   l->q_prev = nullptr;
@@ -723,25 +745,68 @@ void Kernel::LwpSetState(Lwp* l, LwpState ns) {
 void Kernel::EnrollLwp(Lwp* l) {
   // A freshly constructed lwp is kRunning by default and has never passed
   // through LwpSetState; put it on the run queue if it is schedulable.
+  // Home CPUs go round-robin in enroll order — deterministic, and at
+  // ncpus == 1 the counter never moves so nothing changes.
   Proc* p = l->proc;
   if (l->state == LwpState::kRunning && l->q_where == Lwp::kQNone &&
       p->state == Proc::State::kActive && !p->native && !p->system_proc) {
+    if (smp_.ncpus() > 1) {
+      l->cpu = static_cast<int>(enroll_seq_++ %
+                                static_cast<uint64_t>(smp_.ncpus()));
+    }
     RunqInsert(l);
   }
 }
 
 // --- Scheduling -----------------------------------------------------------------
 
-Lwp* Kernel::PickNext() {
-  if (chaos_) {
-    return PickNextChaos();
-  }
-  Lwp* pick = runq_next_;
+Lwp* Kernel::PickNextOn(int cpu) {
+  CpuState& c = smp_.cpu(cpu);
+  Lwp* pick = c.runq_next;
   if (pick == nullptr) {
+    return StealFor(cpu);
+  }
+  c.runq_next = pick->q_next;
+  return pick;
+}
+
+// Work stealing: the thief's queue has drained, so migrate one runnable lwp
+// from a seeded-randomly chosen nonempty victim queue. The draw comes from
+// the thief's own splitmix64 stream, so a given (topology, workload) pair
+// replays the same migrations.
+Lwp* Kernel::StealFor(int thief) {
+  if (smp_.ncpus() <= 1) {
     return nullptr;
   }
-  runq_next_ = pick->q_next;
-  return pick;
+  int victims[kMaxCpus];
+  int nv = 0;
+  for (int i = 0; i < smp_.ncpus(); ++i) {
+    if (i != thief && smp_.cpu(i).runq_next != nullptr) {
+      victims[nv++] = i;
+    }
+  }
+  if (nv == 0) {
+    return nullptr;
+  }
+  int victim = victims[smp_.StealDraw(thief) % static_cast<uint64_t>(nv)];
+  // Take the lwp at the victim's cursor — the one that would have run next
+  // there — and rehome it. Remove while l->cpu still names the victim.
+  Lwp* l = smp_.cpu(victim).runq_next;
+  RunqRemove(l);
+  l->cpu = thief;
+  CpuState& tc = smp_.cpu(thief);
+  RunqInsert(l);  // thief's queue was empty: l becomes its only member
+  tc.runq_next = l->q_next;  // cursor past the pick, as PickNextOn would
+  ++tc.stats.steals;
+  return l;
+}
+
+size_t Kernel::RunqLenTotal() const {
+  size_t n = 0;
+  for (int i = 0; i < smp_.ncpus(); ++i) {
+    n += smp_.cpu(i).runq_len;
+  }
+  return n;
 }
 
 // A heap entry is live iff the process/lwp timer state still matches its
@@ -827,13 +892,34 @@ void Kernel::DrainReapList() {
 
 bool Kernel::Step() {
   DrainReapList();
+  DrainZombieSlim();
   FireDueTimers();
   if (finj_ && finj_->Fire(FaultSite::kSpuriousWakeup)) {
     // Wake every poll-style sleeper with nothing actually ready: they must
     // re-evaluate their poll sets and go back to sleep unharmed.
     Wakeup(kPollChan);
   }
-  Lwp* lwp = PickNext();
+  // Free-running mode engages only with real parallelism available and no
+  // observation hooks armed: fault injection, chaos, and tracing all force
+  // the deterministic path (the same fallback contract as the block
+  // engine's hook gate).
+  if (smp_.mode() == SmpMode::kFreeRun && smp_.ncpus() > 1 &&
+      finj_ == nullptr && !chaos_ && !kt_.armed()) {
+    return StepFreeRun();
+  }
+  int cpu = 0;
+  Lwp* lwp;
+  if (chaos_) {
+    lwp = PickNextChaos(&cpu);
+  } else {
+    // Rotate dispatch over the CPUs. The rotation state is only consulted
+    // on a multiprocessor, so uniprocessor stepping is unchanged.
+    if (smp_.ncpus() > 1) {
+      cpu = cur_cpu_rr_;
+      cur_cpu_rr_ = (cur_cpu_rr_ + 1) % smp_.ncpus();
+    }
+    lwp = PickNextOn(cpu);
+  }
   if (lwp == nullptr) {
     // Nothing runnable; jump the clock to the earliest timed wakeup.
     uint64_t next = NextTimerTick();
@@ -844,22 +930,339 @@ bool Kernel::Step() {
     FireDueTimers();
     return true;
   }
-  if (kt_.armed() &&
-      (lwp->proc->pid != last_sched_pid_ || lwp->lwpid != last_sched_lwpid_)) {
-    // A context switch: record who ran before and sample run-queue depth
-    // (the count includes the lwp just picked). Once per switch, not per
-    // quantum, so an idle single-process system stays quiet.
-    uint32_t depth = static_cast<uint32_t>(runq_len_);
-    kt_.Emit(KtEvent::kSchedSwitch, lwp->proc->pid, lwp->lwpid,
-             static_cast<uint32_t>(last_sched_pid_), depth);
-    last_sched_pid_ = lwp->proc->pid;
-    last_sched_lwpid_ = lwp->lwpid;
+  RunQuantumOn(cpu, lwp);
+  return true;
+}
+
+void Kernel::RunQuantumOn(int cpu, Lwp* lwp, int budget_override) {
+  CpuState& c = smp_.cpu(cpu);
+  cur_cpu_ = cpu;
+  // Quantum boundary: acknowledge pending cross-CPU interrupts — unless the
+  // IPI-delay fault site fires, modeling slow delivery (safe because the
+  // generation counters, not the IPIs, carry correctness).
+  if (c.ipi_pending.load(std::memory_order_relaxed) != 0 &&
+      !(finj_ && finj_->Fire(FaultSite::kIpiDelay))) {
+    smp_.AckIpis(cpu);
   }
+  Proc* p = lwp->proc;
+  if (kt_.armed() && (p->pid != c.last_pid || lwp->lwpid != c.last_lwpid)) {
+    // A context switch: record who ran before on this CPU and sample total
+    // run-queue depth (the count includes the lwp just picked). Once per
+    // switch, not per quantum, so an idle single-process system stays quiet.
+    uint32_t depth = static_cast<uint32_t>(RunqLenTotal());
+    kt_.Emit(KtEvent::kSchedSwitch, p->pid, lwp->lwpid,
+             static_cast<uint32_t>(c.last_pid), depth);
+    c.last_pid = p->pid;
+    c.last_lwpid = lwp->lwpid;
+  }
+  // Switch counting for /proc2/kernel/cpus is tracked separately from the
+  // trace attribution so arming the ring mid-run cannot change what records
+  // a previously-disarmed kernel would have emitted.
+  if (p->pid != c.sw_pid || lwp->lwpid != c.sw_lwpid) {
+    ++c.stats.switches;
+    c.sw_pid = p->pid;
+    c.sw_lwpid = lwp->lwpid;
+  }
+  c.cur_as = p->as.get();
+  if (p->as) {
+    p->as->BindCpu(cpu);
+  }
+  ++c.stats.quanta;
+  uint64_t before = counters_.instructions;
   // nice(2) weights the quantum: the default (20) gets kQuantum; a fully
   // niced process (39) gets a sliver; a high-priority one (0) gets double.
-  int quantum = kQuantum * (40 - lwp->proc->nice) / 20;
+  int quantum = kQuantum * (40 - p->nice) / 20;
+  if (budget_override > 0) {
+    quantum = budget_override;
+  }
   ExecuteLwp(lwp, std::max(quantum, 4));
+  c.stats.instructions += counters_.instructions - before;
+  cur_cpu_ = 0;  // back to controller context
+}
+
+void Kernel::SetNumCpus(int n) {
+  n = std::max(1, std::min(n, kMaxCpus));
+  // Drain every queue in deterministic (cpu, rotation) order, resize, then
+  // rehome the drained lwps round-robin over the new CPU set.
+  std::vector<Lwp*> drained;
+  for (int i = 0; i < smp_.ncpus(); ++i) {
+    CpuState& c = smp_.cpu(i);
+    while (c.runq_next != nullptr) {
+      Lwp* l = c.runq_next;
+      RunqRemove(l);
+      drained.push_back(l);
+    }
+  }
+  smp_.Resize(n);
+  for (size_t i = 0; i < drained.size(); ++i) {
+    drained[i]->cpu = static_cast<int>(i % static_cast<size_t>(n));
+    RunqInsert(drained[i]);
+  }
+  enroll_seq_ = drained.size();
+  cur_cpu_rr_ = 0;
+  for (Proc* p = all_head_; p != nullptr; p = p->pt_all_next) {
+    // Off-queue lwps (sleepers, stopped) must not keep a home CPU outside
+    // the new set — RunqInsert indexes by it on wakeup.
+    for (auto& l : p->lwps) {
+      if (l->cpu >= n) {
+        l->cpu = l->cpu % n;
+      }
+    }
+    // One TLB bank per CPU for every live address space, and the shootdown
+    // back-pointer so invalidations charge IPIs.
+    if (p->as) {
+      p->as->SetSmp(&smp_);
+      p->as->SetCpuCount(n);
+    }
+  }
+}
+
+std::string Kernel::CpuStatsText() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "ncpus %d mode %s\n", smp_.ncpus(),
+                smp_.mode() == SmpMode::kFreeRun ? "free" : "det");
+  out += line;
+  for (int i = 0; i < smp_.ncpus(); ++i) {
+    const CpuState& c = smp_.cpu(i);
+    std::snprintf(
+        line, sizeof(line),
+        "cpu%d runq=%zu quanta=%llu instructions=%llu steals=%llu "
+        "switches=%llu ipis_sent=%llu ipis_received=%llu ipis_pending=%llu\n",
+        i, c.runq_len, static_cast<unsigned long long>(c.stats.quanta),
+        static_cast<unsigned long long>(c.stats.instructions),
+        static_cast<unsigned long long>(c.stats.steals),
+        static_cast<unsigned long long>(c.stats.switches),
+        static_cast<unsigned long long>(c.stats.ipis_sent),
+        static_cast<unsigned long long>(c.stats.ipis_received),
+        static_cast<unsigned long long>(
+            c.ipi_pending.load(std::memory_order_relaxed)));
+    out += line;
+  }
+  return out;
+}
+
+void Kernel::DrainZombieSlim() {
+  // Deferred one full step past ExitProc: quantum frames and blocking
+  // control handlers may still hold Lwp pointers across the exit, and
+  // RunUntil re-evaluates its predicate before every Step, so nothing can
+  // observe the zombie between slimming and the controller's wait.
+  while (!slim_list_.empty()) {
+    Pid pid = slim_list_.back();
+    slim_list_.pop_back();
+    Proc* p = FindProc(pid);
+    if (p == nullptr || p->state != Proc::State::kZombie) {
+      continue;  // reaped, or pid reused by a live process
+    }
+    // Everything a wait(2) does not need: the audit ring (totals survive in
+    // TraceState), the descriptor table, and the lwp storage itself. The
+    // wait status, times, and pid linkage stay on the Proc.
+    p->trace.audit.reset();
+    p->fds.clear();
+    p->fds.shrink_to_fit();
+    p->lwps.clear();
+    p->lwps.shrink_to_fit();
+  }
+}
+
+// Free-running super-step: a bulk-synchronous round that runs up to ncpus
+// lwps' pure user execution on real threads, with all kernel work serial.
+//   Phase A (serial): pick one lwp per CPU (same rotation and stealing as
+//     the deterministic path), dequeue each for the super-step so stealing
+//     cannot hand one lwp to two CPUs, and classify: anything that needs the
+//     kernel now (mid-syscall, pending stop/signal, no address space, an
+//     address space another pick already claimed, or writable shared memory)
+//     runs a normal serial quantum instead.
+//   Phase B (parallel): workers run RunUserChunk — user instructions only,
+//     terminating at the first syscall/fault, chunk exhaustion, or a pending
+//     IPI. No kernel state is touched off the BSP; the Dispatch join is the
+//     happens-before edge for the fold.
+//   Phase C (serial, fixed pick order): charge time/counters, perform each
+//     chunk's terminating kernel work, re-insert still-runnable picks.
+// Selection, classification, and fold order are all deterministic, so a
+// free-running run is replayable too — just at chunk granularity instead of
+// instruction granularity.
+bool Kernel::StepFreeRun() {
+  const int np = smp_.ncpus();
+  struct Pick {
+    Lwp* lwp = nullptr;
+    int cpu = 0;
+    bool parallel = false;
+    uint32_t budget = 0;
+    uint32_t executed = 0;
+    StepResult last{};
+  };
+  Pick picks[kMaxCpus];
+  int npicks = 0;
+  const void* claimed[kMaxCpus];
+  int nclaimed = 0;
+
+  // Chunk size: big enough to amortize worker dispatch, capped so a pending
+  // timer fires within roughly one super-step of its deadline.
+  constexpr uint32_t kFreeChunk = 16384;
+  uint32_t chunk = kFreeChunk;
+  uint64_t next_timer = NextTimerTick();
+  if (next_timer > ticks_) {
+    uint64_t until = (next_timer - ticks_) / static_cast<uint64_t>(np);
+    if (until < chunk) {
+      chunk = static_cast<uint32_t>(std::max<uint64_t>(until, 64));
+    }
+  }
+
+  for (int k = 0; k < np; ++k) {
+    int cpu = cur_cpu_rr_;
+    cur_cpu_rr_ = (cur_cpu_rr_ + 1) % np;
+    Lwp* l = PickNextOn(cpu);
+    if (l == nullptr) {
+      continue;
+    }
+    smp_.AckIpis(cpu);  // this CPU reached a quantum boundary
+    RunqRemove(l);      // held out of every queue until the fold
+    Pick& pk = picks[npicks++];
+    pk.lwp = l;
+    pk.cpu = cpu;
+    Proc* p = l->proc;
+    AddressSpace* as = p->as.get();
+    smp_.cpu(cpu).cur_as = as;
+    bool needs_kernel = l->in_syscall || l->lwp_dstop || NeedIssig(l) ||
+                        as == nullptr || as->HasWritableSharedMapping();
+    for (int i = 0; !needs_kernel && i < nclaimed; ++i) {
+      needs_kernel = claimed[i] == as;  // one worker per address space
+    }
+    // nice(2) weights the chunk exactly as it weights the quantum. Serial
+    // picks get the same budget, just spent through the kernel-aware loop:
+    // otherwise an lwp demoted to serial (shared address space, pending
+    // kernel work) would fall a chunk/quantum ratio behind its peers.
+    uint64_t b = static_cast<uint64_t>(chunk) *
+                 static_cast<uint64_t>(40 - p->nice) / 20;
+    pk.budget = static_cast<uint32_t>(std::max<uint64_t>(b, 64));
+    if (!needs_kernel) {
+      claimed[nclaimed++] = as;
+      pk.parallel = true;
+    }
+  }
+  if (npicks == 0) {
+    uint64_t next = NextTimerTick();
+    if (next == 0) {
+      return false;
+    }
+    ticks_ = std::max(ticks_ + 1, next);
+    FireDueTimers();
+    return true;
+  }
+
+  // Serial picks first: their kernel work (syscalls, stops, shootdowns)
+  // lands before any parallel user execution begins, so the workers see a
+  // quiescent kernel.
+  for (int i = 0; i < npicks; ++i) {
+    Pick& pk = picks[i];
+    if (pk.parallel) {
+      continue;
+    }
+    if (pk.lwp->state != LwpState::kRunning ||
+        pk.lwp->proc->state != Proc::State::kActive) {
+      continue;  // an earlier serial quantum stopped or killed it
+    }
+    RunQuantumOn(pk.cpu, pk.lwp, static_cast<int>(pk.budget));
+  }
+
+  int par_idx[kMaxCpus];
+  int npar = 0;
+  for (int i = 0; i < npicks; ++i) {
+    if (picks[i].parallel) {
+      par_idx[npar++] = i;
+    }
+  }
+  if (npar > 0) {
+    workers_.Dispatch(npar, [&](int w) {
+      Pick& pk = picks[par_idx[w]];
+      Lwp* l = pk.lwp;
+      if (l->state != LwpState::kRunning ||
+          l->proc->state != Proc::State::kActive) {
+        return;  // a serial quantum stopped or killed it meanwhile
+      }
+      pk.executed = RunUserChunk(l, pk.budget, pk.cpu, &pk.last);
+    });
+  }
+
+  for (int i = 0; i < npicks; ++i) {
+    Pick& pk = picks[i];
+    if (pk.parallel) {
+      CpuState& c = smp_.cpu(pk.cpu);
+      ++c.stats.quanta;
+      // Same engine attribution ExecuteLwp gives a quantum.
+      if (exec_engine_ != ExecEngine::kInterp) {
+        ++counters_.quanta_blocks;
+      } else {
+        ++counters_.quanta_interp;
+      }
+      c.stats.instructions += pk.executed;
+      if (pk.lwp->proc->pid != c.sw_pid || pk.lwp->lwpid != c.sw_lwpid) {
+        ++c.stats.switches;
+        c.sw_pid = pk.lwp->proc->pid;
+        c.sw_lwpid = pk.lwp->lwpid;
+      }
+      ticks_ += pk.executed;
+      pk.lwp->proc->utime += pk.executed;
+      counters_.instructions += pk.executed;
+      cur_cpu_ = pk.cpu;
+      if (pk.last.kind == StepResult::kSyscall) {
+        SyscallTrap(pk.lwp);
+      } else if (pk.last.kind == StepResult::kFault) {
+        HandleFault(pk.lwp, pk.last.fault, pk.last.fault_addr);
+      }
+      cur_cpu_ = 0;
+    }
+    Lwp* l = pk.lwp;
+    Proc* p = l->proc;
+    if (l->state == LwpState::kRunning && l->q_where == Lwp::kQNone &&
+        p->state == Proc::State::kActive && !p->native && !p->system_proc) {
+      RunqInsert(l);
+    }
+  }
+  FireDueTimers();
   return true;
+}
+
+uint32_t Kernel::RunUserChunk(Lwp* lwp, uint32_t budget, int cpu,
+                              StepResult* last) {
+  Proc* p = lwp->proc;
+  AddressSpace& as = *p->as;
+  as.BindCpu(cpu);  // this worker's translations go to its own bank
+  last->kind = StepResult::kOk;
+  CpuState& c = smp_.cpu(cpu);
+  const bool blocks_ok = exec_engine_ != ExecEngine::kInterp;
+  uint32_t executed = 0;
+  while (executed < budget) {
+    if (c.ipi_pending.load(std::memory_order_relaxed) != 0) {
+      break;  // a peer shot this CPU down mid-chunk; yield to the fold
+    }
+    if (blocks_ok && (lwp->regs.psr & kPsrT) == 0 && as.CodeCacheActive()) {
+      if (const Block* blk = as.blocks().Get(lwp->regs.pc, as)) {
+        BlockRun run = ExecuteBlock(*blk, lwp->regs, lwp->fpregs, as,
+                                    budget - executed);
+        executed += run.executed;
+        if (run.last.kind != StepResult::kOk) {
+          *last = run.last;
+          break;
+        }
+        continue;
+      }
+    }
+    if (blocks_ok) {
+      // Blocks engine falling back to a single interpreter step (block
+      // miss, trace bit, cache inactive): same charge ExecuteLwpBlocks
+      // makes. Race-free: this worker holds the address space exclusively.
+      ++as.blocks().stats().fallback_steps;
+    }
+    StepResult r = CpuStep(lwp->regs, lwp->fpregs, as);
+    ++executed;
+    if (r.kind != StepResult::kOk) {
+      *last = r;
+      break;
+    }
+  }
+  return executed;
 }
 
 bool Kernel::RunUntil(const std::function<bool()>& pred, uint64_t max_steps) {
@@ -1504,6 +1907,12 @@ Result<void> Kernel::PrStop(Proc* target) {
         break;
       case LwpState::kRunning:
         any_pending = true;
+        // A running lwp may be mid-quantum on another CPU: the stop
+        // directive reaches it as a reschedule IPI, honored at its next
+        // quantum boundary.
+        if (smp_.ncpus() > 1 && l->cpu != cur_cpu_) {
+          smp_.ReschedIpi(l->cpu, target->pid, l->lwpid);
+        }
         break;
     }
   }
@@ -1533,6 +1942,9 @@ Result<void> Kernel::PrStopLwp(Lwp* lwp) {
       return Result<void>::Ok();
     case LwpState::kRunning:
       lwp->lwp_dstop = true;
+      if (smp_.ncpus() > 1 && lwp->cpu != cur_cpu_) {
+        smp_.ReschedIpi(lwp->cpu, lwp->proc->pid, lwp->lwpid);
+      }
       return Result<void>::Ok();
   }
   return Result<void>::Ok();

@@ -31,12 +31,13 @@ const char* KtEventName(KtEvent e) {
     case KtEvent::kProcOpen: return "proc_open";
     case KtEvent::kProcClose: return "proc_close";
     case KtEvent::kFaultInject: return "fault_inject";
+    case KtEvent::kIpi: return "ipi";
   }
   return "?";
 }
 
-KTrace::KTrace(const uint64_t* tick_src, size_t cap)
-    : tick_(tick_src), ring_(cap == 0 ? 1 : cap) {}
+KTrace::KTrace(const uint64_t* tick_src, const int* cpu_src, size_t cap)
+    : tick_(tick_src), cpu_(cpu_src), ring_(cap == 0 ? 1 : cap) {}
 
 void KTrace::Emit(KtEvent e, int32_t pid, int32_t lwpid, uint32_t a0, uint32_t a1) {
   if (!armed_) {
@@ -74,7 +75,7 @@ void KTrace::Emit(KtEvent e, int32_t pid, int32_t lwpid, uint32_t a0, uint32_t a
     r.kt_event = code;
     r.kt_a0 = a0;
     r.kt_a1 = a1;
-    r.kt_pad = 0;
+    r.kt_cpu = cpu_ != nullptr ? static_cast<uint32_t>(*cpu_) : 0;
     ++total_;
   }
 }

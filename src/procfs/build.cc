@@ -41,6 +41,9 @@ PrStatus BuildPrStatus(Kernel& k, Proc* p) {
     }
   }
   st.pr_nlwp = nlwp;
+  if (const Lwp* rl = p->RepresentativeLwp()) {
+    st.pr_cpuid = static_cast<uint32_t>(rl->cpu);
+  }
 
   if (p->system_proc) {
     st.pr_flags |= PR_ISSYS;
@@ -156,6 +159,7 @@ PrPsinfo BuildPrPsinfo(Kernel& k, Proc* p) {
       if (l->in_syscall) {
         ps.pr_syscall = l->cur_syscall;
       }
+      ps.pr_cpuid = static_cast<uint16_t>(l->cpu);
     }
   }
   if (p->as) {

@@ -443,13 +443,25 @@ Result<int32_t> OpPsAll(CtlCtx& c, void* arg) {
   // are exactly what ps must still show).
   auto* all = static_cast<PrPsAll*>(arg);
   all->pr_procs.clear();
-  all->pr_procs.reserve(c.k->ProcCount());
-  for (Pid pid = c.k->NextAllocatedPid(0); pid >= 0;
+  all->pr_next_pid = -1;
+  // Window operands (both default to "everything"): start the scan at
+  // pr_start_pid and stop after pr_limit records, reporting the resume
+  // pid — at 10^6 processes a caller pages through in bounded memory.
+  Pid start = std::max<Pid>(all->pr_start_pid, 0);
+  size_t limit = all->pr_limit == 0 ? static_cast<size_t>(-1)
+                                    : static_cast<size_t>(all->pr_limit);
+  all->pr_procs.reserve(std::min(limit, c.k->ProcCount()));
+  for (Pid pid = c.k->NextAllocatedPid(start); pid >= 0;
        pid = c.k->NextAllocatedPid(pid + 1)) {
     Proc* p = c.k->FindProc(pid);
-    if (p != nullptr) {
-      all->pr_procs.push_back(BuildPrPsinfo(*c.k, p));
+    if (p == nullptr) {
+      continue;
     }
+    if (all->pr_procs.size() >= limit) {
+      all->pr_next_pid = pid;  // first pid NOT included: the resume point
+      break;
+    }
+    all->pr_procs.push_back(BuildPrPsinfo(*c.k, p));
   }
   return static_cast<int32_t>(all->pr_procs.size());
 }

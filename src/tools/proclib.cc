@@ -294,9 +294,23 @@ Result<PrKstat> ProcHandle::Kstat() {
 }
 
 Result<std::vector<PrPsinfo>> ProcHandle::PsinfoAll() {
+  // Page through the population in bounded windows instead of one bulk
+  // snapshot: each ioctl marshals at most pr_limit records, and pr_next_pid
+  // chains the windows. Entries appearing between windows may be missed and
+  // exits may shift records — the same snapshot contract ps(1) already has.
+  std::vector<PrPsinfo> out;
   PrPsAll a;
-  SVR4_RETURN_IF_ERROR(Io(PIOCPSALL, &a));
-  return std::move(a.pr_procs);
+  a.pr_limit = 1024;
+  for (;;) {
+    SVR4_RETURN_IF_ERROR(Io(PIOCPSALL, &a));
+    out.insert(out.end(), a.pr_procs.begin(), a.pr_procs.end());
+    if (a.pr_next_pid < 0) {
+      break;
+    }
+    a.pr_start_pid = a.pr_next_pid;
+    a.pr_next_pid = -1;
+  }
+  return out;
 }
 
 Result<PrTrace> ProcHandle::Trace() {

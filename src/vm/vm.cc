@@ -6,6 +6,7 @@
 #include "svr4proc/isa/blocks.h"
 #include "svr4proc/kernel/faults.h"
 #include "svr4proc/kernel/ktrace.h"
+#include "svr4proc/kernel/smp.h"
 
 namespace svr4 {
 
@@ -34,9 +35,43 @@ void AddressSpace::TlbFlush() const {
   if (kt_ != nullptr) {
     kt_->Emit(KtEvent::kTlbFlush, kt_pid_, 0, tlb_gen_, 0);
   }
+  if (smp_ != nullptr) {
+    // The generation bump already invalidated every CPU's bank; the IPIs
+    // model (and make observable) the interrupts a real kernel would need.
+    smp_->Shootdown(this, kt_pid_);
+  }
+}
+
+void AddressSpace::CodeShootdown() const {
+  if (smp_ != nullptr) {
+    smp_->Shootdown(this, kt_pid_);
+  }
+}
+
+void AddressSpace::SetCpuCount(int n) {
+  if (n < 1) {
+    n = 1;
+  }
+  if (static_cast<size_t>(n) != tlb_banks_.size()) {
+    tlb_banks_.assign(static_cast<size_t>(n),
+                      std::array<TlbEntry, kTlbEntries>{});
+  }
+  tlb_ = tlb_banks_[0].data();  // the vector may have reallocated
+}
+
+bool AddressSpace::HasWritableSharedMapping() const {
+  for (const auto& [start, m] : maps_) {
+    if ((m.flags & MA_SHARED) != 0 && (m.flags & MA_WRITE) != 0) {
+      return true;
+    }
+  }
+  return false;
 }
 
 Result<PagePtr> AnonObject::GetPage(uint64_t page_index) {
+  // Serialized: free-running SMP workers can materialize pages of a shared
+  // object concurrently from different address spaces.
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = pages_.find(page_index);
   if (it == pages_.end()) {
     it = pages_.emplace(page_index, std::make_shared<VmPage>()).first;
@@ -378,6 +413,7 @@ std::optional<MemFault> AddressSpace::AccessCommon(uint32_t addr, void* rbuf, co
     }
     if (kind == Access::kWrite && (m->flags & MA_EXEC) != 0) {
       ++code_gen_;  // self-modifying code: drop predecoded blocks
+      CodeShootdown();
     }
     // Copy page-at-a-time within this mapping without re-resolving it.
     uint32_t m_end = m->end();
@@ -482,6 +518,7 @@ std::optional<MemFault> AddressSpace::MemWrite(uint32_t addr, const void* buf, u
       ++counters_.tlb_hits;
       if (e.flags & MA_EXEC) {
         ++code_gen_;  // store into executable memory: drop predecoded blocks
+        CodeShootdown();
       }
       CopySmall(e.page->bytes.data() + (addr & (kPageSize - 1)), buf, len);
       e.frame->pg |= PG_REFERENCED | PG_MODIFIED;
@@ -608,8 +645,11 @@ Result<int64_t> AddressSpace::PrWrite(uint32_t addr, std::span<const uint8_t> bu
     if (m->flags & MA_EXEC) {
       // A controller writing text (planting a breakpoint, patching code)
       // must invalidate predecoded blocks even when the COW copy was
-      // already private and no TLB flush happens.
+      // already private and no TLB flush happens. If the target is
+      // mid-quantum on another CPU, the shootdown IPI is what (observably)
+      // forces it off the stale code.
       ++code_gen_;
+      CodeShootdown();
     }
     while (done < buf.size()) {
       a = addr + static_cast<uint32_t>(done);
@@ -642,6 +682,10 @@ AddressSpacePtr AddressSpace::Clone() const {
   child->watch_active_ = watch_active_;
   child->tlb_enabled_ = tlb_enabled_;
   child->finj_ = finj_;
+  child->smp_ = smp_;
+  if (tlb_banks_.size() > 1) {
+    child->SetCpuCount(static_cast<int>(tlb_banks_.size()));
+  }
   // Our frames just became COW-shared with the child: cached write-in-place
   // entries are no longer valid.
   TlbFlush();

@@ -463,5 +463,24 @@ TEST(ChaosSweep, ForkFollowWorkload) {
   }
 }
 
+TEST(ChaosSweep, SmpTopologies) {
+  // The ncpus axis: the same seeded chaos + fault runs, but on 2- and
+  // 4-CPU topologies. The chaos scheduler draws the CPU as well as the lwp,
+  // work stealing backfills drained queues, and the per-CPU queue and IPI
+  // conservation invariants must hold at every seed.
+  for (int ncpus : {2, 4}) {
+    for (uint64_t seed = 301; seed <= 312; ++seed) {
+      Sim sim;
+      sim.kernel().SetNumCpus(ncpus);
+      ASSERT_TRUE(sim.InstallProgram("/bin/prog", kForkWriter).ok());
+      sim.kernel().SetFaultPlan(LowRatePlan(seed));
+      sim.kernel().SetChaosScheduler(seed);
+      Truss truss(sim.kernel(), sim.controller(), TrussOptions{.follow_fork = true});
+      (void)truss.TraceCommand("/bin/prog", {"prog"});
+      ExpectInvariantsClean(sim.kernel(), seed);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace svr4

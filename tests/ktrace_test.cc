@@ -90,7 +90,7 @@ std::string ReadWholeFile(Sim& sim, const std::string& path) {
 
 TEST(KtRing, WraparoundKeepsNewestOldestFirst) {
   uint64_t tick = 0;
-  KTrace kt(&tick, /*cap=*/8);
+  KTrace kt(&tick, /*cpu_src=*/nullptr, /*cap=*/8);
   kt.EnableRing(true);
   for (uint32_t i = 0; i < 20; ++i) {
     tick = 100 + i;

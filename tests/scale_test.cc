@@ -213,6 +213,38 @@ TEST(ScaleChurn, BigPopulationChurnStaysCoherent) {
   EXPECT_TRUE(k.CheckInvariants().empty());
 }
 
+TEST(ScaleChurn, ZombieFootprintShrinksBeforeReap) {
+  // A zombie holds only its exit status and identity: the audit ring, the
+  // descriptor table's capacity, and the lwp storage are released one Step
+  // after exit, not at reap time. A monitor holding 10^5 unreaped zombies
+  // must not also hold 10^5 full descriptor tables.
+  Sim sim;
+  Kernel& k = sim.kernel();
+  ASSERT_TRUE(sim.InstallProgram("/bin/ex", kExit).ok());
+  // Parent is the controller, which never waits: the zombie persists.
+  auto z = k.Spawn("/bin/ex", {"ex"}, Creds::Root(), sim.controller());
+  ASSERT_TRUE(z.ok());
+  ASSERT_TRUE(k.RunToExit(*z).ok());
+  Proc* p = k.FindProc(*z);
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->state, Proc::State::kZombie);
+  // The slim pass runs at the start of the next Step.
+  k.Step();
+  EXPECT_EQ(p->trace.audit, nullptr) << "audit ring survived the slim pass";
+  EXPECT_EQ(p->fds.capacity(), 0u);
+  EXPECT_EQ(p->lwps.capacity(), 0u);
+  EXPECT_EQ(ProcDynamicFootprint(*p), 0u);
+  // The totals survive for PIOCAUDIT/psinfo, and the reap still works.
+  EXPECT_TRUE(k.CheckInvariants().empty());
+  auto ps = PsSnapshotAll(k, sim.controller());
+  ASSERT_TRUE(ps.ok());
+  bool saw = false;
+  for (const PrPsinfo& row : *ps) {
+    saw |= row.pr_pid == *z && row.pr_state == 'Z';
+  }
+  EXPECT_TRUE(saw);
+}
+
 // --- Streaming readdir under churn ------------------------------------------
 
 TEST(ScaleReaddir, CursorStableAcrossChurn) {
@@ -348,6 +380,46 @@ TEST(ScaleSnapshot, ChunkedPsWalkMatchesBulk) {
   for (size_t i = 0; i < bulk->size(); ++i) {
     EXPECT_EQ((*walked)[i].pr_pid, (*bulk)[i].pr_pid);
     EXPECT_EQ((*walked)[i].pr_state, (*bulk)[i].pr_state);
+  }
+}
+
+TEST(ScaleSnapshot, WindowedPsAllMatchesBulk) {
+  // The pr_start_pid/pr_limit window operands page through the population
+  // in bounded memory; chaining pr_next_pid must reproduce the bulk
+  // snapshot exactly, whatever the window size.
+  Sim sim;
+  Kernel& k = sim.kernel();
+  ASSERT_TRUE(sim.InstallProgram("/bin/spin", kSpin).ok());
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(sim.Start("/bin/spin").ok());
+  }
+  auto h = ProcHandle::Grab(k, sim.controller(), 1, O_RDONLY);
+  ASSERT_TRUE(h.ok());
+  PrPsAll bulk;
+  ASSERT_TRUE(k.Ioctl(sim.controller(), h->fd(), PIOCPSALL, &bulk).ok());
+  ASSERT_EQ(bulk.pr_procs.size(), k.ProcCount());
+  EXPECT_EQ(bulk.pr_next_pid, -1);
+
+  for (uint32_t limit : {1u, 7u, 1000u}) {
+    std::vector<PrPsinfo> paged;
+    PrPsAll w;
+    w.pr_limit = limit;
+    for (;;) {
+      w.pr_procs.clear();
+      w.pr_next_pid = -1;
+      ASSERT_TRUE(k.Ioctl(sim.controller(), h->fd(), PIOCPSALL, &w).ok());
+      EXPECT_LE(w.pr_procs.size(), limit);
+      paged.insert(paged.end(), w.pr_procs.begin(), w.pr_procs.end());
+      if (w.pr_next_pid < 0) {
+        break;
+      }
+      w.pr_start_pid = w.pr_next_pid;
+    }
+    ASSERT_EQ(paged.size(), bulk.pr_procs.size()) << "limit=" << limit;
+    for (size_t i = 0; i < paged.size(); ++i) {
+      EXPECT_EQ(paged[i].pr_pid, bulk.pr_procs[i].pr_pid);
+      EXPECT_EQ(paged[i].pr_state, bulk.pr_procs[i].pr_state);
+    }
   }
 }
 
