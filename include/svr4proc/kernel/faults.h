@@ -35,6 +35,9 @@ class KTrace;
 //   kIpiDelay           a CPU's pending cross-CPU interrupts go one more
 //                       quantum unacknowledged (models slow IPI delivery;
 //                       generation-based invalidation keeps it safe)
+//   kPeerDisconnect     a procd peer's transport dies between frames: the
+//                       daemon must close every descriptor the peer held
+//                       (evaluated once per connected peer per server pump)
 enum class FaultSite : int {
   kCopyin = 0,
   kCopyout,
@@ -47,8 +50,9 @@ enum class FaultSite : int {
   kSpuriousWakeup,
   kDelayedStop,
   kIpiDelay,
+  kPeerDisconnect,
 };
-inline constexpr int kFaultSiteCount = 11;
+inline constexpr int kFaultSiteCount = 12;
 
 const char* FaultSiteName(FaultSite s);
 

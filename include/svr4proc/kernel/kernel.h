@@ -128,6 +128,12 @@ class Kernel {
   // --- Processes ------------------------------------------------------------
   // Creates a native controller process (debugger, ps, truss, a test).
   Proc* CreateNativeProc(const Creds& creds, std::string name);
+  // Tears a native controller process down: every descriptor it holds is
+  // closed (each vnode Close hook runs — /proc ledgers drain exactly as for
+  // explicit closes) and the proc exits and is reaped on the next Step().
+  // procd uses this when a remote peer's transport dies; the equivalence
+  // "peer death == close of everything the peer held" is this one call.
+  void DestroyNativeProc(Proc* p);
   // Creates a simulated process running the executable at `path`.
   // The new process is a child of `parent` (init if null).
   Result<Pid> Spawn(const std::string& path, const std::vector<std::string>& argv,
@@ -204,6 +210,11 @@ class Kernel {
 
   // Called by procfs when the last writable descriptor closes.
   void PrLastClose(Proc* target);
+  // Called by procfs when a descriptor from a dead generation (invalidated
+  // by a set-id exec) closes: drains the stale ledger and runs last-close
+  // actions when the invalidated set is fully gone. Shared by both /proc
+  // front-ends so the drain rules cannot drift.
+  void PrStaleClose(Proc* target, bool counted_writable);
 
   // --- Fault injection & chaos (faults.cc) ----------------------------------
   // Arms (or replaces) the fault plan; the injector pointer is propagated to

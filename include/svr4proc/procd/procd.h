@@ -1,0 +1,297 @@
+// procd: a single-threaded, poll-driven daemon exporting the process file
+// system to remote controllers over a length-prefixed frame protocol.
+//
+// The paper's claim is that /proc makes process control an ordinary
+// file-descriptor protocol; procd is that claim stretched over a wire. Each
+// connected peer gets its own descriptor table — a native controller
+// process inside the served kernel — so every open the peer performs is a
+// real /proc open, counted in the real ledgers, subject to the real O_EXCL
+// and run-on-last-close rules. Peer lifetime follows gfarm's gfmd model
+// (process_attach_peer / process_detach_peer): attach creates the
+// controller, detach destroys it, and a detach at *any* point — orderly
+// hangup or the PEER_DISCONNECT chaos site firing mid-operation — is
+// equivalent to the peer closing every descriptor it held, because teardown
+// is Kernel::DestroyNativeProc and that runs every vnode Close hook.
+//
+// Transport is an in-memory duplex byte channel (deterministic, and cheap
+// enough that a bench can hold 10k peers); the frame codec is the part a
+// socket transport would reuse unchanged.
+//
+// Blocking control operations (PIOCSTOP / PIOCWSTOP and the PCSTOP /
+// PCWSTOP messages inside a batched ctl write) never block the daemon:
+// the directive half executes immediately, the wait half is parked, and
+// every Pump() re-evaluates parked waits against the same completion rules
+// as Kernel::PrWaitStop (target gone: ENOENT; stopped: done; simulation
+// idle: EDEADLK). A ctl write parked mid-stream keeps its unexecuted tail
+// as a continuation, preserving batched-write semantics.
+#ifndef SVR4PROC_PROCD_PROCD_H_
+#define SVR4PROC_PROCD_PROCD_H_
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svr4proc/kernel/kernel.h"
+
+namespace svr4 {
+
+// --- Wire protocol -----------------------------------------------------------
+
+// Request/reply/push operation codes. Every client frame gets exactly one
+// reply frame with the same tag; kEvent frames (tag 0) are pushed to
+// subscribed peers between replies.
+enum class PdOp : uint16_t {
+  kHello = 1,       // -> {}                                <- {i32 peer_pid}
+  kOpen,            // -> {i32 oflags, path}                <- {i32 fd}
+  kClose,           // -> {i32 fd}                          <- {}
+  kRead,            // -> {i32 fd, u32 n}                   <- {bytes}
+  kPread,           // -> {i32 fd, u64 off, u32 n}          <- {bytes}
+  kWrite,           // -> {i32 fd, bytes}                   <- {i64 n}
+  kLseek,           // -> {i32 fd, i64 off, i32 whence}     <- {i64 pos}
+  kIoctl,           // -> {i32 fd, u32 op, u32 in_len, u32 out_cap, in}
+                    //                                      <- {i32 rv, out}
+  kPsall,           // -> {i32 fd, i32 start, u32 limit}
+                    //                  <- {i32 next_pid, u32 n, PrPsinfo[n]}
+  kReadDirChunk,    // -> {u64 cookie, u32 max, path}
+                    //        <- {u64 cookie, u32 n, n * {u8 type, u16 len, name}}
+  kStat,            // -> {path}                            <- {VAttr fields}
+  kPoll,            // -> {i64 timeout, u32 n, n * {i32 fd, i32 events}}
+                    //                  <- {i32 ready, u32 n, n * {i32 revents}}
+  kSubscribe,       // -> {i32 fd, i32 events}              <- {}
+  kUnsubscribe,     // -> {i32 fd}                          <- {}
+  kSpawn,           // -> {u32 ruid, u32 rgid, path, u32 argc, argv...}
+                    //                                      <- {i32 pid}
+  kEvent = 100,     // push: {i32 fd, i32 revents} — a subscribed fd's poll
+                    //       state changed (level captured at push time)
+};
+
+// Frame: 12-byte header + body_len bytes of body.
+struct PdFrameHdr {
+  uint32_t body_len = 0;
+  uint16_t op = 0;
+  uint16_t flags = 0;  // kPdErrFlag: body is {i32 errno}
+  uint32_t tag = 0;
+};
+inline constexpr uint16_t kPdErrFlag = 1;
+
+struct PdFrame {
+  PdFrameHdr hdr;
+  std::vector<uint8_t> body;
+};
+
+// One direction of a connection: an in-memory byte stream.
+class PdChannel {
+ public:
+  void Append(const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  // Extracts the next complete frame; false when none is buffered.
+  bool NextFrame(PdFrame* out) {
+    if (buf_.size() - rd_ < sizeof(PdFrameHdr)) {
+      Compact();
+      return false;
+    }
+    PdFrameHdr h;
+    std::memcpy(&h, buf_.data() + rd_, sizeof(h));
+    if (buf_.size() - rd_ < sizeof(h) + h.body_len) {
+      return false;
+    }
+    out->hdr = h;
+    out->body.assign(buf_.begin() + static_cast<long>(rd_ + sizeof(h)),
+                     buf_.begin() + static_cast<long>(rd_ + sizeof(h) + h.body_len));
+    rd_ += sizeof(h) + h.body_len;
+    Compact();
+    return true;
+  }
+  bool HasFrame() const { return buf_.size() - rd_ >= sizeof(PdFrameHdr); }
+  bool empty() const { return rd_ == buf_.size(); }
+
+ private:
+  void Compact() {
+    if (rd_ == buf_.size()) {
+      buf_.clear();
+      rd_ = 0;
+    }
+  }
+  std::vector<uint8_t> buf_;
+  size_t rd_ = 0;
+};
+
+// Little-endian-in-host-order body builder/reader (both ends live in one
+// process; a socket transport would pin byte order here).
+class PdWriter {
+ public:
+  template <typename T>
+  PdWriter& Put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+    return *this;
+  }
+  PdWriter& PutBytes(const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    bytes_.insert(bytes_.end(), b, b + n);
+    return *this;
+  }
+  PdWriter& PutString(const std::string& s) {
+    Put<uint32_t>(static_cast<uint32_t>(s.size()));
+    return PutBytes(s.data(), s.size());
+  }
+  std::vector<uint8_t>& bytes() { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+class PdReader {
+ public:
+  explicit PdReader(const std::vector<uint8_t>& b) : b_(&b) {}
+  template <typename T>
+  bool Get(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (b_->size() - off_ < sizeof(T)) {
+      return false;
+    }
+    std::memcpy(v, b_->data() + off_, sizeof(T));
+    off_ += sizeof(T);
+    return true;
+  }
+  bool GetString(std::string* s) {
+    uint32_t n = 0;
+    if (!Get(&n) || b_->size() - off_ < n) {
+      return false;
+    }
+    s->assign(reinterpret_cast<const char*>(b_->data() + off_), n);
+    off_ += n;
+    return true;
+  }
+  const uint8_t* Raw(size_t n) {
+    if (b_->size() - off_ < n) {
+      return nullptr;
+    }
+    const uint8_t* p = b_->data() + off_;
+    off_ += n;
+    return p;
+  }
+  size_t remaining() const { return b_->size() - off_; }
+
+ private:
+  const std::vector<uint8_t>* b_;
+  size_t off_ = 0;
+};
+
+void PdWriteFrame(PdChannel& ch, PdOp op, uint16_t flags, uint32_t tag,
+                  const std::vector<uint8_t>& body);
+void PdWriteError(PdChannel& ch, PdOp op, uint32_t tag, Errno e);
+
+// --- Connection --------------------------------------------------------------
+
+class ProcdServer;
+
+// The duplex transport shared by one peer and the server. The client owns
+// one reference; the server's peer entry owns the other.
+struct ProcdConn {
+  PdChannel c2s;  // client -> server
+  PdChannel s2c;  // server -> client
+  bool client_closed = false;  // client hung up (orderly)
+  bool server_closed = false;  // server detached the peer (hangup or chaos)
+  uint64_t id = 0;
+  ProcdServer* server = nullptr;
+};
+
+// --- Server ------------------------------------------------------------------
+
+class ProcdServer {
+ public:
+  explicit ProcdServer(Kernel& k);
+  ~ProcdServer();
+
+  ProcdServer(const ProcdServer&) = delete;
+  ProcdServer& operator=(const ProcdServer&) = delete;
+
+  // Attaches a peer: creates its native controller process (its descriptor
+  // table) and returns the transport to hand to a RemoteProcIo.
+  std::shared_ptr<ProcdConn> Connect(const Creds& creds,
+                                     const std::string& name = "procd-peer");
+
+  // One service round: fires the PEER_DISCONNECT chaos site, drains peer
+  // frames (parking blocking ops instead of pumping inline), re-evaluates
+  // parked waits, pushes subscription events, and — when parked waits are
+  // the only pending work — advances the simulation one Step. Returns
+  // whether anything progressed; a false return means the daemon is fully
+  // idle. Clients' blocking calls drive this in a loop.
+  bool Pump();
+
+  size_t PeerCount() const { return live_peers_; }
+  Kernel& kernel() { return *kernel_; }
+
+  struct Stats {
+    uint64_t frames_in = 0;          // request frames processed
+    uint64_t ctl_ops = 0;            // control operations dispatched
+    uint64_t events_pushed = 0;      // kEvent frames sent
+    uint64_t disconnects = 0;        // peers detached (all causes)
+    uint64_t chaos_disconnects = 0;  // ... of which PEER_DISCONNECT fired
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Peer {
+    std::shared_ptr<ProcdConn> conn;
+    Proc* proc = nullptr;  // the peer's descriptor table
+    bool dead = false;
+
+    // At most one parked blocking operation; while parked, later frames
+    // from this peer stay queued in the channel (FIFO order preserved).
+    enum class Wait : uint8_t { kNone, kStopWait, kPoll };
+    Wait wait = Wait::kNone;
+    PdOp wait_op = PdOp::kHello;  // op code for the eventual reply frame
+    uint32_t wait_tag = 0;
+    Pid wait_pid = -1;            // stop-wait: the target process
+    uint32_t wait_out_cap = 0;    // flat PIOCWSTOP/PIOCSTOP: PrStatus reply?
+    int wait_fd = -1;             // ctl-stream continuation descriptor
+    std::vector<uint8_t> wait_cont;  // unexecuted ctl-stream tail
+    int64_t wait_consumed = 0;       // stream bytes already accepted
+    std::vector<PollFd> wait_pfds;   // parked poll set
+    uint64_t wait_deadline = 0;      // poll: 0 = no timeout
+    // Subscriptions: fd -> {events mask, last pushed revents}.
+    std::map<int32_t, std::pair<int32_t, int32_t>> subs;
+  };
+
+  bool HandleFrame(Peer& peer, const PdFrame& f);
+  void HandleOpen(Peer& peer, uint32_t tag, PdReader& r);
+  void HandleRead(Peer& peer, uint32_t tag, PdReader& r, bool pread);
+  void HandleWrite(Peer& peer, uint32_t tag, PdReader& r);
+  void HandleIoctl(Peer& peer, uint32_t tag, PdReader& r);
+  void HandlePsall(Peer& peer, uint32_t tag, PdReader& r);
+  void HandlePoll(Peer& peer, uint32_t tag, PdReader& r);
+  void HandleSpawn(Peer& peer, uint32_t tag, PdReader& r);
+
+  // Runs a ctl-message stream for a parked-capable write: executes
+  // non-blocking prefixes through the kernel, parks at the first blocking
+  // message. Returns true if the peer parked (no reply yet).
+  bool RunCtlWrite(Peer& peer, uint32_t tag, int fd, std::vector<uint8_t> stream,
+                   int64_t consumed);
+
+  // Parked-wait machinery.
+  bool TryCompleteWait(Peer& peer, bool idle);
+  void ReplyStopWait(Peer& peer, Errno e, bool ok);
+  int EvalPoll(Peer& peer, std::vector<PollFd>& pfds);
+  bool PushEvents(Peer& peer);
+
+  void Detach(Peer& peer, bool chaos);
+
+  Kernel* kernel_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  size_t live_peers_ = 0;
+  uint64_t next_conn_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace svr4
+
+#endif  // SVR4PROC_PROCD_PROCD_H_

@@ -4,12 +4,14 @@
 #ifndef SVR4PROC_TOOLS_PROCLIB_H_
 #define SVR4PROC_TOOLS_PROCLIB_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "svr4proc/kernel/kernel.h"
 #include "svr4proc/kernel/ktrace.h"
 #include "svr4proc/procfs/types.h"
+#include "svr4proc/tools/procio.h"
 
 namespace svr4 {
 
@@ -24,9 +26,12 @@ struct PrTrace {
 class ProcHandle {
  public:
   // Opens /proc/<pid>. oflags O_RDWR for control, O_RDONLY for inspection,
-  // O_RDWR|O_EXCL for exclusive control.
+  // O_RDWR|O_EXCL for exclusive control. The in-process form wraps the
+  // kernel in an owned LocalProcIo; the ProcIo form works over any
+  // transport (procd's RemoteProcIo included) and must outlive the handle.
   static Result<ProcHandle> Grab(Kernel& k, Proc* controller, Pid pid,
                                  int oflags = O_RDWR);
+  static Result<ProcHandle> Grab(ProcIo& io, Pid pid, int oflags = O_RDWR);
 
   ProcHandle(ProcHandle&& o) noexcept;
   ProcHandle& operator=(ProcHandle&& o) noexcept;
@@ -109,17 +114,18 @@ class ProcHandle {
   Result<PrPageData> PageData(bool clear);
   Result<PrLwpIds> LwpIds();
 
-  Kernel& kernel() { return *kernel_; }
-  Proc* controller() { return controller_; }
+  // The transport this handle rides on; local_kernel()/local_proc() are
+  // null when it is remote.
+  ProcIo& io() { return *io_; }
 
  private:
-  ProcHandle(Kernel* k, Proc* controller, Pid pid, int fd)
-      : kernel_(k), controller_(controller), pid_(pid), fd_(fd) {}
+  ProcHandle(std::unique_ptr<ProcIo> owned, ProcIo* io, Pid pid, int fd)
+      : owned_io_(std::move(owned)), io_(io), pid_(pid), fd_(fd) {}
 
   Result<int32_t> Io(uint32_t op, void* arg);
 
-  Kernel* kernel_ = nullptr;
-  Proc* controller_ = nullptr;
+  std::unique_ptr<ProcIo> owned_io_;
+  ProcIo* io_ = nullptr;
   Pid pid_ = 0;
   int fd_ = -1;
 };
@@ -128,6 +134,7 @@ class ProcHandle {
 // /proc2/<pid>/trace). An empty file — ring never armed — parses as an
 // empty snapshot, not an error.
 Result<PrTrace> ReadTraceFile(Kernel& k, Proc* caller, const std::string& path);
+Result<PrTrace> ReadTraceFile(ProcIo& io, const std::string& path);
 
 }  // namespace svr4
 

@@ -11,6 +11,7 @@
 
 #include "svr4proc/kernel/kernel.h"
 #include "svr4proc/procfs/types.h"
+#include "svr4proc/tools/procio.h"
 
 namespace svr4 {
 
@@ -22,18 +23,24 @@ struct PsOptions {
 // "the opens always succeed and no interference is created for controlling
 // and controlled processes" (when the caller is privileged). Enumerates the
 // directory with the chunked-readdir cursor, so the walk is O(live procs)
-// even over a huge population.
+// even over a huge population. Each function has a transport-generic ProcIo
+// form — ps against a remote procd is the same code — and the historical
+// in-process form.
+Result<std::vector<PrPsinfo>> PsSnapshot(ProcIo& io);
 Result<std::vector<PrPsinfo>> PsSnapshot(Kernel& k, Proc* caller);
 
 // The bulk path: one PIOCPSALL on a single handle returns the whole
 // population. At 10^5+ processes this is the only shape that keeps ps O(n)
 // — the per-pid loop pays open+ioctl+close per process.
+Result<std::vector<PrPsinfo>> PsSnapshotAll(ProcIo& io, Pid handle_pid);
 Result<std::vector<PrPsinfo>> PsSnapshotAll(Kernel& k, Proc* caller);
 
 // Formats the classic listing.
+Result<std::string> PsFormat(ProcIo& io, const PsOptions& opts = {});
 Result<std::string> PsFormat(Kernel& k, Proc* caller, const PsOptions& opts = {});
 
 // Renders Figure 1 of the paper: "ls -l /proc".
+Result<std::string> LsProc(ProcIo& io);
 Result<std::string> LsProc(Kernel& k, Proc* caller);
 
 }  // namespace svr4

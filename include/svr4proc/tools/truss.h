@@ -27,7 +27,11 @@ struct TrussOptions {
 
 class Truss {
  public:
+  // In-process form (wraps the kernel in an owned LocalProcIo) and the
+  // transport-generic form: a Truss over procd's RemoteProcIo traces
+  // processes on a remote kernel with the same code paths.
   Truss(Kernel& k, Proc* caller, TrussOptions opts = {});
+  Truss(ProcIo& io, TrussOptions opts = {});
 
   // Traces the process until it (and, with -f, all its traced descendants)
   // exits. The report accumulates in report().
@@ -57,8 +61,8 @@ class Truss {
   Result<void> HandleStop(ProcHandle& h);
   void Emit(Pid pid, const std::string& line);
 
-  Kernel* kernel_;
-  Proc* caller_;
+  std::unique_ptr<ProcIo> owned_io_;
+  ProcIo* io_;
   TrussOptions opts_;
   std::map<Pid, ProcHandle> tracees_;
   std::string report_;

@@ -41,6 +41,7 @@ const char* FaultSiteName(FaultSite s) {
     case FaultSite::kSpuriousWakeup: return "SPURIOUS_WAKEUP";
     case FaultSite::kDelayedStop: return "DELAYED_STOP";
     case FaultSite::kIpiDelay: return "IPI_DELAY";
+    case FaultSite::kPeerDisconnect: return "PEER_DISCONNECT";
   }
   return "?";
 }

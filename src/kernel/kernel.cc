@@ -320,6 +320,17 @@ Proc* Kernel::CreateNativeProc(const Creds& creds, std::string name) {
   return p;
 }
 
+void Kernel::DestroyNativeProc(Proc* p) {
+  if (p == nullptr || !p->native || p->state == Proc::State::kZombie) {
+    return;
+  }
+  // ExitProc runs FdCloseAll, so every vnode Close hook fires — a vanished
+  // procd peer releases /proc ledgers, O_EXCL, and run-on-last-close exactly
+  // as a local controller closing each descriptor would. The zombie is
+  // reaped by DrainReapList on the next Step (parent is init).
+  ExitProc(p, 0);
+}
+
 Proc* Kernel::FindProc(Pid pid) {
   if (pid < 0) {
     return nullptr;
@@ -2127,6 +2138,38 @@ void Kernel::PrLastClose(Proc* target) {
         !target->pt_owned_stop) {
       ResumeLwp(l.get());
     }
+  }
+}
+
+void Kernel::PrStaleClose(Proc* target, bool counted_writable) {
+  // A descriptor from a dead generation closes: the set-id exec already
+  // moved its ledger entry to the stale side, so drain that side here.
+  TraceState& t = target->trace;
+  if (t.stale_total_opens > 0) {
+    --t.stale_total_opens;
+  }
+  if (counted_writable && t.stale_writable_opens > 0) {
+    --t.stale_writable_opens;
+  }
+  if (t.writable_opens > 0) {
+    // A live-generation writer exists; last-close responsibility moved to it
+    // the moment it opened, and a stale drain must not resume the target or
+    // clear state a live controller now owns.
+    return;
+  }
+  if (counted_writable && t.stale_writable_opens == 0) {
+    // Last invalidated writer is gone: the exec-time directed stop and
+    // run-on-last-close must fire exactly as if the writer closed normally.
+    PrLastClose(target);
+    return;
+  }
+  if (t.stale_writable_opens == 0 && t.stale_total_opens == 0 && t.run_on_last_close) {
+    // The invalidated set held no writer at all (or its writers already
+    // drained without tripping run-on-last-close) and this was the final
+    // stale descriptor of any kind. Without this arm, a target whose
+    // controllers were all read-only at exec time stays directed-stopped
+    // forever after the last stale close.
+    PrLastClose(target);
   }
 }
 

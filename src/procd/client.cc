@@ -1,0 +1,543 @@
+// RemoteProcIo: the client half of procd. Each ProcIo operation becomes one
+// wire frame; Call() pumps the server until the tagged reply arrives, so a
+// blocking remote operation (PIOCWSTOP, poll) drives the simulation exactly
+// the way a local blocking call does — just from the other side of a frame
+// boundary.
+#include "svr4proc/procd/client.h"
+
+#include <cstring>
+
+#include "svr4proc/isa/isa.h"
+#include "svr4proc/kernel/signal.h"
+#include "svr4proc/procfs/types.h"
+
+namespace svr4 {
+
+namespace {
+
+struct IoSizes {
+  uint32_t in = 0;
+  uint32_t out = 0;
+};
+
+// Operand sizes for the flat (trivially copyable) PIOC operations — the
+// client-side twin of the local dispatch's argument handling. Variable-size
+// operations (PIOCMAP, PIOCGWATCH, PIOCPSALL, PIOCPAGEDATA) are intercepted
+// before this table is consulted.
+bool PiocSizes(uint32_t op, bool have_arg, IoSizes* s) {
+  switch (op) {
+    case PIOCSTATUS:
+      s->out = sizeof(PrStatus);
+      return true;
+    case PIOCSTOP:
+    case PIOCWSTOP:
+      s->out = have_arg ? sizeof(PrStatus) : 0;
+      return true;
+    case PIOCRUN:
+      s->in = sizeof(PrRun);
+      return true;
+    case PIOCSTRACE:
+    case PIOCSHOLD:
+      s->in = sizeof(SigSet);
+      return true;
+    case PIOCGTRACE:
+    case PIOCGHOLD:
+      s->out = sizeof(SigSet);
+      return true;
+    case PIOCSSIG:
+      s->in = have_arg ? sizeof(SigInfo) : 0;
+      return true;
+    case PIOCKILL:
+    case PIOCUNKILL:
+    case PIOCNICE:
+      s->in = 4;
+      return true;
+    case PIOCMAXSIG:
+    case PIOCNMAP:
+    case PIOCNWATCH:
+      s->out = sizeof(int);
+      return true;
+    case PIOCACTION:
+      s->out = SigSet::kMaxMember * sizeof(SigAction);
+      return true;
+    case PIOCSFAULT:
+      s->in = sizeof(FltSet);
+      return true;
+    case PIOCGFAULT:
+      s->out = sizeof(FltSet);
+      return true;
+    case PIOCSENTRY:
+    case PIOCSEXIT:
+      s->in = sizeof(SysSet);
+      return true;
+    case PIOCGENTRY:
+    case PIOCGEXIT:
+      s->out = sizeof(SysSet);
+      return true;
+    case PIOCCFAULT:
+    case PIOCSFORK:
+    case PIOCRFORK:
+    case PIOCSRLC:
+    case PIOCRRLC:
+      return true;
+    case PIOCSREG:
+      s->in = sizeof(Regs);
+      return true;
+    case PIOCGREG:
+      s->out = sizeof(Regs);
+      return true;
+    case PIOCSFPREG:
+      s->in = sizeof(FpRegs);
+      return true;
+    case PIOCGFPREG:
+      s->out = sizeof(FpRegs);
+      return true;
+    case PIOCOPENM:
+      s->in = have_arg ? 4 : 0;
+      return true;
+    case PIOCCRED:
+      s->out = sizeof(PrCred);
+      return true;
+    case PIOCGROUPS:
+      s->out = PRNGROUPS * sizeof(Gid);
+      return true;
+    case PIOCPSINFO:
+      s->out = sizeof(PrPsinfo);
+      return true;
+    case PIOCGETPR:
+      s->out = sizeof(PrRawProc);
+      return true;
+    case PIOCGETU:
+      s->out = sizeof(PrRawUser);
+      return true;
+    case PIOCUSAGE:
+      s->out = sizeof(PrUsage);
+      return true;
+    case PIOCSWATCH:
+      s->in = sizeof(PrWatch);
+      return true;
+    case PIOCVMSTATS:
+      s->out = sizeof(PrVmStats);
+      return true;
+    case PIOCAUDIT:
+      s->out = sizeof(PrCtlAudit);
+      return true;
+    case PIOCKSTAT:
+      s->out = sizeof(PrKstat);
+      return true;
+    case PIOCLWPIDS:
+      s->out = sizeof(PrLwpIds);
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void RemoteProcIo::Hangup() {
+  if (conn_ == nullptr || conn_->client_closed) {
+    return;
+  }
+  conn_->client_closed = true;
+  // One pump lets the server observe the hangup and detach the peer now
+  // rather than on the next unrelated pump.
+  if (!conn_->server_closed && conn_->server != nullptr) {
+    conn_->server->Pump();
+  }
+}
+
+void RemoteProcIo::DrainPushed() {
+  if (conn_ == nullptr) {
+    return;
+  }
+  PdFrame f;
+  while (conn_->s2c.NextFrame(&f)) {
+    if (static_cast<PdOp>(f.hdr.op) == PdOp::kEvent) {
+      PdReader r(f.body);
+      Event ev;
+      if (r.Get(&ev.fd) && r.Get(&ev.revents)) {
+        events_.push_back(ev);
+      }
+    }
+    // Non-event frames with no matching Call are stale replies from a
+    // chaos-severed exchange; drop them.
+  }
+}
+
+Result<PdFrame> RemoteProcIo::Call(PdOp op, std::vector<uint8_t> body) {
+  if (conn_ == nullptr || conn_->client_closed || conn_->server_closed) {
+    return Errno::kEIO;
+  }
+  uint32_t tag = next_tag_++;
+  PdWriteFrame(conn_->c2s, op, 0, tag, body);
+  int stalls = 0;
+  for (;;) {
+    PdFrame f;
+    bool saw = false;
+    while (conn_->s2c.NextFrame(&f)) {
+      saw = true;
+      if (static_cast<PdOp>(f.hdr.op) == PdOp::kEvent) {
+        PdReader r(f.body);
+        Event ev;
+        if (r.Get(&ev.fd) && r.Get(&ev.revents)) {
+          events_.push_back(ev);
+        }
+        continue;
+      }
+      if (f.hdr.tag != tag) {
+        continue;  // stale reply from a severed exchange
+      }
+      if ((f.hdr.flags & kPdErrFlag) != 0) {
+        int32_t e = 0;
+        PdReader r(f.body);
+        if (!r.Get(&e)) {
+          return Errno::kEIO;
+        }
+        return static_cast<Errno>(e);
+      }
+      return f;
+    }
+    if (conn_->server_closed || conn_->server == nullptr) {
+      // The peer died server-side (hangup raced, or PEER_DISCONNECT fired)
+      // with our call in flight: the transport reports an I/O error and
+      // every descriptor this peer held is already closed.
+      return Errno::kEIO;
+    }
+    if (!conn_->server->Pump() && !saw) {
+      // A fully idle daemon with our reply still missing means the frame
+      // can never complete (defensive; a correct server always replies or
+      // detaches).
+      if (++stalls > 2) {
+        return Errno::kEIO;
+      }
+    } else {
+      stalls = 0;
+    }
+  }
+}
+
+Result<Pid> RemoteProcIo::PeerPid() {
+  auto f = Call(PdOp::kHello, {});
+  if (!f.ok()) {
+    return f.error();
+  }
+  PdReader r(f->body);
+  int32_t pid = 0;
+  if (!r.Get(&pid)) {
+    return Errno::kEIO;
+  }
+  return static_cast<Pid>(pid);
+}
+
+Result<int> RemoteProcIo::Open(const std::string& path, int oflags) {
+  PdWriter w;
+  w.Put<int32_t>(oflags);
+  w.PutString(path);
+  auto f = Call(PdOp::kOpen, std::move(w.bytes()));
+  if (!f.ok()) {
+    return f.error();
+  }
+  PdReader r(f->body);
+  int32_t fd = -1;
+  if (!r.Get(&fd)) {
+    return Errno::kEIO;
+  }
+  return static_cast<int>(fd);
+}
+
+Result<void> RemoteProcIo::Close(int fd) {
+  PdWriter w;
+  w.Put<int32_t>(fd);
+  auto f = Call(PdOp::kClose, std::move(w.bytes()));
+  if (!f.ok()) {
+    return f.error();
+  }
+  return Result<void>::Ok();
+}
+
+Result<int64_t> RemoteProcIo::Read(int fd, void* buf, uint64_t n) {
+  PdWriter w;
+  w.Put<int32_t>(fd);
+  w.Put<uint32_t>(static_cast<uint32_t>(n));
+  auto f = Call(PdOp::kRead, std::move(w.bytes()));
+  if (!f.ok()) {
+    return f.error();
+  }
+  std::memcpy(buf, f->body.data(), f->body.size());
+  return static_cast<int64_t>(f->body.size());
+}
+
+Result<int64_t> RemoteProcIo::Write(int fd, const void* buf, uint64_t n) {
+  PdWriter w;
+  w.Put<int32_t>(fd);
+  w.PutBytes(buf, n);
+  auto f = Call(PdOp::kWrite, std::move(w.bytes()));
+  if (!f.ok()) {
+    return f.error();
+  }
+  PdReader r(f->body);
+  int64_t wrote = 0;
+  if (!r.Get(&wrote)) {
+    return Errno::kEIO;
+  }
+  return wrote;
+}
+
+Result<int64_t> RemoteProcIo::Lseek(int fd, int64_t off, int whence) {
+  PdWriter w;
+  w.Put<int32_t>(fd);
+  w.Put<int64_t>(off);
+  w.Put<int32_t>(whence);
+  auto f = Call(PdOp::kLseek, std::move(w.bytes()));
+  if (!f.ok()) {
+    return f.error();
+  }
+  PdReader r(f->body);
+  int64_t pos = 0;
+  if (!r.Get(&pos)) {
+    return Errno::kEIO;
+  }
+  return pos;
+}
+
+Result<int32_t> RemoteProcIo::Ioctl(int fd, uint32_t op, void* arg) {
+  if (op == PIOCPSALL) {
+    // The one operand with internal pointers: its own RPC carries the
+    // cursor inputs and the row array explicitly.
+    auto* all = static_cast<PrPsAll*>(arg);
+    if (all == nullptr) {
+      return Errno::kEINVAL;
+    }
+    PdWriter w;
+    w.Put<int32_t>(fd);
+    w.Put<int32_t>(all->pr_start_pid);
+    w.Put<uint32_t>(all->pr_limit);
+    auto f = Call(PdOp::kPsall, std::move(w.bytes()));
+    if (!f.ok()) {
+      return f.error();
+    }
+    PdReader r(f->body);
+    uint32_t n = 0;
+    if (!r.Get(&all->pr_next_pid) || !r.Get(&n)) {
+      return Errno::kEIO;
+    }
+    all->pr_procs.resize(n);
+    const uint8_t* rows = r.Raw(n * sizeof(PrPsinfo));
+    if (rows == nullptr) {
+      return Errno::kEIO;
+    }
+    std::memcpy(all->pr_procs.data(), rows, n * sizeof(PrPsinfo));
+    return 0;
+  }
+  if (op == PIOCPAGEDATA) {
+    return Errno::kEINVAL;  // no remote encoding for page-data buffers
+  }
+  IoSizes s;
+  if (op == PIOCMAP) {
+    // The caller's buffer is PrMapEntry[n+1]; size it the way the caller
+    // did, with a fresh PIOCNMAP.
+    int n = 0;
+    auto nr = Ioctl(fd, PIOCNMAP, &n);
+    if (!nr.ok()) {
+      return nr.error();
+    }
+    s.out = static_cast<uint32_t>(n + 1) * sizeof(PrMapEntry);
+  } else if (op == PIOCGWATCH) {
+    int n = 0;
+    auto nr = Ioctl(fd, PIOCNWATCH, &n);
+    if (!nr.ok()) {
+      return nr.error();
+    }
+    s.out = static_cast<uint32_t>(n) * sizeof(PrWatch);
+  } else if (!PiocSizes(op, arg != nullptr, &s)) {
+    return Errno::kEINVAL;
+  }
+  if (arg == nullptr) {
+    s.in = 0;
+    s.out = 0;
+  }
+  PdWriter w;
+  w.Put<int32_t>(fd);
+  w.Put<uint32_t>(op);
+  w.Put<uint32_t>(s.in);
+  w.Put<uint32_t>(s.out);
+  if (s.in != 0) {
+    w.PutBytes(arg, s.in);
+  }
+  auto f = Call(PdOp::kIoctl, std::move(w.bytes()));
+  if (!f.ok()) {
+    return f.error();
+  }
+  PdReader r(f->body);
+  int32_t rv = 0;
+  if (!r.Get(&rv)) {
+    return Errno::kEIO;
+  }
+  if (s.out != 0) {
+    const uint8_t* out = r.Raw(s.out);
+    if (out == nullptr) {
+      return Errno::kEIO;
+    }
+    std::memcpy(arg, out, s.out);
+  }
+  return rv;
+}
+
+Result<std::vector<DirEnt>> RemoteProcIo::ReadDir(const std::string& path) {
+  std::vector<DirEnt> out;
+  uint64_t cookie = 0;
+  for (;;) {
+    auto n = ReadDirChunk(path, &cookie, 256, &out);
+    if (!n.ok()) {
+      return n.error();
+    }
+    if (*n == 0) {
+      return out;
+    }
+  }
+}
+
+Result<size_t> RemoteProcIo::ReadDirChunk(const std::string& path, uint64_t* cookie,
+                                          size_t max, std::vector<DirEnt>* out) {
+  PdWriter w;
+  w.Put<uint64_t>(*cookie);
+  w.Put<uint32_t>(static_cast<uint32_t>(max));
+  w.PutString(path);
+  auto f = Call(PdOp::kReadDirChunk, std::move(w.bytes()));
+  if (!f.ok()) {
+    return f.error();
+  }
+  PdReader r(f->body);
+  uint32_t n = 0;
+  if (!r.Get(cookie) || !r.Get(&n)) {
+    return Errno::kEIO;
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    uint8_t type = 0;
+    DirEnt e;
+    if (!r.Get(&type) || !r.GetString(&e.name)) {
+      return Errno::kEIO;
+    }
+    e.type = static_cast<VType>(type);
+    out->push_back(std::move(e));
+  }
+  return static_cast<size_t>(n);
+}
+
+Result<VAttr> RemoteProcIo::Stat(const std::string& path) {
+  PdWriter w;
+  w.PutString(path);
+  auto f = Call(PdOp::kStat, std::move(w.bytes()));
+  if (!f.ok()) {
+    return f.error();
+  }
+  PdReader r(f->body);
+  uint8_t type = 0;
+  uint32_t mode = 0, uid = 0, gid = 0, nlink = 0;
+  uint64_t size = 0, mtime = 0;
+  if (!r.Get(&type) || !r.Get(&mode) || !r.Get(&uid) || !r.Get(&gid) ||
+      !r.Get(&size) || !r.Get(&mtime) || !r.Get(&nlink)) {
+    return Errno::kEIO;
+  }
+  VAttr a;
+  a.type = static_cast<VType>(type);
+  a.mode = mode;
+  a.uid = uid;
+  a.gid = gid;
+  a.size = size;
+  a.mtime = mtime;
+  a.nlink = nlink;
+  return a;
+}
+
+Result<int> RemoteProcIo::PollFds(std::span<PollFd> fds, int64_t timeout_ticks) {
+  PdWriter w;
+  w.Put<int64_t>(timeout_ticks);
+  w.Put<uint32_t>(static_cast<uint32_t>(fds.size()));
+  for (const auto& pf : fds) {
+    w.Put<int32_t>(pf.fd);
+    w.Put<int32_t>(pf.events);
+  }
+  auto f = Call(PdOp::kPoll, std::move(w.bytes()));
+  if (!f.ok()) {
+    return f.error();
+  }
+  PdReader r(f->body);
+  int32_t ready = 0;
+  uint32_t n = 0;
+  if (!r.Get(&ready) || !r.Get(&n) || n != fds.size()) {
+    return Errno::kEIO;
+  }
+  for (auto& pf : fds) {
+    int32_t revents = 0;
+    if (!r.Get(&revents)) {
+      return Errno::kEIO;
+    }
+    pf.revents = revents;
+  }
+  return static_cast<int>(ready);
+}
+
+Result<Pid> RemoteProcIo::Spawn(const std::string& path,
+                                const std::vector<std::string>& argv,
+                                const Creds& creds) {
+  PdWriter w;
+  w.Put<uint32_t>(creds.ruid);
+  w.Put<uint32_t>(creds.rgid);
+  w.PutString(path);
+  w.Put<uint32_t>(static_cast<uint32_t>(argv.size()));
+  for (const auto& a : argv) {
+    w.PutString(a);
+  }
+  auto f = Call(PdOp::kSpawn, std::move(w.bytes()));
+  if (!f.ok()) {
+    return f.error();
+  }
+  PdReader r(f->body);
+  int32_t pid = -1;
+  if (!r.Get(&pid)) {
+    return Errno::kEIO;
+  }
+  return static_cast<Pid>(pid);
+}
+
+Result<void> RemoteProcIo::Subscribe(int fd, int events) {
+  PdWriter w;
+  w.Put<int32_t>(fd);
+  w.Put<int32_t>(events);
+  auto f = Call(PdOp::kSubscribe, std::move(w.bytes()));
+  if (!f.ok()) {
+    return f.error();
+  }
+  return Result<void>::Ok();
+}
+
+Result<void> RemoteProcIo::Unsubscribe(int fd) {
+  PdWriter w;
+  w.Put<int32_t>(fd);
+  auto f = Call(PdOp::kUnsubscribe, std::move(w.bytes()));
+  if (!f.ok()) {
+    return f.error();
+  }
+  return Result<void>::Ok();
+}
+
+bool RemoteProcIo::NextEvent(Event* out) {
+  DrainPushed();
+  if (events_.empty()) {
+    return false;
+  }
+  *out = events_.front();
+  events_.pop_front();
+  return true;
+}
+
+void RemoteProcIo::Poke() {
+  if (conn_ != nullptr && !conn_->server_closed && conn_->server != nullptr) {
+    conn_->server->Pump();
+  }
+  DrainPushed();
+}
+
+}  // namespace svr4

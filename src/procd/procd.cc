@@ -1,0 +1,763 @@
+// The procd server: per-peer descriptor tables as native controller
+// processes, frame dispatch onto the kernel's syscall surface, parked
+// blocking operations, subscription event push, and the PEER_DISCONNECT
+// chaos site. See procd.h for the protocol and lifetime rules.
+#include "svr4proc/procd/procd.h"
+
+#include <algorithm>
+
+#include "svr4proc/kernel/faults.h"
+#include "svr4proc/procfs/ctl.h"
+#include "svr4proc/procfs/procfs2.h"
+#include "svr4proc/procfs/types.h"
+
+namespace svr4 {
+
+void PdWriteFrame(PdChannel& ch, PdOp op, uint16_t flags, uint32_t tag,
+                  const std::vector<uint8_t>& body) {
+  PdFrameHdr h;
+  h.body_len = static_cast<uint32_t>(body.size());
+  h.op = static_cast<uint16_t>(op);
+  h.flags = flags;
+  h.tag = tag;
+  ch.Append(&h, sizeof(h));
+  if (!body.empty()) {
+    ch.Append(body.data(), body.size());
+  }
+}
+
+void PdWriteError(PdChannel& ch, PdOp op, uint32_t tag, Errno e) {
+  PdWriter w;
+  w.Put<int32_t>(static_cast<int32_t>(e));
+  PdWriteFrame(ch, op, kPdErrFlag, tag, w.bytes());
+}
+
+namespace {
+
+// Masks poll bits exactly as Kernel::PollFds does: error conditions are
+// always reportable, everything else must have been requested.
+int MaskRevents(int bits, int events) {
+  return bits & (events | POLLERR | POLLHUP | POLLNVAL);
+}
+
+}  // namespace
+
+ProcdServer::ProcdServer(Kernel& k) : kernel_(&k) {}
+
+ProcdServer::~ProcdServer() {
+  for (auto& up : peers_) {
+    if (!up->dead) {
+      Detach(*up, /*chaos=*/false);
+    }
+  }
+}
+
+std::shared_ptr<ProcdConn> ProcdServer::Connect(const Creds& creds,
+                                                const std::string& name) {
+  Proc* p = kernel_->CreateNativeProc(creds, name);
+  if (p == nullptr) {
+    return nullptr;
+  }
+  auto conn = std::make_shared<ProcdConn>();
+  conn->id = next_conn_id_++;
+  conn->server = this;
+  auto peer = std::make_unique<Peer>();
+  peer->conn = conn;
+  peer->proc = p;
+  peers_.push_back(std::move(peer));
+  ++live_peers_;
+  return conn;
+}
+
+void ProcdServer::Detach(Peer& peer, bool chaos) {
+  if (peer.dead) {
+    return;
+  }
+  peer.dead = true;
+  peer.wait = Peer::Wait::kNone;
+  peer.subs.clear();
+  peer.conn->server_closed = true;
+  // The one statement that makes "peer death == close of every descriptor
+  // the peer held": stale ledgers drain, O_EXCL releases, run-on-last-close
+  // fires, all through the ordinary vnode Close hooks.
+  kernel_->DestroyNativeProc(peer.proc);
+  --live_peers_;
+  ++stats_.disconnects;
+  if (chaos) {
+    ++stats_.chaos_disconnects;
+  }
+}
+
+// --- Frame handlers ----------------------------------------------------------
+
+void ProcdServer::HandleOpen(Peer& peer, uint32_t tag, PdReader& r) {
+  int32_t oflags = 0;
+  std::string path;
+  if (!r.Get(&oflags) || !r.GetString(&path)) {
+    PdWriteError(peer.conn->s2c, PdOp::kOpen, tag, Errno::kEINVAL);
+    return;
+  }
+  auto fd = kernel_->Open(peer.proc, path, oflags);
+  if (!fd.ok()) {
+    PdWriteError(peer.conn->s2c, PdOp::kOpen, tag, fd.error());
+    return;
+  }
+  PdWriter w;
+  w.Put<int32_t>(*fd);
+  PdWriteFrame(peer.conn->s2c, PdOp::kOpen, 0, tag, w.bytes());
+}
+
+void ProcdServer::HandleRead(Peer& peer, uint32_t tag, PdReader& r, bool pread) {
+  PdOp op = pread ? PdOp::kPread : PdOp::kRead;
+  int32_t fd = 0;
+  uint64_t off = 0;
+  uint32_t n = 0;
+  if (!r.Get(&fd) || (pread && !r.Get(&off)) || !r.Get(&n) || n > (1u << 26)) {
+    PdWriteError(peer.conn->s2c, op, tag, Errno::kEINVAL);
+    return;
+  }
+  std::vector<uint8_t> buf(n);
+  int64_t saved = -1;
+  if (pread) {
+    auto cur = kernel_->Lseek(peer.proc, fd, 0, SEEK_CUR_);
+    if (!cur.ok()) {
+      PdWriteError(peer.conn->s2c, op, tag, cur.error());
+      return;
+    }
+    saved = *cur;
+    auto seek = kernel_->Lseek(peer.proc, fd, static_cast<int64_t>(off), SEEK_SET_);
+    if (!seek.ok()) {
+      PdWriteError(peer.conn->s2c, op, tag, seek.error());
+      return;
+    }
+  }
+  auto got = kernel_->Read(peer.proc, fd, buf.data(), n);
+  if (pread && saved >= 0) {
+    (void)kernel_->Lseek(peer.proc, fd, saved, SEEK_SET_);
+  }
+  if (!got.ok()) {
+    PdWriteError(peer.conn->s2c, op, tag, got.error());
+    return;
+  }
+  buf.resize(static_cast<size_t>(*got));
+  PdWriteFrame(peer.conn->s2c, op, 0, tag, buf);
+}
+
+bool ProcdServer::RunCtlWrite(Peer& peer, uint32_t tag, int fd,
+                              std::vector<uint8_t> stream, int64_t consumed) {
+  // Walk the ctl messages, batching non-blocking prefixes into plain
+  // kernel writes and parking at a blocking code. `consumed` carries bytes
+  // accepted by earlier segments of the same original write.
+  size_t pos = 0;
+  size_t flushed = 0;  // start of the unflushed prefix
+  auto flush = [&](size_t end) -> Result<void> {
+    if (end == flushed) {
+      return Result<void>::Ok();
+    }
+    auto wr = kernel_->Write(peer.proc, fd, stream.data() + flushed, end - flushed);
+    if (!wr.ok()) {
+      return wr.error();
+    }
+    flushed = end;
+    return Result<void>::Ok();
+  };
+  while (pos + 4 <= stream.size()) {
+    int32_t code = 0;
+    std::memcpy(&code, stream.data() + pos, 4);
+    int opsize = PrCtlOperandSize(code);
+    if (opsize < 0 || pos + 4 + static_cast<size_t>(opsize) > stream.size()) {
+      // Unknown code or truncated operand: hand the tail to the kernel for
+      // the canonical errno (executed prefix keeps its effect, as locally).
+      break;
+    }
+    const CtlOp* row = FindCtlOpByPc(code);
+    if (row != nullptr && row->blocking) {
+      auto fr = flush(pos);
+      if (!fr.ok()) {
+        PdWriteError(peer.conn->s2c, PdOp::kWrite, tag, fr.error());
+        return false;
+      }
+      // Validate the descriptor against the live target, mirroring the
+      // local dispatch order (ident: ENOENT, generation: EACCES).
+      auto of = kernel_->FdGet(peer.proc, fd);
+      if (!of.ok()) {
+        PdWriteError(peer.conn->s2c, PdOp::kWrite, tag, of.error());
+        return false;
+      }
+      if (!(*of)->writable) {
+        PdWriteError(peer.conn->s2c, PdOp::kWrite, tag, Errno::kEBADF);
+        return false;
+      }
+      Proc* target = kernel_->FindProc((*of)->vp->PrCountedTarget());
+      if (target == nullptr || (*of)->pr_ident != target->ident) {
+        PdWriteError(peer.conn->s2c, PdOp::kWrite, tag, Errno::kENOENT);
+        return false;
+      }
+      if ((*of)->pr_gen != target->trace.gen) {
+        PdWriteError(peer.conn->s2c, PdOp::kWrite, tag, Errno::kEACCES);
+        return false;
+      }
+      if (code == PCSTOP) {
+        auto st = kernel_->PrStop(target);
+        if (!st.ok()) {
+          PdWriteError(peer.conn->s2c, PdOp::kWrite, tag, st.error());
+          return false;
+        }
+      }
+      peer.wait = Peer::Wait::kStopWait;
+      peer.wait_op = PdOp::kWrite;
+      peer.wait_tag = tag;
+      peer.wait_pid = target->pid;
+      peer.wait_out_cap = 0;
+      peer.wait_fd = fd;
+      peer.wait_consumed = consumed + static_cast<int64_t>(pos) + 4;
+      peer.wait_cont.assign(stream.begin() + static_cast<long>(pos) + 4, stream.end());
+      ++stats_.ctl_ops;
+      return true;
+    }
+    pos += 4 + static_cast<size_t>(opsize);
+    ++stats_.ctl_ops;
+  }
+  auto fr = flush(stream.size());
+  if (!fr.ok()) {
+    PdWriteError(peer.conn->s2c, PdOp::kWrite, tag, fr.error());
+    return false;
+  }
+  PdWriter w;
+  w.Put<int64_t>(consumed + static_cast<int64_t>(stream.size()));
+  PdWriteFrame(peer.conn->s2c, PdOp::kWrite, 0, tag, w.bytes());
+  return false;
+}
+
+void ProcdServer::HandleWrite(Peer& peer, uint32_t tag, PdReader& r) {
+  int32_t fd = 0;
+  if (!r.Get(&fd)) {
+    PdWriteError(peer.conn->s2c, PdOp::kWrite, tag, Errno::kEINVAL);
+    return;
+  }
+  size_t n = r.remaining();
+  const uint8_t* data = r.Raw(n);
+  auto of = kernel_->FdGet(peer.proc, fd);
+  if (of.ok() && (*of)->vp->PrCtlStream()) {
+    // A batched control write: blocking messages park instead of pumping
+    // the simulation inline (which would starve every other peer).
+    (void)RunCtlWrite(peer, tag, fd, std::vector<uint8_t>(data, data + n), 0);
+    return;
+  }
+  auto wr = kernel_->Write(peer.proc, fd, data, n);
+  if (!wr.ok()) {
+    PdWriteError(peer.conn->s2c, PdOp::kWrite, tag, wr.error());
+    return;
+  }
+  PdWriter w;
+  w.Put<int64_t>(*wr);
+  PdWriteFrame(peer.conn->s2c, PdOp::kWrite, 0, tag, w.bytes());
+}
+
+void ProcdServer::HandleIoctl(Peer& peer, uint32_t tag, PdReader& r) {
+  int32_t fd = 0;
+  uint32_t op = 0, in_len = 0, out_cap = 0;
+  if (!r.Get(&fd) || !r.Get(&op) || !r.Get(&in_len) || !r.Get(&out_cap) ||
+      in_len > (1u << 22) || out_cap > (1u << 22)) {
+    PdWriteError(peer.conn->s2c, PdOp::kIoctl, tag, Errno::kEINVAL);
+    return;
+  }
+  const uint8_t* in = r.Raw(in_len);
+  if (in == nullptr && in_len != 0) {
+    PdWriteError(peer.conn->s2c, PdOp::kIoctl, tag, Errno::kEINVAL);
+    return;
+  }
+  if (op == PIOCPSALL || op == PIOCPAGEDATA) {
+    // Non-flat operand layouts: PSALL has its own RPC; page data has no
+    // remote encoding.
+    PdWriteError(peer.conn->s2c, PdOp::kIoctl, tag, Errno::kEINVAL);
+    return;
+  }
+  ++stats_.ctl_ops;
+  const CtlOp* row = FindCtlOpByPioc(op);
+  if (row != nullptr && row->blocking) {
+    // PIOCSTOP / PIOCWSTOP: replicate the local dispatch checks, execute
+    // the directive half, park the wait half.
+    auto of = kernel_->FdGet(peer.proc, fd);
+    if (!of.ok()) {
+      PdWriteError(peer.conn->s2c, PdOp::kIoctl, tag, of.error());
+      return;
+    }
+    Proc* target = kernel_->FindProc((*of)->vp->PrCountedTarget());
+    if (target == nullptr || (*of)->pr_ident != target->ident) {
+      PdWriteError(peer.conn->s2c, PdOp::kIoctl, tag, Errno::kENOENT);
+      return;
+    }
+    if ((*of)->pr_gen != target->trace.gen) {
+      PdWriteError(peer.conn->s2c, PdOp::kIoctl, tag, Errno::kEACCES);
+      return;
+    }
+    if (!row->read_only && !(*of)->writable) {
+      PdWriteError(peer.conn->s2c, PdOp::kIoctl, tag, Errno::kEBADF);
+      return;
+    }
+    if (target->state != Proc::State::kActive) {
+      PdWriteError(peer.conn->s2c, PdOp::kIoctl, tag, Errno::kENOENT);
+      return;
+    }
+    if (op == PIOCSTOP) {
+      auto st = kernel_->PrStop(target);
+      if (!st.ok()) {
+        PdWriteError(peer.conn->s2c, PdOp::kIoctl, tag, st.error());
+        return;
+      }
+    }
+    peer.wait = Peer::Wait::kStopWait;
+    peer.wait_op = PdOp::kIoctl;
+    peer.wait_tag = tag;
+    peer.wait_pid = target->pid;
+    peer.wait_out_cap = out_cap;
+    peer.wait_fd = fd;
+    peer.wait_cont.clear();
+    peer.wait_consumed = 0;
+    return;
+  }
+  // Generic dispatch: every remaining flat operand is a trivially copyable
+  // struct, so a sized scratch buffer round-trips it.
+  size_t cap = std::max(in_len, out_cap);
+  std::vector<uint64_t> scratch((cap + 7) / 8);
+  if (in_len != 0) {
+    std::memcpy(scratch.data(), in, in_len);
+  }
+  void* arg = cap != 0 ? scratch.data() : nullptr;
+  auto rv = kernel_->Ioctl(peer.proc, fd, op, arg);
+  if (!rv.ok()) {
+    PdWriteError(peer.conn->s2c, PdOp::kIoctl, tag, rv.error());
+    return;
+  }
+  PdWriter w;
+  w.Put<int32_t>(*rv);
+  if (out_cap != 0) {
+    w.PutBytes(scratch.data(), out_cap);
+  }
+  PdWriteFrame(peer.conn->s2c, PdOp::kIoctl, 0, tag, w.bytes());
+}
+
+void ProcdServer::HandlePsall(Peer& peer, uint32_t tag, PdReader& r) {
+  int32_t fd = 0, start = 0;
+  uint32_t limit = 0;
+  if (!r.Get(&fd) || !r.Get(&start) || !r.Get(&limit) || limit > (1u << 20)) {
+    PdWriteError(peer.conn->s2c, PdOp::kPsall, tag, Errno::kEINVAL);
+    return;
+  }
+  PrPsAll all;
+  all.pr_start_pid = start;
+  all.pr_limit = limit;
+  auto rv = kernel_->Ioctl(peer.proc, fd, PIOCPSALL, &all);
+  if (!rv.ok()) {
+    PdWriteError(peer.conn->s2c, PdOp::kPsall, tag, rv.error());
+    return;
+  }
+  ++stats_.ctl_ops;
+  PdWriter w;
+  w.Put<int32_t>(all.pr_next_pid);
+  w.Put<uint32_t>(static_cast<uint32_t>(all.pr_procs.size()));
+  if (!all.pr_procs.empty()) {
+    w.PutBytes(all.pr_procs.data(), all.pr_procs.size() * sizeof(PrPsinfo));
+  }
+  PdWriteFrame(peer.conn->s2c, PdOp::kPsall, 0, tag, w.bytes());
+}
+
+int ProcdServer::EvalPoll(Peer& peer, std::vector<PollFd>& pfds) {
+  int ready = 0;
+  for (auto& pf : pfds) {
+    pf.revents = 0;
+    auto of = kernel_->FdGet(peer.proc, pf.fd);
+    if (!of.ok()) {
+      pf.revents = POLLNVAL;
+      ++ready;
+      continue;
+    }
+    pf.revents = MaskRevents((*of)->vp->Poll(**of), pf.events);
+    if (pf.revents != 0) {
+      ++ready;
+    }
+  }
+  return ready;
+}
+
+void ProcdServer::HandlePoll(Peer& peer, uint32_t tag, PdReader& r) {
+  int64_t timeout = 0;
+  uint32_t n = 0;
+  if (!r.Get(&timeout) || !r.Get(&n) || n > kernel_->poll_max_fds()) {
+    PdWriteError(peer.conn->s2c, PdOp::kPoll, tag, Errno::kEINVAL);
+    return;
+  }
+  std::vector<PollFd> pfds(n);
+  for (auto& pf : pfds) {
+    int32_t fd = 0, events = 0;
+    if (!r.Get(&fd) || !r.Get(&events)) {
+      PdWriteError(peer.conn->s2c, PdOp::kPoll, tag, Errno::kEINVAL);
+      return;
+    }
+    pf.fd = fd;
+    pf.events = events;
+  }
+  int ready = EvalPoll(peer, pfds);
+  if (ready > 0 || timeout == 0) {
+    PdWriter w;
+    w.Put<int32_t>(ready);
+    w.Put<uint32_t>(n);
+    for (const auto& pf : pfds) {
+      w.Put<int32_t>(pf.revents);
+    }
+    PdWriteFrame(peer.conn->s2c, PdOp::kPoll, 0, tag, w.bytes());
+    return;
+  }
+  peer.wait = Peer::Wait::kPoll;
+  peer.wait_op = PdOp::kPoll;
+  peer.wait_tag = tag;
+  peer.wait_pfds = std::move(pfds);
+  peer.wait_deadline =
+      timeout < 0 ? 0 : kernel_->Ticks() + static_cast<uint64_t>(timeout);
+}
+
+void ProcdServer::HandleSpawn(Peer& peer, uint32_t tag, PdReader& r) {
+  uint32_t ruid = 0, rgid = 0, argc = 0;
+  std::string path;
+  if (!r.Get(&ruid) || !r.Get(&rgid) || !r.GetString(&path) || !r.Get(&argc) ||
+      argc > 64) {
+    PdWriteError(peer.conn->s2c, PdOp::kSpawn, tag, Errno::kEINVAL);
+    return;
+  }
+  std::vector<std::string> argv(argc);
+  for (auto& a : argv) {
+    if (!r.GetString(&a)) {
+      PdWriteError(peer.conn->s2c, PdOp::kSpawn, tag, Errno::kEINVAL);
+      return;
+    }
+  }
+  Creds creds;
+  creds.ruid = creds.euid = ruid;
+  creds.rgid = creds.egid = rgid;
+  auto pid = kernel_->Spawn(path, argv, creds);
+  if (!pid.ok()) {
+    PdWriteError(peer.conn->s2c, PdOp::kSpawn, tag, pid.error());
+    return;
+  }
+  PdWriter w;
+  w.Put<int32_t>(*pid);
+  PdWriteFrame(peer.conn->s2c, PdOp::kSpawn, 0, tag, w.bytes());
+}
+
+bool ProcdServer::HandleFrame(Peer& peer, const PdFrame& f) {
+  ++stats_.frames_in;
+  PdReader r(f.body);
+  uint32_t tag = f.hdr.tag;
+  switch (static_cast<PdOp>(f.hdr.op)) {
+    case PdOp::kHello: {
+      PdWriter w;
+      w.Put<int32_t>(peer.proc->pid);
+      PdWriteFrame(peer.conn->s2c, PdOp::kHello, 0, tag, w.bytes());
+      break;
+    }
+    case PdOp::kOpen:
+      HandleOpen(peer, tag, r);
+      break;
+    case PdOp::kClose: {
+      int32_t fd = 0;
+      if (!r.Get(&fd)) {
+        PdWriteError(peer.conn->s2c, PdOp::kClose, tag, Errno::kEINVAL);
+        break;
+      }
+      peer.subs.erase(fd);
+      auto res = kernel_->Close(peer.proc, fd);
+      if (!res.ok()) {
+        PdWriteError(peer.conn->s2c, PdOp::kClose, tag, res.error());
+      } else {
+        PdWriteFrame(peer.conn->s2c, PdOp::kClose, 0, tag, {});
+      }
+      break;
+    }
+    case PdOp::kRead:
+      HandleRead(peer, tag, r, /*pread=*/false);
+      break;
+    case PdOp::kPread:
+      HandleRead(peer, tag, r, /*pread=*/true);
+      break;
+    case PdOp::kWrite:
+      HandleWrite(peer, tag, r);
+      break;
+    case PdOp::kLseek: {
+      int32_t fd = 0, whence = 0;
+      int64_t off = 0;
+      if (!r.Get(&fd) || !r.Get(&off) || !r.Get(&whence)) {
+        PdWriteError(peer.conn->s2c, PdOp::kLseek, tag, Errno::kEINVAL);
+        break;
+      }
+      auto pos = kernel_->Lseek(peer.proc, fd, off, whence);
+      if (!pos.ok()) {
+        PdWriteError(peer.conn->s2c, PdOp::kLseek, tag, pos.error());
+      } else {
+        PdWriter w;
+        w.Put<int64_t>(*pos);
+        PdWriteFrame(peer.conn->s2c, PdOp::kLseek, 0, tag, w.bytes());
+      }
+      break;
+    }
+    case PdOp::kIoctl:
+      HandleIoctl(peer, tag, r);
+      break;
+    case PdOp::kPsall:
+      HandlePsall(peer, tag, r);
+      break;
+    case PdOp::kReadDirChunk: {
+      uint64_t cookie = 0;
+      uint32_t max = 0;
+      std::string path;
+      if (!r.Get(&cookie) || !r.Get(&max) || !r.GetString(&path) || max > (1u << 20)) {
+        PdWriteError(peer.conn->s2c, PdOp::kReadDirChunk, tag, Errno::kEINVAL);
+        break;
+      }
+      std::vector<DirEnt> ents;
+      auto n = kernel_->ReadDirChunk(peer.proc, path, &cookie, max, &ents);
+      if (!n.ok()) {
+        PdWriteError(peer.conn->s2c, PdOp::kReadDirChunk, tag, n.error());
+        break;
+      }
+      PdWriter w;
+      w.Put<uint64_t>(cookie);
+      w.Put<uint32_t>(static_cast<uint32_t>(ents.size()));
+      for (const auto& e : ents) {
+        w.Put<uint8_t>(static_cast<uint8_t>(e.type));
+        w.PutString(e.name);
+      }
+      PdWriteFrame(peer.conn->s2c, PdOp::kReadDirChunk, 0, tag, w.bytes());
+      break;
+    }
+    case PdOp::kStat: {
+      std::string path;
+      if (!r.GetString(&path)) {
+        PdWriteError(peer.conn->s2c, PdOp::kStat, tag, Errno::kEINVAL);
+        break;
+      }
+      auto attr = kernel_->Stat(peer.proc, path);
+      if (!attr.ok()) {
+        PdWriteError(peer.conn->s2c, PdOp::kStat, tag, attr.error());
+        break;
+      }
+      PdWriter w;
+      w.Put<uint8_t>(static_cast<uint8_t>(attr->type));
+      w.Put<uint32_t>(attr->mode);
+      w.Put<uint32_t>(attr->uid);
+      w.Put<uint32_t>(attr->gid);
+      w.Put<uint64_t>(attr->size);
+      w.Put<uint64_t>(attr->mtime);
+      w.Put<uint32_t>(attr->nlink);
+      PdWriteFrame(peer.conn->s2c, PdOp::kStat, 0, tag, w.bytes());
+      break;
+    }
+    case PdOp::kPoll:
+      HandlePoll(peer, tag, r);
+      break;
+    case PdOp::kSubscribe: {
+      int32_t fd = 0, events = 0;
+      if (!r.Get(&fd) || !r.Get(&events)) {
+        PdWriteError(peer.conn->s2c, PdOp::kSubscribe, tag, Errno::kEINVAL);
+        break;
+      }
+      auto of = kernel_->FdGet(peer.proc, fd);
+      if (!of.ok()) {
+        PdWriteError(peer.conn->s2c, PdOp::kSubscribe, tag, of.error());
+        break;
+      }
+      peer.subs[fd] = {events, 0};
+      PdWriteFrame(peer.conn->s2c, PdOp::kSubscribe, 0, tag, {});
+      break;
+    }
+    case PdOp::kUnsubscribe: {
+      int32_t fd = 0;
+      if (!r.Get(&fd)) {
+        PdWriteError(peer.conn->s2c, PdOp::kUnsubscribe, tag, Errno::kEINVAL);
+        break;
+      }
+      peer.subs.erase(fd);
+      PdWriteFrame(peer.conn->s2c, PdOp::kUnsubscribe, 0, tag, {});
+      break;
+    }
+    case PdOp::kSpawn:
+      HandleSpawn(peer, tag, r);
+      break;
+    default:
+      PdWriteError(peer.conn->s2c, static_cast<PdOp>(f.hdr.op), tag, Errno::kENOSYS);
+      break;
+  }
+  return true;
+}
+
+// --- Parked waits ------------------------------------------------------------
+
+void ProcdServer::ReplyStopWait(Peer& peer, Errno e, bool ok) {
+  PdOp op = peer.wait_op;
+  uint32_t tag = peer.wait_tag;
+  if (!ok) {
+    peer.wait = Peer::Wait::kNone;
+    PdWriteError(peer.conn->s2c, op, tag, e);
+    return;
+  }
+  if (op == PdOp::kWrite) {
+    // A ctl stream parked mid-write: execute the continuation (which may
+    // park again on another blocking message).
+    std::vector<uint8_t> cont = std::move(peer.wait_cont);
+    int64_t consumed = peer.wait_consumed;
+    int fd = peer.wait_fd;
+    peer.wait = Peer::Wait::kNone;
+    (void)RunCtlWrite(peer, tag, fd, std::move(cont), consumed);
+    return;
+  }
+  // Flat PIOCSTOP/PIOCWSTOP: optional PrStatus out-parameter.
+  PdWriter w;
+  w.Put<int32_t>(0);
+  if (peer.wait_out_cap >= sizeof(PrStatus)) {
+    Proc* target = kernel_->FindProc(peer.wait_pid);
+    PrStatus st = BuildPrStatus(*kernel_, target);
+    w.PutBytes(&st, sizeof(st));
+  }
+  peer.wait = Peer::Wait::kNone;
+  PdWriteFrame(peer.conn->s2c, op, 0, tag, w.bytes());
+}
+
+bool ProcdServer::TryCompleteWait(Peer& peer, bool idle) {
+  switch (peer.wait) {
+    case Peer::Wait::kNone:
+      return false;
+    case Peer::Wait::kStopWait: {
+      // Mirrors Kernel::PrWaitStop's completion rules exactly.
+      Proc* p = kernel_->FindProc(peer.wait_pid);
+      if (p == nullptr || p->state != Proc::State::kActive) {
+        ReplyStopWait(peer, Errno::kENOENT, /*ok=*/false);
+        return true;
+      }
+      bool stopped_any = false;
+      for (const auto& l : p->lwps) {
+        if (l->state == LwpState::kStopped) {
+          stopped_any = true;
+          break;
+        }
+      }
+      if (stopped_any) {
+        ReplyStopWait(peer, Errno::kOk, /*ok=*/true);
+        return true;
+      }
+      if (idle) {
+        ReplyStopWait(peer, Errno::kEDEADLK, /*ok=*/false);
+        return true;
+      }
+      return false;
+    }
+    case Peer::Wait::kPoll: {
+      int ready = EvalPoll(peer, peer.wait_pfds);
+      bool timed_out =
+          peer.wait_deadline != 0 && kernel_->Ticks() >= peer.wait_deadline;
+      if (ready == 0 && !timed_out && !idle) {
+        return false;
+      }
+      PdWriter w;
+      w.Put<int32_t>(ready);
+      w.Put<uint32_t>(static_cast<uint32_t>(peer.wait_pfds.size()));
+      for (const auto& pf : peer.wait_pfds) {
+        w.Put<int32_t>(pf.revents);
+      }
+      PdOp op = peer.wait_op;
+      uint32_t tag = peer.wait_tag;
+      peer.wait = Peer::Wait::kNone;
+      peer.wait_pfds.clear();
+      PdWriteFrame(peer.conn->s2c, op, 0, tag, w.bytes());
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ProcdServer::PushEvents(Peer& peer) {
+  bool pushed = false;
+  for (auto& [fd, sub] : peer.subs) {
+    auto& [events, last] = sub;
+    int revents;
+    auto of = kernel_->FdGet(peer.proc, fd);
+    if (!of.ok()) {
+      revents = POLLNVAL;
+    } else {
+      revents = MaskRevents((*of)->vp->Poll(**of), events);
+    }
+    if (revents != last) {
+      last = revents;
+      PdWriter w;
+      w.Put<int32_t>(fd);
+      w.Put<int32_t>(revents);
+      PdWriteFrame(peer.conn->s2c, PdOp::kEvent, 0, /*tag=*/0, w.bytes());
+      ++stats_.events_pushed;
+      pushed = true;
+    }
+  }
+  return pushed;
+}
+
+// --- The pump ----------------------------------------------------------------
+
+bool ProcdServer::Pump() {
+  bool progress = false;
+  FaultInjector* finj = kernel_->fault_injector();
+  for (auto& up : peers_) {
+    Peer& peer = *up;
+    if (peer.dead) {
+      continue;
+    }
+    // The chaos window: the peer's transport can die before any frame,
+    // between frames, or mid-parked-wait. One evaluation per peer per pump.
+    if (finj != nullptr && finj->Fire(FaultSite::kPeerDisconnect)) {
+      Detach(peer, /*chaos=*/true);
+      progress = true;
+      continue;
+    }
+    if (peer.conn->client_closed && !peer.conn->c2s.HasFrame()) {
+      Detach(peer, /*chaos=*/false);
+      progress = true;
+      continue;
+    }
+    PdFrame f;
+    while (peer.wait == Peer::Wait::kNone && !peer.dead &&
+           peer.conn->c2s.NextFrame(&f)) {
+      progress |= HandleFrame(peer, f);
+    }
+  }
+  // Parked waits: evaluate without stepping first.
+  bool any_parked = false;
+  for (auto& up : peers_) {
+    if (up->dead) {
+      continue;
+    }
+    if (up->wait != Peer::Wait::kNone) {
+      if (TryCompleteWait(*up, /*idle=*/false)) {
+        progress = true;
+        // A completed ctl continuation may have re-parked or produced new
+        // frames to process next pump.
+      }
+    }
+    if (up->wait != Peer::Wait::kNone) {
+      any_parked = true;
+    }
+    progress |= PushEvents(*up);
+  }
+  if (!progress && any_parked) {
+    // Parked waits are the only pending work: advance the simulation. If it
+    // is already idle, the waits resolve the way local blocking calls do
+    // (EDEADLK for stop-waits, 0-ready for polls).
+    if (kernel_->Step()) {
+      return true;
+    }
+    for (auto& up : peers_) {
+      if (!up->dead && up->wait != Peer::Wait::kNone) {
+        progress |= TryCompleteWait(*up, /*idle=*/true);
+      }
+    }
+  }
+  return progress;
+}
+
+}  // namespace svr4

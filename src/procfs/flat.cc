@@ -209,16 +209,9 @@ void ProcVnode::Close(OpenFile& of) {
   if (of.pr_gen != p->trace.gen) {
     // Invalidated by a set-id exec: this descriptor's counts were moved to
     // the stale ledger at invalidation time, so its close must never touch
-    // the new incarnation's counters or exclusivity. Run-on-last-close
-    // fires only when the stale ledger drains with no live writer around
-    // to carry the trigger.
-    if (p->trace.stale_total_opens > 0) {
-      --p->trace.stale_total_opens;
-    }
-    if (of.writable && p->trace.stale_writable_opens > 0 &&
-        --p->trace.stale_writable_opens == 0 && p->trace.writable_opens == 0) {
-      kernel_->PrLastClose(p);
-    }
+    // the new incarnation's counters or exclusivity. The shared drain rule
+    // decides when run-on-last-close fires.
+    kernel_->PrStaleClose(p, of.writable);
     return;
   }
   auto* priv = static_cast<PrPriv*>(of.priv.get());

@@ -140,16 +140,10 @@ class Pr2FileVnode : public Vnode {
         priv != nullptr && priv->counted_writable ? 1 : 0);
     bool counted_writable = priv != nullptr && priv->counted_writable;
     if (of.pr_gen != p->trace.gen) {
-      // Invalidated by a set-id exec: drain the stale ledger only (same
-      // rule as the flat implementation's close); the live incarnation's
-      // counters and exclusivity are off limits.
-      if (p->trace.stale_total_opens > 0) {
-        --p->trace.stale_total_opens;
-      }
-      if (counted_writable && p->trace.stale_writable_opens > 0 &&
-          --p->trace.stale_writable_opens == 0 && p->trace.writable_opens == 0) {
-        kernel_->PrLastClose(p);
-      }
+      // Invalidated by a set-id exec: drain the stale ledger only (shared
+      // rule with the flat implementation); the live incarnation's counters
+      // and exclusivity are off limits.
+      kernel_->PrStaleClose(p, counted_writable);
       return;
     }
     if ((of.oflags & O_EXCL) && counted_writable) {
@@ -251,6 +245,8 @@ class Pr2FileVnode : public Vnode {
   }
 
   int32_t PrCountedTarget() const override { return pid_; }
+
+  bool PrCtlStream() const override { return kind_ == Pr2Kind::kCtl; }
 
  private:
   Result<Proc*> Target(const OpenFile& of) const {

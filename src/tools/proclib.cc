@@ -15,25 +15,37 @@ std::string ProcPath(Pid pid) {
 }  // namespace
 
 Result<ProcHandle> ProcHandle::Grab(Kernel& k, Proc* controller, Pid pid, int oflags) {
-  auto fd = k.Open(controller, ProcPath(pid), oflags);
+  auto owned = std::make_unique<LocalProcIo>(k, controller);
+  auto fd = owned->Open(ProcPath(pid), oflags);
   if (!fd.ok()) {
     return fd.error();
   }
-  return ProcHandle(&k, controller, pid, *fd);
+  ProcIo* io = owned.get();
+  return ProcHandle(std::move(owned), io, pid, *fd);
+}
+
+Result<ProcHandle> ProcHandle::Grab(ProcIo& io, Pid pid, int oflags) {
+  auto fd = io.Open(ProcPath(pid), oflags);
+  if (!fd.ok()) {
+    return fd.error();
+  }
+  return ProcHandle(nullptr, &io, pid, *fd);
 }
 
 ProcHandle::ProcHandle(ProcHandle&& o) noexcept
-    : kernel_(o.kernel_), controller_(o.controller_), pid_(o.pid_), fd_(o.fd_) {
+    : owned_io_(std::move(o.owned_io_)), io_(o.io_), pid_(o.pid_), fd_(o.fd_) {
+  o.io_ = nullptr;
   o.fd_ = -1;
 }
 
 ProcHandle& ProcHandle::operator=(ProcHandle&& o) noexcept {
   if (this != &o) {
     Close();
-    kernel_ = o.kernel_;
-    controller_ = o.controller_;
+    owned_io_ = std::move(o.owned_io_);
+    io_ = o.io_;
     pid_ = o.pid_;
     fd_ = o.fd_;
+    o.io_ = nullptr;
     o.fd_ = -1;
   }
   return *this;
@@ -43,7 +55,7 @@ ProcHandle::~ProcHandle() { Close(); }
 
 void ProcHandle::Close() {
   if (fd_ >= 0) {
-    (void)kernel_->Close(controller_, fd_);
+    (void)io_->Close(fd_);
     fd_ = -1;
   }
 }
@@ -52,7 +64,7 @@ Result<int32_t> ProcHandle::Io(uint32_t op, void* arg) {
   if (fd_ < 0) {
     return Errno::kEBADF;
   }
-  return kernel_->Ioctl(controller_, fd_, op, arg);
+  return io_->Ioctl(fd_, op, arg);
 }
 
 Result<PrStatus> ProcHandle::Status() {
@@ -228,16 +240,16 @@ Result<int64_t> ProcHandle::ReadMem(uint32_t vaddr, void* buf, uint64_t n) {
   // "Data may be transferred from ... any valid locations in the process's
   // address space by applying lseek(2) to position the file at the virtual
   // address of interest followed by read(2)."
-  SVR4_RETURN_IF_ERROR(kernel_->Lseek(controller_, fd_, vaddr, SEEK_SET_));
-  return kernel_->Read(controller_, fd_, buf, n);
+  SVR4_RETURN_IF_ERROR(io_->Lseek(fd_, vaddr, SEEK_SET_));
+  return io_->Read(fd_, buf, n);
 }
 
 Result<int64_t> ProcHandle::WriteMem(uint32_t vaddr, const void* buf, uint64_t n) {
   if (fd_ < 0) {
     return Errno::kEBADF;
   }
-  SVR4_RETURN_IF_ERROR(kernel_->Lseek(controller_, fd_, vaddr, SEEK_SET_));
-  return kernel_->Write(controller_, fd_, buf, n);
+  SVR4_RETURN_IF_ERROR(io_->Lseek(fd_, vaddr, SEEK_SET_));
+  return io_->Write(fd_, buf, n);
 }
 
 Result<std::vector<PrMapEntry>> ProcHandle::GetMap() {
@@ -316,20 +328,25 @@ Result<std::vector<PrPsinfo>> ProcHandle::PsinfoAll() {
 Result<PrTrace> ProcHandle::Trace() {
   char path[64];
   std::snprintf(path, sizeof(path), "/proc2/%05d/trace", pid_);
-  return ReadTraceFile(*kernel_, controller_, path);
+  return ReadTraceFile(*io_, path);
 }
 
 Result<PrTrace> ReadTraceFile(Kernel& k, Proc* caller, const std::string& path) {
-  auto fd = k.Open(caller, path, O_RDONLY);
+  LocalProcIo io(k, caller);
+  return ReadTraceFile(io, path);
+}
+
+Result<PrTrace> ReadTraceFile(ProcIo& io, const std::string& path) {
+  auto fd = io.Open(path, O_RDONLY);
   if (!fd.ok()) {
     return fd.error();
   }
   std::vector<uint8_t> bytes;
   uint8_t chunk[4096];
   for (;;) {
-    auto n = k.Read(caller, *fd, chunk, sizeof(chunk));
+    auto n = io.Read(*fd, chunk, sizeof(chunk));
     if (!n.ok()) {
-      (void)k.Close(caller, *fd);
+      (void)io.Close(*fd);
       return n.error();
     }
     if (*n == 0) {
@@ -337,7 +354,7 @@ Result<PrTrace> ReadTraceFile(Kernel& k, Proc* caller, const std::string& path) 
     }
     bytes.insert(bytes.end(), chunk, chunk + *n);
   }
-  (void)k.Close(caller, *fd);
+  (void)io.Close(*fd);
 
   PrTrace t;
   if (bytes.empty()) {

@@ -6,13 +6,13 @@
 
 namespace svr4 {
 
-Result<std::vector<PrPsinfo>> PsSnapshot(Kernel& k, Proc* caller) {
+Result<std::vector<PrPsinfo>> PsSnapshot(ProcIo& io) {
   std::vector<PrPsinfo> out;
   uint64_t cookie = 0;
   std::vector<DirEnt> ents;
   for (;;) {
     ents.clear();
-    auto n = k.ReadDirChunk(caller, "/proc", &cookie, 256, &ents);
+    auto n = io.ReadDirChunk("/proc", &cookie, 256, &ents);
     if (!n.ok()) {
       return n.error();
     }
@@ -21,7 +21,7 @@ Result<std::vector<PrPsinfo>> PsSnapshot(Kernel& k, Proc* caller) {
     }
     for (const auto& e : ents) {
       Pid pid = static_cast<Pid>(std::strtol(e.name.c_str(), nullptr, 10));
-      auto h = ProcHandle::Grab(k, caller, pid, O_RDONLY);
+      auto h = ProcHandle::Grab(io, pid, O_RDONLY);
       if (!h.ok()) {
         continue;  // raced with exit, or not permitted
       }
@@ -34,18 +34,28 @@ Result<std::vector<PrPsinfo>> PsSnapshot(Kernel& k, Proc* caller) {
   return out;
 }
 
-Result<std::vector<PrPsinfo>> PsSnapshotAll(Kernel& k, Proc* caller) {
-  // Any live pid serves as the handle; the caller's own entry always exists.
-  Pid handle_pid = caller != nullptr ? caller->pid : k.init_proc()->pid;
-  auto h = ProcHandle::Grab(k, caller, handle_pid, O_RDONLY);
+Result<std::vector<PrPsinfo>> PsSnapshot(Kernel& k, Proc* caller) {
+  LocalProcIo io(k, caller);
+  return PsSnapshot(io);
+}
+
+Result<std::vector<PrPsinfo>> PsSnapshotAll(ProcIo& io, Pid handle_pid) {
+  auto h = ProcHandle::Grab(io, handle_pid, O_RDONLY);
   if (!h.ok()) {
     return h.error();
   }
   return h->PsinfoAll();
 }
 
-Result<std::string> PsFormat(Kernel& k, Proc* caller, const PsOptions& opts) {
-  auto snap = PsSnapshot(k, caller);
+Result<std::vector<PrPsinfo>> PsSnapshotAll(Kernel& k, Proc* caller) {
+  // Any live pid serves as the handle; the caller's own entry always exists.
+  Pid handle_pid = caller != nullptr ? caller->pid : k.init_proc()->pid;
+  LocalProcIo io(k, caller);
+  return PsSnapshotAll(io, handle_pid);
+}
+
+Result<std::string> PsFormat(ProcIo& io, const PsOptions& opts) {
+  auto snap = PsSnapshot(io);
   if (!snap.ok()) {
     return snap.error();
   }
@@ -70,15 +80,20 @@ Result<std::string> PsFormat(Kernel& k, Proc* caller, const PsOptions& opts) {
   return out;
 }
 
-Result<std::string> LsProc(Kernel& k, Proc* caller) {
-  auto ents = k.ReadDir(caller, "/proc");
+Result<std::string> PsFormat(Kernel& k, Proc* caller, const PsOptions& opts) {
+  LocalProcIo io(k, caller);
+  return PsFormat(io, opts);
+}
+
+Result<std::string> LsProc(ProcIo& io) {
+  auto ents = io.ReadDir("/proc");
   if (!ents.ok()) {
     return ents.error();
   }
   std::string out;
   char line[256];
   for (const auto& e : *ents) {
-    auto attr = k.Stat(caller, "/proc/" + e.name);
+    auto attr = io.Stat("/proc/" + e.name);
     if (!attr.ok()) {
       continue;
     }
@@ -88,6 +103,11 @@ Result<std::string> LsProc(Kernel& k, Proc* caller) {
     out += line;
   }
   return out;
+}
+
+Result<std::string> LsProc(Kernel& k, Proc* caller) {
+  LocalProcIo io(k, caller);
+  return LsProc(io);
 }
 
 }  // namespace svr4

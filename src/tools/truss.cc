@@ -59,7 +59,11 @@ std::string FormatCtlAudit(const PrCtlAudit& a) {
 }
 
 Truss::Truss(Kernel& k, Proc* caller, TrussOptions opts)
-    : kernel_(&k), caller_(caller), opts_(opts) {}
+    : owned_io_(std::make_unique<LocalProcIo>(k, caller)),
+      io_(owned_io_.get()),
+      opts_(opts) {}
+
+Truss::Truss(ProcIo& io, TrussOptions opts) : io_(&io), opts_(opts) {}
 
 Result<void> Truss::Arm(ProcHandle& h) {
   // Report syscalls at exit (the line carries arguments and result), every
@@ -113,7 +117,7 @@ Result<void> Truss::HandleStop(ProcHandle& h) {
           !(st->pr_reg.psr & kPsrC) && st->pr_reg.r[0] != 0) {
         Pid child = static_cast<Pid>(st->pr_reg.r[0]);
         if (!tracees_.count(child)) {
-          auto ch = ProcHandle::Grab(*kernel_, caller_, child);
+          auto ch = ProcHandle::Grab(*io_, child);
           if (ch.ok()) {
             // The child inherited the tracing flags (inherit-on-fork); it is
             // stopped at its own exit from fork.
@@ -153,7 +157,7 @@ Result<void> Truss::HandleStop(ProcHandle& h) {
 
 Result<void> Truss::Trace(Pid pid) {
   {
-    auto h = ProcHandle::Grab(*kernel_, caller_, pid);
+    auto h = ProcHandle::Grab(*io_, pid);
     if (!h.ok()) {
       return h.error();
     }
@@ -162,12 +166,15 @@ Result<void> Truss::Trace(Pid pid) {
     if (opts_.counts_only) {
       // -c: arm the metrics registry (if not already on) and take the
       // baseline through PIOCKSTAT, so the summary table reports registry
-      // deltas over exactly the traced window.
-      if (!kernel_->ktrace().metrics_on()) {
-        kernel_->SetTracing(kernel_->ktrace().ring_on(), true);
+      // deltas over exactly the traced window. Arming needs the kernel
+      // object; over a remote transport the registry must already be on, or
+      // the table falls back to truss's own event counts.
+      Kernel* lk = io_->local_kernel();
+      if (lk != nullptr && !lk->ktrace().metrics_on()) {
+        lk->SetTracing(lk->ktrace().ring_on(), true);
       }
       auto base = h->Kstat();
-      if (base.ok()) {
+      if (base.ok() && (lk != nullptr || base->pr_metrics_on)) {
         kstat_base_ = *base;
         kstat_valid_ = true;
       }
@@ -188,7 +195,7 @@ Result<void> Truss::Trace(Pid pid) {
       pfds.push_back(pf);
       pids.push_back(tp);
     }
-    auto n = kernel_->PollFds(caller_, pfds, 1'000'000'000);
+    auto n = io_->PollFds(pfds, 1'000'000'000);
     if (!n.ok()) {
       return n.error();
     }
@@ -217,7 +224,20 @@ Result<void> Truss::Trace(Pid pid) {
     }
   }
   if (kstat_valid_) {
-    kstat_end_ = BuildPrKstat(*kernel_);
+    if (Kernel* lk = io_->local_kernel()) {
+      kstat_end_ = BuildPrKstat(*lk);
+    } else if (auto h = ProcHandle::Grab(*io_, 1, O_RDONLY); h.ok()) {
+      // Remote: the closing snapshot rides a PIOCKSTAT on init's entry
+      // (PIOCKSTAT is kernel-wide; any descriptor serves).
+      auto end = h->Kstat();
+      if (end.ok()) {
+        kstat_end_ = *end;
+      } else {
+        kstat_valid_ = false;
+      }
+    } else {
+      kstat_valid_ = false;
+    }
   }
   return Result<void>::Ok();
 }
@@ -225,7 +245,7 @@ Result<void> Truss::Trace(Pid pid) {
 Result<void> Truss::TraceCommand(const std::string& path,
                                  const std::vector<std::string>& argv,
                                  const Creds& creds) {
-  auto pid = kernel_->Spawn(path, argv, creds);
+  auto pid = io_->Spawn(path, argv, creds);
   if (!pid.ok()) {
     return pid.error();
   }

@@ -463,6 +463,61 @@ TEST(ChaosSweep, ForkFollowWorkload) {
   }
 }
 
+TEST(ChaosSweep, LastCloseVsSetIdExecTwoCpus) {
+  // The PR 7 residual: a controller's last close racing the target's set-id
+  // exec on the other CPU. Depending on the interleaving the close lands
+  // pre-invalidation (live close) or post-invalidation (stale drain); in
+  // every interleaving the target must end up able to run — a stale drain
+  // that fails to release a directed-stopped target leaves it wedged
+  // forever, which the bounded run-to-exit below turns into a failure.
+  constexpr char kSuidExits[] = R"(
+      ldi r8, 0
+loop: addi r8, 1
+      cmpi r8, 30
+      jlt loop
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+)";
+  constexpr char kExecSuid[] = R"(
+      ldi r0, SYS_exec
+      ldi r1, path
+      ldi r2, 0
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 1
+      sys
+      .data
+path: .asciz "/bin/suid"
+)";
+  for (uint64_t seed = 401; seed <= 440; ++seed) {
+    Sim sim;
+    sim.kernel().SetNumCpus(2);
+    ASSERT_TRUE(sim.InstallProgram("/bin/suid", kSuidExits, 04755, 0, 0).ok());
+    ASSERT_TRUE(sim.InstallProgram("/bin/prog", kExecSuid).ok());
+    auto pid = sim.Start("/bin/prog", {}, Creds::User(100, 10));
+    ASSERT_TRUE(pid.ok());
+    Proc* owner = sim.NewController(Creds::User(100, 10), "owner");
+    ASSERT_NE(owner, nullptr);
+    auto h = ProcHandle::Grab(sim.kernel(), owner, *pid, O_RDONLY);
+    ASSERT_TRUE(h.ok());
+    sim.kernel().SetChaosScheduler(seed);
+    // Vary where the close lands relative to the exec.
+    int steps = static_cast<int>(seed % 20);
+    for (int i = 0; i < steps; ++i) {
+      sim.kernel().Step();
+    }
+    h->Close();
+    // No descriptor is left anywhere; whatever state the race produced,
+    // the target must run to exit.
+    bool gone = sim.kernel().RunUntil(
+        [&]() { return sim.kernel().FindProc(*pid) == nullptr; }, 200'000);
+    EXPECT_TRUE(gone) << "seed " << seed
+                      << ": target wedged after its last descriptor closed";
+    ExpectInvariantsClean(sim.kernel(), seed);
+  }
+}
+
 TEST(ChaosSweep, SmpTopologies) {
   // The ncpus axis: the same seeded chaos + fault runs, but on 2- and
   // 4-CPU topologies. The chaos scheduler draws the CPU as well as the lwp,

@@ -1,0 +1,519 @@
+// procd behavioral tests: RPC round-trips, remote tools producing
+// byte-identical output to their local counterparts, peer death at every
+// blocking point behaving exactly like a local close of every descriptor
+// the peer held, the seeded PEER_DISCONNECT chaos sweep, and the windowed
+// PIOCPSALL cursor under pid churn.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "svr4proc/kernel/faults.h"
+#include "svr4proc/procd/client.h"
+#include "svr4proc/procd/procd.h"
+#include "svr4proc/procfs/procfs2.h"
+#include "svr4proc/tools/proclib.h"
+#include "svr4proc/tools/ps.h"
+#include "svr4proc/tools/sim.h"
+#include "svr4proc/tools/truss.h"
+
+namespace svr4 {
+namespace {
+
+constexpr char kSpin[] = "spin: jmp spin\n";
+
+constexpr char kCounter[] = R"(
+loop: ldi r4, var
+      ldw r5, [r4]
+      addi r5, 1
+      stw r5, [r4]
+      jmp loop
+      .data
+var:  .word 0
+)";
+
+// A short, branch-free burst of syscalls ending in exit — a deterministic
+// truss subject.
+constexpr char kSysBurst[] = R"(
+      ldi r0, SYS_getpid
+      sys
+      ldi r0, SYS_write
+      ldi r1, 1
+      ldi r2, msg
+      ldi r3, 6
+      sys
+      ldi r0, SYS_open
+      ldi r1, nopath
+      ldi r2, O_RDONLY
+      ldi r3, 0
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 0
+      sys
+      .data
+msg:  .asciz "hello\n"
+nopath: .asciz "/no/such"
+)";
+
+std::string FlatPath(Pid pid) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/proc/%05d", pid);
+  return buf;
+}
+
+void ExpectInvariantsClean(Kernel& k, uint64_t seed) {
+  auto violations = k.CheckInvariants();
+  for (const auto& v : violations) {
+    ADD_FAILURE() << "seed " << seed << ": invariant violated: " << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RPC round-trips.
+// ---------------------------------------------------------------------------
+
+TEST(ProcdRpc, HelloReportsPeerControllerPid) {
+  Sim sim;
+  ProcdServer srv(sim.kernel());
+  RemoteProcIo rio(srv.Connect(Creds::Root()));
+  auto pid = rio.PeerPid();
+  ASSERT_TRUE(pid.ok());
+  Proc* p = sim.kernel().FindProc(*pid);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->native) << "a peer's descriptor table is a native proc";
+  EXPECT_EQ(srv.PeerCount(), 1u);
+}
+
+TEST(ProcdRpc, OpenIoctlCloseMatchesLocal) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kCounter).ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  ProcdServer srv(sim.kernel());
+  RemoteProcIo rio(srv.Connect(Creds::Root()));
+
+  auto fd = rio.Open(FlatPath(*pid), O_RDONLY);
+  ASSERT_TRUE(fd.ok());
+  PrPsinfo remote_ps;
+  ASSERT_TRUE(rio.Ioctl(*fd, PIOCPSINFO, &remote_ps).ok());
+
+  auto h = ProcHandle::Grab(sim.kernel(), sim.controller(), *pid, O_RDONLY);
+  ASSERT_TRUE(h.ok());
+  auto local_ps = h->Psinfo();
+  ASSERT_TRUE(local_ps.ok());
+  EXPECT_EQ(std::memcmp(&remote_ps, &*local_ps, sizeof(PrPsinfo)), 0)
+      << "the wire round-trip must not perturb a single byte";
+  EXPECT_TRUE(rio.Close(*fd).ok());
+}
+
+TEST(ProcdRpc, RemoteHandleStopAndRun) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kCounter).ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  ProcdServer srv(sim.kernel());
+  RemoteProcIo rio(srv.Connect(Creds::Root()));
+
+  auto h = ProcHandle::Grab(rio, *pid);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(h->Stop().ok()) << "remote PIOCSTOP parks, completes on stop";
+  Proc* p = sim.kernel().FindProc(*pid);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->MainLwp()->state, LwpState::kStopped);
+  auto st = h->Status();
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->pr_why, PR_REQUESTED);
+  ASSERT_TRUE(h->Run().ok());
+  EXPECT_EQ(p->MainLwp()->state, LwpState::kRunning);
+}
+
+TEST(ProcdRpc, CtlStreamParksMidBatchAndRunsTail) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kCounter).ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  ProcdServer srv(sim.kernel());
+  RemoteProcIo rio(srv.Connect(Creds::Root()));
+
+  char path[32];
+  std::snprintf(path, sizeof(path), "/proc2/%d/ctl", *pid);
+  auto fd = rio.Open(path, O_WRONLY);
+  ASSERT_TRUE(fd.ok());
+
+  // One batched write: PCSTOP (blocking — the server must park, not pump
+  // inline) followed by PCSTRACE. The tail must run after the stop lands.
+  std::vector<uint8_t> stream;
+  auto put32 = [&](int32_t v) {
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+    stream.insert(stream.end(), p, p + 4);
+  };
+  put32(PCSTOP);
+  put32(PCSTRACE);
+  SigSet sigs;
+  sigs.Add(SIGUSR1);
+  const uint8_t* sp = reinterpret_cast<const uint8_t*>(&sigs);
+  stream.insert(stream.end(), sp, sp + sizeof(SigSet));
+
+  auto wrote = rio.Write(*fd, stream.data(), stream.size());
+  ASSERT_TRUE(wrote.ok());
+  EXPECT_EQ(*wrote, static_cast<int64_t>(stream.size()))
+      << "the reply reports the whole batched stream consumed";
+
+  Proc* p = sim.kernel().FindProc(*pid);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->MainLwp()->state, LwpState::kStopped);
+  EXPECT_TRUE(p->trace.sigtrace.Has(SIGUSR1))
+      << "the post-park continuation executed the stream tail";
+}
+
+TEST(ProcdRpc, WstopOnNativeTargetIdlesToDeadlock) {
+  Sim sim;
+  Proc* tgt = sim.kernel().CreateNativeProc(Creds::Root(), "inert");
+  ASSERT_NE(tgt, nullptr);
+  ProcdServer srv(sim.kernel());
+  RemoteProcIo rio(srv.Connect(Creds::Root()));
+  auto h = ProcHandle::Grab(rio, tgt->pid);
+  ASSERT_TRUE(h.ok());
+  auto ws = h->WaitStop();
+  ASSERT_FALSE(ws.ok());
+  EXPECT_EQ(ws.error(), Errno::kEDEADLK)
+      << "an idle simulation resolves a parked wait like local PIOCWSTOP";
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identical remote tools.
+// ---------------------------------------------------------------------------
+
+TEST(ProcdByteIdentical, TrussRemoteVsLocal) {
+  // Two identical simulations. Sim A mirrors sim B's procd peer with an
+  // extra native controller so both kernels assign the target the same pid.
+  Sim a;
+  Sim b;
+  ASSERT_TRUE(a.InstallProgram("/bin/prog", kSysBurst).ok());
+  ASSERT_TRUE(b.InstallProgram("/bin/prog", kSysBurst).ok());
+  ASSERT_NE(a.NewController(Creds::Root(), "peer-standin"), nullptr);
+  ProcdServer srv(b.kernel());
+  RemoteProcIo rio(srv.Connect(Creds::Root()));
+
+  Truss local(a.kernel(), a.controller());
+  ASSERT_TRUE(local.TraceCommand("/bin/prog", {"prog"}).ok());
+  Truss remote(rio);
+  ASSERT_TRUE(remote.TraceCommand("/bin/prog", {"prog"}).ok());
+
+  EXPECT_FALSE(local.report().empty());
+  EXPECT_EQ(local.report(), remote.report())
+      << "remote truss must reproduce the local report byte for byte";
+}
+
+TEST(ProcdByteIdentical, PsRemoteVsLocal) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kCounter).ok());
+  ASSERT_TRUE(sim.InstallProgram("/bin/spin", kSpin).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(sim.Start("/bin/prog").ok());
+  }
+  ASSERT_TRUE(sim.Start("/bin/spin", {}, Creds::User(100, 10)).ok());
+  for (int i = 0; i < 50; ++i) {
+    sim.kernel().Step();
+  }
+  ProcdServer srv(sim.kernel());
+  RemoteProcIo rio(srv.Connect(Creds::Root()));
+
+  // Same kernel, so the peer's own controller row appears in both listings
+  // identically; nothing in the remote path may shift a byte.
+  auto local_fmt = PsFormat(sim.kernel(), sim.controller(), PsOptions{.full = true});
+  ASSERT_TRUE(local_fmt.ok());
+  auto remote_fmt = PsFormat(rio, PsOptions{.full = true});
+  ASSERT_TRUE(remote_fmt.ok());
+  EXPECT_EQ(*local_fmt, *remote_fmt);
+
+  auto local_ls = LsProc(sim.kernel(), sim.controller());
+  auto remote_ls = LsProc(rio);
+  ASSERT_TRUE(local_ls.ok());
+  ASSERT_TRUE(remote_ls.ok());
+  EXPECT_EQ(*local_ls, *remote_ls);
+
+  auto local_all = PsSnapshotAll(sim.kernel(), sim.controller());
+  ASSERT_TRUE(local_all.ok());
+  auto remote_all = PsSnapshotAll(rio, 1);
+  ASSERT_TRUE(remote_all.ok());
+  ASSERT_EQ(local_all->size(), remote_all->size());
+  for (size_t i = 0; i < local_all->size(); ++i) {
+    EXPECT_EQ(std::memcmp(&(*local_all)[i], &(*remote_all)[i], sizeof(PrPsinfo)), 0)
+        << "PIOCPSALL row " << i << " differs over the wire";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Peer death at every blocking point == local close of every descriptor.
+// ---------------------------------------------------------------------------
+
+TEST(ProcdPeerDeath, MidWstopWaitReleasesLedger) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kCounter).ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  ProcdServer srv(sim.kernel());
+  auto conn = srv.Connect(Creds::Root());
+  RemoteProcIo rio(conn);
+  auto h = ProcHandle::Grab(rio, *pid);
+  ASSERT_TRUE(h.ok());
+  Proc* p = sim.kernel().FindProc(*pid);
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->trace.writable_opens, 1);
+
+  // Park a PIOCWSTOP by hand (calling through the client would block the
+  // test): the target never stops, so the wait stays parked across pumps.
+  PdWriter w;
+  w.Put<int32_t>(h->fd());
+  w.Put<uint32_t>(PIOCWSTOP);
+  w.Put<uint32_t>(0);
+  w.Put<uint32_t>(0);
+  PdWriteFrame(conn->c2s, PdOp::kIoctl, 0, /*tag=*/777, w.bytes());
+  for (int i = 0; i < 5; ++i) {
+    srv.Pump();
+  }
+  PdFrame f;
+  EXPECT_FALSE(conn->s2c.NextFrame(&f)) << "the wait must be parked, not answered";
+
+  // The peer dies mid-wait. Every effect of a local close must follow.
+  conn->client_closed = true;
+  srv.Pump();
+  EXPECT_TRUE(conn->server_closed);
+  EXPECT_EQ(srv.PeerCount(), 0u);
+  EXPECT_EQ(p->trace.writable_opens, 0) << "peer death drains the ledger";
+  EXPECT_EQ(p->trace.total_opens, 0);
+  EXPECT_NE(p->MainLwp()->state, LwpState::kStopped);
+  srv.Pump();  // a dead peer must be inert on later pumps
+  ExpectInvariantsClean(sim.kernel(), 0);
+}
+
+TEST(ProcdPeerDeath, MidPollSubscriptionReleasesDescriptors) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kSpin).ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  ProcdServer srv(sim.kernel());
+  auto conn = srv.Connect(Creds::Root());
+  RemoteProcIo rio(conn);
+  auto fd = rio.Open(FlatPath(*pid), O_RDONLY);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(rio.Subscribe(*fd, POLLPRI).ok());
+
+  // Park an infinite poll for a condition that never arrives.
+  PdWriter w;
+  w.Put<int64_t>(-1);
+  w.Put<uint32_t>(1);
+  w.Put<int32_t>(*fd);
+  w.Put<int32_t>(POLLPRI);
+  PdWriteFrame(conn->c2s, PdOp::kPoll, 0, /*tag=*/778, w.bytes());
+  for (int i = 0; i < 5; ++i) {
+    srv.Pump();
+  }
+  PdFrame f;
+  EXPECT_FALSE(conn->s2c.NextFrame(&f)) << "the poll must be parked";
+
+  Proc* p = sim.kernel().FindProc(*pid);
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->trace.total_opens, 1);
+  conn->client_closed = true;
+  srv.Pump();
+  EXPECT_EQ(p->trace.total_opens, 0)
+      << "the subscribed descriptor closes with its peer";
+  srv.Pump();
+  ExpectInvariantsClean(sim.kernel(), 0);
+}
+
+TEST(ProcdPeerDeath, HoldingExclusiveOpenReleasesIt) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kCounter).ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  ProcdServer srv(sim.kernel());
+  auto conn = srv.Connect(Creds::Root());
+  {
+    RemoteProcIo rio(conn);
+    auto h = ProcHandle::Grab(rio, *pid, O_RDWR | O_EXCL);
+    ASSERT_TRUE(h.ok());
+    Proc* p = sim.kernel().FindProc(*pid);
+    ASSERT_NE(p, nullptr);
+    ASSERT_TRUE(p->trace.excl);
+
+    // Another controller is locked out while the peer lives.
+    auto blocked = ProcHandle::Grab(sim.kernel(), sim.controller(), *pid);
+    ASSERT_FALSE(blocked.ok());
+    EXPECT_EQ(blocked.error(), Errno::kEBUSY);
+
+    conn->client_closed = true;  // the transport dies, handle still "open"
+    srv.Pump();
+  }
+  Proc* p = sim.kernel().FindProc(*pid);
+  ASSERT_NE(p, nullptr);
+  EXPECT_FALSE(p->trace.excl) << "O_EXCL dies with the peer, as with a close";
+  auto excl = ProcHandle::Grab(sim.kernel(), sim.controller(), *pid, O_RDWR | O_EXCL);
+  EXPECT_TRUE(excl.ok()) << "the exclusive right is reclaimable";
+  ExpectInvariantsClean(sim.kernel(), 0);
+}
+
+TEST(ProcdPeerDeath, SoleRunOnLastCloseDescriptorFiresIt) {
+  Sim sim;
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", kCounter).ok());
+  auto pid = sim.Start("/bin/prog");
+  ASSERT_TRUE(pid.ok());
+  ProcdServer srv(sim.kernel());
+  auto conn = srv.Connect(Creds::Root());
+  RemoteProcIo rio(conn);
+  auto h = ProcHandle::Grab(rio, *pid);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(h->Stop().ok());
+  SigSet sigs;
+  sigs.Add(SIGUSR1);
+  ASSERT_TRUE(h->SetSigTrace(sigs).ok());
+  ASSERT_TRUE(h->SetRunOnLastClose(true).ok());
+
+  Proc* p = sim.kernel().FindProc(*pid);
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->MainLwp()->state, LwpState::kStopped);
+
+  // The transport dies without a single Close frame. The kernel must see
+  // exactly what ProcClose.RunOnLastCloseClearsTracingAndResumes sees.
+  conn->client_closed = true;
+  srv.Pump();
+  EXPECT_EQ(p->MainLwp()->state, LwpState::kRunning)
+      << "run-on-last-close fires on peer death";
+  EXPECT_TRUE(p->trace.sigtrace.Empty()) << "all tracing flags cleared";
+  EXPECT_FALSE(p->trace.run_on_last_close);
+  ExpectInvariantsClean(sim.kernel(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// The seeded PEER_DISCONNECT chaos sweep.
+// ---------------------------------------------------------------------------
+
+TEST(ProcdChaosSweep, PeerDisconnectKeepsInvariantsAcrossSeeds) {
+  uint64_t chaos_hits = 0;
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    Sim sim;
+    ASSERT_TRUE(sim.InstallProgram("/bin/prog", kCounter).ok());
+    ASSERT_TRUE(sim.InstallProgram("/bin/spin", kSpin).ok());
+    auto pid1 = sim.Start("/bin/prog");
+    auto pid2 = sim.Start("/bin/spin");
+    ASSERT_TRUE(pid1.ok());
+    ASSERT_TRUE(pid2.ok());
+
+    FaultPlan plan;
+    plan.Arm(FaultSite::kPeerDisconnect,
+             FaultRule{seed, /*num=*/1, /*den=*/8, /*max_hits=*/4});
+    sim.kernel().SetFaultPlan(plan);
+    sim.kernel().SetChaosScheduler(seed);
+
+    ProcdServer srv(sim.kernel());
+    std::vector<std::unique_ptr<RemoteProcIo>> peers;
+    for (int i = 0; i < 3; ++i) {
+      peers.push_back(std::make_unique<RemoteProcIo>(srv.Connect(Creds::Root())));
+    }
+    // Every operation may die with kEIO when the chaos site severs the
+    // peer mid-exchange; the kernel must stay consistent regardless.
+    for (size_t i = 0; i < peers.size(); ++i) {
+      RemoteProcIo& rio = *peers[i];
+      Pid target = (i + seed) % 2 == 0 ? *pid1 : *pid2;
+      int oflags = (i + seed) % 3 == 0 ? (O_RDWR | O_EXCL) : O_RDWR;
+      auto h = ProcHandle::Grab(rio, target, oflags);
+      if (!h.ok()) {
+        continue;
+      }
+      (void)h->Psinfo();
+      (void)h->SetRunOnLastClose(true);
+      (void)h->Stop();
+      if ((i + seed) % 2 == 0) {
+        (void)h->Run();
+      }
+      auto fd = rio.Open(FlatPath(target), O_RDONLY);
+      if (fd.ok()) {
+        (void)rio.Subscribe(*fd, POLLPRI | POLLHUP);
+        PollFd pf{*fd, POLLPRI, 0};
+        std::span<PollFd> span1(&pf, 1);
+        (void)rio.PollFds(span1, 0);
+      }
+      rio.Poke();
+    }
+    // Drain: drop every surviving peer, then pump to full idle.
+    for (auto& rio : peers) {
+      rio->Hangup();
+    }
+    for (int i = 0; i < 10'000 && srv.Pump(); ++i) {
+    }
+    EXPECT_EQ(srv.PeerCount(), 0u) << "seed " << seed;
+    chaos_hits += srv.stats().chaos_disconnects;
+    ExpectInvariantsClean(sim.kernel(), seed);
+  }
+  EXPECT_GT(chaos_hits, 0u)
+      << "a 1/8 rate over 100 seeds must sever at least one peer";
+}
+
+// ---------------------------------------------------------------------------
+// Windowed PIOCPSALL under churn (the pr_next_pid cursor).
+// ---------------------------------------------------------------------------
+
+TEST(ProcdPsall, WindowedCursorUnderChurnAndPidWrapNeverSkipsOrDuplicates) {
+  Sim sim;
+  sim.kernel().SetMaxPid(64);
+  std::vector<Pid> stable;
+  std::vector<Proc*> victims;
+  for (int i = 0; i < 12; ++i) {
+    Proc* p = sim.kernel().CreateNativeProc(Creds::Root(), "keep");
+    ASSERT_NE(p, nullptr);
+    stable.push_back(p->pid);
+  }
+  for (int i = 0; i < 12; ++i) {
+    Proc* p = sim.kernel().CreateNativeProc(Creds::Root(), "churn");
+    ASSERT_NE(p, nullptr);
+    victims.push_back(p);
+  }
+
+  auto h = ProcHandle::Grab(sim.kernel(), sim.controller(), 1, O_RDONLY);
+  ASSERT_TRUE(h.ok());
+
+  // Page with a tiny window; between pages, kill victims and create
+  // replacements so the pid counter wraps and pids get reused mid-scan.
+  std::vector<Pid> seen;
+  PrPsAll all;
+  all.pr_start_pid = 0;
+  all.pr_limit = 4;
+  int pages = 0;
+  size_t next_victim = 0;
+  for (; pages < 64; ++pages) {
+    ASSERT_TRUE(h->io().Ioctl(h->fd(), PIOCPSALL, &all).ok());
+    for (const auto& ps : all.pr_procs) {
+      seen.push_back(ps.pr_pid);
+    }
+    if (all.pr_next_pid < 0) {
+      break;
+    }
+    // Churn: two exits, two births, one Step to reap the zombies.
+    for (int k = 0; k < 2 && next_victim < victims.size(); ++k) {
+      sim.kernel().DestroyNativeProc(victims[next_victim++]);
+    }
+    sim.kernel().Step();
+    (void)sim.kernel().CreateNativeProc(Creds::Root(), "newcomer");
+    (void)sim.kernel().CreateNativeProc(Creds::Root(), "newcomer");
+    all.pr_start_pid = all.pr_next_pid;
+  }
+  ASSERT_LT(pages, 64) << "the cursor must terminate";
+
+  std::set<Pid> unique(seen.begin(), seen.end());
+  EXPECT_EQ(unique.size(), seen.size())
+      << "no pid may be returned twice in one windowed scan";
+  for (Pid pid : stable) {
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), pid), 1)
+        << "pid " << pid << " alive across the whole scan must appear once";
+  }
+  ExpectInvariantsClean(sim.kernel(), 0);
+}
+
+}  // namespace
+}  // namespace svr4

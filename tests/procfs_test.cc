@@ -1171,6 +1171,52 @@ path: .asciz "/bin/suid"
   EXPECT_FALSE(p->trace.run_on_last_close);
 }
 
+TEST(ProcSecurity, ReadOnlyStaleDrainRunsLastClose) {
+  Sim sim;
+  // Regression: a set-id exec invalidates descriptors and sets
+  // run-on-last-close whenever ANY open exists — including read-only-only
+  // populations. The stale drain used to fire last-close only when a
+  // writable stale close emptied the writable ledger, so a target whose
+  // controllers were all read-only at exec time stayed directed-stopped
+  // forever after the last stale close.
+  ASSERT_TRUE(sim.InstallProgram("/bin/suid", kSpin, 04755, 0, 0).ok());
+  ASSERT_TRUE(sim.InstallProgram("/bin/prog", R"(
+      ldi r0, SYS_exec
+      ldi r1, path
+      ldi r2, 0
+      sys
+      ldi r0, SYS_exit
+      ldi r1, 1
+      sys
+      .data
+path: .asciz "/bin/suid"
+  )").ok());
+  auto pid = sim.Start("/bin/prog", {}, Creds::User(100, 10));
+  ASSERT_TRUE(pid.ok());
+  Proc* owner = sim.NewController(Creds::User(100, 10), "owner");
+  auto h = ProcHandle::Grab(sim.kernel(), owner, *pid, O_RDONLY);
+  ASSERT_TRUE(h.ok());
+  sim.kernel().RunUntil([&]() {
+    Proc* p = sim.kernel().FindProc(*pid);
+    return p == nullptr || (p->MainLwp() != nullptr &&
+                            p->MainLwp()->state == LwpState::kStopped);
+  });
+  Proc* p = sim.kernel().FindProc(*pid);
+  ASSERT_NE(p, nullptr);
+  ASSERT_TRUE(p->trace.run_on_last_close) << "RLC is set on a set-id exec";
+  ASSERT_EQ(p->trace.stale_total_opens, 1);
+  ASSERT_EQ(p->trace.stale_writable_opens, 0) << "the only open was read-only";
+  ASSERT_EQ(p->MainLwp()->state, LwpState::kStopped);
+
+  // Closing the last (read-only) stale descriptor must release the target.
+  h->Close();
+  EXPECT_EQ(p->trace.stale_total_opens, 0);
+  EXPECT_FALSE(p->trace.run_on_last_close)
+      << "the read-only-only stale drain must still run last-close";
+  EXPECT_EQ(p->MainLwp()->state, LwpState::kRunning)
+      << "nothing else can ever resume a target with no descriptors left";
+}
+
 TEST(ProcSecurity, StaleCloseDoesNotDisturbNewController) {
   Sim sim;
   // Regression: closing a descriptor invalidated by a set-id exec used to
