@@ -128,6 +128,38 @@ BENCHMARK(BM_ExecThroughput)
     ->Args({1, 1, 0})
     ->Args({1, 2, 0});
 
+// range(0): 0 = profiler disarmed (the codegen-neutrality claim: the kProf
+// template stamp is compiled in, the per-process gate cold), 1 = armed at
+// 1 sample per 2^8 instructions. CI's obs-overhead job asserts the
+// disarmed row tracks the BM_ExecThroughput/1/0/0 baseline.
+void BM_ExecProfiler(benchmark::State& state) {
+  const bool armed = state.range(0) != 0;
+  auto s = MakeSystem(/*tlb_on=*/true);
+  Kernel& k = s.sim->kernel();
+  k.SetExecEngine(ExecEngine::kInterp);
+  if (armed) {
+    Proc* p = k.FindProc(s.pid);
+    if (!k.SetProfiling(p, /*period_log2=*/8).ok()) {
+      state.SkipWithError("PIOCPROF arming failed");
+      return;
+    }
+  }
+  const uint64_t before = k.counters().instructions;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      k.Step();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(k.counters().instructions - before));
+  state.SetLabel(armed ? "prof=on" : "prof=off");
+  if (armed) {
+    Proc* p = k.FindProc(s.pid);
+    state.counters["prof_samples"] =
+        p != nullptr && p->prof != nullptr ? static_cast<double>(p->prof->samples) : 0;
+  }
+}
+BENCHMARK(BM_ExecProfiler)->Arg(0)->Arg(1);
+
 // /proc bulk read with the target's TLB knob (PrRead shares the single-
 // resolve copy loop; the knob shows the slow path alone).
 void BM_ProcBulkRead(benchmark::State& state) {

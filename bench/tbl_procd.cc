@@ -46,6 +46,9 @@ System& GetSystem(int npeers) {
         sys->sim->kernel().CreateNativeProc(Creds::Root(), "worker")->pid);
   }
   sys->srv = std::make_unique<ProcdServer>(sys->sim->kernel());
+  // Spans on: the per-op latency axis below is the attribution for the
+  // 1k -> 10k collapse (every op pays an O(peers) pump scan).
+  sys->srv->EnableSpans(true);
   for (int i = 0; i < npeers; ++i) {
     auto rio =
         std::make_unique<RemoteProcIo>(sys->srv->Connect(Creds::Root()));
@@ -76,6 +79,13 @@ void BM_ProcdCtlOps(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(ops));  // ctl ops/sec
   state.counters["peers"] = static_cast<double>(state.range(0));
+  // Per-op latency attribution from the server's span histograms: the p50
+  // and p99 of dequeue->reply for the ioctl op, in host nanoseconds. Log2
+  // buckets bound each quantile to within 2x — enough to show the
+  // O(peers) collapse as a per-op latency, not just a throughput drop.
+  const ProcdServer::OpSpan& span = sys.srv->op_span(PdOp::kIoctl);
+  state.counters["ioctl_p50_ns"] = static_cast<double>(span.lat_ns.Quantile(0.50));
+  state.counters["ioctl_p99_ns"] = static_cast<double>(span.lat_ns.Quantile(0.99));
 }
 BENCHMARK(BM_ProcdCtlOps)->Arg(1'000)->Arg(10'000)->Unit(benchmark::kMicrosecond);
 
@@ -97,6 +107,9 @@ void BM_ProcdPsallSnapshot(benchmark::State& state) {
   state.counters["peers"] = static_cast<double>(state.range(0));
   state.counters["rows_per_snapshot"] =
       snaps != 0 ? static_cast<double>(lines) / static_cast<double>(snaps) : 0;
+  const ProcdServer::OpSpan& span = sys.srv->op_span(PdOp::kPsall);
+  state.counters["psall_p50_ns"] = static_cast<double>(span.lat_ns.Quantile(0.50));
+  state.counters["psall_p99_ns"] = static_cast<double>(span.lat_ns.Quantile(0.99));
 }
 BENCHMARK(BM_ProcdPsallSnapshot)
     ->Arg(1'000)

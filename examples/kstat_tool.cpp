@@ -5,10 +5,28 @@
 // filesystem interface a debugger uses for processes.
 #include <cstdio>
 
+#include "svr4proc/procd/client.h"
+#include "svr4proc/procd/procd.h"
 #include "svr4proc/tools/proclib.h"
 #include "svr4proc/tools/sim.h"
 
 using namespace svr4;
+
+namespace {
+
+// The format canary: any /proc2/kernel/{metrics,procd} line that drifts
+// from the `key value` grammar makes this tool fail, so renderer changes
+// that would break downstream parsers are caught by the smoke run.
+int ValidateOrDie(const char* what, const std::string& text) {
+  std::string bad;
+  if (!ValidateMetricsText(text, &bad)) {
+    std::fprintf(stderr, "kstat: malformed %s line: \"%s\"\n", what, bad.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main() {
   Sim sim;
@@ -74,6 +92,23 @@ loop: ldi r0, SYS_getpid
                 static_cast<double>(st.pr_latsum) / static_cast<double>(st.pr_calls));
   }
 
+  // --- Scheduler wait accounting (aggregated over CPUs) --------------------
+  std::printf("\nscheduler waits:        count  avg(ticks)  max(ticks)\n");
+  struct WaitRow {
+    const char* name;
+    unsigned long long count, sum, max;
+  } wait_rows[] = {
+      {"stop_wait", ks.pr_stop_wait_count, ks.pr_stop_wait_sum, ks.pr_stop_wait_max},
+      {"runq_wait", ks.pr_runq_wait_count, ks.pr_runq_wait_sum, ks.pr_runq_wait_max},
+      {"steal", ks.pr_steal_count, ks.pr_steal_sum, ks.pr_steal_max},
+  };
+  for (const WaitRow& w : wait_rows) {
+    std::printf("  %-16s %8llu %11.1f %11llu\n", w.name, w.count,
+                w.count != 0 ? static_cast<double>(w.sum) / static_cast<double>(w.count)
+                             : 0.0,
+                w.max);
+  }
+
   // --- The event ring, read back as a file ---------------------------------
   auto t = *ReadTraceFile(sim.kernel(), sim.controller(), "/proc2/kernel/trace");
   std::printf("\nlast events of %u in the ring:\n", t.hdr.kt_nrec);
@@ -86,12 +121,13 @@ loop: ldi r0, SYS_getpid
   }
 
   // --- The registry, rendered as text by the kernel ------------------------
-  char buf[1024];
-  auto fd = sim.kernel().Open(sim.controller(), "/proc2/kernel/metrics", O_RDONLY);
-  auto n = sim.kernel().Read(sim.controller(), *fd, buf, sizeof(buf) - 1);
-  buf[n.ok() ? *n : 0] = 0;
-  std::printf("\n/proc2/kernel/metrics (first %d bytes):\n%s", static_cast<int>(*n),
-              buf);
+  LocalProcIo lio(sim.kernel(), sim.controller());
+  auto metrics = *ReadTextFile(lio, "/proc2/kernel/metrics");
+  if (int rc = ValidateOrDie("/proc2/kernel/metrics", metrics)) {
+    return rc;
+  }
+  std::printf("\n/proc2/kernel/metrics (first 1024 of %zu bytes):\n%.1024s",
+              metrics.size(), metrics.c_str());
 
   // --- Bulk population snapshot (PIOCPSALL) --------------------------------
   // One operation returns psinfo for every process in the system; at large
@@ -114,15 +150,12 @@ loop: ldi r0, SYS_getpid
   // up both per-process (PIOCVMSTATS) and kernel-wide (the bb_* lines of
   // /proc2/kernel/metrics).
   sim.kernel().SetTracing(/*ring=*/false, /*metrics=*/false);
+  // The spinner never exits: in free-running SMP mode a Step executes
+  // thousands of instructions, and the sections below (PIOCVMSTATS,
+  // PIOCPROF, /proc2/<pid>/prof) need the process alive to interrogate.
   (void)sim.InstallProgram("/bin/spin", R"(
-      ldi r1, 0
-      ldi r2, 200000
 loop: addi r1, 1
-      cmp r1, r2
-      jlt loop
-      ldi r0, SYS_exit
-      ldi r1, 0
-      sys
+      jmp loop
   )");
   auto spin = sim.Start("/bin/spin");
   auto hs = *ProcHandle::Grab(sim.kernel(), sim.controller(), *spin, O_RDWR);
@@ -137,5 +170,43 @@ loop: addi r1, 1
               static_cast<unsigned long long>(vs.pr_bb_misses),
               static_cast<unsigned long long>(vs.pr_bb_invalidations),
               static_cast<unsigned long long>(vs.pr_bb_fallbacks));
+
+  // --- The sampling profiler (PIOCPROF / /proc2/<pid>/prof) ----------------
+  // Arm a 1-per-16-instruction pc sampler on the spinner, let it run, and
+  // read the folded-stack dump back through the filesystem. Piping these
+  // lines into flamegraph.pl is the whole flamegraph recipe.
+  if (!hs.SetProf(/*period_log2=*/4).ok()) {
+    std::fprintf(stderr, "kstat: PIOCPROF failed\n");
+    return 1;
+  }
+  for (int i = 0; i < 2000; ++i) {
+    sim.kernel().Step();
+  }
+  auto folded = *hs.Prof();
+  std::printf("\nprofile of pid %d (folded stacks, 1/16 instructions):\n%s",
+              *spin, folded.c_str());
+
+  // --- procd RPC spans (/proc2/kernel/procd) -------------------------------
+  // Attach a procd peer, arm spans, run a few remote operations, and read
+  // the span registry back both ways: over the wire (kStats RPC) and as a
+  // local /proc2 file. The two renders come from the same registry.
+  ProcdServer srv(sim.kernel());
+  srv.EnableSpans(true);
+  RemoteProcIo rio(srv.Connect(Creds::Root()));
+  auto rh = ProcHandle::Grab(rio, sim.kernel().init_proc()->pid, O_RDONLY);
+  if (rh.ok()) {
+    (void)rh->Status();
+    (void)rh->Psinfo();
+    (void)rh->Kstat();
+  }
+  auto span_text = rio.ProcdStats();
+  if (!span_text.ok()) {
+    std::fprintf(stderr, "kstat: kStats RPC failed\n");
+    return 1;
+  }
+  if (int rc = ValidateOrDie("/proc2/kernel/procd", *span_text)) {
+    return rc;
+  }
+  std::printf("\n/proc2/kernel/procd:\n%s", span_text->c_str());
   return 0;
 }

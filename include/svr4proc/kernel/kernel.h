@@ -245,6 +245,29 @@ class Kernel {
     kt_.EnableMetrics(metrics);
   }
 
+  // --- Sampling profiler (PIOCPROF, /proc2/<pid>/prof) ----------------------
+  // Arms (period_log2 >= 0, samples every 2^period_log2 retired
+  // instructions) or disarms (period_log2 < 0) the deterministic pc sampler
+  // on one process. Arming resets the accumulated buckets; disarming keeps
+  // them readable. prof_armed() counting lets ExecuteLwp route unprofiled
+  // quanta through the profiler-free loop stamps.
+  Result<void> SetProfiling(Proc* p, int period_log2);
+  int prof_armed() const { return prof_armed_; }
+  // /proc2/<pid>/prof rendering: folded-stack text, one
+  // "<name>;0x<pc> <count>" line per bucket, flamegraph.pl-consumable.
+  std::string ProfText(const Proc& p) const;
+
+  // --- procd stats hook ------------------------------------------------------
+  // A running ProcdServer registers its stats renderer here so
+  // /proc2/kernel/procd can serve daemon span data through the filesystem
+  // like every other kernel metric. Null (the default) reads as "procd off".
+  void SetProcdStatsProvider(std::function<std::string()> fn) {
+    procd_stats_ = std::move(fn);
+  }
+  const std::function<std::string()>& procd_stats_provider() const {
+    return procd_stats_;
+  }
+
   // --- Execution engine (isa/blocks.h) --------------------------------------
   // Engine selection for un-hooked quanta. The constructor honors the
   // SVR4PROC_EXEC_ENGINE environment variable ("interp" or "blocks") so
@@ -340,14 +363,19 @@ class Kernel {
   void ExecuteLwp(Lwp* lwp, int budget);
   // The interpreter loop, stamped once without perturbation hooks (the hot
   // path stays byte-identical to an unhooked kernel) and once with the
-  // fault-injection and chaos-preemption checks compiled in.
-  template <bool kHooks>
+  // fault-injection and chaos-preemption checks compiled in. kProf is an
+  // orthogonal stamp axis: only PIOCPROF-armed processes run the sampling
+  // instantiations, so a disarmed profiler leaves the hot loops untouched.
+  template <bool kHooks, bool kProf>
   void ExecuteLwpImpl(Lwp* lwp, int budget);
   // The block-engine quantum loop: identical event/budget structure to
   // ExecuteLwpImpl<false>, but straight-line runs execute from the
   // predecoded block cache. Falls back to single CpuStep calls whenever a
   // block cannot be used (trace bit, watchpoints, TLB off, uncacheable pc).
+  template <bool kProf>
   void ExecuteLwpBlocks(Lwp* lwp, int budget);
+  // Drops a dying process's profiler state, keeping prof_armed_ honest.
+  void ReleaseProf(Proc* p);
 
   // O(1)-amortized timer bookkeeping: every timed sleep and alarm pushes a
   // TimerEvent; entries are validated lazily against current process/lwp
@@ -550,6 +578,14 @@ class Kernel {
   // CPU through pointers so every layer can emit without seeing the
   // kernel). Per-CPU SCHED_SWITCH attribution lives in CpuState.
   KTrace kt_{&ticks_, &cur_cpu_};
+
+  // Count of live processes with the sampling profiler armed; ExecuteLwp's
+  // routing gate and Step()'s free-run gate read it.
+  int prof_armed_ = 0;
+
+  // Stats renderer registered by a running ProcdServer (see
+  // SetProcdStatsProvider); /proc2/kernel/procd reads through it.
+  std::function<std::string()> procd_stats_;
 
   static constexpr int kQuantum = 64;
 };

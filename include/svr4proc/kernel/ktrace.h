@@ -90,6 +90,11 @@ inline constexpr size_t kKtDefaultCap = 4096;
 // this is part of the PrKstat ABI so it is pinned independently).
 inline constexpr int kKtMaxSyscall = 200;
 
+// CPU headroom for the per-CPU scheduler-wait histograms. Mirrors
+// smp.h's kMaxCpus without including it (this header stays free of
+// kernel types).
+inline constexpr int kKtMaxCpus = 64;
+
 // Log2-bucketed histogram: bucket 0 counts zero-valued samples, bucket i>0
 // counts samples in [2^(i-1), 2^i); the top bucket absorbs the tail.
 struct KtHist {
@@ -115,6 +120,25 @@ struct KtHist {
     ++bucket[BucketOf(v)];
   }
   double Mean() const { return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0; }
+
+  // Upper bound of the bucket holding quantile q (0 <= q <= 1), capped by
+  // the observed max. Log2 buckets bound the answer to within 2x, which is
+  // what a latency-attribution readout needs.
+  uint64_t Quantile(double q) const {
+    if (count == 0) {
+      return 0;
+    }
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      seen += bucket[i];
+      if (seen >= rank) {
+        uint64_t hi = i == 0 ? 0 : (uint64_t{1} << i) - 1;
+        return hi < max ? hi : max;
+      }
+    }
+    return max;
+  }
 };
 
 struct KtSyscallStat {
@@ -156,6 +180,20 @@ class KTrace {
     }
   }
 
+  // Scheduler wait accounting: per-CPU enqueue->first-dispatch waits and
+  // enqueue->steal latencies, in ticks. Charged to the CPU that dispatched
+  // (or stole) the lwp.
+  void RecordRunqWait(int cpu, uint64_t ticks) {
+    if (metrics_on_ && cpu >= 0 && cpu < kKtMaxCpus) {
+      runq_wait_[cpu].Record(ticks);
+    }
+  }
+  void RecordStealLat(int cpu, uint64_t ticks) {
+    if (metrics_on_ && cpu >= 0 && cpu < kKtMaxCpus) {
+      steal_lat_[cpu].Record(ticks);
+    }
+  }
+
   // Serialized snapshot: KtSnapHeader then oldest-first records, optionally
   // filtered to one pid. Returns an empty buffer (a 0-byte file read, not
   // an error) while nothing has ever been appended — a disabled ring reads
@@ -178,6 +216,8 @@ class KTrace {
   const KtSyscallStat& syscall_stat(int num) const { return sys_[num]; }
   const KtHist& stop_wait() const { return stop_wait_; }
   const KtHist& runq_depth() const { return runq_depth_; }
+  const KtHist& runq_wait(int cpu) const { return runq_wait_[cpu]; }
+  const KtHist& steal_lat(int cpu) const { return steal_lat_[cpu]; }
 
  private:
   const uint64_t* tick_;
@@ -193,6 +233,10 @@ class KTrace {
   std::array<KtSyscallStat, kKtMaxSyscall> sys_{};
   KtHist stop_wait_;   // PCSTOP request -> all lwps stopped, in ticks
   KtHist runq_depth_;  // sampled at every scheduler switch
+  // Wait accounting, per dispatching CPU (kernel.cc stamps the enqueue
+  // tick in RunqInsert and harvests it at first dispatch / steal).
+  std::array<KtHist, kKtMaxCpus> runq_wait_{};
+  std::array<KtHist, kKtMaxCpus> steal_lat_{};
 };
 
 }  // namespace svr4

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -114,6 +115,14 @@ struct Lwp {
   // the per-syscall latency histogram measure from here.
   uint64_t sys_entry_tick = 0;
 
+  // Tick+1 at which this lwp last became runnable (0 = not stamped).
+  // Stamped by RunqInsert when the metrics registry is armed; harvested
+  // into the per-CPU runq-wait histogram at first dispatch, or into the
+  // steal-latency histogram when a thief claims the lwp first. The +1
+  // bias distinguishes "stamped at tick 0" from "never stamped", same as
+  // Proc::stop_req_tick.
+  uint64_t runq_enq_tick = 0;
+
   // Per-lwp stop directive (hierarchical /proc lwpctl).
   bool lwp_dstop = false;
 };
@@ -186,6 +195,25 @@ struct WaitResult {
   int status = 0;
 };
 
+// Deterministic sampling-profiler state, armed per process by PIOCPROF.
+// The sampler is driven by the process's own retired-instruction count
+// (utime): a sample fires every 2^period_log2 instructions and charges
+// one hit to a pc bucket. Both execution engines feed it — the
+// interpreter at exact-pc granularity, the block engine at
+// block-entry-pc granularity (a run of N instructions advances utime by
+// N and attributes every boundary crossed to the block's entry pc).
+// Sampling writes only this side state, so an armed profiler cannot
+// perturb scheduling, ticks, or chaos streams. Allocated lazily on the
+// first PIOCPROF arm (same discipline as TraceState::audit); released by
+// zombie slimming.
+struct ProfState {
+  bool on = false;
+  uint32_t period_log2 = 0;
+  uint64_t samples = 0;
+  // Ordered so the /proc2/<pid>/prof folded dump renders deterministically.
+  std::map<uint32_t, uint64_t> pc_hits;
+};
+
 // wait(2) status encoding helpers.
 inline int WExitStatus(int code) { return (code & 0xFF) << 8; }
 inline int WSignalStatus(int sig, bool core) { return (sig & 0x7F) | (core ? 0x80 : 0); }
@@ -242,6 +270,9 @@ struct Proc {
 
   SignalState sig;
   TraceState trace;
+
+  // Sampling-profiler state; null until PIOCPROF first arms it.
+  std::unique_ptr<ProfState> prof;
 
   // ptrace(2) state (the competing mechanism the paper discusses).
   bool pt_traced = false;
@@ -339,6 +370,10 @@ inline size_t ProcDynamicFootprint(const Proc& p) {
   size_t n = 0;
   if (p.trace.audit != nullptr) {
     n += sizeof(*p.trace.audit);
+  }
+  if (p.prof != nullptr) {
+    n += sizeof(*p.prof) +
+         p.prof->pc_hits.size() * (sizeof(uint32_t) + sizeof(uint64_t));
   }
   n += p.fds.capacity() * sizeof(OpenFilePtr);
   n += p.lwps.capacity() * sizeof(std::unique_ptr<Lwp>);

@@ -28,6 +28,10 @@ class RemoteProcIo : public ProcIo {
   // The pid of this peer's controller process inside the served kernel.
   Result<Pid> PeerPid();
 
+  // The server's span/stats registry as metrics text (the same text
+  // /proc2/kernel/procd serves locally). One kStats frame.
+  Result<std::string> ProcdStats();
+
   Result<int> Open(const std::string& path, int oflags) override;
   Result<void> Close(int fd) override;
   Result<int64_t> Read(int fd, void* buf, uint64_t n) override;

@@ -27,6 +27,7 @@
 #ifndef SVR4PROC_PROCD_PROCD_H_
 #define SVR4PROC_PROCD_PROCD_H_
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <deque>
@@ -36,6 +37,7 @@
 #include <vector>
 
 #include "svr4proc/kernel/kernel.h"
+#include "svr4proc/kernel/ktrace.h"
 
 namespace svr4 {
 
@@ -65,9 +67,13 @@ enum class PdOp : uint16_t {
   kUnsubscribe,     // -> {i32 fd}                          <- {}
   kSpawn,           // -> {u32 ruid, u32 rgid, path, u32 argc, argv...}
                     //                                      <- {i32 pid}
+  kStats,           // -> {}        <- {bytes: the server's StatsText()}
   kEvent = 100,     // push: {i32 fd, i32 revents} — a subscribed fd's poll
                     //       state changed (level captured at push time)
 };
+
+// Lowercase op mnemonic for stats keys ("ioctl", "psall", ...).
+const char* PdOpName(PdOp op);
 
 // Frame: 12-byte header + body_len bytes of body.
 struct PdFrameHdr {
@@ -236,8 +242,43 @@ class ProcdServer {
     uint64_t events_pushed = 0;      // kEvent frames sent
     uint64_t disconnects = 0;        // peers detached (all causes)
     uint64_t chaos_disconnects = 0;  // ... of which PEER_DISCONNECT fired
+    uint64_t pump_rounds = 0;        // Pump() invocations
+    uint64_t peer_scans = 0;         // live peers scanned across all rounds
   };
   const Stats& stats() const { return stats_; }
+
+  // RPC span accounting. Frame/op/park counters are always on (and always
+  // updated at frame *dequeue*, before dispatch, so a kStats reply counts
+  // the request that asked for it and a local /proc2/kernel/procd read
+  // right after a remote one renders identical text). The latency, size,
+  // and occupancy histograms are recorded only when spans are armed — the
+  // latency axis is host wall-clock nanoseconds, because virtual ticks
+  // freeze while only native peers act, so ticks would read all-zero for
+  // exactly the RPC-bound workloads spans exist to attribute. Recording
+  // never touches simulation state, so arming spans cannot perturb a
+  // chaos run.
+  void EnableSpans(bool on) { spans_on_ = on; }
+  bool spans_enabled() const { return spans_on_; }
+
+  // Per-op span stats (count/parks always; hists while armed).
+  struct OpSpan {
+    uint64_t count = 0;  // frames dequeued for this op
+    uint64_t parks = 0;  // ... of which parked before replying
+    KtHist lat_ns;       // dequeue -> reply, host nanoseconds
+    KtHist bytes;        // request body length
+    KtHist park_ticks;   // park -> completion, virtual ticks
+  };
+  // Op slot space: 1..17 are request ops, slot 0 absorbs unknown codes.
+  static constexpr int kPdOpSlots = static_cast<int>(PdOp::kStats) + 1;
+  const OpSpan& op_span(PdOp op) const {
+    int i = static_cast<int>(op);
+    return spans_[i > 0 && i < kPdOpSlots ? i : 0];
+  }
+
+  // The whole registry rendered as `key value` metrics text, served by
+  // /proc2/kernel/procd (via Kernel::SetProcdStatsProvider) and the kStats
+  // RPC. Same line grammar as /proc2/kernel/metrics.
+  std::string StatsText() const;
 
  private:
   struct Peer {
@@ -260,6 +301,15 @@ class ProcdServer {
     uint64_t wait_deadline = 0;      // poll: 0 = no timeout
     // Subscriptions: fd -> {events mask, last pushed revents}.
     std::map<int32_t, std::pair<int32_t, int32_t>> subs;
+
+    // Per-peer span counters (always on, dequeue-time like the globals).
+    uint64_t frames = 0;
+    uint64_t ctl_ops = 0;
+    uint64_t parks = 0;
+    // In-flight span stamps; at most one frame is between dequeue and
+    // reply per peer (parked ops carry these across pump rounds).
+    uint64_t frame_start_ns = 0;  // dequeue wall clock (spans armed only)
+    uint64_t park_start_tick = 0; // first park tick of the current frame
   };
 
   bool HandleFrame(Peer& peer, const PdFrame& f);
@@ -285,11 +335,23 @@ class ProcdServer {
 
   void Detach(Peer& peer, bool chaos);
 
+  // Span bookkeeping around one frame's dispatch: SpanDequeue at frame
+  // dequeue (counters always; stamps when armed), SpanPark when the op
+  // parks, SpanReply when the reply frame for the current frame has been
+  // written (immediate or parked-completion path).
+  void SpanDequeue(Peer& peer, const PdFrame& f);
+  void SpanPark(Peer& peer, PdOp op);
+  void SpanReply(Peer& peer, PdOp op);
+
   Kernel* kernel_;
   std::vector<std::unique_ptr<Peer>> peers_;
   size_t live_peers_ = 0;
   uint64_t next_conn_id_ = 1;
   Stats stats_;
+
+  bool spans_on_ = false;
+  std::array<OpSpan, kPdOpSlots> spans_{};
+  KtHist parked_peers_;  // parked-wait occupancy, sampled once per round
 };
 
 }  // namespace svr4

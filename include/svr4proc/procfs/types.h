@@ -275,6 +275,8 @@ enum Pioc : uint32_t {
   PIOCAUDIT = kPiocBase | 45,   // PrCtlAudit*          control audit ring
   PIOCKSTAT = kPiocBase | 46,   // PrKstat*             kernel-wide metrics
   PIOCPSALL = kPiocBase | 47,   // PrPsAll*             ps info, whole population
+  PIOCPROF = kPiocBase | 48,    // int*                 arm (>=0: period_log2) or
+                                //                      disarm (<0) the pc sampler
 };
 
 // --- Kernel-wide metrics snapshot (PIOCKSTAT / /proc2/kernel/metrics) --------
@@ -304,6 +306,20 @@ struct PrKstat {
   uint64_t pr_trace_dropped = 0;  // records lost to ring wrap
   uint64_t pr_events[kPrKstatEvents] = {};  // per-KtEvent emission counts
   PrKstatSys pr_sys[kPrKstatSyscalls] = {};
+  // Scheduler wait accounting, aggregated over CPUs: count / total ticks /
+  // worst single wait. stop_wait is the PCSTOP request->all-stopped span,
+  // runq_wait the enqueue->first-dispatch span, steal the enqueue->stolen
+  // span. Enough for a span-summary table (truss -c) without shipping the
+  // full per-CPU histograms, which stay in /proc2/kernel/metrics.
+  uint64_t pr_stop_wait_count = 0;
+  uint64_t pr_stop_wait_sum = 0;
+  uint64_t pr_stop_wait_max = 0;
+  uint64_t pr_runq_wait_count = 0;
+  uint64_t pr_runq_wait_sum = 0;
+  uint64_t pr_runq_wait_max = 0;
+  uint64_t pr_steal_count = 0;
+  uint64_t pr_steal_sum = 0;
+  uint64_t pr_steal_max = 0;
 };
 
 // --- Bulk population snapshot (PIOCPSALL / /proc2/kernel/psall) --------------

@@ -107,6 +107,15 @@ class ProcHandle {
   Result<PrTrace> Trace();
   Result<void> Nice(int delta);
 
+  // --- profiling (PIOCPROF / /proc2/<pid>/prof) ---
+  // Arms the deterministic pc sampler: one sample per 2^period_log2 user
+  // instructions. Disarm keeps the accumulated buckets readable.
+  Result<void> SetProf(int period_log2);
+  Result<void> ClearProf();
+  // The accumulated samples as folded-stack text ("name;0xPC count"
+  // lines), ready for standard flamegraph tooling.
+  Result<std::string> Prof();
+
   // --- proposed extensions ---
   Result<void> SetWatch(const PrWatch& w);
   Result<void> ClearWatch(uint32_t vaddr);
@@ -135,6 +144,20 @@ class ProcHandle {
 // empty snapshot, not an error.
 Result<PrTrace> ReadTraceFile(Kernel& k, Proc* caller, const std::string& path);
 Result<PrTrace> ReadTraceFile(ProcIo& io, const std::string& path);
+
+// Reads a whole text file over any ProcIo transport.
+Result<std::string> ReadTextFile(ProcIo& io, const std::string& path);
+
+// The procd span/stats registry (/proc2/kernel/procd) over any transport —
+// local reads and RemoteProcIo reads return the same text.
+Result<std::string> ProcdStats(ProcIo& io);
+
+// Checks that every line of a metrics-style text (/proc2/kernel/metrics,
+// /proc2/kernel/procd) has the `key value...` shape: a newline-terminated
+// line whose first token is an identifier (optionally `name[tag]`) followed
+// by at least one value token. On failure *bad_line gets the offender.
+// Tools use this as a format canary so renderer drift fails loudly.
+bool ValidateMetricsText(const std::string& text, std::string* bad_line = nullptr);
 
 }  // namespace svr4
 

@@ -252,6 +252,7 @@ void Kernel::ChildUnlink(Proc* child) {
 }
 
 void Kernel::FreeProc(Proc* p) {
+  ReleaseProf(p);
   // Defensive scheduler-queue unlink: by the time a proc is freed its lwps
   // are dead and off every queue, but a missed transition must not leave a
   // dangling queue node behind.
@@ -662,6 +663,13 @@ Result<void> Kernel::InstallAout(const std::string& path, const Aout& image, uin
 // --- Scheduler queues --------------------------------------------------------
 
 void Kernel::RunqInsert(Lwp* l) {
+  // Wait accounting: stamp the tick this lwp became runnable (metrics
+  // armed only, so the disarmed path stays a pure list splice). Re-inserts
+  // that continue one wait — steal migration, SetNumCpus rehoming — find
+  // the stamp already set and leave it alone.
+  if (kt_.metrics_on() && l->runq_enq_tick == 0) {
+    l->runq_enq_tick = ticks_ + 1;
+  }
   // The lwp's home CPU (l->cpu, always 0 uniprocessor) names the queue.
   CpuState& c = smp_.cpu(l->cpu);
   l->q_where = Lwp::kQRun;
@@ -737,6 +745,9 @@ void Kernel::LwpSetState(Lwp* l, LwpState ns) {
   }
   if (l->q_where == Lwp::kQRun) {
     RunqRemove(l);
+    // Leaving the runnable state ends any in-progress runq wait unharvested
+    // (the lwp blocked or stopped before it was ever dispatched).
+    l->runq_enq_tick = 0;
   } else if (l->q_where == Lwp::kQSleep) {
     // Dequeue before anything can overwrite l->sleep: the bucket is keyed
     // on the channel the lwp went to sleep on.
@@ -803,6 +814,12 @@ Lwp* Kernel::StealFor(int thief) {
   // Take the lwp at the victim's cursor — the one that would have run next
   // there — and rehome it. Remove while l->cpu still names the victim.
   Lwp* l = smp_.cpu(victim).runq_next;
+  if (l->runq_enq_tick != 0) {
+    // Enqueue->steal latency, charged to the thief. The stamp survives the
+    // migration so the runq-wait histogram still sees enqueue->dispatch.
+    uint64_t stamp = l->runq_enq_tick;
+    kt_.RecordStealLat(thief, ticks_ - (stamp - 1));
+  }
   RunqRemove(l);
   l->cpu = thief;
   CpuState& tc = smp_.cpu(thief);
@@ -915,7 +932,7 @@ bool Kernel::Step() {
   // the deterministic path (the same fallback contract as the block
   // engine's hook gate).
   if (smp_.mode() == SmpMode::kFreeRun && smp_.ncpus() > 1 &&
-      finj_ == nullptr && !chaos_ && !kt_.armed()) {
+      finj_ == nullptr && !chaos_ && !kt_.armed() && prof_armed_ == 0) {
     return StepFreeRun();
   }
   int cpu = 0;
@@ -956,6 +973,13 @@ void Kernel::RunQuantumOn(int cpu, Lwp* lwp, int budget_override) {
     smp_.AckIpis(cpu);
   }
   Proc* p = lwp->proc;
+  if (lwp->runq_enq_tick != 0) {
+    // First dispatch since the lwp became runnable: harvest the runq wait.
+    // RecordRunqWait is metrics-gated, so a stale stamp left by disarming
+    // mid-run is simply cleared.
+    kt_.RecordRunqWait(cpu, ticks_ - (lwp->runq_enq_tick - 1));
+    lwp->runq_enq_tick = 0;
+  }
   if (kt_.armed() && (p->pid != c.last_pid || lwp->lwpid != c.last_lwpid)) {
     // A context switch: record who ran before on this CPU and sample total
     // run-queue depth (the count includes the lwp just picked). Once per
@@ -1066,8 +1090,10 @@ void Kernel::DrainZombieSlim() {
       continue;  // reaped, or pid reused by a live process
     }
     // Everything a wait(2) does not need: the audit ring (totals survive in
-    // TraceState), the descriptor table, and the lwp storage itself. The
-    // wait status, times, and pid linkage stay on the Proc.
+    // TraceState), the descriptor table, the profiler buckets, and the lwp
+    // storage itself. The wait status, times, and pid linkage stay on the
+    // Proc.
+    ReleaseProf(p);
     p->trace.audit.reset();
     p->fds.clear();
     p->fds.shrink_to_fit();
@@ -1321,23 +1347,58 @@ void Kernel::ExecuteLwp(Lwp* lwp, int budget) {
   // gate: with tracing disarmed the unhooked stamp carries no tracing code
   // at all (events are emitted from the cold syscall/stop/fault functions
   // behind single-branch armed checks, never per instruction).
+  // The sampling profiler is a second, orthogonal stamp axis: quanta of a
+  // PIOCPROF-armed process run an instrumented instantiation; everything
+  // else keeps the profiler-free loop, so a disarmed profiler costs one
+  // predicted branch per quantum.
+  const bool prof =
+      prof_armed_ != 0 && lwp->proc->prof != nullptr && lwp->proc->prof->on;
   if (finj_ != nullptr || chaos_ || kt_.armed()) {
     ++counters_.quanta_interp;
-    ExecuteLwpImpl<true>(lwp, budget);
+    if (prof) {
+      ExecuteLwpImpl<true, true>(lwp, budget);
+    } else {
+      ExecuteLwpImpl<true, false>(lwp, budget);
+    }
     return;
   }
   // Un-hooked: the block engine is the default; kInterp pins the classic
   // interpreter (differential testing, benchmarking the baseline).
   if (exec_engine_ == ExecEngine::kInterp) {
     ++counters_.quanta_interp;
-    ExecuteLwpImpl<false>(lwp, budget);
+    if (prof) {
+      ExecuteLwpImpl<false, true>(lwp, budget);
+    } else {
+      ExecuteLwpImpl<false, false>(lwp, budget);
+    }
   } else {
     ++counters_.quanta_blocks;
-    ExecuteLwpBlocks(lwp, budget);
+    if (prof) {
+      ExecuteLwpBlocks<true>(lwp, budget);
+    } else {
+      ExecuteLwpBlocks<false>(lwp, budget);
+    }
   }
 }
 
-template <bool kHooks>
+namespace {
+
+// Charge profiler samples for the retired-instruction interval
+// (before, after]: one sample per 2^period_log2 boundary crossed, all
+// attributed to pc. Pure side-state writes — nothing the simulation
+// observes can depend on this.
+inline void ProfCharge(ProfState* ps, uint32_t pc, uint64_t before,
+                       uint64_t after) {
+  uint64_t n = (after >> ps->period_log2) - (before >> ps->period_log2);
+  if (n != 0) {
+    ps->samples += n;
+    ps->pc_hits[pc] += n;
+  }
+}
+
+}  // namespace
+
+template <bool kHooks, bool kProf>
 void Kernel::ExecuteLwpImpl(Lwp* lwp, int budget) {
   Proc* p = lwp->proc;
   if constexpr (kHooks) {
@@ -1388,10 +1449,17 @@ void Kernel::ExecuteLwpImpl(Lwp* lwp, int budget) {
       }
       check_events = false;
     }
+    [[maybe_unused]] uint32_t step_pc = 0;
+    if constexpr (kProf) {
+      step_pc = lwp->regs.pc;
+    }
     StepResult r = CpuStep(lwp->regs, lwp->fpregs, *p->as);
     ++ticks_;
     ++p->utime;
     ++counters_.instructions;
+    if constexpr (kProf) {
+      ProfCharge(p->prof.get(), step_pc, p->utime - 1, p->utime);
+    }
     if (r.kind == StepResult::kSyscall) {
       SyscallTrap(lwp);
       check_events = true;
@@ -1409,12 +1477,15 @@ void Kernel::ExecuteLwpImpl(Lwp* lwp, int budget) {
   }
 }
 
+template <bool kProf>
 void Kernel::ExecuteLwpBlocks(Lwp* lwp, int budget) {
   // This loop is the un-hooked interpreter quantum (ExecuteLwpImpl<false>)
   // with the single CpuStep replaced by a block-cache run. Everything
   // observable — ticks, utime/stime, instruction counts, the order of
   // event checks relative to executed instructions, fault/syscall pcs —
   // must stay byte-identical between the two; change them in lockstep.
+  // kProf samples at block-entry-pc granularity: a run of N instructions
+  // charges every period boundary it crosses to the block's entry pc.
   Proc* p = lwp->proc;
   bool check_events = true;
   while (budget-- > 0 && lwp->state == LwpState::kRunning &&
@@ -1453,10 +1524,17 @@ void Kernel::ExecuteLwpBlocks(Lwp* lwp, int budget) {
       // or the pc is not block-cacheable (unmapped, shared text, ...). The
       // interpreter produces the authoritative result for this instruction.
       ++as.blocks().stats().fallback_steps;
+      [[maybe_unused]] uint32_t step_pc = 0;
+      if constexpr (kProf) {
+        step_pc = lwp->regs.pc;
+      }
       StepResult r = CpuStep(lwp->regs, lwp->fpregs, as);
       ++ticks_;
       ++p->utime;
       ++counters_.instructions;
+      if constexpr (kProf) {
+        ProfCharge(p->prof.get(), step_pc, p->utime - 1, p->utime);
+      }
       if (r.kind == StepResult::kSyscall) {
         SyscallTrap(lwp);
         check_events = true;
@@ -1470,6 +1548,10 @@ void Kernel::ExecuteLwpBlocks(Lwp* lwp, int budget) {
     // iteration, so the block may retire 1 + budget instructions; charge
     // the surplus afterwards. Exactly the accounting the per-instruction
     // loop would produce for the same run.
+    [[maybe_unused]] uint32_t block_pc = 0;
+    if constexpr (kProf) {
+      block_pc = lwp->regs.pc;
+    }
     BlockRun run =
         ExecuteBlock(*blk, lwp->regs, lwp->fpregs, as,
                      static_cast<uint32_t>(budget) + 1);
@@ -1477,6 +1559,9 @@ void Kernel::ExecuteLwpBlocks(Lwp* lwp, int budget) {
     ticks_ += run.executed;
     p->utime += run.executed;
     counters_.instructions += run.executed;
+    if constexpr (kProf) {
+      ProfCharge(p->prof.get(), block_pc, p->utime - run.executed, p->utime);
+    }
     if (run.last.kind == StepResult::kSyscall) {
       SyscallTrap(lwp);
       check_events = true;
@@ -1517,6 +1602,62 @@ std::string Kernel::ExecEngineMetricsText() const {
   os << "bb_invalidations " << total.invalidations << "\n";
   os << "bb_fallback_steps " << total.fallback_steps << "\n";
   return os.str();
+}
+
+Result<void> Kernel::SetProfiling(Proc* p, int period_log2) {
+  if (p == nullptr) {
+    return Errno::kESRCH;
+  }
+  if (period_log2 < 0) {
+    if (p->prof != nullptr && p->prof->on) {
+      p->prof->on = false;
+      --prof_armed_;
+    }
+    // Disarming keeps the buckets: /proc2/<pid>/prof stays readable after
+    // the sampling window closes.
+    return Result<void>::Ok();
+  }
+  if (period_log2 > 30) {
+    return Errno::kEINVAL;
+  }
+  if (p->prof == nullptr) {
+    p->prof = std::make_unique<ProfState>();
+  }
+  if (!p->prof->on) {
+    ++prof_armed_;
+  }
+  p->prof->on = true;
+  p->prof->period_log2 = static_cast<uint32_t>(period_log2);
+  p->prof->samples = 0;
+  p->prof->pc_hits.clear();
+  return Result<void>::Ok();
+}
+
+void Kernel::ReleaseProf(Proc* p) {
+  if (p->prof != nullptr) {
+    if (p->prof->on) {
+      --prof_armed_;
+    }
+    p->prof.reset();
+  }
+}
+
+std::string Kernel::ProfText(const Proc& p) const {
+  // Folded-stack text: one "frame1;frame2 count" line per bucket, which is
+  // exactly what flamegraph.pl eats. Our "stack" is two frames deep — the
+  // executable name and the sampled pc — sorted by pc for a deterministic
+  // dump. An unprofiled process reads as an empty file, not an error.
+  std::string out;
+  if (p.prof == nullptr) {
+    return out;
+  }
+  char line[128];
+  for (const auto& [pc, hits] : p.prof->pc_hits) {
+    std::snprintf(line, sizeof(line), "%s;0x%04x %llu\n", p.name.c_str(), pc,
+                  static_cast<unsigned long long>(hits));
+    out += line;
+  }
+  return out;
 }
 
 void Kernel::Wakeup(const void* chan) {

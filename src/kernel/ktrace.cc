@@ -163,6 +163,16 @@ std::string KTrace::MetricsText(const FaultInjector* finj) const {
   }
   RenderHist(out, "stop_wait", "", stop_wait_);
   RenderHist(out, "runq_depth", "", runq_depth_);
+  for (int c = 0; c < kKtMaxCpus; ++c) {
+    if (runq_wait_[c].count != 0) {
+      RenderHist(out, "runq_wait[cpu", std::to_string(c) + "]", runq_wait_[c]);
+    }
+  }
+  for (int c = 0; c < kKtMaxCpus; ++c) {
+    if (steal_lat_[c].count != 0) {
+      RenderHist(out, "steal_lat[cpu", std::to_string(c) + "]", steal_lat_[c]);
+    }
+  }
   if (finj != nullptr) {
     // The injector's per-site counters have exactly one home (FaultInjector
     // itself); both /proc2/kernel/faults and this registry render from it.

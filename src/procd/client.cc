@@ -50,6 +50,7 @@ bool PiocSizes(uint32_t op, bool have_arg, IoSizes* s) {
     case PIOCKILL:
     case PIOCUNKILL:
     case PIOCNICE:
+    case PIOCPROF:
       s->in = 4;
       return true;
     case PIOCMAXSIG:
@@ -230,6 +231,14 @@ Result<Pid> RemoteProcIo::PeerPid() {
   return static_cast<Pid>(pid);
 }
 
+Result<std::string> RemoteProcIo::ProcdStats() {
+  auto f = Call(PdOp::kStats, {});
+  if (!f.ok()) {
+    return f.error();
+  }
+  return std::string(f->body.begin(), f->body.end());
+}
+
 Result<int> RemoteProcIo::Open(const std::string& path, int oflags) {
   PdWriter w;
   w.Put<int32_t>(oflags);
@@ -264,7 +273,9 @@ Result<int64_t> RemoteProcIo::Read(int fd, void* buf, uint64_t n) {
   if (!f.ok()) {
     return f.error();
   }
-  std::memcpy(buf, f->body.data(), f->body.size());
+  if (!f->body.empty()) {
+    std::memcpy(buf, f->body.data(), f->body.size());
+  }
   return static_cast<int64_t>(f->body.size());
 }
 

@@ -5,6 +5,8 @@
 #include "svr4proc/procd/procd.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 
 #include "svr4proc/kernel/faults.h"
 #include "svr4proc/procfs/ctl.h"
@@ -12,6 +14,29 @@
 #include "svr4proc/procfs/types.h"
 
 namespace svr4 {
+
+const char* PdOpName(PdOp op) {
+  switch (op) {
+    case PdOp::kHello: return "hello";
+    case PdOp::kOpen: return "open";
+    case PdOp::kClose: return "close";
+    case PdOp::kRead: return "read";
+    case PdOp::kPread: return "pread";
+    case PdOp::kWrite: return "write";
+    case PdOp::kLseek: return "lseek";
+    case PdOp::kIoctl: return "ioctl";
+    case PdOp::kPsall: return "psall";
+    case PdOp::kReadDirChunk: return "readdir";
+    case PdOp::kStat: return "stat";
+    case PdOp::kPoll: return "poll";
+    case PdOp::kSubscribe: return "subscribe";
+    case PdOp::kUnsubscribe: return "unsubscribe";
+    case PdOp::kSpawn: return "spawn";
+    case PdOp::kStats: return "stats";
+    case PdOp::kEvent: return "event";
+  }
+  return "unknown";
+}
 
 void PdWriteFrame(PdChannel& ch, PdOp op, uint16_t flags, uint32_t tag,
                   const std::vector<uint8_t>& body) {
@@ -40,11 +65,48 @@ int MaskRevents(int bits, int events) {
   return bits & (events | POLLERR | POLLHUP | POLLNVAL);
 }
 
+// Span latency axis: host wall clock, because virtual ticks stand still
+// while only native peers act (see EnableSpans in the header).
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Same line grammar as the metrics registry's renderer (ktrace.cc), so one
+// parser handles /proc2/kernel/metrics and /proc2/kernel/procd alike.
+void RenderHist(std::string& out, const char* name, const std::string& tag,
+                const KtHist& h) {
+  char line[192];
+  std::snprintf(line, sizeof(line), "hist %s%s count=%llu sum=%llu max=%llu mean=%.1f",
+                name, tag.c_str(), static_cast<unsigned long long>(h.count),
+                static_cast<unsigned long long>(h.sum),
+                static_cast<unsigned long long>(h.max), h.Mean());
+  out += line;
+  for (size_t i = 0; i < h.bucket.size(); ++i) {
+    if (h.bucket[i] != 0) {
+      std::snprintf(line, sizeof(line), " b%zu:%llu", i,
+                    static_cast<unsigned long long>(h.bucket[i]));
+      out += line;
+    }
+  }
+  out += '\n';
+}
+
+// Unknown wire codes share slot 0 rather than growing the array.
+int OpSlot(uint16_t op) {
+  return op > 0 && op < ProcdServer::kPdOpSlots ? op : 0;
+}
+
 }  // namespace
 
-ProcdServer::ProcdServer(Kernel& k) : kernel_(&k) {}
+ProcdServer::ProcdServer(Kernel& k) : kernel_(&k) {
+  kernel_->SetProcdStatsProvider([this] { return StatsText(); });
+}
 
 ProcdServer::~ProcdServer() {
+  kernel_->SetProcdStatsProvider({});
   for (auto& up : peers_) {
     if (!up->dead) {
       Detach(*up, /*chaos=*/false);
@@ -86,6 +148,110 @@ void ProcdServer::Detach(Peer& peer, bool chaos) {
   if (chaos) {
     ++stats_.chaos_disconnects;
   }
+  // An in-flight frame dies with the peer: no reply, no span sample.
+  peer.frame_start_ns = 0;
+  peer.park_start_tick = 0;
+}
+
+// --- RPC spans ---------------------------------------------------------------
+
+void ProcdServer::SpanDequeue(Peer& peer, const PdFrame& f) {
+  // Dequeue-time counters are unconditional and precede dispatch, so the
+  // text a kStats reply carries already counts the kStats frame itself.
+  ++stats_.frames_in;
+  ++peer.frames;
+  OpSpan& s = spans_[OpSlot(f.hdr.op)];
+  ++s.count;
+  if (spans_on_) {
+    s.bytes.Record(f.hdr.body_len);
+    peer.frame_start_ns = NowNs();
+  }
+}
+
+void ProcdServer::SpanPark(Peer& peer, PdOp op) {
+  ++spans_[OpSlot(static_cast<uint16_t>(op))].parks;
+  ++peer.parks;
+  if (peer.park_start_tick == 0) {
+    // +1 bias so tick 0 still reads as "stamped" (cleared on reply).
+    peer.park_start_tick = kernel_->Ticks() + 1;
+  }
+}
+
+void ProcdServer::SpanReply(Peer& peer, PdOp op) {
+  if (spans_on_) {
+    OpSpan& s = spans_[OpSlot(static_cast<uint16_t>(op))];
+    if (peer.frame_start_ns != 0) {
+      s.lat_ns.Record(NowNs() - peer.frame_start_ns);
+    }
+    if (peer.park_start_tick != 0) {
+      s.park_ticks.Record(kernel_->Ticks() - (peer.park_start_tick - 1));
+    }
+  }
+  peer.frame_start_ns = 0;
+  peer.park_start_tick = 0;
+}
+
+std::string ProcdServer::StatsText() const {
+  std::string out;
+  char line[256];
+  uint64_t parked_now = 0;
+  for (const auto& up : peers_) {
+    if (!up->dead && up->wait != Peer::Wait::kNone) {
+      ++parked_now;
+    }
+  }
+  std::snprintf(line, sizeof(line),
+                "procd peers=%zu pump_rounds=%llu peer_scans=%llu parked_now=%llu spans=%s\n",
+                live_peers_, static_cast<unsigned long long>(stats_.pump_rounds),
+                static_cast<unsigned long long>(stats_.peer_scans),
+                static_cast<unsigned long long>(parked_now),
+                spans_on_ ? "on" : "off");
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "counter procd_frames_in %llu\ncounter procd_ctl_ops %llu\n"
+                "counter procd_events_pushed %llu\ncounter procd_disconnects %llu\n"
+                "counter procd_chaos_disconnects %llu\n",
+                static_cast<unsigned long long>(stats_.frames_in),
+                static_cast<unsigned long long>(stats_.ctl_ops),
+                static_cast<unsigned long long>(stats_.events_pushed),
+                static_cast<unsigned long long>(stats_.disconnects),
+                static_cast<unsigned long long>(stats_.chaos_disconnects));
+  out += line;
+  for (int i = 0; i < kPdOpSlots; ++i) {
+    const OpSpan& s = spans_[i];
+    if (s.count == 0 && s.parks == 0) {
+      continue;
+    }
+    const char* name = PdOpName(static_cast<PdOp>(i));
+    std::snprintf(line, sizeof(line), "counter procd_op[%s] count=%llu parks=%llu\n",
+                  name, static_cast<unsigned long long>(s.count),
+                  static_cast<unsigned long long>(s.parks));
+    out += line;
+    if (s.lat_ns.count != 0) {
+      RenderHist(out, "procd_lat_ns[", std::string(name) + "]", s.lat_ns);
+    }
+    if (s.bytes.count != 0) {
+      RenderHist(out, "procd_bytes[", std::string(name) + "]", s.bytes);
+    }
+    if (s.park_ticks.count != 0) {
+      RenderHist(out, "procd_park_ticks[", std::string(name) + "]", s.park_ticks);
+    }
+  }
+  if (parked_peers_.count != 0) {
+    RenderHist(out, "procd_parked_peers", "", parked_peers_);
+  }
+  for (const auto& up : peers_) {
+    if (up->dead) {
+      continue;
+    }
+    std::snprintf(line, sizeof(line),
+                  "counter procd_peer[%d] frames=%llu ctl_ops=%llu parks=%llu\n",
+                  up->proc->pid, static_cast<unsigned long long>(up->frames),
+                  static_cast<unsigned long long>(up->ctl_ops),
+                  static_cast<unsigned long long>(up->parks));
+    out += line;
+  }
+  return out;
 }
 
 // --- Frame handlers ----------------------------------------------------------
@@ -213,10 +379,13 @@ bool ProcdServer::RunCtlWrite(Peer& peer, uint32_t tag, int fd,
       peer.wait_consumed = consumed + static_cast<int64_t>(pos) + 4;
       peer.wait_cont.assign(stream.begin() + static_cast<long>(pos) + 4, stream.end());
       ++stats_.ctl_ops;
+      ++peer.ctl_ops;
+      SpanPark(peer, PdOp::kWrite);
       return true;
     }
     pos += 4 + static_cast<size_t>(opsize);
     ++stats_.ctl_ops;
+    ++peer.ctl_ops;
   }
   auto fr = flush(stream.size());
   if (!fr.ok()) {
@@ -274,6 +443,7 @@ void ProcdServer::HandleIoctl(Peer& peer, uint32_t tag, PdReader& r) {
     return;
   }
   ++stats_.ctl_ops;
+  ++peer.ctl_ops;
   const CtlOp* row = FindCtlOpByPioc(op);
   if (row != nullptr && row->blocking) {
     // PIOCSTOP / PIOCWSTOP: replicate the local dispatch checks, execute
@@ -315,6 +485,7 @@ void ProcdServer::HandleIoctl(Peer& peer, uint32_t tag, PdReader& r) {
     peer.wait_fd = fd;
     peer.wait_cont.clear();
     peer.wait_consumed = 0;
+    SpanPark(peer, PdOp::kIoctl);
     return;
   }
   // Generic dispatch: every remaining flat operand is a trivially copyable
@@ -354,6 +525,7 @@ void ProcdServer::HandlePsall(Peer& peer, uint32_t tag, PdReader& r) {
     return;
   }
   ++stats_.ctl_ops;
+  ++peer.ctl_ops;
   PdWriter w;
   w.Put<int32_t>(all.pr_next_pid);
   w.Put<uint32_t>(static_cast<uint32_t>(all.pr_procs.size()));
@@ -415,6 +587,7 @@ void ProcdServer::HandlePoll(Peer& peer, uint32_t tag, PdReader& r) {
   peer.wait_pfds = std::move(pfds);
   peer.wait_deadline =
       timeout < 0 ? 0 : kernel_->Ticks() + static_cast<uint64_t>(timeout);
+  SpanPark(peer, PdOp::kPoll);
 }
 
 void ProcdServer::HandleSpawn(Peer& peer, uint32_t tag, PdReader& r) {
@@ -446,7 +619,7 @@ void ProcdServer::HandleSpawn(Peer& peer, uint32_t tag, PdReader& r) {
 }
 
 bool ProcdServer::HandleFrame(Peer& peer, const PdFrame& f) {
-  ++stats_.frames_in;
+  SpanDequeue(peer, f);
   PdReader r(f.body);
   uint32_t tag = f.hdr.tag;
   switch (static_cast<PdOp>(f.hdr.op)) {
@@ -583,9 +756,19 @@ bool ProcdServer::HandleFrame(Peer& peer, const PdFrame& f) {
     case PdOp::kSpawn:
       HandleSpawn(peer, tag, r);
       break;
+    case PdOp::kStats: {
+      std::string text = StatsText();
+      PdWriteFrame(peer.conn->s2c, PdOp::kStats, 0, tag,
+                   std::vector<uint8_t>(text.begin(), text.end()));
+      break;
+    }
     default:
       PdWriteError(peer.conn->s2c, static_cast<PdOp>(f.hdr.op), tag, Errno::kENOSYS);
       break;
+  }
+  if (peer.wait == Peer::Wait::kNone) {
+    // Replied inline (ok or error); parked frames record at completion.
+    SpanReply(peer, static_cast<PdOp>(f.hdr.op));
   }
   return true;
 }
@@ -598,6 +781,7 @@ void ProcdServer::ReplyStopWait(Peer& peer, Errno e, bool ok) {
   if (!ok) {
     peer.wait = Peer::Wait::kNone;
     PdWriteError(peer.conn->s2c, op, tag, e);
+    SpanReply(peer, op);
     return;
   }
   if (op == PdOp::kWrite) {
@@ -607,7 +791,9 @@ void ProcdServer::ReplyStopWait(Peer& peer, Errno e, bool ok) {
     int64_t consumed = peer.wait_consumed;
     int fd = peer.wait_fd;
     peer.wait = Peer::Wait::kNone;
-    (void)RunCtlWrite(peer, tag, fd, std::move(cont), consumed);
+    if (!RunCtlWrite(peer, tag, fd, std::move(cont), consumed)) {
+      SpanReply(peer, op);
+    }
     return;
   }
   // Flat PIOCSTOP/PIOCWSTOP: optional PrStatus out-parameter.
@@ -620,6 +806,7 @@ void ProcdServer::ReplyStopWait(Peer& peer, Errno e, bool ok) {
   }
   peer.wait = Peer::Wait::kNone;
   PdWriteFrame(peer.conn->s2c, op, 0, tag, w.bytes());
+  SpanReply(peer, op);
 }
 
 bool ProcdServer::TryCompleteWait(Peer& peer, bool idle) {
@@ -668,6 +855,7 @@ bool ProcdServer::TryCompleteWait(Peer& peer, bool idle) {
       peer.wait = Peer::Wait::kNone;
       peer.wait_pfds.clear();
       PdWriteFrame(peer.conn->s2c, op, 0, tag, w.bytes());
+      SpanReply(peer, op);
       return true;
     }
   }
@@ -702,6 +890,11 @@ bool ProcdServer::PushEvents(Peer& peer) {
 
 bool ProcdServer::Pump() {
   bool progress = false;
+  // Round accounting first (before any dispatch) so a kStats frame served
+  // this round already sees the round that served it. peer_scans makes the
+  // O(peers)-per-round pump scan a measurable quantity instead of folklore.
+  ++stats_.pump_rounds;
+  stats_.peer_scans += live_peers_;
   FaultInjector* finj = kernel_->fault_injector();
   for (auto& up : peers_) {
     Peer& peer = *up;
@@ -727,7 +920,7 @@ bool ProcdServer::Pump() {
     }
   }
   // Parked waits: evaluate without stepping first.
-  bool any_parked = false;
+  uint64_t nparked = 0;
   for (auto& up : peers_) {
     if (up->dead) {
       continue;
@@ -740,9 +933,13 @@ bool ProcdServer::Pump() {
       }
     }
     if (up->wait != Peer::Wait::kNone) {
-      any_parked = true;
+      ++nparked;
     }
     progress |= PushEvents(*up);
+  }
+  bool any_parked = nparked != 0;
+  if (spans_on_) {
+    parked_peers_.Record(nparked);
   }
   if (!progress && any_parked) {
     // Parked waits are the only pending work: advance the simulation. If it

@@ -233,6 +233,19 @@ PrKstat BuildPrKstat(const Kernel& k) {
     ks.pr_sys[s].pr_latsum = st.lat.sum;
     ks.pr_sys[s].pr_latmax = st.lat.max;
   }
+  ks.pr_stop_wait_count = kt.stop_wait().count;
+  ks.pr_stop_wait_sum = kt.stop_wait().sum;
+  ks.pr_stop_wait_max = kt.stop_wait().max;
+  for (int c = 0; c < kKtMaxCpus; ++c) {
+    const KtHist& rw = kt.runq_wait(c);
+    ks.pr_runq_wait_count += rw.count;
+    ks.pr_runq_wait_sum += rw.sum;
+    ks.pr_runq_wait_max = std::max(ks.pr_runq_wait_max, rw.max);
+    const KtHist& sl = kt.steal_lat(c);
+    ks.pr_steal_count += sl.count;
+    ks.pr_steal_sum += sl.sum;
+    ks.pr_steal_max = std::max(ks.pr_steal_max, sl.max);
+  }
   return ks;
 }
 

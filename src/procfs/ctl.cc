@@ -466,6 +466,18 @@ Result<int32_t> OpPsAll(CtlCtx& c, void* arg) {
   return static_cast<int32_t>(all->pr_procs.size());
 }
 
+Result<int32_t> OpProf(CtlCtx& c, void* arg) {
+  // Arm (value >= 0: sample every 2^value retired instructions) or disarm
+  // (value < 0) the deterministic pc sampler. The dump is read back from
+  // /proc2/<pid>/prof as folded-stack text.
+  int v = *static_cast<int*>(arg);
+  auto r = c.k->SetProfiling(c.p, v);
+  if (!r.ok()) {
+    return r.error();
+  }
+  return 0;
+}
+
 // --- The table --------------------------------------------------------------
 
 constexpr int32_t kNoPc = -1;
@@ -586,9 +598,11 @@ const CtlOp kCtlOps[] = {
      true, true, false, false, false, kNoPc, 0, nullptr, OpKstat},
     {"PIOCPSALL", PIOCPSALL, kNoPc, CtlArgKind::kOut, -1,
      true, true, false, false, false, kNoPc, 0, nullptr, OpPsAll},
+    {"PIOCPROF", PIOCPROF, kNoPc, CtlArgKind::kInt, 4,
+     false, false, false, false, false, kNoPc, 0, nullptr, OpProf},
 };
 
-// Both code spaces are dense — PIOC codes are kPiocBase|1..47, PC codes
+// Both code spaces are dense — PIOC codes are kPiocBase|1..48, PC codes
 // 0..20 — so the indexes are direct-addressed arrays: dispatch stays on
 // par with the switch statements the table replaced.
 constexpr int kPiocSlots = 64;

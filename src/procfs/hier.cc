@@ -21,7 +21,8 @@ struct Pr2Priv {
 };
 
 enum class Pr2Kind {
-  kStatus, kPsinfo, kCred, kUsage, kSigact, kMap, kAs, kCtl, kCtlAudit, kTrace
+  kStatus, kPsinfo, kCred, kUsage, kSigact, kMap, kAs, kCtl, kCtlAudit, kTrace,
+  kProf
 };
 
 std::string PidName(Pid pid) {
@@ -201,6 +202,12 @@ class Pr2FileVnode : public Vnode {
       }
       case Pr2Kind::kCtlAudit:
         return ServeStruct(BuildPrCtlAudit(p), off, buf);
+      case Pr2Kind::kProf: {
+        // Folded-stack profiler dump; an unprofiled process reads empty.
+        std::string text = kernel_->ProfText(*p);
+        return ServeBytes(std::vector<uint8_t>(text.begin(), text.end()), off,
+                          buf);
+      }
       case Pr2Kind::kCtl:
         return Errno::kEACCES;
       case Pr2Kind::kTrace:
@@ -476,6 +483,8 @@ class Pr2ProcDirVnode : public Vnode {
       kind = Pr2Kind::kCtlAudit;
     } else if (name == "trace") {
       kind = Pr2Kind::kTrace;
+    } else if (name == "prof") {
+      kind = Pr2Kind::kProf;
     } else if (name == "lwp") {
       return VnodePtr(std::make_shared<Pr2LwpListVnode>(kernel_, pid_));
     } else {
@@ -488,7 +497,7 @@ class Pr2ProcDirVnode : public Vnode {
         {"as", VType::kProc},     {"ctl", VType::kProc},   {"status", VType::kProc},
         {"psinfo", VType::kProc}, {"map", VType::kProc},   {"cred", VType::kProc},
         {"sigact", VType::kProc}, {"usage", VType::kProc}, {"ctlaudit", VType::kProc},
-        {"trace", VType::kProc},  {"lwp", VType::kDir},
+        {"trace", VType::kProc},  {"prof", VType::kProc},  {"lwp", VType::kDir},
     };
   }
 
@@ -691,6 +700,43 @@ class Pr2CpusVnode : public Vnode {
   Kernel* kernel_;
 };
 
+// /proc2/kernel/procd: the network daemon's span/occupancy registry,
+// rendered in the /proc2/kernel/metrics style. The kernel has no procd
+// dependency: a running ProcdServer registers a renderer via
+// SetProcdStatsProvider; without one the file reads "procd off".
+class Pr2ProcdVnode : public Vnode {
+ public:
+  explicit Pr2ProcdVnode(Kernel* k) : kernel_(k) {}
+
+  VType type() const override { return VType::kProc; }
+  Result<VAttr> GetAttr() override {
+    VAttr a;
+    a.type = VType::kProc;
+    a.mode = 0444;
+    a.size = Render().size();
+    return a;
+  }
+  Result<void> Open(OpenFile& of, const Creds& /*cr*/, Proc* /*caller*/) override {
+    if (of.writable) {
+      return Errno::kEACCES;
+    }
+    return Result<void>::Ok();
+  }
+  Result<int64_t> Read(OpenFile& /*of*/, uint64_t off, std::span<uint8_t> buf) override {
+    std::string text = Render();
+    std::vector<uint8_t> bytes(text.begin(), text.end());
+    return ServeBytes(bytes, off, buf);
+  }
+
+ private:
+  std::string Render() const {
+    const auto& provider = kernel_->procd_stats_provider();
+    return provider ? provider() : std::string("procd off\n");
+  }
+
+  Kernel* kernel_;
+};
+
 // /proc2/kernel: kernel-wide (process-independent) introspection files.
 class Pr2KernelDirVnode : public Vnode {
  public:
@@ -720,6 +766,9 @@ class Pr2KernelDirVnode : public Vnode {
     if (name == "cpus") {
       return VnodePtr(std::make_shared<Pr2CpusVnode>(kernel_));
     }
+    if (name == "procd") {
+      return VnodePtr(std::make_shared<Pr2ProcdVnode>(kernel_));
+    }
     return Errno::kENOENT;
   }
   Result<std::vector<DirEnt>> Readdir() override {
@@ -727,7 +776,8 @@ class Pr2KernelDirVnode : public Vnode {
                                {"trace", VType::kProc},
                                {"metrics", VType::kProc},
                                {"psall", VType::kProc},
-                               {"cpus", VType::kProc}};
+                               {"cpus", VType::kProc},
+                               {"procd", VType::kProc}};
   }
 
  private:

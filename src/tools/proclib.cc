@@ -1,5 +1,6 @@
 #include "svr4proc/tools/proclib.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 
@@ -377,6 +378,123 @@ Result<PrTrace> ReadTraceFile(ProcIo& io, const std::string& path) {
 Result<void> ProcHandle::Nice(int delta) {
   SVR4_RETURN_IF_ERROR(Io(PIOCNICE, &delta));
   return Result<void>::Ok();
+}
+
+Result<void> ProcHandle::SetProf(int period_log2) {
+  SVR4_RETURN_IF_ERROR(Io(PIOCPROF, &period_log2));
+  return Result<void>::Ok();
+}
+
+Result<void> ProcHandle::ClearProf() {
+  int off = -1;
+  SVR4_RETURN_IF_ERROR(Io(PIOCPROF, &off));
+  return Result<void>::Ok();
+}
+
+Result<std::string> ProcHandle::Prof() {
+  char path[64];
+  std::snprintf(path, sizeof(path), "/proc2/%05d/prof", pid_);
+  return ReadTextFile(*io_, path);
+}
+
+Result<std::string> ReadTextFile(ProcIo& io, const std::string& path) {
+  auto fd = io.Open(path, O_RDONLY);
+  if (!fd.ok()) {
+    return fd.error();
+  }
+  std::string out;
+  char chunk[4096];
+  for (;;) {
+    auto n = io.Read(*fd, chunk, sizeof(chunk));
+    if (!n.ok()) {
+      (void)io.Close(*fd);
+      return n.error();
+    }
+    if (*n == 0) {
+      break;
+    }
+    out.append(chunk, static_cast<size_t>(*n));
+  }
+  (void)io.Close(*fd);
+  return out;
+}
+
+Result<std::string> ProcdStats(ProcIo& io) {
+  return ReadTextFile(io, "/proc2/kernel/procd");
+}
+
+namespace {
+
+bool ValidMetricsKey(const std::string& t) {
+  size_t i = 0;
+  if (t.empty() || (!std::isalpha(static_cast<unsigned char>(t[0])) && t[0] != '_')) {
+    return false;
+  }
+  while (i < t.size() &&
+         (std::isalnum(static_cast<unsigned char>(t[i])) || t[i] == '_')) {
+    ++i;
+  }
+  if (i == t.size()) {
+    return true;
+  }
+  // name[tag]: tag is any non-empty run without ']' except at the end.
+  if (t[i] != '[' || t.back() != ']' || t.size() - i < 3) {
+    return false;
+  }
+  return t.find(']', i) == t.size() - 1;
+}
+
+}  // namespace
+
+bool ValidateMetricsText(const std::string& text, std::string* bad_line) {
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    std::string line = text.substr(
+        start, end == std::string::npos ? std::string::npos : end - start);
+    if (end == std::string::npos) {
+      // Unterminated final line: a truncated render.
+      if (bad_line != nullptr) {
+        *bad_line = line;
+      }
+      return false;
+    }
+    start = end + 1;
+    // Tokenize on single spaces; empty tokens mean doubled/leading/trailing
+    // spaces, which the renderers never emit.
+    std::vector<std::string> toks;
+    size_t p = 0;
+    bool empty_tok = false;
+    while (p <= line.size()) {
+      size_t sp = line.find(' ', p);
+      std::string tok =
+          line.substr(p, sp == std::string::npos ? std::string::npos : sp - p);
+      if (tok.empty()) {
+        empty_tok = true;
+      }
+      toks.push_back(std::move(tok));
+      if (sp == std::string::npos) {
+        break;
+      }
+      p = sp + 1;
+    }
+    bool ok = !empty_tok && toks.size() >= 2 && ValidMetricsKey(toks[0]);
+    for (size_t i = 1; ok && i < toks.size(); ++i) {
+      for (char c : toks[i]) {
+        if (!std::isprint(static_cast<unsigned char>(c))) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) {
+      if (bad_line != nullptr) {
+        *bad_line = line;
+      }
+      return false;
+    }
+  }
+  return true;
 }
 
 Result<void> ProcHandle::SetWatch(const PrWatch& w) {

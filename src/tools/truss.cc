@@ -303,6 +303,38 @@ std::string Truss::CountsTable() const {
                 tcalls != 0 ? static_cast<double>(tsum) / static_cast<double>(tcalls)
                             : 0.0);
   out += totals;
+
+  // Span summary: where the traced window's time went besides executing —
+  // stop-request convergence, run-queue waits, and steal migrations, as
+  // registry deltas (PIOCKSTAT carries kernel-wide aggregates of the
+  // per-CPU histograms, so this table is transport-independent too).
+  struct SpanRow {
+    const char* name;
+    uint64_t count, sum, max;
+  };
+  const SpanRow rows[] = {
+      {"stop_wait", kstat_end_.pr_stop_wait_count - kstat_base_.pr_stop_wait_count,
+       kstat_end_.pr_stop_wait_sum - kstat_base_.pr_stop_wait_sum,
+       kstat_end_.pr_stop_wait_max},
+      {"runq_wait", kstat_end_.pr_runq_wait_count - kstat_base_.pr_runq_wait_count,
+       kstat_end_.pr_runq_wait_sum - kstat_base_.pr_runq_wait_sum,
+       kstat_end_.pr_runq_wait_max},
+      {"steal", kstat_end_.pr_steal_count - kstat_base_.pr_steal_count,
+       kstat_end_.pr_steal_sum - kstat_base_.pr_steal_sum,
+       kstat_end_.pr_steal_max},
+  };
+  out += "\nwait                      count             avg(ticks)  max(ticks)\n";
+  for (const SpanRow& r : rows) {
+    double avg =
+        r.count != 0 ? static_cast<double>(r.sum) / static_cast<double>(r.count) : 0.0;
+    // Like latmax above: the max is a lifetime watermark, reported only
+    // when this window contributed samples.
+    char line[112];
+    std::snprintf(line, sizeof(line), "%-20s %10llu %22.1f %11llu\n", r.name,
+                  static_cast<unsigned long long>(r.count), avg,
+                  static_cast<unsigned long long>(r.count != 0 ? r.max : 0));
+    out += line;
+  }
   return out;
 }
 

@@ -51,7 +51,7 @@ constexpr uint32_t kAllPioc[] = {
     PIOCGREG,   PIOCSREG,   PIOCGFPREG, PIOCSFPREG, PIOCNMAP,     PIOCMAP,
     PIOCOPENM,  PIOCCRED,   PIOCGROUPS, PIOCPSINFO, PIOCNICE,     PIOCGETPR,
     PIOCGETU,   PIOCUSAGE,  PIOCNWATCH, PIOCGWATCH, PIOCSWATCH,   PIOCPAGEDATA,
-    PIOCLWPIDS, PIOCVMSTATS, PIOCAUDIT,  PIOCKSTAT,  PIOCPSALL,
+    PIOCLWPIDS, PIOCVMSTATS, PIOCAUDIT,  PIOCKSTAT,  PIOCPSALL,    PIOCPROF,
 };
 
 constexpr int32_t kAllPc[] = {
